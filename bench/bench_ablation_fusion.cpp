@@ -1,0 +1,69 @@
+// Ablation: operation fusion (the §3.3 motivation for LazyTensor).
+//
+// Compiles the same traced training-step programs with the fusion pass on
+// and off, and prices both on the simulated GTX 1080. Reports kernel-count
+// reduction and device-time speedup — the quantity separating Table 3's
+// lazy row (1827 ex/s) from its eager row (730 ex/s).
+#include <cstdio>
+
+#include "bench_utils.h"
+#include "device/sim_accelerator.h"
+#include "nn/models/lenet.h"
+#include "nn/models/resnet.h"
+#include "step_program.h"
+
+namespace s4tf::bench {
+namespace {
+
+void Report(const char* name, const StepProgram& program) {
+  SimAccelerator fused(AcceleratorSpec::Gtx1080());
+  SimAccelerator unfused(AcceleratorSpec::Gtx1080());
+  program.fused->ChargeTo(fused);
+  program.unfused->ChargeTo(unfused);
+  std::printf(
+      "%-28s kernels %5lld -> %5lld (%.1fx)   device time %8.3f ms -> %8.3f "
+      "ms (%.2fx speedup)\n",
+      name, static_cast<long long>(program.unfused->kernel_count()),
+      static_cast<long long>(program.fused->kernel_count()),
+      static_cast<double>(program.unfused->kernel_count()) /
+          static_cast<double>(program.fused->kernel_count()),
+      unfused.elapsed_seconds() * 1e3, fused.elapsed_seconds() * 1e3,
+      unfused.elapsed_seconds() / fused.elapsed_seconds());
+}
+
+}  // namespace
+}  // namespace s4tf::bench
+
+int main() {
+  using namespace s4tf;
+  using namespace s4tf::bench;
+
+  std::printf("== Ablation: XLA-style elementwise fusion on traced training "
+              "steps ==\n\n");
+
+  {
+    Rng rng(1);
+    const nn::LeNet model(rng);
+    Report("LeNet-5 (batch 32)",
+           BuildStepProgram(model, Shape({32, 28, 28, 1}), 10, 0.1f));
+  }
+  {
+    Rng rng(2);
+    const nn::ResNet model(nn::ResNetConfig::Cifar(20), rng);
+    Report("ResNet-20 (batch 32)",
+           BuildStepProgram(model, Shape({32, 32, 32, 3}), 10, 0.1f));
+  }
+  {
+    Rng rng(3);
+    const nn::ResNet model(nn::ResNetConfig::Cifar(56), rng);
+    Report("ResNet-56 (batch 128)",
+           BuildStepProgram(model, Shape({128, 32, 32, 3}), 10, 0.1f));
+  }
+
+  std::printf(
+      "\nFusion prices each elementwise cluster as ONE kernel launch with "
+      "only external\nmemory traffic; convolutions/matmuls are unaffected, "
+      "so conv-heavy models see a\nmodest-but-real win (the lazy-vs-eager "
+      "gap in Table 3).\n");
+  return 0;
+}

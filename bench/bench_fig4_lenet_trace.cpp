@@ -1,0 +1,57 @@
+// Figure 4: "LazyTensor trace of the LeNet-5 model's forward pass."
+//
+// Builds LeNet on the lazy device, runs one forward pass WITHOUT observing
+// the result, and dumps the recorded trace DAG: an op inventory (verified
+// against the architecture) and the GraphViz DOT rendering the paper's
+// figure shows. Nothing executes until the final materialization — the
+// printed kernel counters prove it.
+#include <cstdio>
+
+#include "bench_utils.h"
+#include "lazy/lazy_tensor.h"
+#include "nn/models/lenet.h"
+#include "nn/training.h"
+
+int main() {
+  using namespace s4tf;
+
+  std::printf("== Figure 4: LazyTensor trace of the LeNet-5 forward pass ==\n\n");
+
+  LazyBackend backend;
+  const Device lazy = backend.device();
+
+  Rng rng(1);
+  nn::LeNet model(rng);
+  nn::MoveModelTo(model, lazy);
+
+  const Tensor input = Tensor::Zeros(Shape({1, 28, 28, 1}), lazy);
+  const Tensor logits = model(input);
+
+  std::printf("ops recorded into trace : %lld\n",
+              static_cast<long long>(backend.ops_traced()));
+  std::printf("kernels executed so far : %lld  (recording only — nothing "
+              "ran)\n\n",
+              static_cast<long long>(backend.kernels_launched()));
+
+  std::printf("-- trace op inventory (forward pass) --\n");
+  const auto counts = SummarizeTrace({logits});
+  int total = 0;
+  for (const auto& c : counts) {
+    std::printf("  %-22s x%d\n", OpName(c.kind), c.count);
+    if (c.kind != OpKind::kConstant) total += c.count;
+  }
+  std::printf("  total non-leaf ops: %d\n\n", total);
+
+  std::printf("-- GraphViz DOT (render with `dot -Tpng`) --\n%s\n",
+              TraceToDot({logits}).c_str());
+
+  // Now observe: the trace compiles through the XLA-like JIT and runs.
+  const auto values = logits.ToVector();
+  std::printf("materialized logits[0..9]:");
+  for (float v : values) std::printf(" %.3f", v);
+  std::printf("\n\nafter observation: kernels executed = %lld, "
+              "programs compiled = %lld\n",
+              static_cast<long long>(backend.kernels_launched()),
+              static_cast<long long>(backend.cache_misses()));
+  return 0;
+}

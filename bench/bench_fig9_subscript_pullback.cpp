@@ -1,0 +1,64 @@
+// Figure 9 / Appendix B: array-subscript differentiation cost.
+//
+// The paper's claim: the pure-functional pullback of `values[index]` is
+// O(n) in the array size (it materializes a one-hot array), while the
+// mutable-value-semantics (inout) formulation is O(1). This bench sweeps n
+// and reports both; the functional series should grow linearly while the
+// inout series stays flat.
+#include <benchmark/benchmark.h>
+
+#include "ad/subscript_pullback.h"
+
+namespace s4tf::ad {
+namespace {
+
+FloatArray MakeValues(std::size_t n) {
+  FloatArray values(n, 0.0f);
+  float* data = values.mutable_data();
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<float>(i);
+  return values;
+}
+
+void BM_FunctionalPullback(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FloatArray values = MakeValues(n);
+  auto op = MyOpWithFunctionalPullback(values, n / 4, n / 2);
+  for (auto _ : state) {
+    FloatArray grad = op.pullback(1.0f);  // O(n): allocates + sums arrays
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FunctionalPullback)->RangeMultiplier(4)->Range(64, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+void BM_MutablePullback(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FloatArray values = MakeValues(n);
+  auto op = MyOpWithMutablePullback(values, n / 4, n / 2);
+  FloatArray grad(n, 0.0f);
+  grad.mutable_data();  // make unique before timing
+  for (auto _ : state) {
+    op.pullback(1.0f, grad);  // O(1): two in-place accumulations
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MutablePullback)->RangeMultiplier(4)->Range(64, 1 << 18)
+    ->Complexity(benchmark::o1);
+
+// The primal op itself, for the "derivative should cost about as much as
+// the function" comparison (the efficient-gradient goal, §4.3).
+void BM_PrimalOp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FloatArray values = MakeValues(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MyOp(values, n / 4, n / 2));
+  }
+}
+BENCHMARK(BM_PrimalOp)->RangeMultiplier(4)->Range(64, 1 << 18);
+
+}  // namespace
+}  // namespace s4tf::ad
+
+BENCHMARK_MAIN();

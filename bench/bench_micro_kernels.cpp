@@ -1,0 +1,87 @@
+// Microbenchmarks of the reference CPU kernels shared by every backend.
+#include <benchmark/benchmark.h>
+
+#include "support/rng.h"
+#include "tensor/kernels.h"
+
+namespace s4tf {
+namespace {
+
+Literal RandomLiteral(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(static_cast<std::size_t>(shape.NumElements()));
+  rng.FillUniform(values.data(), values.size(), -1.0f, 1.0f);
+  return Literal::FromVector(shape, std::move(values));
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const Literal a = RandomLiteral(Shape({n, n}), 1);
+  const Literal b = RandomLiteral(Shape({n, n}), 2);
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kMatMul, {a, b}, {});
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2D(benchmark::State& state) {
+  const std::int64_t hw = state.range(0);
+  const Literal input = RandomLiteral(Shape({1, hw, hw, 8}), 3);
+  const Literal filter = RandomLiteral(Shape({3, 3, 8, 8}), 4);
+  OpAttrs attrs;
+  attrs.padding = Padding::kSame;
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kConv2D, {input, filter}, attrs);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+}
+BENCHMARK(BM_Conv2D)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Softmax(benchmark::State& state) {
+  const Literal x = RandomLiteral(Shape({state.range(0), 1000}), 5);
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kSoftmax, {x}, {});
+    benchmark::DoNotOptimize(out.data.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(8)->Arg(64);
+
+void BM_ElementwiseBroadcast(benchmark::State& state) {
+  const Literal m = RandomLiteral(Shape({state.range(0), 256}), 6);
+  const Literal row = RandomLiteral(Shape({256}), 7);
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kAdd, {m, row}, {});
+    benchmark::DoNotOptimize(out.data.data());
+  }
+}
+BENCHMARK(BM_ElementwiseBroadcast)->Arg(64)->Arg(512);
+
+void BM_ReduceSumAxis(benchmark::State& state) {
+  const Literal m = RandomLiteral(Shape({state.range(0), 256}), 8);
+  OpAttrs attrs;
+  attrs.axes = {0};
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kReduceSum, {m}, attrs);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+}
+BENCHMARK(BM_ReduceSumAxis)->Arg(64)->Arg(512);
+
+void BM_MaxPool(benchmark::State& state) {
+  const Literal x = RandomLiteral(Shape({4, state.range(0), state.range(0), 16}), 9);
+  OpAttrs attrs;
+  attrs.window_h = attrs.window_w = 2;
+  attrs.stride_h = attrs.stride_w = 2;
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kMaxPool2D, {x}, attrs);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+}
+BENCHMARK(BM_MaxPool)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace s4tf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Shared helpers for the table-reproduction harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace s4tf::bench {
+
+// Fixed-width table printer so every harness emits rows shaped like the
+// paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths)
+      : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+  void PrintHeader() const {
+    PrintRule();
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("| %-*s ", widths_[i], headers_[i].c_str());
+    }
+    std::printf("|\n");
+    PrintRule();
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("| %-*s ", widths_[i], cells[i].c_str());
+    }
+    std::printf("|\n");
+  }
+
+  void PrintRule() const {
+    for (int w : widths_) {
+      std::printf("+");
+      for (int i = 0; i < w + 2; ++i) std::printf("-");
+    }
+    std::printf("+\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+inline std::string FormatF(double value, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+inline std::string FormatInt(long long value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Milliseconds() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace s4tf::bench

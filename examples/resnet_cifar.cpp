@@ -1,0 +1,54 @@
+// ResNet on synthetic CIFAR-10, trained on the LazyTensor device: the
+// paper's Table 3 configuration as a runnable example. Demonstrates that
+// the eager-looking training loop is transparently traced, fused, and
+// JIT-compiled, with the trace cache hitting on every step after the
+// first.
+#include <cstdio>
+
+#include "nn/models/resnet.h"
+#include "nn/training.h"
+
+int main() {
+  using namespace s4tf;
+
+  // A shallow member of the ResNet family keeps this example snappy; pass
+  // the depth through ResNetConfig::Cifar(56) for the full Table 3 model.
+  const int depth = 14;
+  Rng rng(31);
+  nn::ResNet model(nn::ResNetConfig::Cifar(depth), rng);
+  std::printf("ResNet-%d: %lld parameters, %zu residual blocks\n", depth,
+              static_cast<long long>(model.ParameterCount()),
+              model.blocks.size());
+
+  LazyBackend backend(LazyOptions{.accelerator = AcceleratorSpec::Gtx1080()});
+  nn::MoveModelTo(model, backend.device());
+
+  const auto dataset = nn::SyntheticImageDataset::Cifar10(64, 3);
+  nn::SGD<nn::ResNet> optimizer(0.05f, 0.9f);
+
+  const int batch_size = 8;
+  for (int step = 0; step < 6; ++step) {
+    const nn::LabeledBatch batch =
+        dataset.Batch(step, batch_size, backend.device());
+    const float loss = nn::TrainStep(
+        model, optimizer, [&batch](const nn::ResNet& m) {
+          return nn::SoftmaxCrossEntropy(m(batch.images), batch.one_hot);
+        });
+    std::printf(
+        "step %d: loss %.4f | traced ops (cum) %6lld | compiles %lld | "
+        "cache hits %lld\n",
+        step + 1, loss, static_cast<long long>(backend.ops_traced()),
+        static_cast<long long>(backend.cache_misses()),
+        static_cast<long long>(backend.cache_hits()));
+  }
+
+  std::printf(
+      "\nsimulated accelerator: %.2f ms busy across %lld fused kernels; "
+      "JIT spent %.1f ms once\n",
+      backend.device_seconds() * 1e3,
+      static_cast<long long>(backend.kernels_launched()),
+      backend.compile_seconds() * 1e3);
+  std::printf("training accuracy: %.1f%%\n",
+              100.0f * nn::Evaluate(model, dataset, batch_size, 4));
+  return 0;
+}

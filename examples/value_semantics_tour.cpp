@@ -1,0 +1,83 @@
+// A guided tour of §4: value vs. reference semantics (Figure 5), the
+// inout rewrite (Figure 8), and where copies actually happen (CowStats).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "vs/cow_array.h"
+#include "vs/inout.h"
+
+namespace {
+
+using s4tf::vs::CowArray;
+using s4tf::vs::CowStats;
+using s4tf::vs::CowStatsScope;
+using s4tf::vs::Inout;
+
+// Figure 8, left column.
+bool Inc(Inout<int> x) {
+  x = x + 1;
+  return x < 10;
+}
+
+}  // namespace
+
+int main() {
+  using s4tf::Shape;
+  using s4tf::Tensor;
+
+  std::printf("== Figure 5: value vs reference semantics ==\n\n");
+
+  // Column 2 of Figure 5: Python-style reference semantics.
+  auto ref_x = std::make_shared<std::vector<int>>(std::vector<int>{3});
+  auto ref_y = ref_x;  // aliases the same storage
+  (*ref_x)[0] += 1;
+  std::printf("reference semantics: x=[%d]  y=[%d]   <- y changed "
+              "('spooky action at a distance')\n",
+              (*ref_x)[0], (*ref_y)[0]);
+
+  // Column 3: Swift-style mutable value semantics.
+  CowArray<int> val_x{3};
+  CowArray<int> val_y = val_x;
+  val_x.at_mut(0) += 1;
+  std::printf("value semantics:     x=[%d]  y=[%d]   <- y untouched\n\n",
+              val_x[0], val_y[0]);
+
+  std::printf("== Copies happen lazily, upon mutation, only when shared ==\n\n");
+  CowArray<float> big(1'000'000, 1.0f);
+  {
+    CowStatsScope stats;
+    CowArray<float> copy1 = big;
+    CowArray<float> copy2 = big;
+    CowArray<float> copy3 = copy2;
+    std::printf("3 copies of a 1M-element array: %lld deep copies, %lld "
+                "allocations\n",
+                static_cast<long long>(stats.delta().deep_copies),
+                static_cast<long long>(stats.delta().buffer_allocations));
+    copy1.at_mut(0) = 2.0f;  // first mutation of a shared value
+    std::printf("first mutation of a shared copy: %lld deep copy\n",
+                static_cast<long long>(stats.delta().deep_copies));
+    copy1.at_mut(1) = 3.0f;  // now unique: in place
+    std::printf("second mutation (now unique):    still %lld deep copy\n\n",
+                static_cast<long long>(stats.delta().deep_copies));
+  }
+
+  std::printf("== Figure 8: inout is pass-by-value plus reassignment ==\n\n");
+  int y = 2;
+  const bool z = Inc(y);
+  std::printf("inout form:        y=%d z=%s\n", y, z ? "true" : "false");
+  auto pure = s4tf::vs::RewriteInoutAsPure<int, bool>(&Inc);
+  const auto [y2, z2] = pure(2);
+  std::printf("rewritten form:    y=%d z=%s   (identical: inout does not "
+              "introduce reference semantics)\n\n",
+              y2, z2 ? "true" : "false");
+
+  std::printf("== Tensors are value types too ==\n\n");
+  Tensor t = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  Tensor u = t;
+  t.SetAt({0}, 9.0f);
+  std::printf("t=[%.0f %.0f %.0f]  u=[%.0f %.0f %.0f]\n", t.At({0}),
+              t.At({1}), t.At({2}), u.At({0}), u.At({1}), u.At({2}));
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Differentiable function values (paper §2.1, Figure 3).
+//
+// A `@differentiable (A) -> B` value is a bundle of three functions:
+//   original : (A) -> B
+//   JVP      : (A) -> (B, (A.TangentVector) -> B.TangentVector)
+//   VJP      : (A) -> (B, (B.TangentVector) -> A.TangentVector)
+// The JVP implements forward mode; the VJP implements reverse mode. The
+// closures returned by JVP/VJP are the *differential* and *pullback*
+// respectively.
+//
+// `Compose` implements the chain rule over bundles — this is exactly the
+// recursion the paper's compiler transformation performs over callees,
+// expressed as a library combinator. The mini-SIL pass in src/sil performs
+// the same construction on IR.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "ad/differentiable.h"
+
+namespace s4tf::ad {
+
+template <Differentiable B>
+using Differential =
+    std::function<TangentVectorOf<B>(const TangentVectorOf<B>&)>;
+
+// (A.TangentVector) -> B.TangentVector
+template <Differentiable A, Differentiable B>
+using DifferentialFn =
+    std::function<TangentVectorOf<B>(const TangentVectorOf<A>&)>;
+
+// (B.TangentVector) -> A.TangentVector
+template <Differentiable A, Differentiable B>
+using PullbackFn = std::function<TangentVectorOf<A>(const TangentVectorOf<B>&)>;
+
+template <Differentiable A, Differentiable B>
+struct DifferentiableFunction {
+  using Original = std::function<B(const A&)>;
+  using Jvp = std::function<std::pair<B, DifferentialFn<A, B>>(const A&)>;
+  using Vjp = std::function<std::pair<B, PullbackFn<A, B>>(const A&)>;
+
+  Original original;
+  Jvp jvp;
+  Vjp vjp;
+
+  B operator()(const A& x) const { return original(x); }
+};
+
+// Builds a bundle from an original function and its two derivative
+// functions (the explicit form of the paper's @derivative(of:) attribute).
+template <Differentiable A, Differentiable B>
+DifferentiableFunction<A, B> MakeDifferentiable(
+    typename DifferentiableFunction<A, B>::Original original,
+    typename DifferentiableFunction<A, B>::Jvp jvp,
+    typename DifferentiableFunction<A, B>::Vjp vjp) {
+  return DifferentiableFunction<A, B>{std::move(original), std::move(jvp),
+                                      std::move(vjp)};
+}
+
+// Chain rule: (g ∘ f). The returned bundle's differential composes
+// forward (df then dg); its pullback composes backward (g's pullback then
+// f's) — the same wiring the compiler transformation emits for a call.
+template <Differentiable A, Differentiable B, Differentiable C>
+DifferentiableFunction<A, C> Compose(const DifferentiableFunction<B, C>& g,
+                                     const DifferentiableFunction<A, B>& f) {
+  DifferentiableFunction<A, C> result;
+  result.original = [g, f](const A& x) { return g.original(f.original(x)); };
+  result.jvp = [g, f](const A& x) {
+    auto [y, df] = f.jvp(x);
+    auto [z, dg] = g.jvp(y);
+    DifferentialFn<A, C> differential =
+        [df = std::move(df), dg = std::move(dg)](
+            const TangentVectorOf<A>& dx) { return dg(df(dx)); };
+    return std::pair<C, DifferentialFn<A, C>>{std::move(z),
+                                              std::move(differential)};
+  };
+  result.vjp = [g, f](const A& x) {
+    auto [y, pb_f] = f.vjp(x);
+    auto [z, pb_g] = g.vjp(y);
+    PullbackFn<A, C> pullback =
+        [pb_f = std::move(pb_f), pb_g = std::move(pb_g)](
+            const TangentVectorOf<C>& dz) { return pb_f(pb_g(dz)); };
+    return std::pair<C, PullbackFn<A, C>>{std::move(z), std::move(pullback)};
+  };
+  return result;
+}
+
+// Pointwise sum of two differentiable functions with the same signature.
+template <Differentiable A, Differentiable B>
+  requires AdditiveArithmetic<B>
+DifferentiableFunction<A, B> Sum(const DifferentiableFunction<A, B>& f,
+                                 const DifferentiableFunction<A, B>& g) {
+  DifferentiableFunction<A, B> result;
+  result.original = [f, g](const A& x) {
+    return f.original(x) + g.original(x);
+  };
+  result.jvp = [f, g](const A& x) {
+    auto [y1, d1] = f.jvp(x);
+    auto [y2, d2] = g.jvp(x);
+    DifferentialFn<A, B> differential =
+        [d1 = std::move(d1), d2 = std::move(d2)](
+            const TangentVectorOf<A>& dx) { return d1(dx) + d2(dx); };
+    return std::pair<B, DifferentialFn<A, B>>{y1 + y2,
+                                              std::move(differential)};
+  };
+  result.vjp = [f, g](const A& x) {
+    auto [y1, p1] = f.vjp(x);
+    auto [y2, p2] = g.vjp(x);
+    PullbackFn<A, B> pullback =
+        [p1 = std::move(p1), p2 = std::move(p2)](
+            const TangentVectorOf<B>& dy) { return p1(dy) + p2(dy); };
+    return std::pair<B, PullbackFn<A, B>>{y1 + y2, std::move(pullback)};
+  };
+  return result;
+}
+
+// Identity bundle, useful as a fold seed.
+template <Differentiable A>
+DifferentiableFunction<A, A> Identity() {
+  DifferentiableFunction<A, A> result;
+  result.original = [](const A& x) { return x; };
+  result.jvp = [](const A& x) {
+    return std::pair<A, DifferentialFn<A, A>>{
+        x, [](const TangentVectorOf<A>& dx) { return dx; }};
+  };
+  result.vjp = [](const A& x) {
+    return std::pair<A, PullbackFn<A, A>>{
+        x, [](const TangentVectorOf<A>& dy) { return dy; }};
+  };
+  return result;
+}
+
+}  // namespace s4tf::ad

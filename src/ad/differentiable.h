@@ -1,0 +1,148 @@
+// The Differentiable protocol (paper Figure 1), as a C++20 concept.
+//
+// Swift:
+//   protocol Differentiable {
+//     associatedtype TangentVector: AdditiveArithmetic
+//     mutating func move(along direction: TangentVector)
+//   }
+//
+// C++: conformance is expressed through `DifferentiableTraits<T>`, which
+// plays the role of the protocol witness table. Types can conform either
+// intrinsically (by declaring a nested `TangentVector` and a `MoveAlong`
+// member — what the S4TF compiler synthesizes for structs, and what the
+// S4TF_DIFFERENTIABLE macro in struct_macros.h generates) or
+// retroactively (by specializing the trait — Swift's extension-based
+// conformance). float, double, and Tensor conform here.
+//
+// The AD system in this module is defined ONLY against these concepts; it
+// has no knowledge of Tensor. That decoupling is the paper's central AD
+// design claim ("The AD system is not coupled with the Tensor
+// implementation").
+#pragma once
+
+#include <concepts>
+#include <utility>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace s4tf::ad {
+
+// Swift's AdditiveArithmetic: a zero (default construction here), +, -.
+template <typename T>
+concept AdditiveArithmetic =
+    std::default_initializable<T> && std::copy_constructible<T> &&
+    requires(const T& a, const T& b) {
+      { a + b } -> std::convertible_to<T>;
+      { a - b } -> std::convertible_to<T>;
+    };
+
+// Primary template: intrinsic conformance via nested members.
+template <typename T>
+struct DifferentiableTraits {
+  using TangentVector = typename T::TangentVector;
+  static void MoveAlong(T& value, const TangentVector& direction) {
+    value.MoveAlong(direction);
+  }
+};
+
+// Retroactive conformances for scalars: TangentVector == Self.
+template <>
+struct DifferentiableTraits<float> {
+  using TangentVector = float;
+  static void MoveAlong(float& value, float direction) { value += direction; }
+};
+
+template <>
+struct DifferentiableTraits<double> {
+  using TangentVector = double;
+  static void MoveAlong(double& value, double direction) {
+    value += direction;
+  }
+};
+
+// Tensor conforms with TangentVector == Tensor. A default-constructed
+// Tensor is scalar zero, which is the additive identity under
+// broadcasting — mirroring S4TF's zero tangent optimization.
+template <>
+struct DifferentiableTraits<Tensor> {
+  using TangentVector = Tensor;
+  static void MoveAlong(Tensor& value, const Tensor& direction) {
+    // Fast path: in-place when storage is uniquely owned and shapes match.
+    if (direction.shape() == value.shape()) {
+      value.InPlaceAxpy(1.0f, direction);
+    } else {
+      value = value + direction;
+    }
+  }
+};
+
+template <typename T>
+using TangentVectorOf = typename DifferentiableTraits<T>::TangentVector;
+
+// std::vector<T> of Differentiable elements conforms with a per-element
+// tangent (Swift's Array conformance, used by models holding stacks of
+// layers, e.g. ResNet's block arrays). An empty tangent is the zero of
+// any length, mirroring the zero-tangent broadcast convention.
+template <typename T>
+struct DifferentiableTraits<std::vector<T>> {
+  struct TangentVector {
+    std::vector<typename DifferentiableTraits<T>::TangentVector> elements;
+
+    TangentVector operator+(const TangentVector& o) const {
+      if (elements.empty()) return o;
+      if (o.elements.empty()) return *this;
+      TangentVector r;
+      r.elements.reserve(elements.size());
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        r.elements.push_back(elements[i] + o.elements[i]);
+      }
+      return r;
+    }
+    TangentVector operator-(const TangentVector& o) const {
+      TangentVector r = *this;
+      if (o.elements.empty()) return r;
+      if (r.elements.empty()) {
+        r.elements.resize(o.elements.size());
+      }
+      for (std::size_t i = 0; i < r.elements.size(); ++i) {
+        r.elements[i] = r.elements[i] - o.elements[i];
+      }
+      return r;
+    }
+  };
+
+  static void MoveAlong(std::vector<T>& values,
+                        const TangentVector& direction) {
+    if (direction.elements.empty()) return;  // zero tangent
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      DifferentiableTraits<T>::MoveAlong(values[i], direction.elements[i]);
+    }
+  }
+};
+
+template <typename T>
+concept Differentiable =
+    AdditiveArithmetic<TangentVectorOf<T>> &&
+    requires(T value, const TangentVectorOf<T>& direction) {
+      DifferentiableTraits<T>::MoveAlong(value, direction);
+    };
+
+// The exponential map (Figure 1's `move(along:)`), as a free function.
+template <Differentiable T>
+void MoveAlong(T& value, const TangentVectorOf<T>& direction) {
+  DifferentiableTraits<T>::MoveAlong(value, direction);
+}
+
+// Zero tangent of a Differentiable value.
+template <Differentiable T>
+TangentVectorOf<T> ZeroTangent() {
+  return TangentVectorOf<T>{};
+}
+
+static_assert(Differentiable<float>);
+static_assert(Differentiable<double>);
+static_assert(Differentiable<Tensor>);
+
+}  // namespace s4tf::ad

@@ -1,0 +1,112 @@
+// Forward-mode AD via dual numbers.
+//
+// The paper's JVP ("forward mode", Figure 3) computes (f(x), df(x)·v) in
+// one pass. Dual<T> carries exactly that pair through arithmetic; it is
+// how the platform differentiates scalar host computation (e.g. the
+// backtracking line-search directional derivative in the mobile spline
+// experiment) without any Tensor machinery — demonstrating again that AD
+// is decoupled from Tensor.
+#pragma once
+
+#include <cmath>
+
+namespace s4tf::ad {
+
+template <typename T = double>
+struct Dual {
+  T value{};    // primal
+  T tangent{};  // derivative along the seeded direction
+
+  constexpr Dual() = default;
+  constexpr Dual(T v) : value(v), tangent(T{}) {}  // NOLINT: constants lift
+  constexpr Dual(T v, T t) : value(v), tangent(t) {}
+
+  // Seeds the identity direction: d/dx x = 1.
+  static constexpr Dual Variable(T v) { return Dual(v, T{1}); }
+
+  friend constexpr Dual operator+(const Dual& a, const Dual& b) {
+    return {a.value + b.value, a.tangent + b.tangent};
+  }
+  friend constexpr Dual operator-(const Dual& a, const Dual& b) {
+    return {a.value - b.value, a.tangent - b.tangent};
+  }
+  friend constexpr Dual operator-(const Dual& a) {
+    return {-a.value, -a.tangent};
+  }
+  friend constexpr Dual operator*(const Dual& a, const Dual& b) {
+    return {a.value * b.value, a.tangent * b.value + a.value * b.tangent};
+  }
+  friend constexpr Dual operator/(const Dual& a, const Dual& b) {
+    const T inv = T{1} / b.value;
+    return {a.value * inv,
+            (a.tangent - a.value * b.tangent * inv) * inv};
+  }
+
+  Dual& operator+=(const Dual& o) { return *this = *this + o; }
+  Dual& operator-=(const Dual& o) { return *this = *this - o; }
+  Dual& operator*=(const Dual& o) { return *this = *this * o; }
+  Dual& operator/=(const Dual& o) { return *this = *this / o; }
+
+  friend constexpr bool operator<(const Dual& a, const Dual& b) {
+    return a.value < b.value;
+  }
+  friend constexpr bool operator>(const Dual& a, const Dual& b) {
+    return a.value > b.value;
+  }
+  friend constexpr bool operator==(const Dual& a, const Dual& b) {
+    return a.value == b.value;
+  }
+};
+
+template <typename T>
+Dual<T> exp(const Dual<T>& x) {
+  const T e = std::exp(x.value);
+  return {e, x.tangent * e};
+}
+
+template <typename T>
+Dual<T> log(const Dual<T>& x) {
+  return {std::log(x.value), x.tangent / x.value};
+}
+
+template <typename T>
+Dual<T> sin(const Dual<T>& x) {
+  return {std::sin(x.value), x.tangent * std::cos(x.value)};
+}
+
+template <typename T>
+Dual<T> cos(const Dual<T>& x) {
+  return {std::cos(x.value), -x.tangent * std::sin(x.value)};
+}
+
+template <typename T>
+Dual<T> tanh(const Dual<T>& x) {
+  const T t = std::tanh(x.value);
+  return {t, x.tangent * (T{1} - t * t)};
+}
+
+template <typename T>
+Dual<T> sqrt(const Dual<T>& x) {
+  const T s = std::sqrt(x.value);
+  return {s, x.tangent / (T{2} * s)};
+}
+
+template <typename T>
+Dual<T> pow(const Dual<T>& x, T p) {
+  return {std::pow(x.value, p),
+          x.tangent * p * std::pow(x.value, p - T{1})};
+}
+
+template <typename T>
+Dual<T> abs(const Dual<T>& x) {
+  return x.value < T{0} ? -x : x;
+}
+
+// Scalar derivative of f: T -> Dual<T> evaluated at x (the `derivative`
+// differential operator specialized to scalars).
+template <typename T, typename Fn>
+T ScalarDerivative(T x, Fn&& f) {
+  return f(Dual<T>::Variable(x)).tangent;
+}
+
+}  // namespace s4tf::ad

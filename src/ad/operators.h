@@ -1,0 +1,214 @@
+// Differential operators (paper §2.1, Figure 2).
+//
+// "Library authors define differential operators, which are ordinary
+// higher-order functions that compute derivatives of passed-in
+// functions." The analogues here:
+//
+//   GradientAt(x, f)           — Figure 2's `gradient(at:in:)`
+//   ValueWithGradient(x, f)    — value + gradient in one pass
+//   ValueWithPullback(x, f)    — value + reverse-mode pullback closure
+//   ValueWithDifferential(x,f) — value + forward-mode differential
+//
+// Each has two forms: one over explicit DifferentiableFunction bundles
+// (fully generic over Differentiable types — the decoupled-AD story), and
+// one over plain callables on Tensor / Differentiable model structs, where
+// the gradient tape plays the role of the compiler synthesis. The
+// plain-callable form is the C++ analogue of Swift's implicit promotion
+// of closures to @differentiable values at a `gradient` call site.
+#pragma once
+
+#include <utility>
+
+#include "ad/diff_function.h"
+#include "ad/tape.h"
+
+namespace s4tf::ad {
+
+// --- Bundle-based operators (arbitrary Differentiable types).
+
+template <Differentiable A, Differentiable B>
+std::pair<B, PullbackFn<A, B>> ValueWithPullback(
+    const A& x, const DifferentiableFunction<A, B>& f) {
+  return f.vjp(x);
+}
+
+template <Differentiable A, Differentiable B>
+PullbackFn<A, B> PullbackAt(const A& x,
+                            const DifferentiableFunction<A, B>& f) {
+  return f.vjp(x).second;
+}
+
+template <Differentiable A, Differentiable B>
+std::pair<B, DifferentialFn<A, B>> ValueWithDifferential(
+    const A& x, const DifferentiableFunction<A, B>& f) {
+  return f.jvp(x);
+}
+
+// Figure 2: gradient of a scalar-valued differentiable function.
+template <Differentiable A>
+TangentVectorOf<A> GradientAt(const A& x,
+                              const DifferentiableFunction<A, float>& f) {
+  auto [value, pullback] = f.vjp(x);
+  (void)value;
+  return pullback(1.0f);
+}
+
+template <Differentiable A>
+std::pair<float, TangentVectorOf<A>> ValueWithGradient(
+    const A& x, const DifferentiableFunction<A, float>& f) {
+  auto [value, pullback] = f.vjp(x);
+  return {value, pullback(1.0f)};
+}
+
+// --- Tape-based operators over plain callables.
+
+// A Differentiable struct with derived conformance (struct_macros.h):
+// parameters are reachable through VisitParameters.
+template <typename M>
+concept DifferentiableStruct =
+    Differentiable<M> && requires(M m, typename M::TangentVector t) {
+      m.VisitParameters([](Tensor&) {});
+      m.VisitWithTangent(t, [](Tensor&, Tensor&) {});
+    };
+
+// f: (Tensor) -> Tensor with scalar result; returns (f(x), df/dx).
+template <typename F>
+std::pair<Tensor, Tensor> ValueWithGradient(const Tensor& x, F&& f) {
+  GradientTape tape;
+  Tensor watched = x;  // value semantics: the caller's x is untouched
+  tape.Watch(watched);
+  Tensor value;
+  {
+    RecorderScope scope(&tape);
+    value = f(watched);
+  }
+  S4TF_CHECK_EQ(value.NumElements(), 1)
+      << "gradient requires a scalar-valued function; got shape "
+      << value.shape();
+  const auto grads = tape.ComputeGradients(value);
+  return {value, tape.GradientFor(grads, watched)};
+}
+
+template <typename F>
+Tensor GradientAt(const Tensor& x, F&& f) {
+  return ValueWithGradient(x, std::forward<F>(f)).second;
+}
+
+// f: (Model) -> Tensor with scalar result; returns the loss and the
+// model's TangentVector — exactly the API used by the paper's Figure 7
+// training loop.
+template <DifferentiableStruct M, typename F>
+std::pair<Tensor, typename M::TangentVector> ValueWithGradient(const M& model,
+                                                               F&& f) {
+  GradientTape tape;
+  M working = model;  // O(1): parameters are COW tensor handles
+  working.VisitParameters([&tape](Tensor& p) { tape.Watch(p); });
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    loss = f(working);
+  }
+  S4TF_CHECK_EQ(loss.NumElements(), 1)
+      << "gradient requires a scalar-valued function; got shape "
+      << loss.shape();
+  const auto grads = tape.ComputeGradients(loss);
+  typename M::TangentVector tangent{};
+  working.VisitWithTangent(tangent, [&](Tensor& p, Tensor& g) {
+    g = tape.GradientFor(grads, p);
+  });
+  return {loss, tangent};
+}
+
+template <DifferentiableStruct M, typename F>
+typename M::TangentVector GradientAt(const M& model, F&& f) {
+  return ValueWithGradient(model, std::forward<F>(f)).second;
+}
+
+// Differentiates `f` (any Tensor -> Tensor callable) at x, returning the
+// value and a reusable pullback closure — the tape-backed analogue of a
+// VJP derivative function.
+template <typename F>
+std::pair<Tensor, std::function<Tensor(const Tensor&)>> ValueWithPullback(
+    const Tensor& x, F&& f) {
+  auto tape = std::make_shared<GradientTape>();
+  Tensor watched = x;
+  tape->Watch(watched);
+  Tensor value;
+  {
+    RecorderScope scope(tape.get());
+    value = f(watched);
+  }
+  S4TF_CHECK_EQ(value.NumElements(), 1)
+      << "reusable pullback currently supports scalar outputs";
+  Tensor captured_value = value;
+  auto pullback = [tape, watched, captured_value](const Tensor& seed) {
+    // The pullback is linear in its seed, so run the reverse pass with the
+    // canonical ones-seed and scale. (ComputeGradients does not mutate the
+    // tape, so the closure is reusable — pullbacks are first-class values,
+    // §2.1.)
+    const auto all = tape->ComputeGradients(captured_value);
+    return tape->GradientFor(all, watched) * seed;
+  };
+  return {value, std::move(pullback)};
+}
+
+// --- Custom derivatives (the paper's @derivative(of:) attribute).
+
+// Wraps a unary Tensor function with a user-written pullback. When called
+// under an active tape, the reverse pass uses `pullback` as the base case
+// instead of decomposing the body — and the body runs unrecorded, so even
+// non-differentiable internals (e.g. table lookups) are permitted.
+template <typename F, typename PB>
+auto WithCustomDerivative(F primal, PB pullback) {
+  return [primal = std::move(primal),
+          pullback = std::move(pullback)](const Tensor& x) -> Tensor {
+    Tensor result;
+    {
+      NoRecordScope no_record;
+      result = primal(x);
+    }
+    if (auto* recorder = GetRecorder()) {
+      if (auto* tape = dynamic_cast<GradientTape*>(recorder)) {
+        tape->RecordCustomCall(
+            {x}, result,
+            [pullback](const std::vector<Tensor>& inputs,
+                       const Tensor& output, const Tensor& grad) {
+              std::vector<std::optional<Tensor>> gs(1);
+              gs[0] = pullback(inputs[0], output, grad);
+              return gs;
+            });
+      }
+    }
+    return result;
+  };
+}
+
+// Binary variant.
+template <typename F, typename PB>
+auto WithCustomDerivative2(F primal, PB pullback) {
+  return [primal = std::move(primal), pullback = std::move(pullback)](
+             const Tensor& a, const Tensor& b) -> Tensor {
+    Tensor result;
+    {
+      NoRecordScope no_record;
+      result = primal(a, b);
+    }
+    if (auto* recorder = GetRecorder()) {
+      if (auto* tape = dynamic_cast<GradientTape*>(recorder)) {
+        tape->RecordCustomCall(
+            {a, b}, result,
+            [pullback](const std::vector<Tensor>& inputs,
+                       const Tensor& output, const Tensor& grad) {
+              auto [ga, gb] = pullback(inputs[0], inputs[1], output, grad);
+              std::vector<std::optional<Tensor>> gs(2);
+              gs[0] = std::move(ga);
+              gs[1] = std::move(gb);
+              return gs;
+            });
+      }
+    }
+    return result;
+  };
+}
+
+}  // namespace s4tf::ad

@@ -1,0 +1,220 @@
+// Derived Differentiable conformance for user structs.
+//
+// In Swift for TensorFlow the compiler synthesizes a `TangentVector`
+// struct, `move(along:)`, and parameter traversal for any struct whose
+// stored properties are Differentiable (this is how the LeNet struct in
+// Figure 6 becomes trainable with no boilerplate). C++ has no such
+// derivation, so S4TF_DIFFERENTIABLE(field...) performs the equivalent
+// synthesis with a for-each macro:
+//
+//   struct Dense {
+//     Tensor weight, bias;
+//     S4TF_DIFFERENTIABLE(Dense, weight, bias)
+//     Tensor operator()(const Tensor& x) const;
+//   };
+//
+// generates, inside Dense:
+//   * struct TangentVector { Tensor weight, bias; +, -; }   (zero by default)
+//   * void MoveAlong(const TangentVector&)                  (exponential map)
+//   * VisitParameters / VisitWithTangent                    (KeyPathIterable)
+// Fields may themselves be Differentiable structs (models compose layers),
+// Tensors, or floats; traversal recurses structurally.
+#pragma once
+
+#include <utility>
+
+#include "ad/differentiable.h"
+
+namespace s4tf::ad::detail {
+
+// --- Parameter traversal leaves and recursion.
+
+template <typename V>
+void VisitParams(Tensor& t, V&& visitor) {
+  visitor(t);
+}
+template <typename V>
+void VisitParams(const Tensor& t, V&& visitor) {
+  visitor(t);
+}
+// Non-tensor scalars are hyperparameters, not trainable parameters.
+template <typename V>
+void VisitParams(float&, V&&) {}
+template <typename V>
+void VisitParams(const float&, V&&) {}
+
+template <typename T, typename V>
+  requires requires(T& x, V&& v) { x.VisitParameters(std::forward<V>(v)); }
+void VisitParams(T& x, V&& visitor) {
+  x.VisitParameters(std::forward<V>(visitor));
+}
+template <typename T, typename V>
+  requires requires(const T& x, V&& v) {
+    x.VisitParameters(std::forward<V>(v));
+  }
+void VisitParams(const T& x, V&& visitor) {
+  x.VisitParameters(std::forward<V>(visitor));
+}
+
+// Arrays of layers traverse element-wise.
+template <typename T, typename V>
+void VisitParams(std::vector<T>& xs, V&& visitor) {
+  for (T& x : xs) VisitParams(x, visitor);
+}
+template <typename T, typename V>
+void VisitParams(const std::vector<T>& xs, V&& visitor) {
+  for (const T& x : xs) VisitParams(x, visitor);
+}
+
+// --- Paired (parameter, tangent-slot) traversal.
+
+template <typename V>
+void VisitPair(Tensor& p, Tensor& g, V&& visitor) {
+  visitor(p, g);
+}
+template <typename V>
+void VisitPair(const Tensor& p, Tensor& g, V&& visitor) {
+  visitor(p, g);
+}
+template <typename V>
+void VisitPair(float&, float&, V&&) {}
+template <typename V>
+void VisitPair(const float&, float&, V&&) {}
+
+template <typename T, typename G, typename V>
+  requires requires(T& x, G& g, V&& v) {
+    x.VisitWithTangent(g, std::forward<V>(v));
+  }
+void VisitPair(T& x, G& g, V&& visitor) {
+  x.VisitWithTangent(g, std::forward<V>(visitor));
+}
+template <typename T, typename G, typename V>
+  requires requires(const T& x, G& g, V&& v) {
+    x.VisitWithTangent(g, std::forward<V>(v));
+  }
+void VisitPair(const T& x, G& g, V&& visitor) {
+  x.VisitWithTangent(g, std::forward<V>(visitor));
+}
+
+// Arrays of layers: the tangent is resized lazily so a default (zero)
+// tangent grows to match the parameter array on first paired traversal.
+template <typename T, typename V>
+void VisitPair(std::vector<T>& xs,
+               typename DifferentiableTraits<std::vector<T>>::TangentVector& g,
+               V&& visitor) {
+  g.elements.resize(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    VisitPair(xs[i], g.elements[i], visitor);
+  }
+}
+template <typename T, typename V>
+void VisitPair(const std::vector<T>& xs,
+               typename DifferentiableTraits<std::vector<T>>::TangentVector& g,
+               V&& visitor) {
+  g.elements.resize(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    VisitPair(xs[i], g.elements[i], visitor);
+  }
+}
+
+}  // namespace s4tf::ad::detail
+
+// --- for-each preprocessor machinery (up to 16 fields). Each step passes a
+// fixed context argument C (the enclosing type's name) plus one field.
+
+#define S4TF_PP_EXPAND(x) x
+#define S4TF_PP_FE_1(M, C, a) M(C, a)
+#define S4TF_PP_FE_2(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_1(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_3(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_2(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_4(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_3(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_5(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_4(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_6(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_5(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_7(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_6(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_8(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_7(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_9(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_8(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_10(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_9(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_11(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_10(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_12(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_11(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_13(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_12(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_14(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_13(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_15(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_14(M, C, __VA_ARGS__))
+#define S4TF_PP_FE_16(M, C, a, ...) M(C, a) S4TF_PP_EXPAND(S4TF_PP_FE_15(M, C, __VA_ARGS__))
+
+#define S4TF_PP_GET_FE(_1, _2, _3, _4, _5, _6, _7, _8, _9, _10, _11, _12, \
+                       _13, _14, _15, _16, NAME, ...)                      \
+  NAME
+#define S4TF_PP_FOR_EACH(M, C, ...)                                           \
+  S4TF_PP_EXPAND(S4TF_PP_GET_FE(                                              \
+      __VA_ARGS__, S4TF_PP_FE_16, S4TF_PP_FE_15, S4TF_PP_FE_14,               \
+      S4TF_PP_FE_13, S4TF_PP_FE_12, S4TF_PP_FE_11, S4TF_PP_FE_10,             \
+      S4TF_PP_FE_9, S4TF_PP_FE_8, S4TF_PP_FE_7, S4TF_PP_FE_6, S4TF_PP_FE_5,   \
+      S4TF_PP_FE_4, S4TF_PP_FE_3, S4TF_PP_FE_2,                               \
+      S4TF_PP_FE_1)(M, C, __VA_ARGS__))
+
+// --- per-field expansions. The tangent field's type is named through the
+// enclosing class (decltype(Type::f)) so that declaring a member of the
+// same name inside TangentVector does not "change the meaning" of an
+// unqualified name ([basic.scope.class]).
+
+#define S4TF_AD_TANGENT_FIELD(Type, f) \
+  ::s4tf::ad::TangentVectorOf<decltype(Type::f)> f{};
+#define S4TF_AD_TANGENT_ADD(Type, f) r.f = this->f + o.f;
+#define S4TF_AD_TANGENT_SUB(Type, f) r.f = this->f - o.f;
+#define S4TF_AD_MOVE_FIELD(Type, f) ::s4tf::ad::MoveAlong(f, direction.f);
+#define S4TF_AD_VISIT_FIELD(Type, f) \
+  ::s4tf::ad::detail::VisitParams(f, visitor);
+#define S4TF_AD_VISIT_PAIR(Type, f) \
+  ::s4tf::ad::detail::VisitPair(f, t.f, visitor);
+
+// The derived-conformance macro. Place inside the struct, after the field
+// declarations. `Type` is the enclosing struct's name.
+#define S4TF_DIFFERENTIABLE(Type, ...)                                       \
+  struct TangentVector {                                                     \
+    S4TF_PP_FOR_EACH(S4TF_AD_TANGENT_FIELD, Type, __VA_ARGS__)                     \
+    TangentVector operator+(const TangentVector& o) const {                  \
+      TangentVector r;                                                       \
+      S4TF_PP_FOR_EACH(S4TF_AD_TANGENT_ADD, Type, __VA_ARGS__)                     \
+      return r;                                                              \
+    }                                                                        \
+    TangentVector operator-(const TangentVector& o) const {                  \
+      TangentVector r;                                                       \
+      S4TF_PP_FOR_EACH(S4TF_AD_TANGENT_SUB, Type, __VA_ARGS__)                     \
+      return r;                                                              \
+    }                                                                        \
+  };                                                                         \
+  void MoveAlong(const TangentVector& direction) {                           \
+    S4TF_PP_FOR_EACH(S4TF_AD_MOVE_FIELD, Type, __VA_ARGS__)                        \
+  }                                                                          \
+  template <typename V>                                                      \
+  void VisitParameters(V&& visitor) {                                        \
+    S4TF_PP_FOR_EACH(S4TF_AD_VISIT_FIELD, Type, __VA_ARGS__)                       \
+  }                                                                          \
+  template <typename V>                                                      \
+  void VisitParameters(V&& visitor) const {                                  \
+    S4TF_PP_FOR_EACH(S4TF_AD_VISIT_FIELD, Type, __VA_ARGS__)                       \
+  }                                                                          \
+  template <typename V>                                                      \
+  void VisitWithTangent(TangentVector& t, V&& visitor) {                     \
+    S4TF_PP_FOR_EACH(S4TF_AD_VISIT_PAIR, Type, __VA_ARGS__)                        \
+  }                                                                          \
+  template <typename V>                                                      \
+  void VisitWithTangent(TangentVector& t, V&& visitor) const {               \
+    S4TF_PP_FOR_EACH(S4TF_AD_VISIT_PAIR, Type, __VA_ARGS__)                        \
+  }
+
+// Conformance for stateless structs (e.g. Flatten): the tangent space is
+// the zero vector space.
+#define S4TF_DIFFERENTIABLE_EMPTY(Type)                                      \
+  struct TangentVector {                                                     \
+    TangentVector operator+(const TangentVector&) const { return {}; }      \
+    TangentVector operator-(const TangentVector&) const { return {}; }      \
+  };                                                                         \
+  void MoveAlong(const TangentVector&) {}                                    \
+  template <typename V>                                                      \
+  void VisitParameters(V&&) {}                                               \
+  template <typename V>                                                      \
+  void VisitParameters(V&&) const {}                                         \
+  template <typename V>                                                      \
+  void VisitWithTangent(TangentVector&, V&&) {}                              \
+  template <typename V>                                                      \
+  void VisitWithTangent(TangentVector&, V&&) const {}

@@ -1,0 +1,116 @@
+// Array-subscript differentiation (paper §4.3 and Appendix B, Figure 9).
+//
+// The derivative of `values[index]` violates the efficient-gradient goal
+// under the pure-functional pullback formulation: the pullback
+// `(T) -> [T]` must materialize an all-zeros array with one non-zero
+// entry, making an O(1) operation's derivative O(n). The mutable-value-
+// semantics formulation `(T, inout [T]) -> Void` accumulates into an
+// existing tangent buffer in O(1).
+//
+// This header is a line-for-line transcription of Appendix B onto
+// vs::CowArray<float> (our Swift-array analogue). bench_fig9 sweeps n for
+// both formulations; tests/ad verifies they agree.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "vs/cow_array.h"
+#include "vs/inout.h"
+
+namespace s4tf::ad {
+
+using FloatArray = vs::CowArray<float>;
+
+// ---------------------------------------------------------------------------
+// Example operation to differentiate: values[a] + values[b]. O(1).
+
+inline float MyOp(const FloatArray& values, std::size_t a, std::size_t b) {
+  return values[a] + values[b];
+}
+
+// ---------------------------------------------------------------------------
+// Functional representation.
+
+// Pullback type: (T) -> [T]. Allocates O(n) memory per call.
+using FunctionalPullback = std::function<FloatArray(float)>;
+
+struct SubscriptFunctionalResult {
+  float value;
+  FunctionalPullback pullback;
+};
+
+inline SubscriptFunctionalResult SubscriptWithFunctionalPullback(
+    const FloatArray& values, std::size_t index) {
+  // Optimization from the paper: capture only the size, not the array.
+  const std::size_t size = values.size();
+  return {values[index], [size, index](float dx) {
+            FloatArray tmp(size, 0.0f);  // Allocates O(n) memory!
+            tmp.at_mut(index) = dx;
+            return tmp;
+          }};
+}
+
+// Elementwise sum helper (O(n)).
+inline FloatArray SumArraysHelper(const FloatArray& a, const FloatArray& b) {
+  S4TF_CHECK_EQ(a.size(), b.size());
+  FloatArray result(a.size(), 0.0f);
+  float* r = result.mutable_data();
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return result;
+}
+
+struct MyOpFunctionalResult {
+  float value;
+  FunctionalPullback pullback;
+};
+
+inline MyOpFunctionalResult MyOpWithFunctionalPullback(
+    const FloatArray& values, std::size_t a, std::size_t b) {
+  auto [a_val, a_pb] = SubscriptWithFunctionalPullback(values, a);
+  auto [b_val, b_pb] = SubscriptWithFunctionalPullback(values, b);
+  const float result = a_val + b_val;
+  return {result, [a_pb = std::move(a_pb), b_pb = std::move(b_pb)](float dx) {
+            const FloatArray da = a_pb(dx);  // O(n), allocates O(n).
+            const FloatArray db = b_pb(dx);  // O(n), allocates O(n).
+            return SumArraysHelper(da, db);  // O(n).
+          }};
+}
+
+// ---------------------------------------------------------------------------
+// Value-semantic (inout) representation.
+
+// Pullback type: (T, inout [T]) -> Void. Constant time, zero allocations.
+using MutablePullback = std::function<void(float, vs::Inout<FloatArray>)>;
+
+struct SubscriptMutableResult {
+  float value;
+  MutablePullback pullback;
+};
+
+inline SubscriptMutableResult SubscriptWithMutablePullback(
+    const FloatArray& values, std::size_t index) {
+  return {values[index], [index](float dx, FloatArray& d_values) {
+            d_values.at_mut(index) += dx;  // Constant time!
+          }};
+}
+
+struct MyOpMutableResult {
+  float value;
+  MutablePullback pullback;
+};
+
+inline MyOpMutableResult MyOpWithMutablePullback(const FloatArray& values,
+                                                 std::size_t a,
+                                                 std::size_t b) {
+  auto [a_val, a_pb] = SubscriptWithMutablePullback(values, a);
+  auto [b_val, b_pb] = SubscriptWithMutablePullback(values, b);
+  return {a_val + b_val,
+          [a_pb = std::move(a_pb), b_pb = std::move(b_pb)](
+              float dx, FloatArray& d_values) {
+            a_pb(dx, d_values);  // Constant time.
+            b_pb(dx, d_values);  // Constant time.
+          }};
+}
+
+}  // namespace s4tf::ad

@@ -1,0 +1,66 @@
+#include "device/cost_model.h"
+
+#include <algorithm>
+
+namespace s4tf {
+
+AcceleratorSpec AcceleratorSpec::TpuV3Core() {
+  AcceleratorSpec spec;
+  spec.name = "tpu-v3-core";
+  spec.peak_flops = 30e12;          // half a 61 TFLOP/s chip (bf16 MXU)
+  spec.memory_bandwidth = 225e9;    // half of 450 GB/s HBM
+  spec.kernel_launch_overhead = 2e-6;
+  spec.allreduce_latency = 3e-6;    // dedicated ICI links
+  spec.allreduce_bandwidth = 70e9;
+  return spec;
+}
+
+AcceleratorSpec AcceleratorSpec::Gtx1080() {
+  AcceleratorSpec spec;
+  spec.name = "gtx-1080";
+  spec.peak_flops = 8.9e12;
+  spec.memory_bandwidth = 320e9;
+  spec.kernel_launch_overhead = 6e-6;  // CUDA launch latency
+  spec.allreduce_latency = 20e-6;
+  spec.allreduce_bandwidth = 10e9;  // PCIe
+  return spec;
+}
+
+AcceleratorSpec AcceleratorSpec::MobileCpu() {
+  AcceleratorSpec spec;
+  spec.name = "mobile-cpu";
+  spec.peak_flops = 4e9;           // scalar fp32 on one big core
+  spec.memory_bandwidth = 10e9;
+  spec.kernel_launch_overhead = 0;  // plain function calls
+  spec.allreduce_latency = 0;
+  spec.allreduce_bandwidth = 1;
+  return spec;
+}
+
+std::int64_t OpBytes(const std::vector<Shape>& inputs, const Shape& output) {
+  std::int64_t bytes = output.NumElements() * 4;
+  for (const Shape& in : inputs) bytes += in.NumElements() * 4;
+  return bytes;
+}
+
+double KernelSeconds(const AcceleratorSpec& spec, std::int64_t flops,
+                     std::int64_t bytes) {
+  const double compute = static_cast<double>(flops) / spec.peak_flops;
+  const double memory =
+      static_cast<double>(bytes) / spec.memory_bandwidth;
+  return std::max(compute, memory);
+}
+
+double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
+                        int replicas) {
+  if (replicas <= 1) return 0.0;
+  // Ring all-reduce: 2(N-1) hops of latency; each byte crosses each link
+  // 2(N-1)/N times.
+  const double n = static_cast<double>(replicas);
+  const double hops = 2.0 * (n - 1.0);
+  const double volume =
+      2.0 * (n - 1.0) / n * static_cast<double>(bytes);
+  return hops * spec.allreduce_latency + volume / spec.allreduce_bandwidth;
+}
+
+}  // namespace s4tf

@@ -1,0 +1,51 @@
+// Accelerator cost model.
+//
+// Tables 1-3 were measured on TPUv3 pods and a GTX 1080 that are not
+// available here, so devices advance a *simulated* clock according to an
+// explicit roofline model: a kernel costs
+//     launch_overhead + max(flops / peak_flops, bytes / memory_bandwidth)
+// and a fused kernel (XLA's fusion benefit, §3.3) pays ONE launch overhead
+// and only the cluster's external memory traffic. Synchronous data-parallel
+// training (Table 1) adds a ring all-reduce per step. The constants below
+// are order-of-magnitude public figures for the corresponding hardware; we
+// reproduce the *shape* of the paper's results, not the absolute numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/op.h"
+
+namespace s4tf {
+
+struct AcceleratorSpec {
+  std::string name;
+  double peak_flops = 1e12;           // FLOP/s
+  double memory_bandwidth = 1e11;     // bytes/s
+  double kernel_launch_overhead = 5e-6;  // seconds per kernel launch
+  // Cross-replica ring all-reduce parameters (clusters).
+  double allreduce_latency = 5e-6;    // per hop
+  double allreduce_bandwidth = 1e10;  // bytes/s per link
+
+  // One TPUv3 core: ~61 TFLOP/s per chip / 2 cores, HBM ~450 GB/s shared.
+  static AcceleratorSpec TpuV3Core();
+  // NVIDIA GTX 1080: ~8.9 TFLOP/s fp32, 320 GB/s GDDR5X.
+  static AcceleratorSpec Gtx1080();
+  // A mobile-class CPU core (Pixel-3-era big core, scalar fp32).
+  static AcceleratorSpec MobileCpu();
+};
+
+// Bytes moved by one op execution (inputs read + output written).
+std::int64_t OpBytes(const std::vector<Shape>& inputs, const Shape& output);
+
+// Roofline execution time of a single (unfused) kernel, excluding launch
+// overhead.
+double KernelSeconds(const AcceleratorSpec& spec, std::int64_t flops,
+                     std::int64_t bytes);
+
+// Ring all-reduce time for `bytes` over `replicas` participants.
+double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
+                        int replicas);
+
+}  // namespace s4tf

@@ -1,0 +1,61 @@
+// A simulated hardware accelerator: executes nothing itself (the CPU
+// kernels compute the actual numbers) but keeps an accurate simulated
+// clock of what the modeled hardware *would* have taken, per the cost
+// model. Backends charge kernels/fused kernels/collectives here; the
+// benchmark harnesses read `elapsed_seconds()` to produce
+// machine-independent throughput tables.
+#pragma once
+
+#include <cstdint>
+
+#include "device/cost_model.h"
+#include "support/sim_clock.h"
+
+namespace s4tf {
+
+class SimAccelerator {
+ public:
+  explicit SimAccelerator(AcceleratorSpec spec) : spec_(std::move(spec)) {}
+
+  const AcceleratorSpec& spec() const { return spec_; }
+
+  // Charges one kernel launch plus roofline execution.
+  void ChargeKernel(std::int64_t flops, std::int64_t bytes) {
+    clock_.AdvanceSeconds(spec_.kernel_launch_overhead +
+                          KernelSeconds(spec_, flops, bytes));
+    ++kernels_launched_;
+  }
+
+  // Charges a fused cluster: one launch, the cluster's total flops, but
+  // only its *external* memory traffic (intermediates stay in registers —
+  // the XLA fusion win).
+  void ChargeFusedKernel(std::int64_t flops, std::int64_t external_bytes) {
+    clock_.AdvanceSeconds(spec_.kernel_launch_overhead +
+                          KernelSeconds(spec_, flops, external_bytes));
+    ++kernels_launched_;
+  }
+
+  // Charges a synchronous ring all-reduce over `replicas`.
+  void ChargeAllReduce(std::int64_t bytes, int replicas) {
+    clock_.AdvanceSeconds(AllReduceSeconds(spec_, bytes, replicas));
+  }
+
+  // Host-side time that cannot overlap with device execution (e.g. a JIT
+  // compilation the device must wait for).
+  void ChargeStall(double seconds) { clock_.AdvanceSeconds(seconds); }
+
+  double elapsed_seconds() const { return clock_.now_seconds(); }
+  std::int64_t kernels_launched() const { return kernels_launched_; }
+
+  void Reset() {
+    clock_.Reset();
+    kernels_launched_ = 0;
+  }
+
+ private:
+  AcceleratorSpec spec_;
+  SimClock clock_;
+  std::int64_t kernels_launched_ = 0;
+};
+
+}  // namespace s4tf

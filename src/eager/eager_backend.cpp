@@ -1,0 +1,103 @@
+#include "eager/eager_backend.h"
+
+#include <atomic>
+
+namespace s4tf {
+
+namespace {
+std::atomic<int> g_next_eager_ordinal{0};
+}  // namespace
+
+const Literal& EagerBuffer::Wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return ready_; });
+  return value_;
+}
+
+void EagerBuffer::Set(Literal value) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    S4TF_CHECK(!ready_) << "EagerBuffer set twice";
+    value_ = std::move(value);
+    ready_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool EagerBuffer::ready() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_;
+}
+
+EagerBackend::EagerBackend(EagerOptions options)
+    : options_(std::move(options)),
+      accelerator_(options_.accelerator),
+      ordinal_(g_next_eager_ordinal++) {}
+
+Device EagerBackend::device() {
+  return Device(DeviceKind::kEager, ordinal_, this,
+                options_.name + ":" + std::to_string(ordinal_));
+}
+
+std::shared_ptr<TensorImpl> EagerBackend::Constant(Literal value,
+                                                   const Device& device) {
+  // Constants are host data: available immediately, no kernel launch.
+  auto buffer = std::make_shared<EagerBuffer>();
+  Shape shape = value.shape;
+  buffer->Set(std::move(value));
+  return std::make_shared<EagerImpl>(std::move(shape), device,
+                                     std::move(buffer));
+}
+
+std::shared_ptr<TensorImpl> EagerBackend::Execute(
+    OpKind kind, const OpAttrs& attrs, const std::vector<Tensor>& inputs,
+    Shape out_shape, const Device& device) {
+  // Host side: pay the dispatch overhead and return immediately.
+  host_clock_.AdvanceSeconds(options_.dispatch_overhead_seconds);
+  ++ops_dispatched_;
+
+  auto buffer = std::make_shared<EagerBuffer>();
+  auto result = std::make_shared<EagerImpl>(out_shape, device, buffer);
+
+  // Capture input impls; FIFO ordering guarantees producers retire first,
+  // so Materialize() inside the worker never blocks on a later task.
+  std::vector<std::shared_ptr<TensorImpl>> input_impls;
+  input_impls.reserve(inputs.size());
+  std::vector<Shape> input_shapes;
+  for (const Tensor& in : inputs) {
+    input_impls.push_back(in.impl());
+    input_shapes.push_back(in.shape());
+  }
+
+  const std::int64_t flops = OpFlops(kind, input_shapes, out_shape, attrs);
+  const std::int64_t bytes = OpBytes(input_shapes, out_shape);
+
+  max_pipeline_depth_ = std::max(max_pipeline_depth_, queue_.pending() + 1);
+  queue_.Submit([this, kind, attrs, flops, bytes,
+                 input_impls = std::move(input_impls), buffer]() {
+    std::vector<const Literal*> literals;
+    literals.reserve(input_impls.size());
+    for (const auto& impl : input_impls) {
+      literals.push_back(&impl->Materialize());
+    }
+    Literal value = EvalOpLiteral(kind, literals, attrs);
+    accelerator_.ChargeKernel(flops, bytes);
+    buffer->Set(std::move(value));
+  });
+  return result;
+}
+
+void EagerBackend::Sync(const Device& device) {
+  (void)device;
+  queue_.Drain();
+}
+
+void EagerBackend::ResetStats() {
+  queue_.Drain();
+  accelerator_.Reset();
+  host_clock_.Reset();
+  ops_dispatched_ = 0;
+  max_pipeline_depth_ = 0;
+}
+
+}  // namespace s4tf

@@ -1,0 +1,108 @@
+// Eager Tensor (paper §3.2).
+//
+// "Eager mode ... dispatches the operations of the user's program to
+// pre-compiled kernels ... the kernels are dispatched to the accelerator
+// to execute asynchronously and control is returned to the user's program
+// before the kernel finishes. As long as the user's program does not
+// observe the contents of a Tensor, the user's program runs ahead and
+// fills a pipeline of accelerator kernel invocations."
+//
+// Implementation: a FIFO DispatchQueue drained by one executor thread (the
+// simulated accelerator stream). Execute() costs the host a configurable
+// per-op dispatch overhead and returns immediately with a future-backed
+// TensorImpl; observation blocks on the future. The op-by-op structure
+// means no fusion is possible — the §3.3 motivation and the source of the
+// eager row's slowness in Table 3.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "device/sim_accelerator.h"
+#include "support/sim_clock.h"
+#include "support/threadpool.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace s4tf {
+
+struct EagerOptions {
+  AcceleratorSpec accelerator = AcceleratorSpec::Gtx1080();
+  // Host-side cost of dispatching one op (Python/Swift binding + TF eager
+  // runtime overhead for S4TF; much lower for the PyTorch-like baseline).
+  double dispatch_overhead_seconds = 30e-6;
+  std::string name = "eager";
+};
+
+// A once-writable buffer the executor thread fulfills.
+class EagerBuffer {
+ public:
+  const Literal& Wait() const;
+  void Set(Literal value);
+  bool ready() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool ready_ = false;
+  Literal value_;
+};
+
+class EagerImpl final : public TensorImpl {
+ public:
+  EagerImpl(Shape shape, Device device, std::shared_ptr<EagerBuffer> buffer)
+      : TensorImpl(std::move(shape), std::move(device)),
+        buffer_(std::move(buffer)) {}
+
+  const Literal& Materialize() override { return buffer_->Wait(); }
+  const std::shared_ptr<EagerBuffer>& buffer() const { return buffer_; }
+
+ private:
+  std::shared_ptr<EagerBuffer> buffer_;
+};
+
+class EagerBackend final : public Backend {
+ public:
+  explicit EagerBackend(EagerOptions options = {});
+
+  // The Device handle users pass to WithDevice / tensor factories.
+  Device device();
+
+  std::shared_ptr<TensorImpl> Constant(Literal value,
+                                       const Device& device) override;
+  std::shared_ptr<TensorImpl> Execute(OpKind kind, const OpAttrs& attrs,
+                                      const std::vector<Tensor>& inputs,
+                                      Shape out_shape,
+                                      const Device& device) override;
+  void Sync(const Device& device) override;
+
+  // --- Metrics (read after Sync for a consistent snapshot).
+  // Simulated host time spent dispatching.
+  double host_seconds() const { return host_clock_.now_seconds(); }
+  // Simulated accelerator busy time.
+  double device_seconds() const { return accelerator_.elapsed_seconds(); }
+  // Wall-clock model for a fully-pipelined program: host and device
+  // overlap, so the critical path is whichever is longer.
+  double total_seconds() const {
+    return std::max(host_seconds(), device_seconds());
+  }
+  std::int64_t ops_dispatched() const { return ops_dispatched_; }
+  std::size_t pending_ops() const { return queue_.pending(); }
+  // Deepest the pipeline has run ahead of the accelerator (§3.2's "fills a
+  // pipeline of accelerator kernel invocations").
+  std::size_t max_pipeline_depth() const { return max_pipeline_depth_; }
+
+  void ResetStats();
+
+ private:
+  EagerOptions options_;
+  DispatchQueue queue_;
+  SimAccelerator accelerator_;
+  SimClock host_clock_;
+  std::int64_t ops_dispatched_ = 0;
+  std::size_t max_pipeline_depth_ = 0;
+  int ordinal_;
+};
+
+}  // namespace s4tf

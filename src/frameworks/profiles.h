@@ -1,0 +1,82 @@
+// Execution-strategy profiles for the framework-comparison benchmarks
+// (Tables 2 and 3).
+//
+// Every framework row in the paper's tables runs "notionally identical
+// HLO" (the paper's words for Table 2); what differs is the execution
+// strategy and its host-side costs. Each profile below names a strategy
+// and its calibrated host constants. The constants are order-of-magnitude
+// figures for the respective runtimes circa 2020 (TF eager op dispatch
+// ~30-60us through Python+TFE; PyTorch C++ dispatcher ~5-10us; S4TF lazy
+// tracing ~5-10us/op; graph/session dispatch tens of us per step) — the
+// benches reproduce relative ordering, not absolute magnitudes.
+#pragma once
+
+#include <string>
+
+#include "device/cost_model.h"
+#include "xla/compiler.h"
+
+namespace s4tf::frameworks {
+
+enum class ExecutionStrategy {
+  kEagerOpByOp,   // async per-op dispatch, no fusion (§3.2)
+  kLazyRetrace,   // per-step retrace + program cache + fusion (§3.3)
+  kStagedGraph,   // trace once, replay executable (TF @tf.function / JAX @jit)
+};
+
+struct FrameworkProfile {
+  std::string name;
+  ExecutionStrategy strategy;
+  // kEagerOpByOp: per-op dispatch cost. kLazyRetrace: per-op trace cost.
+  double per_op_host_seconds = 0.0;
+  // kStagedGraph: per-step invocation cost.
+  double per_step_host_seconds = 0.0;
+  bool fusion = true;
+  // Fraction of the cost model's ideal device throughput this codebase
+  // achieves. The paper notes for Table 2 that all frameworks produce
+  // "notionally identical HLO" but "some codebases have been better
+  // optimized for benchmark purposes" (layouts, input pipelines); this
+  // knob is that maturity difference, calibrated to the paper's ratios
+  // and documented in EXPERIMENTS.md.
+  double device_efficiency = 1.0;
+};
+
+// --- Table 3 (GPU, ResNet-56 / CIFAR-10) rows.
+inline FrameworkProfile PyTorchLikeProfile() {
+  // Mature C++ dispatcher; unfused but heavily tuned cuDNN kernels
+  // (efficiency > baseline), which is how PyTorch edges out TF in Table 3
+  // despite dispatching op by op.
+  return {"pytorch-like", ExecutionStrategy::kEagerOpByOp, 6e-6, 0.0, false,
+          1.45};
+}
+inline FrameworkProfile TensorFlowGraphProfile() {
+  return {"tensorflow-like", ExecutionStrategy::kStagedGraph, 0.0, 60e-6,
+          true};
+}
+inline FrameworkProfile S4tfEagerProfile() {
+  // Swift -> TF Eager runtime: the heaviest per-op path (Table 3's 730).
+  return {"s4tf-eager", ExecutionStrategy::kEagerOpByOp, 60e-6, 0.0, false};
+}
+inline FrameworkProfile S4tfLazyProfile() {
+  return {"s4tf-lazytensor", ExecutionStrategy::kLazyRetrace, 6e-6, 0.0,
+          true};
+}
+
+// --- Table 2 (TPU, ResNet-50-class) rows. TF's benchmark codebase was the
+// most heavily tuned (input pipeline, layouts), which we model as lower
+// per-step host cost; JAX+Flax and S4TF land close together, as in the
+// paper.
+inline FrameworkProfile Table2TensorFlowProfile() {
+  return {"tensorflow", ExecutionStrategy::kStagedGraph, 0.0, 40e-6, true,
+          1.0};
+}
+inline FrameworkProfile Table2JaxFlaxProfile() {
+  return {"jax+flax", ExecutionStrategy::kStagedGraph, 0.0, 70e-6, true,
+          0.66};
+}
+inline FrameworkProfile Table2S4tfProfile() {
+  return {"swift-for-tensorflow", ExecutionStrategy::kLazyRetrace, 8e-6, 0.0,
+          true, 0.63};
+}
+
+}  // namespace s4tf::frameworks

@@ -1,0 +1,257 @@
+#include "lazy/lazy_tensor.h"
+
+#include <atomic>
+#include <map>
+#include <sstream>
+
+namespace s4tf {
+
+namespace {
+std::atomic<int> g_next_lazy_ordinal{0};
+}  // namespace
+
+const Literal& LazyImpl::Materialize() {
+  return backend_->MaterializeNode(node_);
+}
+
+LazyBackend::LazyBackend(LazyOptions options)
+    : options_(std::move(options)),
+      cache_(options_.compile),
+      accelerator_(options_.accelerator),
+      ordinal_(g_next_lazy_ordinal++) {}
+
+Device LazyBackend::device() {
+  return Device(DeviceKind::kLazy, ordinal_, this,
+                options_.name + ":" + std::to_string(ordinal_));
+}
+
+std::shared_ptr<TensorImpl> LazyBackend::Constant(Literal value,
+                                                  const Device& device) {
+  auto node = std::make_shared<LazyNode>();
+  node->uid = next_uid_++;
+  node->kind = OpKind::kConstant;
+  node->shape = value.shape;
+  node->constant = std::move(value);
+  return std::make_shared<LazyImpl>(node->shape, device, std::move(node),
+                                    this);
+}
+
+std::shared_ptr<TensorImpl> LazyBackend::Execute(
+    OpKind kind, const OpAttrs& attrs, const std::vector<Tensor>& inputs,
+    Shape out_shape, const Device& device) {
+  // Recording only: the op executes when somebody looks (§3.3).
+  host_clock_.AdvanceSeconds(options_.trace_overhead_seconds_per_op);
+  ++ops_traced_;
+  // §3.4 future work: cut the trace automatically once it grows past the
+  // configured threshold, so runaway unrolled loops stay compilable.
+  if (options_.auto_flush_threshold > 0 &&
+      ++ops_since_flush_ >= options_.auto_flush_threshold) {
+    ops_since_flush_ = 0;
+    ++auto_flushes_;
+    Barrier();
+  }
+
+  auto node = std::make_shared<LazyNode>();
+  node->uid = next_uid_++;
+  node->kind = kind;
+  node->attrs = attrs;
+  node->shape = out_shape;
+  node->inputs.reserve(inputs.size());
+  for (const Tensor& in : inputs) {
+    auto* lazy = dynamic_cast<LazyImpl*>(in.impl().get());
+    S4TF_CHECK(lazy != nullptr) << "non-lazy input on lazy device";
+    node->inputs.push_back(lazy->node());
+  }
+  auto impl = std::make_shared<LazyImpl>(std::move(out_shape), device,
+                                         std::move(node), this);
+  pending_.push_back(impl);
+  return impl;
+}
+
+void LazyBackend::Sync(const Device& device) {
+  (void)device;
+  Barrier();
+}
+
+void LazyBackend::Barrier() {
+  std::vector<std::shared_ptr<LazyNode>> roots;
+  for (auto& weak : pending_) {
+    if (auto impl = weak.lock()) {
+      const auto& node = static_cast<LazyImpl&>(*impl).node();
+      if (!node->cached.has_value() && node->kind != OpKind::kConstant) {
+        roots.push_back(node);
+      }
+    }
+  }
+  pending_.clear();
+  if (!roots.empty()) Materialize(roots);
+}
+
+const Literal& LazyBackend::MaterializeNode(
+    const std::shared_ptr<LazyNode>& root) {
+  if (root->kind == OpKind::kConstant && !root->cached.has_value()) {
+    return root->constant;
+  }
+  if (!root->cached.has_value()) {
+    Materialize({root});
+  }
+  return *root->cached;
+}
+
+xla::HloModule LowerTrace(const std::vector<std::shared_ptr<LazyNode>>& roots,
+                          std::vector<std::shared_ptr<LazyNode>>* leaves) {
+  // Leaves (constants / already-materialized nodes) become parameters in
+  // discovery order, so the fingerprint is a pure function of program
+  // *structure* and shapes — fresh data on the next training step hits the
+  // program cache.
+  xla::HloModule module("trace");
+  std::map<const LazyNode*, xla::HloId> lowered;
+  int num_parameters = 0;
+
+  // Iterative post-order lowering.
+  struct Frame {
+    const std::shared_ptr<LazyNode>* node;
+    std::size_t next_input = 0;
+  };
+  for (const auto& root : roots) {
+    if (lowered.count(root.get()) > 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({&root});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::shared_ptr<LazyNode>& node = *frame.node;
+      if (lowered.count(node.get()) > 0) {
+        stack.pop_back();
+        continue;
+      }
+      if (node->IsLeaf()) {
+        lowered[node.get()] = module.AddParameter(node->shape, num_parameters);
+        ++num_parameters;
+        if (leaves != nullptr) leaves->push_back(node);
+        stack.pop_back();
+        continue;
+      }
+      if (frame.next_input < node->inputs.size()) {
+        const std::shared_ptr<LazyNode>& input =
+            node->inputs[frame.next_input];
+        ++frame.next_input;
+        if (lowered.count(input.get()) == 0) stack.push_back({&input});
+        continue;
+      }
+      std::vector<xla::HloId> operands;
+      operands.reserve(node->inputs.size());
+      for (const auto& input : node->inputs) {
+        operands.push_back(lowered.at(input.get()));
+      }
+      lowered[node.get()] =
+          module.AddInstruction(node->kind, std::move(operands), node->attrs);
+      stack.pop_back();
+    }
+  }
+  for (const auto& root : roots) {
+    module.AddRoot(lowered.at(root.get()));
+  }
+  return module;
+}
+
+void LazyBackend::Materialize(
+    const std::vector<std::shared_ptr<LazyNode>>& roots) {
+  std::vector<std::shared_ptr<LazyNode>> leaves;
+  const xla::HloModule module = LowerTrace(roots, &leaves);
+  std::vector<Literal> parameter_values;
+  parameter_values.reserve(leaves.size());
+  for (const auto& leaf : leaves) parameter_values.push_back(leaf->LeafValue());
+  const std::vector<std::shared_ptr<LazyNode>>& output_nodes = roots;
+
+  // Compile (cached by trace fingerprint) and execute on the simulated
+  // accelerator.
+  double compile_cost = 0.0;
+  const std::shared_ptr<xla::Executable> executable =
+      cache_.GetOrCompile(module, &compile_cost);
+  compile_seconds_ += compile_cost;
+
+  std::vector<Literal> outputs =
+      executable->Run(parameter_values, &accelerator_);
+  S4TF_CHECK_EQ(outputs.size(), output_nodes.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    output_nodes[i]->cached = std::move(outputs[i]);
+    // The node is now a leaf; its inputs can be released (frees the trace).
+    output_nodes[i]->inputs.clear();
+  }
+}
+
+void LazyBackend::ResetStats() {
+  accelerator_.Reset();
+  host_clock_.Reset();
+  ops_traced_ = 0;
+  ops_since_flush_ = 0;
+  auto_flushes_ = 0;
+  compile_seconds_ = 0.0;
+  cache_.Clear();
+}
+
+void LazyTensorBarrier(const Device& device) {
+  S4TF_CHECK(device.kind() == DeviceKind::kLazy)
+      << "LazyTensorBarrier on non-lazy device " << device.name();
+  static_cast<LazyBackend&>(device.backend()).Barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Trace inspection.
+
+namespace {
+
+void CollectNodes(const LazyNode* node,
+                  std::map<const LazyNode*, int>& visited,
+                  std::vector<const LazyNode*>& order) {
+  if (visited.count(node) > 0) return;
+  visited[node] = static_cast<int>(order.size());
+  for (const auto& input : node->inputs) {
+    CollectNodes(input.get(), visited, order);
+  }
+  order.push_back(node);
+}
+
+std::vector<const LazyNode*> TraceNodes(const std::vector<Tensor>& roots) {
+  std::map<const LazyNode*, int> visited;
+  std::vector<const LazyNode*> order;
+  for (const Tensor& t : roots) {
+    auto* lazy = dynamic_cast<LazyImpl*>(t.impl().get());
+    S4TF_CHECK(lazy != nullptr) << "SummarizeTrace: tensor is not lazy";
+    CollectNodes(lazy->node().get(), visited, order);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<TraceOpCount> SummarizeTrace(const std::vector<Tensor>& roots) {
+  std::map<OpKind, int> counts;
+  for (const LazyNode* node : TraceNodes(roots)) ++counts[node->kind];
+  std::vector<TraceOpCount> result;
+  result.reserve(counts.size());
+  for (const auto& [kind, count] : counts) result.push_back({kind, count});
+  return result;
+}
+
+std::string TraceToDot(const std::vector<Tensor>& roots) {
+  const std::vector<const LazyNode*> nodes = TraceNodes(roots);
+  std::ostringstream out;
+  out << "digraph LazyTrace {\n  rankdir=BT;\n"
+      << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const LazyNode* node : nodes) {
+    out << "  n" << node->uid << " [label=\"" << OpName(node->kind)
+        << "\\n" << node->shape.ToString() << "\"";
+    if (node->IsLeaf()) out << ", style=filled, fillcolor=lightgray";
+    out << "];\n";
+  }
+  for (const LazyNode* node : nodes) {
+    for (const auto& input : node->inputs) {
+      out << "  n" << input->uid << " -> n" << node->uid << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace s4tf

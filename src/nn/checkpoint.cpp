@@ -1,0 +1,93 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace s4tf::nn {
+namespace {
+
+constexpr char kMagic[8] = {'S', '4', 'T', 'F', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+std::int64_t Checkpoint::TotalElements() const {
+  std::int64_t total = 0;
+  for (const Entry& entry : entries) {
+    total += static_cast<std::int64_t>(entry.values.size());
+  }
+  return total;
+}
+
+Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<std::uint32_t>(checkpoint.entries.size()));
+  for (const auto& entry : checkpoint.entries) {
+    WritePod(out, static_cast<std::uint32_t>(entry.shape.rank()));
+    for (std::int64_t d : entry.shape.dims()) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(entry.values.data()),
+              static_cast<std::streamsize>(entry.values.size() *
+                                           sizeof(float)));
+  }
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an s4tf checkpoint: " + path);
+  }
+  std::uint32_t version = 0;
+  if (!ReadPod(in, version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version in " +
+                                   path);
+  }
+  std::uint32_t count = 0;
+  if (!ReadPod(in, count)) {
+    return Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  Checkpoint checkpoint;
+  checkpoint.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t rank = 0;
+    if (!ReadPod(in, rank) || rank > 16) {
+      return Status::InvalidArgument("corrupt entry rank in " + path);
+    }
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) {
+      if (!ReadPod(in, d) || d < 0) {
+        return Status::InvalidArgument("corrupt entry dims in " + path);
+      }
+    }
+    Checkpoint::Entry entry;
+    entry.shape = Shape(std::move(dims));
+    entry.values.resize(static_cast<std::size_t>(entry.shape.NumElements()));
+    in.read(reinterpret_cast<char*>(entry.values.data()),
+            static_cast<std::streamsize>(entry.values.size() *
+                                         sizeof(float)));
+    if (!in) return Status::InvalidArgument("truncated payload in " + path);
+    checkpoint.entries.push_back(std::move(entry));
+  }
+  return checkpoint;
+}
+
+}  // namespace s4tf::nn

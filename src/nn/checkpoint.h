@@ -1,0 +1,92 @@
+// Model checkpointing.
+//
+// The paper's mobile workflow ships a server-trained model to devices for
+// fine-tuning; that requires serializing parameters. Checkpoints here are
+// a small self-describing binary format (magic, version, per-parameter
+// shape + payload) written/read through the derived parameter traversal,
+// so any DifferentiableStruct checkpoints without per-model code.
+//
+// The format stores parameters in traversal order, with shapes; loading
+// verifies count and shapes, so architecture mismatches fail loudly
+// instead of silently scrambling weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ad/operators.h"
+#include "support/error.h"
+#include "tensor/tensor.h"
+
+namespace s4tf::nn {
+
+// Flat, ordered parameter snapshot of a model.
+struct Checkpoint {
+  struct Entry {
+    Shape shape;
+    std::vector<float> values;
+  };
+  std::vector<Entry> entries;
+
+  std::int64_t TotalElements() const;
+};
+
+// Captures every parameter of `model` (traversal order).
+template <ad::DifferentiableStruct M>
+Checkpoint Snapshot(const M& model) {
+  Checkpoint checkpoint;
+  model.VisitParameters([&](const Tensor& p) {
+    checkpoint.entries.push_back({p.shape(), p.ToVector()});
+  });
+  return checkpoint;
+}
+
+// Restores parameters into `model`. Fails (Status) on count or shape
+// mismatch; the model is only modified when everything matches.
+template <ad::DifferentiableStruct M>
+Status Restore(M& model, const Checkpoint& checkpoint) {
+  // Validate first against the model's current structure.
+  std::vector<Shape> shapes;
+  model.VisitParameters(
+      [&](const Tensor& p) { shapes.push_back(p.shape()); });
+  if (shapes.size() != checkpoint.entries.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(checkpoint.entries.size()) +
+        " parameters, model has " + std::to_string(shapes.size()));
+  }
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (shapes[i] != checkpoint.entries[i].shape) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " shape mismatch: checkpoint " +
+          checkpoint.entries[i].shape.ToString() + " vs model " +
+          shapes[i].ToString());
+    }
+  }
+  std::size_t index = 0;
+  model.VisitParameters([&](Tensor& p) {
+    const auto& entry = checkpoint.entries[index++];
+    p = Tensor::FromVector(entry.shape, entry.values, p.device());
+  });
+  return Status::Ok();
+}
+
+// Binary (de)serialization. The format is:
+//   "S4TFCKPT" (8 bytes) | version u32 | num_entries u32 |
+//   per entry: rank u32 | dims i64[rank] | payload f32[n]
+Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path);
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path);
+
+// Convenience wrappers.
+template <ad::DifferentiableStruct M>
+Status SaveModel(const M& model, const std::string& path) {
+  return SaveCheckpoint(Snapshot(model), path);
+}
+
+template <ad::DifferentiableStruct M>
+Status LoadModel(M& model, const std::string& path) {
+  auto checkpoint = LoadCheckpoint(path);
+  if (!checkpoint.ok()) return checkpoint.status();
+  return Restore(model, *checkpoint);
+}
+
+}  // namespace s4tf::nn

@@ -1,0 +1,77 @@
+// Synthetic datasets.
+//
+// The paper trains on ImageNet/CIFAR-10 and proprietary personalization
+// data, none of which ship offline. Each generator below is a
+// deterministic stand-in with the same tensor shapes and a *learnable*
+// structure (class prototypes + noise; a smooth ground-truth curve), so
+// convergence numbers are meaningful and throughput numbers exercise the
+// same op shapes as the paper's workloads.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace s4tf::nn {
+
+struct LabeledBatch {
+  Tensor images;            // [n, h, w, c]
+  Tensor one_hot;           // [n, classes]
+  std::vector<int> labels;  // [n]
+};
+
+// Classification images: per-class smooth prototype + per-example noise.
+// A linear probe already separates classes, so small models converge in a
+// few epochs.
+class SyntheticImageDataset {
+ public:
+  // image_shape: (height, width, channels).
+  SyntheticImageDataset(Shape image_shape, int num_classes, int num_examples,
+                        std::uint64_t seed, float noise = 0.25f);
+
+  // MNIST-like: 28x28x1, 10 classes.
+  static SyntheticImageDataset Mnist(int num_examples, std::uint64_t seed);
+  // CIFAR-10-like: 32x32x3, 10 classes.
+  static SyntheticImageDataset Cifar10(int num_examples, std::uint64_t seed);
+  // ImageNet-like at reduced resolution (see DESIGN.md substitutions).
+  static SyntheticImageDataset ImageNetScaled(int num_examples,
+                                              std::uint64_t seed,
+                                              std::int64_t resolution = 32,
+                                              int num_classes = 100);
+
+  int num_examples() const { return num_examples_; }
+  int num_classes() const { return num_classes_; }
+  const Shape& image_shape() const { return image_shape_; }
+  int NumBatches(int batch_size) const { return num_examples_ / batch_size; }
+
+  // Deterministic batch materialized on `device`. Batches tile the
+  // example space; `batch_index` wraps.
+  LabeledBatch Batch(int batch_index, int batch_size,
+                     const Device& device) const;
+
+ private:
+  Shape image_shape_;
+  int num_classes_;
+  int num_examples_;
+  float noise_;
+  std::uint64_t seed_;
+  std::vector<std::vector<float>> prototypes_;  // per class
+};
+
+// 1-D regression data for the spline experiments: samples of a smooth
+// curve with optional per-user offset (the "personalization" signal).
+struct SplineData {
+  std::vector<float> xs;  // [n] in [0, 1]
+  Tensor targets;         // [n, 1]
+};
+
+// Global curve: y = sin(2*pi*x) * 0.5 + 0.3 cos(5x) + noise.
+SplineData MakeGlobalSplineData(int num_samples, std::uint64_t seed,
+                                float noise = 0.02f);
+// Personalized variant: the global curve warped by a user-specific
+// offset/scale, mimicking on-device fine-tuning data.
+SplineData MakePersonalSplineData(int num_samples, std::uint64_t user_seed,
+                                  float noise = 0.02f);
+
+}  // namespace s4tf::nn

@@ -1,0 +1,138 @@
+// Neural-network layers (paper §4.1).
+//
+// "Swift for TensorFlow APIs use mutable value semantics pervasively
+// (e.g., Tensors, models, and datasets are all mutable value types).
+// [There is no] Variable type; composition of mutable value semantics and
+// language-integrated AD allows us to use the types directly."
+//
+// Every layer here is a plain value struct: parameters are Tensor fields,
+// Differentiable conformance is derived by S4TF_DIFFERENTIABLE (the
+// compiler synthesis in Swift), and application is `operator()` (Swift's
+// callAsFunction). Layers compose structurally into models (Figure 6) with
+// no wrappers, no Variable type, and no reference semantics.
+#pragma once
+
+#include "ad/struct_macros.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace s4tf::nn {
+
+// The learning-phase context (Swift's Context.local.learningPhase):
+// layers like Dropout behave differently under training.
+struct Context {
+  bool training = false;
+  std::uint64_t dropout_seed = 0x5eed;
+  static Context& Local();
+};
+
+// RAII switch into training mode.
+class TrainingPhase {
+ public:
+  TrainingPhase() : previous_(Context::Local().training) {
+    Context::Local().training = true;
+  }
+  ~TrainingPhase() { Context::Local().training = previous_; }
+
+ private:
+  bool previous_;
+};
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+Tensor ApplyActivation(Activation activation, const Tensor& x);
+
+// --- Dense: y = activation(x W + b), x: [n, in], W: [in, out].
+struct Dense {
+  Tensor weight;
+  Tensor bias;
+  Activation activation = Activation::kIdentity;
+
+  S4TF_DIFFERENTIABLE(Dense, weight, bias)
+
+  Dense() = default;
+  Dense(int input_size, int output_size, Activation activation, Rng& rng);
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+// --- Conv2D: NHWC input, HWIO filter (Figure 6's Conv2D<Float>).
+struct Conv2D {
+  Tensor filter;
+  Tensor bias;
+  Activation activation = Activation::kIdentity;
+  std::int64_t stride = 1;
+  Padding padding = Padding::kValid;
+
+  S4TF_DIFFERENTIABLE(Conv2D, filter, bias)
+
+  Conv2D() = default;
+  // filter_shape: (height, width, in_channels, out_channels).
+  Conv2D(std::int64_t height, std::int64_t width, std::int64_t in_channels,
+         std::int64_t out_channels, Rng& rng,
+         Padding padding = Padding::kValid,
+         Activation activation = Activation::kIdentity,
+         std::int64_t stride = 1);
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+// --- Pooling (parameterless value types).
+struct AvgPool2D {
+  std::int64_t pool_size = 2;
+  std::int64_t stride = 2;
+
+  S4TF_DIFFERENTIABLE_EMPTY(AvgPool2D)
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+struct MaxPool2D {
+  std::int64_t pool_size = 2;
+  std::int64_t stride = 2;
+
+  S4TF_DIFFERENTIABLE_EMPTY(MaxPool2D)
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+// --- Flatten: [n, ...] -> [n, m].
+struct Flatten {
+  S4TF_DIFFERENTIABLE_EMPTY(Flatten)
+  Tensor operator()(const Tensor& input) const { return FlattenBatch(input); }
+};
+
+// --- Dropout: identity at inference; random mask scaled by 1/(1-rate)
+// under TrainingPhase.
+struct Dropout {
+  float rate = 0.5f;
+
+  S4TF_DIFFERENTIABLE_EMPTY(Dropout)
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+// --- BatchNorm over the channel (last) axis using batch statistics.
+struct BatchNorm {
+  Tensor scale;   // gamma, [c]
+  Tensor offset;  // beta, [c]
+  float epsilon = 1e-3f;
+
+  S4TF_DIFFERENTIABLE(BatchNorm, scale, offset)
+
+  BatchNorm() = default;
+  explicit BatchNorm(std::int64_t channels);
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+// --- Sequencing: Figure 6's `input.sequenced(through: conv1, pool1, ...)`.
+template <typename L>
+Tensor Sequenced(const Tensor& input, const L& layer) {
+  return layer(input);
+}
+template <typename L, typename... Rest>
+Tensor Sequenced(const Tensor& input, const L& layer, const Rest&... rest) {
+  return Sequenced(layer(input), rest...);
+}
+
+}  // namespace s4tf::nn

@@ -1,0 +1,24 @@
+// Loss functions and classification metrics.
+#pragma once
+
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace s4tf::nn {
+
+// Mean softmax cross-entropy: logits [n, c], labels one-hot [n, c].
+// Matches Figure 7's `softmaxCrossEntropy(logits:labels:)`.
+Tensor SoftmaxCrossEntropy(const Tensor& logits, const Tensor& one_hot);
+
+// Mean squared error over all elements.
+Tensor MeanSquaredError(const Tensor& predictions, const Tensor& targets);
+
+// Fraction of rows whose argmax matches the integer label.
+float Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+// One-hot encoding helper: labels in [0, classes) -> [n, classes].
+Tensor OneHot(const std::vector<int>& labels, int classes,
+              const Device& device);
+
+}  // namespace s4tf::nn

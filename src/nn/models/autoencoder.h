@@ -1,0 +1,36 @@
+// A dense autoencoder — representative of the generative-model family in
+// the paper's swift-models repository ("over 30 examples ... spanning
+// image classification, generative models, ..."). Demonstrates that
+// encoder/decoder composition, bottleneck reconstruction losses, and
+// tied-usage training all fall out of the same value-struct + derived
+// conformance machinery as the classifiers.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace s4tf::nn {
+
+struct Autoencoder {
+  Dense encode1;
+  Dense encode2;  // bottleneck
+  Dense decode1;
+  Dense decode2;
+
+  S4TF_DIFFERENTIABLE(Autoencoder, encode1, encode2, decode1, decode2)
+
+  Autoencoder() = default;
+  Autoencoder(int input_size, int hidden_size, int bottleneck, Rng& rng)
+      : encode1(input_size, hidden_size, Activation::kRelu, rng),
+        encode2(hidden_size, bottleneck, Activation::kIdentity, rng),
+        decode1(bottleneck, hidden_size, Activation::kRelu, rng),
+        decode2(hidden_size, input_size, Activation::kIdentity, rng) {}
+
+  // [n, input_size] -> latent code [n, bottleneck].
+  Tensor Encode(const Tensor& x) const { return encode2(encode1(x)); }
+  // latent -> reconstruction [n, input_size].
+  Tensor Decode(const Tensor& code) const { return decode2(decode1(code)); }
+
+  Tensor operator()(const Tensor& x) const { return Decode(Encode(x)); }
+};
+
+}  // namespace s4tf::nn

@@ -1,0 +1,53 @@
+// LeNet-5 exactly as defined in the paper's Figure 6.
+//
+//   public struct LeNet: Layer {
+//     var conv1 = Conv2D<Float>(filterShape: (5, 5, 1, 6), padding: .same,
+//                               activation: relu)
+//     var pool1 = AvgPool2D<Float>(poolSize: (2, 2), strides: (2, 2))
+//     var conv2 = Conv2D<Float>(filterShape: (5, 5, 6, 16), activation: relu)
+//     var pool2 = AvgPool2D<Float>(poolSize: (2, 2), strides: (2, 2))
+//     var flatten = Flatten<Float>()
+//     var fc1 = Dense<Float>(inputSize: 400, outputSize: 120, activation: relu)
+//     var fc2 = Dense<Float>(inputSize: 120, outputSize: 84, activation: relu)
+//     var fc3 = Dense<Float>(inputSize: 84, outputSize: 10)
+//     @differentiable
+//     func callAsFunction(_ input: Tensor<Float>) -> Tensor<Float> {
+//       let convolved = input.sequenced(through: conv1, pool1, conv2, pool2)
+//       return convolved.sequenced(through: flatten, fc1, fc2, fc3)
+//     }
+//   }
+#pragma once
+
+#include "nn/layers.h"
+
+namespace s4tf::nn {
+
+struct LeNet {
+  Conv2D conv1;
+  AvgPool2D pool1;
+  Conv2D conv2;
+  AvgPool2D pool2;
+  Flatten flatten;
+  Dense fc1;
+  Dense fc2;
+  Dense fc3;
+
+  S4TF_DIFFERENTIABLE(LeNet, conv1, pool1, conv2, pool2, flatten, fc1, fc2,
+                       fc3)
+
+  LeNet() = default;
+  explicit LeNet(Rng& rng)
+      : conv1(5, 5, 1, 6, rng, Padding::kSame, Activation::kRelu),
+        conv2(5, 5, 6, 16, rng, Padding::kValid, Activation::kRelu),
+        fc1(400, 120, Activation::kRelu, rng),
+        fc2(120, 84, Activation::kRelu, rng),
+        fc3(84, 10, Activation::kIdentity, rng) {}
+
+  // Figure 6's callAsFunction. Input: [n, 28, 28, 1]; output: [n, 10].
+  Tensor operator()(const Tensor& input) const {
+    const Tensor convolved = Sequenced(input, conv1, pool1, conv2, pool2);
+    return Sequenced(convolved, flatten, fc1, fc2, fc3);
+  }
+};
+
+}  // namespace s4tf::nn

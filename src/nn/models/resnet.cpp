@@ -1,0 +1,79 @@
+#include "nn/models/resnet.h"
+
+namespace s4tf::nn {
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng)
+    : conv1(3, 3, in_channels, out_channels, rng, Padding::kSame,
+            Activation::kIdentity, stride),
+      bn1(out_channels),
+      conv2(3, 3, out_channels, out_channels, rng, Padding::kSame),
+      bn2(out_channels),
+      has_projection(stride != 1 || in_channels != out_channels) {
+  if (has_projection) {
+    projection = Conv2D(1, 1, in_channels, out_channels, rng, Padding::kSame,
+                        Activation::kIdentity, stride);
+  }
+}
+
+Tensor BasicBlock::operator()(const Tensor& input) const {
+  Tensor h = Relu(bn1(conv1(input)));
+  h = bn2(conv2(h));
+  const Tensor shortcut = has_projection ? projection(input) : input;
+  return Relu(h + shortcut);
+}
+
+ResNetConfig ResNetConfig::Cifar(int depth, int num_classes) {
+  S4TF_CHECK_EQ((depth - 2) % 6, 0) << "CIFAR ResNet depth must be 6n+2";
+  const int n = (depth - 2) / 6;
+  ResNetConfig config;
+  config.stages = {{n, 16, 1}, {n, 32, 2}, {n, 64, 2}};
+  config.stem_channels = 16;
+  config.num_classes = num_classes;
+  return config;
+}
+
+ResNetConfig ResNetConfig::ImageNetScaled(int blocks_per_stage,
+                                          std::int64_t base_width,
+                                          int num_classes) {
+  ResNetConfig config;
+  config.stages = {{blocks_per_stage, base_width, 1},
+                   {blocks_per_stage, base_width * 2, 2},
+                   {blocks_per_stage, base_width * 4, 2},
+                   {blocks_per_stage, base_width * 8, 2}};
+  config.stem_channels = base_width;
+  config.num_classes = num_classes;
+  return config;
+}
+
+ResNet::ResNet(const ResNetConfig& config, Rng& rng)
+    : stem(3, 3, config.input_channels, config.stem_channels, rng,
+           Padding::kSame),
+      stem_bn(config.stem_channels) {
+  std::int64_t channels = config.stem_channels;
+  for (const auto& stage : config.stages) {
+    for (int i = 0; i < stage.blocks; ++i) {
+      const std::int64_t stride = i == 0 ? stage.stride : 1;
+      blocks.emplace_back(channels, stage.channels, stride, rng);
+      channels = stage.channels;
+    }
+  }
+  classifier = Dense(static_cast<int>(channels), config.num_classes,
+                     Activation::kIdentity, rng);
+}
+
+Tensor ResNet::operator()(const Tensor& input) const {
+  Tensor h = Relu(stem_bn(stem(input)));
+  for (const BasicBlock& block : blocks) h = block(h);
+  // Global average pool over the spatial axes.
+  h = ReduceMean(h, {1, 2});
+  return classifier(h);
+}
+
+std::int64_t ResNet::ParameterCount() const {
+  std::int64_t count = 0;
+  VisitParameters([&count](const Tensor& p) { count += p.NumElements(); });
+  return count;
+}
+
+}  // namespace s4tf::nn

@@ -1,0 +1,75 @@
+// ResNet family (He et al., 2016) used by the paper's evaluation:
+// ResNet-56 for the CIFAR-10 GPU benchmark (Table 3) and a configurable
+// ResNet for the ImageNet-class TPU benchmarks (Tables 1-2).
+//
+// Models are value structs of layer values; block stacks are
+// std::vector<BasicBlock> via the Array Differentiable conformance, and
+// the whole model trains through the generic `ValueWithGradient` with no
+// per-model AD code — the Figure 6/7 story at ResNet scale.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace s4tf::nn {
+
+// The classic two-conv residual block with optional projection shortcut.
+struct BasicBlock {
+  Conv2D conv1;
+  BatchNorm bn1;
+  Conv2D conv2;
+  BatchNorm bn2;
+  Conv2D projection;  // 1x1, used only when `has_projection`
+  bool has_projection = false;
+
+  S4TF_DIFFERENTIABLE(BasicBlock, conv1, bn1, conv2, bn2, projection)
+
+  BasicBlock() = default;
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride, Rng& rng);
+
+  Tensor operator()(const Tensor& input) const;
+};
+
+struct ResNetConfig {
+  // Per stage: (number of blocks, channels, entry stride).
+  struct Stage {
+    int blocks;
+    std::int64_t channels;
+    std::int64_t stride;
+  };
+  std::vector<Stage> stages;
+  std::int64_t input_channels = 3;
+  std::int64_t stem_channels = 16;
+  int num_classes = 10;
+
+  // CIFAR-style ResNet of depth 6n+2 (ResNet-56: n=9).
+  static ResNetConfig Cifar(int depth, int num_classes = 10);
+  // A width/depth-scaled stand-in for ImageNet ResNet-50 (the paper's
+  // Tables 1-2 workload): four stages with doubling widths. `width`
+  // scales channel counts so the bench can trade CPU runtime for model
+  // size without changing the op mix.
+  static ResNetConfig ImageNetScaled(int blocks_per_stage = 2,
+                                     std::int64_t base_width = 16,
+                                     int num_classes = 100);
+};
+
+struct ResNet {
+  Conv2D stem;
+  BatchNorm stem_bn;
+  std::vector<BasicBlock> blocks;
+  Dense classifier;
+
+  S4TF_DIFFERENTIABLE(ResNet, stem, stem_bn, blocks, classifier)
+
+  ResNet() = default;
+  ResNet(const ResNetConfig& config, Rng& rng);
+
+  // Input: [n, h, w, c]; output logits: [n, num_classes].
+  Tensor operator()(const Tensor& input) const;
+
+  std::int64_t ParameterCount() const;
+};
+
+}  // namespace s4tf::nn

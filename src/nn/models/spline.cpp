@@ -1,0 +1,39 @@
+#include "nn/models/spline.h"
+
+#include <cmath>
+
+namespace s4tf::nn {
+
+Tensor BuildSplineBasis(const std::vector<float>& xs, int num_knots) {
+  S4TF_CHECK_GE(num_knots, 2);
+  const std::int64_t n = static_cast<std::int64_t>(xs.size());
+  std::vector<float> basis(static_cast<std::size_t>(n * num_knots), 0.0f);
+  const float spacing = 1.0f / static_cast<float>(num_knots - 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int k = 0; k < num_knots; ++k) {
+      const float center = static_cast<float>(k) * spacing;
+      const float d = std::fabs(xs[static_cast<std::size_t>(i)] - center) /
+                      spacing;
+      // Smooth compactly-supported bump: (1 - d)^2 (1 + 2d) on [0, 1]
+      // (the cubic Hermite smoothstep), zero outside.
+      float value = 0.0f;
+      if (d < 1.0f) {
+        const float u = 1.0f - d;
+        value = u * u * (1.0f + 2.0f * d);
+      }
+      basis[static_cast<std::size_t>(i * num_knots + k)] = value;
+    }
+  }
+  return Tensor::FromVector(Shape({n, num_knots}), std::move(basis));
+}
+
+SplineModel::SplineModel(int num_knots, Rng& rng)
+    : control_points(
+          Tensor::RandomUniform(Shape({num_knots, 1}), rng, -0.1f, 0.1f)) {}
+
+Tensor SplineLoss(const SplineModel& model, const Tensor& basis,
+                  const Tensor& targets) {
+  return ReduceMean(Square(model(basis) - targets));
+}
+
+}  // namespace s4tf::nn

@@ -1,0 +1,54 @@
+// The spline personalization model (paper §5.1.3, Table 4).
+//
+// "Learning parameters through iterated optimization has applications
+// beyond deep learning, such as learning knots in a polynomial spline.
+// ... Optimization algorithms such as backtracking line search use
+// derivatives to determine the step direction."
+//
+// The paper's model is proprietary; per the substitution rule we build the
+// closest public equivalent: a 1-D spline y(x) = sum_k c_k B_k(x) with
+// fixed knot positions and learnable control values c, fitted by
+// backtracking line search on squared error. Evaluation is a
+// basis-matrix/vector product, so the whole fit runs on the dependency-free
+// naïve Tensor (§3.1) — the paper's mobile configuration — and the same
+// code also runs on the eager/lazy devices unchanged.
+#pragma once
+
+#include <vector>
+
+#include "ad/struct_macros.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace s4tf::nn {
+
+// Evaluates the cubic-cardinal-B-spline-style basis: hat functions with
+// quadratic smoothing, giving local support over ~2 knot intervals.
+// xs: [n] sample positions in [0, 1]; k knots uniformly spaced.
+// Returns the dense basis matrix [n, k].
+Tensor BuildSplineBasis(const std::vector<float>& xs, int num_knots);
+
+struct SplineModel {
+  // Learnable control values at the knots: [k, 1].
+  Tensor control_points;
+
+  S4TF_DIFFERENTIABLE(SplineModel, control_points)
+
+  SplineModel() = default;
+  SplineModel(int num_knots, Rng& rng);
+
+  int num_knots() const {
+    return static_cast<int>(control_points.shape().dim(0));
+  }
+
+  // basis: [n, k] -> predictions [n, 1].
+  Tensor operator()(const Tensor& basis) const {
+    return MatMul(basis, control_points);
+  }
+};
+
+// Mean-squared fitting error against targets [n, 1].
+Tensor SplineLoss(const SplineModel& model, const Tensor& basis,
+                  const Tensor& targets);
+
+}  // namespace s4tf::nn

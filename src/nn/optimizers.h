@@ -1,0 +1,287 @@
+// Optimizers (paper §4.2).
+//
+// "An optimizer borrows the model uniquely, and updates it in-place based
+// on the computed gradients" — Update(Model&, grads) is the inout
+// formulation `(inout Model, Minibatch) -> Void`: the model is mutated
+// through a unique borrow, parameter storage is updated with
+// Tensor::InPlaceAxpy when uniquely owned, and no second copy of the
+// model's weights is ever materialized (asserted by tests via CowStats).
+//
+// Optimizers are templates over any DifferentiableStruct, traversing
+// (parameter, gradient) pairs with the derived VisitWithTangent — the same
+// mechanism for LeNet, ResNet, or the spline model.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "ad/operators.h"
+
+namespace s4tf::nn {
+
+// Stochastic gradient descent with optional momentum.
+template <ad::DifferentiableStruct M>
+class SGD {
+ public:
+  explicit SGD(float learning_rate, float momentum = 0.0f)
+      : learning_rate_(learning_rate), momentum_(momentum) {}
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+  // Borrows `model` uniquely and applies one descent step in place.
+  void Update(M& model, typename M::TangentVector& gradients) {
+    std::size_t slot = 0;
+    model.VisitWithTangent(gradients, [&](Tensor& param, Tensor& grad) {
+      Tensor step = grad;
+      if (momentum_ != 0.0f) {
+        if (slot >= velocity_.size()) {
+          velocity_.resize(slot + 1);
+        }
+        Tensor& velocity = velocity_[slot];
+        if (velocity.shape() == grad.shape() &&
+            velocity.device() == grad.device()) {
+          velocity = velocity * momentum_ + grad;
+        } else {
+          velocity = grad;  // first step (or zero-tangent placeholder)
+        }
+        step = velocity;
+      }
+      ++slot;
+      if (step.shape() == param.shape()) {
+        param.InPlaceAxpy(-learning_rate_, step);  // the inout fast path
+      } else {
+        // Zero-tangent placeholder (loss independent of this parameter).
+        param = param - step * learning_rate_;
+      }
+    });
+  }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba). Keeps first/second moment state per parameter in
+// traversal order.
+template <ad::DifferentiableStruct M>
+class Adam {
+ public:
+  explicit Adam(float learning_rate = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float epsilon = 1e-7f)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+  void Update(M& model, typename M::TangentVector& gradients) {
+    ++step_;
+    const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+    const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+    const float alpha = learning_rate_ * std::sqrt(bias2) / bias1;
+    std::size_t slot = 0;
+    model.VisitWithTangent(gradients, [&](Tensor& param, Tensor& grad) {
+      if (slot >= m_.size()) {
+        m_.resize(slot + 1);
+        v_.resize(slot + 1);
+      }
+      Tensor g = grad;
+      if (g.shape() != param.shape()) {
+        g = Tensor::Zeros(param.shape(), param.device());
+      }
+      Tensor& m = m_[slot];
+      Tensor& v = v_[slot];
+      if (m.shape() != param.shape() || m.device() != param.device()) {
+        m = Tensor::Zeros(param.shape(), param.device());
+        v = Tensor::Zeros(param.shape(), param.device());
+      }
+      m = m * beta1_ + g * (1.0f - beta1_);
+      v = v * beta2_ + Square(g) * (1.0f - beta2_);
+      param = param - m * alpha / (Sqrt(v) + epsilon_);
+      ++slot;
+    });
+  }
+
+ private:
+  float learning_rate_, beta1_, beta2_, epsilon_;
+  std::int64_t step_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+// RMSProp: per-parameter adaptive rates from a running second moment.
+template <ad::DifferentiableStruct M>
+class RMSProp {
+ public:
+  explicit RMSProp(float learning_rate = 1e-3f, float rho = 0.9f,
+                   float epsilon = 1e-7f)
+      : learning_rate_(learning_rate), rho_(rho), epsilon_(epsilon) {}
+
+  void Update(M& model, typename M::TangentVector& gradients) {
+    std::size_t slot = 0;
+    model.VisitWithTangent(gradients, [&](Tensor& param, Tensor& grad) {
+      if (slot >= ms_.size()) ms_.resize(slot + 1);
+      Tensor g = grad;
+      if (g.shape() != param.shape()) {
+        g = Tensor::Zeros(param.shape(), param.device());
+      }
+      Tensor& ms = ms_[slot];
+      if (ms.shape() != param.shape() || ms.device() != param.device()) {
+        ms = Tensor::Zeros(param.shape(), param.device());
+      }
+      ms = ms * rho_ + Square(g) * (1.0f - rho_);
+      param = param - g * learning_rate_ / (Sqrt(ms) + epsilon_);
+      ++slot;
+    });
+  }
+
+ private:
+  float learning_rate_, rho_, epsilon_;
+  std::vector<Tensor> ms_;
+};
+
+// --- Gradient utilities.
+
+// Global L2 norm of a tangent (over every tensor slot).
+template <ad::DifferentiableStruct M>
+float GlobalNorm(const M& model, typename M::TangentVector& gradients) {
+  float sum_sq = 0.0f;
+  // Visitation needs the model only for structure; parameters untouched.
+  model.VisitWithTangent(gradients,
+                         [&](const Tensor& param, Tensor& grad) {
+                           (void)param;
+                           if (grad.NumElements() == 0) return;
+                           sum_sq += ReduceSum(Square(grad)).ScalarValue();
+                         });
+  return std::sqrt(sum_sq);
+}
+
+// Scales the whole tangent so its global norm is at most `max_norm`
+// (gradient clipping, standard for deep/recurrent stacks). Returns the
+// pre-clip norm.
+template <ad::DifferentiableStruct M>
+float ClipByGlobalNorm(const M& model, typename M::TangentVector& gradients,
+                       float max_norm) {
+  const float norm = GlobalNorm(model, gradients);
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    model.VisitWithTangent(gradients,
+                           [&](const Tensor& param, Tensor& grad) {
+                             (void)param;
+                             grad = grad * scale;
+                           });
+  }
+  return norm;
+}
+
+// --- Learning-rate schedules (fastai-style tweaks the paper credits for
+// its accuracy edge in Table 1 were schedule-driven).
+
+class LearningRateSchedule {
+ public:
+  virtual ~LearningRateSchedule() = default;
+  virtual float At(std::int64_t step) const = 0;
+};
+
+// Linear warmup to `peak` over `warmup_steps`, then cosine decay to
+// `floor` at `total_steps` (the one-cycle-ish shape).
+class WarmupCosineSchedule final : public LearningRateSchedule {
+ public:
+  WarmupCosineSchedule(float peak, std::int64_t warmup_steps,
+                       std::int64_t total_steps, float floor = 0.0f)
+      : peak_(peak),
+        warmup_steps_(warmup_steps),
+        total_steps_(total_steps),
+        floor_(floor) {
+    S4TF_CHECK_GT(total_steps, warmup_steps);
+  }
+
+  float At(std::int64_t step) const override {
+    if (step < warmup_steps_) {
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_steps_);
+    }
+    const float progress =
+        static_cast<float>(std::min(step, total_steps_) - warmup_steps_) /
+        static_cast<float>(total_steps_ - warmup_steps_);
+    return floor_ + 0.5f * (peak_ - floor_) *
+                        (1.0f + std::cos(progress * 3.14159265f));
+  }
+
+ private:
+  float peak_;
+  std::int64_t warmup_steps_, total_steps_;
+  float floor_;
+};
+
+// Step decay: lr = base * factor^(step / interval).
+class StepDecaySchedule final : public LearningRateSchedule {
+ public:
+  StepDecaySchedule(float base, float factor, std::int64_t interval)
+      : base_(base), factor_(factor), interval_(interval) {
+    S4TF_CHECK_GT(interval, 0);
+  }
+  float At(std::int64_t step) const override {
+    return base_ * std::pow(factor_, static_cast<float>(step / interval_));
+  }
+
+ private:
+  float base_, factor_;
+  std::int64_t interval_;
+};
+
+// Backtracking line search with the Armijo condition (the mobile spline
+// experiment's optimizer, §5.1.3). Each Minimize step computes the
+// gradient, then shrinks the step size until sufficient decrease holds.
+template <ad::DifferentiableStruct M>
+class BacktrackingLineSearch {
+ public:
+  struct Options {
+    float initial_step = 1.0f;
+    float shrink = 0.5f;        // step multiplier per backtrack
+    float sufficient_decrease = 1e-4f;  // Armijo c1
+    int max_backtracks = 30;
+  };
+
+  explicit BacktrackingLineSearch(Options options = {}) : options_(options) {}
+
+  // One descent iteration; returns the new loss value.
+  template <typename LossFn>
+  float Step(M& model, LossFn&& loss_fn) {
+    auto [loss, grads] = ad::ValueWithGradient(model, loss_fn);
+    const float f0 = loss.ScalarValue();
+
+    // Squared gradient norm (directional derivative along -grad).
+    float grad_norm_sq = 0.0f;
+    model.VisitWithTangent(grads, [&](Tensor& param, Tensor& grad) {
+      (void)param;
+      if (grad.NumElements() == 0) return;
+      const Tensor sq = ReduceSum(Square(grad));
+      grad_norm_sq += sq.ScalarValue();
+    });
+    if (grad_norm_sq == 0.0f) return f0;
+
+    float step = options_.initial_step;
+    for (int i = 0; i < options_.max_backtracks; ++i) {
+      M candidate = model;  // value semantics: O(1) snapshot
+      candidate.VisitWithTangent(grads, [&](Tensor& param, Tensor& grad) {
+        if (grad.shape() == param.shape()) {
+          param = param - grad * step;
+        }
+      });
+      const float f1 = loss_fn(candidate).ScalarValue();
+      if (f1 <= f0 - options_.sufficient_decrease * step * grad_norm_sq) {
+        model = std::move(candidate);
+        return f1;
+      }
+      step *= options_.shrink;
+    }
+    return f0;  // no acceptable step found
+  }
+
+ private:
+  Options options_;
+};
+
+}  // namespace s4tf::nn

@@ -1,0 +1,103 @@
+// The training-loop library (paper Figure 7 and §3.4).
+//
+// Figure 7's explicit loop:
+//   var model = LeNet()
+//   let opt = SGD(for: model, learningRate: 0.1)
+//   for batch in dataset {
+//     let grads = gradient(at: model) { m in
+//       softmaxCrossEntropy(logits: m(batch.images), labels: batch.labels) }
+//     opt.update(&model, along: grads)
+//   }
+//
+// TrainStep below is exactly that, generic over model and optimizer. Per
+// §3.4, "a training-loop library can automatically call
+// LazyTensorBarrier() after the optimizer update step on behalf of the
+// user" — TrainStep does so when the model's parameters live on a lazy
+// device (set options.auto_barrier=false to reproduce the runaway-trace
+// ablation).
+#pragma once
+
+#include "ad/operators.h"
+#include "lazy/lazy_tensor.h"
+#include "nn/datasets.h"
+#include "nn/losses.h"
+#include "nn/optimizers.h"
+
+namespace s4tf::nn {
+
+struct TrainOptions {
+  bool auto_barrier = true;
+};
+
+// Returns the device holding the model's first parameter (models are
+// homogeneous across parameters).
+template <ad::DifferentiableStruct M>
+Device ModelDevice(const M& model) {
+  Device device = NaiveDevice();
+  bool first = true;
+  model.VisitParameters([&](const Tensor& p) {
+    if (first) {
+      device = p.device();
+      first = false;
+    }
+  });
+  return device;
+}
+
+// One optimization step: gradients of `loss_fn(model)` then an in-place
+// optimizer update. Returns the (scalar) loss value.
+template <ad::DifferentiableStruct M, typename Optimizer, typename LossFn>
+float TrainStep(M& model, Optimizer& optimizer, LossFn&& loss_fn,
+                const TrainOptions& options = {}) {
+  auto [loss, grads] = ad::ValueWithGradient(model, loss_fn);
+  optimizer.Update(model, grads);
+  const Device device = ModelDevice(model);
+  if (options.auto_barrier && device.kind() == DeviceKind::kLazy) {
+    // Cut the trace after the update step so the training loop is not
+    // unrolled into one unbounded program (§3.4).
+    LazyTensorBarrier(device);
+  }
+  return loss.ScalarValue();
+}
+
+// Moves every parameter of `model` to `device` (value-semantic: the
+// passed model is rebound parameter by parameter).
+template <ad::DifferentiableStruct M>
+void MoveModelTo(M& model, const Device& device) {
+  model.VisitParameters([&](Tensor& p) { p = p.To(device); });
+}
+
+// Classification training epoch over a dataset; returns mean loss.
+template <ad::DifferentiableStruct M, typename Optimizer, typename Dataset>
+float TrainEpoch(M& model, Optimizer& optimizer, const Dataset& dataset,
+                 int batch_size, const TrainOptions& options = {}) {
+  const Device device = ModelDevice(model);
+  const int batches = dataset.NumBatches(batch_size);
+  S4TF_CHECK_GT(batches, 0);
+  float total = 0.0f;
+  for (int b = 0; b < batches; ++b) {
+    const LabeledBatch batch = dataset.Batch(b, batch_size, device);
+    total += TrainStep(
+        model, optimizer,
+        [&batch](const M& m) {
+          return SoftmaxCrossEntropy(m(batch.images), batch.one_hot);
+        },
+        options);
+  }
+  return total / static_cast<float>(batches);
+}
+
+// Classification accuracy over the first `batches` batches.
+template <ad::DifferentiableStruct M, typename Dataset>
+float Evaluate(const M& model, const Dataset& dataset, int batch_size,
+               int batches) {
+  const Device device = ModelDevice(model);
+  float total = 0.0f;
+  for (int b = 0; b < batches; ++b) {
+    const LabeledBatch batch = dataset.Batch(b, batch_size, device);
+    total += Accuracy(model(batch.images), batch.labels);
+  }
+  return total / static_cast<float>(batches);
+}
+
+}  // namespace s4tf::nn

@@ -1,0 +1,106 @@
+#include "sil/activity.h"
+
+namespace s4tf::sil {
+
+ActivityInfo AnalyzeActivity(const Module& module, const Function& fn,
+                             std::vector<int> wrt) {
+  (void)module;
+  ActivityInfo info;
+  info.varied.assign(static_cast<std::size_t>(fn.num_values), false);
+  info.useful.assign(static_cast<std::size_t>(fn.num_values), false);
+
+  if (wrt.empty()) {
+    for (int i = 0; i < fn.num_args; ++i) wrt.push_back(i);
+  }
+  for (int i : wrt) {
+    S4TF_CHECK_GE(i, 0);
+    S4TF_CHECK_LT(i, fn.num_args);
+    info.varied[static_cast<std::size_t>(i)] = true;
+  }
+
+  // --- Varied: forward fixpoint. Instructions propagate operand->result;
+  // terminators propagate branch args -> block args (covers loops).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instruction& inst : bb.insts) {
+        if (info.varied[static_cast<std::size_t>(inst.result)]) continue;
+        bool v = false;
+        for (ValueId op : inst.operands) {
+          if (info.varied[static_cast<std::size_t>(op)]) {
+            v = true;
+            break;
+          }
+        }
+        if (v) {
+          info.varied[static_cast<std::size_t>(inst.result)] = true;
+          changed = true;
+        }
+      }
+      const Terminator& t = bb.terminator;
+      auto propagate_args = [&](int target, const std::vector<ValueId>& args) {
+        if (target < 0) return;
+        const BasicBlock& dst = fn.blocks[static_cast<std::size_t>(target)];
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          if (info.varied[static_cast<std::size_t>(args[i])] &&
+              !info.varied[static_cast<std::size_t>(dst.arg_ids[i])]) {
+            info.varied[static_cast<std::size_t>(dst.arg_ids[i])] = true;
+            changed = true;
+          }
+        }
+      };
+      if (t.kind == Terminator::Kind::kBranch) {
+        propagate_args(t.true_block, t.true_args);
+      } else if (t.kind == Terminator::Kind::kCondBranch) {
+        propagate_args(t.true_block, t.true_args);
+        propagate_args(t.false_block, t.false_args);
+      }
+    }
+  }
+
+  // --- Useful: backward fixpoint seeded at returns.
+  for (const BasicBlock& bb : fn.blocks) {
+    if (bb.terminator.kind == Terminator::Kind::kReturn) {
+      info.useful[static_cast<std::size_t>(bb.terminator.value)] = true;
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock& bb : fn.blocks) {
+      // Block args useful => the values passed by predecessors are useful.
+      const Terminator& t = bb.terminator;
+      auto back_propagate = [&](int target, const std::vector<ValueId>& args) {
+        if (target < 0) return;
+        const BasicBlock& dst = fn.blocks[static_cast<std::size_t>(target)];
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          if (info.useful[static_cast<std::size_t>(dst.arg_ids[i])] &&
+              !info.useful[static_cast<std::size_t>(args[i])]) {
+            info.useful[static_cast<std::size_t>(args[i])] = true;
+            changed = true;
+          }
+        }
+      };
+      if (t.kind == Terminator::Kind::kBranch) {
+        back_propagate(t.true_block, t.true_args);
+      } else if (t.kind == Terminator::Kind::kCondBranch) {
+        back_propagate(t.true_block, t.true_args);
+        back_propagate(t.false_block, t.false_args);
+      }
+      for (auto it = bb.insts.rbegin(); it != bb.insts.rend(); ++it) {
+        if (!info.useful[static_cast<std::size_t>(it->result)]) continue;
+        for (ValueId op : it->operands) {
+          if (!info.useful[static_cast<std::size_t>(op)]) {
+            info.useful[static_cast<std::size_t>(op)] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  return info;
+}
+
+}  // namespace s4tf::sil

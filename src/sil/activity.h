@@ -1,0 +1,37 @@
+// Activity analysis (paper §2.2, after Hascoët & Pascual's Tapenade).
+//
+// "Activity analysis determines instructions of the original function that
+// are both varied (depend on the inputs) and useful (contribute to the
+// output). Such instructions are active and need a derivative."
+//
+// Varied is a forward data-flow property seeded at the wrt-arguments;
+// useful is a backward property seeded at return values. Both iterate to a
+// fixpoint so loops (back edges through block arguments) are handled.
+#pragma once
+
+#include <vector>
+
+#include "sil/ir.h"
+
+namespace s4tf::sil {
+
+struct ActivityInfo {
+  // Indexed by ValueId.
+  std::vector<bool> varied;
+  std::vector<bool> useful;
+
+  bool IsActiveValue(ValueId v) const {
+    return varied[static_cast<std::size_t>(v)] &&
+           useful[static_cast<std::size_t>(v)];
+  }
+};
+
+// Analyzes `fn` with respect to the argument indices in `wrt` (empty means
+// all arguments). `module` resolves calls: a call's result is varied if any
+// varied operand feeds it, and a call's operands are useful if its result
+// is (conservative interprocedural treatment, matching a transformation
+// that recurses into callees).
+ActivityInfo AnalyzeActivity(const Module& module, const Function& fn,
+                             std::vector<int> wrt = {});
+
+}  // namespace s4tf::sil

@@ -1,0 +1,514 @@
+#include "sil/autodiff.h"
+
+#include <cmath>
+
+#include "sil/interpreter.h"
+
+namespace s4tf::sil {
+
+void DerivativeRegistry::Register(const std::string& name,
+                                  CustomScalarDerivative derivative) {
+  derivatives_[name] = std::move(derivative);
+}
+
+const CustomScalarDerivative* DerivativeRegistry::Find(
+    const std::string& name) const {
+  auto it = derivatives_.find(name);
+  return it == derivatives_.end() ? nullptr : &it->second;
+}
+
+CustomDerivativeSet DerivativeRegistry::Names() const {
+  CustomDerivativeSet set;
+  for (const auto& [name, d] : derivatives_) set.Add(name);
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// VJP synthesis.
+
+StatusOr<SynthesizedVJP> SynthesizeVJP(const Module& module,
+                                       const std::string& fn_name,
+                                       std::vector<int> wrt,
+                                       const DerivativeRegistry& registry) {
+  const Function* fn = module.FindFunction(fn_name);
+  if (fn == nullptr) return Status::NotFound("no function " + fn_name);
+
+  // Step 1+2 of the transformation: activity analysis + checking.
+  const DiffCheckResult check =
+      CheckDifferentiability(module, *fn, wrt, registry.Names());
+  if (!check.ok()) return check.status();
+
+  SynthesizedVJP vjp;
+  vjp.module_ = &module;
+  vjp.fn_ = fn;
+  vjp.wrt_ = wrt;
+  if (vjp.wrt_.empty()) {
+    for (int i = 0; i < fn->num_args; ++i) vjp.wrt_.push_back(i);
+  }
+  vjp.activity_ = AnalyzeActivity(module, *fn, wrt);
+
+  // Step 3: synthesize per-block adjoint code. Only active instructions
+  // receive derivative instructions (activity pruning).
+  vjp.adjoints_.resize(fn->blocks.size());
+  for (std::size_t b = 0; b < fn->blocks.size(); ++b) {
+    const BasicBlock& bb = fn->blocks[b];
+    auto& adjoint = vjp.adjoints_[b];
+    for (ValueId a : bb.arg_ids) adjoint.defined.push_back(a);
+    for (const Instruction& inst : bb.insts) {
+      adjoint.defined.push_back(inst.result);
+    }
+    for (auto it = bb.insts.rbegin(); it != bb.insts.rend(); ++it) {
+      bool operand_varied = false;
+      for (ValueId op : it->operands) {
+        if (vjp.activity_.varied[static_cast<std::size_t>(op)]) {
+          operand_varied = true;
+          break;
+        }
+      }
+      if (operand_varied &&
+          vjp.activity_.useful[static_cast<std::size_t>(it->result)]) {
+        adjoint.reversed_active.push_back(&*it);
+      }
+    }
+  }
+
+  // Capture callee derivatives (recursive transformation / base cases).
+  for (const BasicBlock& bb : fn->blocks) {
+    for (const Instruction& inst : bb.insts) {
+      if (inst.kind != InstKind::kCall) continue;
+      if (vjp.callees_.count(inst.callee) > 0) continue;
+      SynthesizedVJP::CalleeDerivative derivative;
+      if (const CustomScalarDerivative* custom = registry.Find(inst.callee)) {
+        derivative.custom =
+            std::make_shared<CustomScalarDerivative>(*custom);
+      } else {
+        auto inner = SynthesizeVJP(module, inst.callee, {}, registry);
+        if (!inner.ok()) return inner.status();
+        derivative.synthesized =
+            std::make_shared<SynthesizedVJP>(std::move(inner).value());
+      }
+      vjp.callees_.emplace(inst.callee, std::move(derivative));
+    }
+  }
+  return vjp;
+}
+
+std::vector<int> SynthesizedVJP::AdjointInstructionCounts() const {
+  std::vector<int> counts;
+  counts.reserve(adjoints_.size());
+  for (const auto& a : adjoints_) {
+    counts.push_back(static_cast<int>(a.reversed_active.size()));
+  }
+  return counts;
+}
+
+namespace {
+
+// One executed basic block (paper: "statically-typed records corresponding
+// to the basic blocks of the control flow graph that store intermediate
+// state used in derivative calculations").
+struct BlockRecord {
+  int block = 0;
+  // Values live at the end of this block's execution (saved primal state).
+  std::vector<double> env;
+  // For each block argument: the predecessor value that fed it (gradient
+  // transfer edges).
+  std::vector<ValueId> arg_sources;
+  // Pullbacks captured from calls made in this block, keyed by the
+  // instruction's result id.
+  std::map<ValueId, std::function<std::vector<double>(double)>> call_pullbacks;
+};
+
+}  // namespace
+
+StatusOr<SynthesizedVJP::Result> SynthesizedVJP::Run(
+    const std::vector<double>& args) const {
+  const Function& fn = *fn_;
+  if (static_cast<int>(args.size()) != fn.num_args) {
+    return Status::InvalidArgument("arg count mismatch for " + fn.name);
+  }
+
+  // --- Forward pass: interpret, recording one BlockRecord per executed
+  // block (each loop iteration gets its own record).
+  std::vector<double> env(static_cast<std::size_t>(fn.num_values), 0.0);
+  for (int i = 0; i < fn.num_args; ++i) {
+    env[static_cast<std::size_t>(i)] = args[static_cast<std::size_t>(i)];
+  }
+
+  auto records = std::make_shared<std::vector<BlockRecord>>();
+  std::vector<ValueId> pending_arg_sources;  // set by the previous branch
+  int block = 0;
+  std::int64_t steps = 0;
+  double return_value = 0.0;
+  ValueId return_id = kNoValue;
+
+  while (true) {
+    const BasicBlock& bb = fn.blocks[static_cast<std::size_t>(block)];
+    BlockRecord record;
+    record.block = block;
+    record.arg_sources = pending_arg_sources;
+
+    for (const Instruction& inst : bb.insts) {
+      if (++steps > 1'000'000) {
+        return Status::OutOfRange("step limit exceeded in " + fn.name);
+      }
+      double value = 0.0;
+      if (inst.kind == InstKind::kCall) {
+        std::vector<double> callee_args;
+        callee_args.reserve(inst.operands.size());
+        for (ValueId v : inst.operands) {
+          callee_args.push_back(env[static_cast<std::size_t>(v)]);
+        }
+        const auto& derivative = callees_.at(inst.callee);
+        if (derivative.custom != nullptr) {
+          auto [v, pb] = derivative.custom->vjp(callee_args);
+          value = v;
+          record.call_pullbacks[inst.result] = std::move(pb);
+        } else {
+          auto inner = derivative.synthesized->Run(callee_args);
+          if (!inner.ok()) return inner.status();
+          value = inner->value;
+          record.call_pullbacks[inst.result] = inner->pullback;
+        }
+      } else {
+        const double a = inst.operands.size() > 0
+                             ? env[static_cast<std::size_t>(inst.operands[0])]
+                             : 0.0;
+        const double b = inst.operands.size() > 1
+                             ? env[static_cast<std::size_t>(inst.operands[1])]
+                             : 0.0;
+        value = EvalInst(inst.kind, a, b, inst.constant);
+      }
+      env[static_cast<std::size_t>(inst.result)] = value;
+    }
+
+    record.env = env;  // snapshot the primal state for the reverse pass
+    records->push_back(std::move(record));
+
+    const Terminator& t = bb.terminator;
+    if (t.kind == Terminator::Kind::kReturn) {
+      return_value = env[static_cast<std::size_t>(t.value)];
+      return_id = t.value;
+      break;
+    }
+    const bool taken = t.kind == Terminator::Kind::kBranch ||
+                       env[static_cast<std::size_t>(t.value)] != 0.0;
+    const int next = taken ? t.true_block : t.false_block;
+    const auto& pass_args = taken ? t.true_args : t.false_args;
+    const BasicBlock& target = fn.blocks[static_cast<std::size_t>(next)];
+    for (std::size_t i = 0; i < pass_args.size(); ++i) {
+      env[static_cast<std::size_t>(target.arg_ids[i])] =
+          env[static_cast<std::size_t>(pass_args[i])];
+    }
+    pending_arg_sources = pass_args;
+    block = next;
+  }
+
+  // --- Build the pullback closure over the recorded trace.
+  Result result;
+  result.value = return_value;
+  const auto* adjoints = &adjoints_;
+  const auto* callees = &callees_;
+  const Function* fn_ptr = fn_;
+  const std::vector<int> wrt = wrt_;
+  result.pullback = [records, adjoints, callees, fn_ptr, return_id,
+                     wrt](double seed) {
+    const Function& f = *fn_ptr;
+    std::vector<double> grads(static_cast<std::size_t>(f.num_values), 0.0);
+    grads[static_cast<std::size_t>(return_id)] = seed;
+
+    for (auto rit = records->rbegin(); rit != records->rend(); ++rit) {
+      const BlockRecord& record = *rit;
+      const auto& adjoint =
+          (*adjoints)[static_cast<std::size_t>(record.block)];
+      const std::vector<double>& saved = record.env;
+
+      for (const Instruction* inst : adjoint.reversed_active) {
+        const double g = grads[static_cast<std::size_t>(inst->result)];
+        if (g == 0.0) continue;
+        auto acc = [&grads](ValueId v, double delta) {
+          grads[static_cast<std::size_t>(v)] += delta;
+        };
+        const double a =
+            inst->operands.size() > 0
+                ? saved[static_cast<std::size_t>(inst->operands[0])]
+                : 0.0;
+        const double b =
+            inst->operands.size() > 1
+                ? saved[static_cast<std::size_t>(inst->operands[1])]
+                : 0.0;
+        const double out = saved[static_cast<std::size_t>(inst->result)];
+        switch (inst->kind) {
+          case InstKind::kAdd:
+            acc(inst->operands[0], g);
+            acc(inst->operands[1], g);
+            break;
+          case InstKind::kSub:
+            acc(inst->operands[0], g);
+            acc(inst->operands[1], -g);
+            break;
+          case InstKind::kMul:
+            acc(inst->operands[0], g * b);
+            acc(inst->operands[1], g * a);
+            break;
+          case InstKind::kDiv:
+            acc(inst->operands[0], g / b);
+            acc(inst->operands[1], -g * a / (b * b));
+            break;
+          case InstKind::kNeg:
+            acc(inst->operands[0], -g);
+            break;
+          case InstKind::kSin:
+            acc(inst->operands[0], g * std::cos(a));
+            break;
+          case InstKind::kCos:
+            acc(inst->operands[0], -g * std::sin(a));
+            break;
+          case InstKind::kExp:
+            acc(inst->operands[0], g * out);
+            break;
+          case InstKind::kLog:
+            acc(inst->operands[0], g / a);
+            break;
+          case InstKind::kTanh:
+            acc(inst->operands[0], g * (1.0 - out * out));
+            break;
+          case InstKind::kSqrt:
+            acc(inst->operands[0], g / (2.0 * out));
+            break;
+          case InstKind::kCmpGT:
+          case InstKind::kCmpLT:
+          case InstKind::kConst:
+            break;  // zero derivative
+          case InstKind::kCall: {
+            const auto& pullback = record.call_pullbacks.at(inst->result);
+            const std::vector<double> arg_grads = pullback(g);
+            for (std::size_t i = 0; i < inst->operands.size(); ++i) {
+              acc(inst->operands[i], arg_grads[i]);
+            }
+            break;
+          }
+          case InstKind::kFloor:
+          case InstKind::kRound:
+            S4TF_UNREACHABLE()
+                << "non-differentiable instruction in adjoint code";
+        }
+      }
+
+      // Gradient transfer across the block-argument edge, then clear this
+      // iteration's definitions so earlier iterations start clean.
+      const BasicBlock& bb = f.blocks[static_cast<std::size_t>(record.block)];
+      for (std::size_t i = 0; i < bb.arg_ids.size(); ++i) {
+        const double g = grads[static_cast<std::size_t>(bb.arg_ids[i])];
+        if (g != 0.0 && i < record.arg_sources.size()) {
+          grads[static_cast<std::size_t>(record.arg_sources[i])] += g;
+        }
+      }
+      for (ValueId v : adjoint.defined) {
+        grads[static_cast<std::size_t>(v)] = 0.0;
+      }
+    }
+
+    std::vector<double> wrt_grads;
+    wrt_grads.reserve(wrt.size());
+    for (int i : wrt) wrt_grads.push_back(grads[static_cast<std::size_t>(i)]);
+    return wrt_grads;
+  };
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// JVP synthesis.
+
+StatusOr<SynthesizedJVP> SynthesizeJVP(const Module& module,
+                                       const std::string& fn_name,
+                                       std::vector<int> wrt,
+                                       const DerivativeRegistry& registry) {
+  const Function* fn = module.FindFunction(fn_name);
+  if (fn == nullptr) return Status::NotFound("no function " + fn_name);
+  const DiffCheckResult check =
+      CheckDifferentiability(module, *fn, wrt, registry.Names());
+  if (!check.ok()) return check.status();
+
+  SynthesizedJVP jvp;
+  jvp.module_ = &module;
+  jvp.fn_ = fn;
+  jvp.wrt_ = wrt;
+  if (jvp.wrt_.empty()) {
+    for (int i = 0; i < fn->num_args; ++i) jvp.wrt_.push_back(i);
+  }
+  for (const BasicBlock& bb : fn->blocks) {
+    for (const Instruction& inst : bb.insts) {
+      if (inst.kind != InstKind::kCall) continue;
+      if (jvp.callees_.count(inst.callee) > 0) continue;
+      SynthesizedJVP::CalleeDerivative derivative;
+      if (const CustomScalarDerivative* custom = registry.Find(inst.callee)) {
+        derivative.custom = std::make_shared<CustomScalarDerivative>(*custom);
+      } else {
+        auto inner = SynthesizeJVP(module, inst.callee, {}, registry);
+        if (!inner.ok()) return inner.status();
+        derivative.synthesized =
+            std::make_shared<SynthesizedJVP>(std::move(inner).value());
+      }
+      jvp.callees_.emplace(inst.callee, std::move(derivative));
+    }
+  }
+  return jvp;
+}
+
+StatusOr<SynthesizedJVP::Result> SynthesizedJVP::Run(
+    const std::vector<double>& args,
+    const std::vector<double>& direction) const {
+  const Function& fn = *fn_;
+  if (static_cast<int>(args.size()) != fn.num_args) {
+    return Status::InvalidArgument("arg count mismatch for " + fn.name);
+  }
+  if (direction.size() != wrt_.size()) {
+    return Status::InvalidArgument("direction size must match wrt count");
+  }
+
+  std::vector<double> env(static_cast<std::size_t>(fn.num_values), 0.0);
+  std::vector<double> tan(static_cast<std::size_t>(fn.num_values), 0.0);
+  for (int i = 0; i < fn.num_args; ++i) {
+    env[static_cast<std::size_t>(i)] = args[static_cast<std::size_t>(i)];
+  }
+  for (std::size_t i = 0; i < wrt_.size(); ++i) {
+    tan[static_cast<std::size_t>(wrt_[i])] = direction[i];
+  }
+
+  std::int64_t steps = 0;
+  int block = 0;
+  while (true) {
+    const BasicBlock& bb = fn.blocks[static_cast<std::size_t>(block)];
+    for (const Instruction& inst : bb.insts) {
+      if (++steps > 1'000'000) {
+        return Status::OutOfRange("step limit exceeded in " + fn.name);
+      }
+      const double a = inst.operands.size() > 0
+                           ? env[static_cast<std::size_t>(inst.operands[0])]
+                           : 0.0;
+      const double b = inst.operands.size() > 1
+                           ? env[static_cast<std::size_t>(inst.operands[1])]
+                           : 0.0;
+      const double da = inst.operands.size() > 0
+                            ? tan[static_cast<std::size_t>(inst.operands[0])]
+                            : 0.0;
+      const double db = inst.operands.size() > 1
+                            ? tan[static_cast<std::size_t>(inst.operands[1])]
+                            : 0.0;
+      double value = 0.0, tangent = 0.0;
+      switch (inst.kind) {
+        case InstKind::kCall: {
+          std::vector<double> callee_args, callee_dir;
+          for (ValueId v : inst.operands) {
+            callee_args.push_back(env[static_cast<std::size_t>(v)]);
+            callee_dir.push_back(tan[static_cast<std::size_t>(v)]);
+          }
+          const auto& derivative = callees_.at(inst.callee);
+          if (derivative.custom != nullptr) {
+            auto [v, dv] = derivative.custom->jvp(callee_args, callee_dir);
+            value = v;
+            tangent = dv;
+          } else {
+            auto inner = derivative.synthesized->Run(callee_args, callee_dir);
+            if (!inner.ok()) return inner.status();
+            value = inner->value;
+            tangent = inner->tangent;
+          }
+          break;
+        }
+        case InstKind::kConst:
+          value = inst.constant;
+          break;
+        case InstKind::kAdd:
+          value = a + b;
+          tangent = da + db;
+          break;
+        case InstKind::kSub:
+          value = a - b;
+          tangent = da - db;
+          break;
+        case InstKind::kMul:
+          value = a * b;
+          tangent = da * b + a * db;
+          break;
+        case InstKind::kDiv:
+          value = a / b;
+          tangent = da / b - a * db / (b * b);
+          break;
+        case InstKind::kNeg:
+          value = -a;
+          tangent = -da;
+          break;
+        case InstKind::kSin:
+          value = std::sin(a);
+          tangent = std::cos(a) * da;
+          break;
+        case InstKind::kCos:
+          value = std::cos(a);
+          tangent = -std::sin(a) * da;
+          break;
+        case InstKind::kExp:
+          value = std::exp(a);
+          tangent = value * da;
+          break;
+        case InstKind::kLog:
+          value = std::log(a);
+          tangent = da / a;
+          break;
+        case InstKind::kTanh:
+          value = std::tanh(a);
+          tangent = (1.0 - value * value) * da;
+          break;
+        case InstKind::kSqrt:
+          value = std::sqrt(a);
+          tangent = da / (2.0 * value);
+          break;
+        case InstKind::kCmpGT:
+          value = a > b ? 1.0 : 0.0;
+          break;
+        case InstKind::kCmpLT:
+          value = a < b ? 1.0 : 0.0;
+          break;
+        case InstKind::kFloor:
+        case InstKind::kRound:
+          // Allowed only on inactive paths (the check guarantees it).
+          value = EvalInst(inst.kind, a, b, inst.constant);
+          break;
+      }
+      env[static_cast<std::size_t>(inst.result)] = value;
+      tan[static_cast<std::size_t>(inst.result)] = tangent;
+    }
+
+    const Terminator& t = bb.terminator;
+    if (t.kind == Terminator::Kind::kReturn) {
+      return Result{env[static_cast<std::size_t>(t.value)],
+                    tan[static_cast<std::size_t>(t.value)]};
+    }
+    const bool taken = t.kind == Terminator::Kind::kBranch ||
+                       env[static_cast<std::size_t>(t.value)] != 0.0;
+    const int next = taken ? t.true_block : t.false_block;
+    const auto& pass_args = taken ? t.true_args : t.false_args;
+    const BasicBlock& target = fn.blocks[static_cast<std::size_t>(next)];
+    for (std::size_t i = 0; i < pass_args.size(); ++i) {
+      env[static_cast<std::size_t>(target.arg_ids[i])] =
+          env[static_cast<std::size_t>(pass_args[i])];
+      tan[static_cast<std::size_t>(target.arg_ids[i])] =
+          tan[static_cast<std::size_t>(pass_args[i])];
+    }
+    block = next;
+  }
+}
+
+StatusOr<std::vector<double>> SilGradient(const Module& module,
+                                          const std::string& fn,
+                                          const std::vector<double>& args,
+                                          const DerivativeRegistry& registry) {
+  auto vjp = SynthesizeVJP(module, fn, {}, registry);
+  if (!vjp.ok()) return vjp.status();
+  auto run = vjp->Run(args);
+  if (!run.ok()) return run.status();
+  return run->pullback(1.0);
+}
+
+}  // namespace s4tf::sil

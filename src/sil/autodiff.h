@@ -1,0 +1,151 @@
+// Derivative synthesis on mini-SIL (paper §2.2, third step).
+//
+// "Derivative synthesis creates the derivative functions, applies AD rules
+// to active SIL instructions, and builds the corresponding derivative SIL
+// instructions. This step also generates code that captures callee
+// derivatives and the control flow path."
+//
+// SynthesizeVJP/SynthesizeJVP perform the transformation once, ahead of
+// execution (the AOT analogue):
+//   * the differentiability check runs first and rejects invalid requests
+//     with diagnostics (errors before execution);
+//   * activity analysis prunes the adjoint code: only *active*
+//     instructions receive derivative instructions;
+//   * calls are handled by recursively transforming callees, terminating
+//     at functions with registered custom derivatives (§2.1's
+//     @derivative(of:) base case).
+//
+// Control flow follows the paper's design: execution of the synthesized
+// VJP records statically-shaped *block records* — one per executed basic
+// block, holding the values that block defined, which predecessor entered
+// it, and the pullbacks of calls it made. The reverse pass walks the
+// records backwards, running each block's (pre-synthesized) adjoint code.
+// Loops work because each iteration has its own record.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sil/activity.h"
+#include "sil/diff_check.h"
+#include "sil/ir.h"
+
+namespace s4tf::sil {
+
+// A user-registered derivative for a named function: the base case of the
+// recursive transformation.
+struct CustomScalarDerivative {
+  // Reverse: args -> (value, pullback(seed) -> per-arg gradients).
+  std::function<std::pair<double, std::function<std::vector<double>(double)>>(
+      const std::vector<double>&)>
+      vjp;
+  // Forward: (args, arg tangents) -> (value, value tangent).
+  std::function<std::pair<double, double>(const std::vector<double>&,
+                                          const std::vector<double>&)>
+      jvp;
+};
+
+class DerivativeRegistry {
+ public:
+  void Register(const std::string& name, CustomScalarDerivative derivative);
+  const CustomScalarDerivative* Find(const std::string& name) const;
+  CustomDerivativeSet Names() const;
+
+ private:
+  std::map<std::string, CustomScalarDerivative> derivatives_;
+};
+
+// --- VJP ------------------------------------------------------------------
+
+class SynthesizedVJP {
+ public:
+  struct Result {
+    double value = 0.0;
+    // Pullback over the wrt arguments (first-class, reusable closure).
+    std::function<std::vector<double>(double seed)> pullback;
+  };
+
+  // Runs the primal while recording block records, returns the value and
+  // the pullback.
+  StatusOr<Result> Run(const std::vector<double>& args) const;
+
+  // Introspection for tests/ablations: per-block adjoint instruction
+  // counts after activity pruning.
+  std::vector<int> AdjointInstructionCounts() const;
+  const Function& primal() const { return *fn_; }
+  const std::vector<int>& wrt() const { return wrt_; }
+
+ private:
+  friend StatusOr<SynthesizedVJP> SynthesizeVJP(const Module&,
+                                                const std::string&,
+                                                std::vector<int>,
+                                                const DerivativeRegistry&);
+  struct BlockAdjoint {
+    // Active instructions of this block, in reverse order (the adjoint
+    // code synthesized at transform time).
+    std::vector<const Instruction*> reversed_active;
+    // All values defined in this block (results + block args): cleared
+    // after the block's adjoint runs so loop iterations don't leak.
+    std::vector<ValueId> defined;
+  };
+
+  // Either a recursively synthesized VJP or a registered custom one.
+  struct CalleeDerivative {
+    std::shared_ptr<SynthesizedVJP> synthesized;
+    std::shared_ptr<CustomScalarDerivative> custom;
+  };
+
+  const Module* module_ = nullptr;
+  const Function* fn_ = nullptr;
+  std::vector<int> wrt_;
+  std::vector<BlockAdjoint> adjoints_;
+  ActivityInfo activity_;
+  // Captured callee derivatives, resolved at transform time.
+  std::map<std::string, CalleeDerivative> callees_;
+};
+
+// Performs the AOT transformation. Fails with the differentiability
+// checker's first error if the function cannot be differentiated.
+StatusOr<SynthesizedVJP> SynthesizeVJP(
+    const Module& module, const std::string& fn, std::vector<int> wrt = {},
+    const DerivativeRegistry& registry = {});
+
+// --- JVP ------------------------------------------------------------------
+
+class SynthesizedJVP {
+ public:
+  struct Result {
+    double value = 0.0;
+    double tangent = 0.0;  // directional derivative along `direction`
+  };
+  StatusOr<Result> Run(const std::vector<double>& args,
+                       const std::vector<double>& direction) const;
+
+ private:
+  friend StatusOr<SynthesizedJVP> SynthesizeJVP(const Module&,
+                                                const std::string&,
+                                                std::vector<int>,
+                                                const DerivativeRegistry&);
+  struct CalleeDerivative {
+    std::shared_ptr<SynthesizedJVP> synthesized;
+    std::shared_ptr<CustomScalarDerivative> custom;
+  };
+
+  const Module* module_ = nullptr;
+  const Function* fn_ = nullptr;
+  std::vector<int> wrt_;
+  std::map<std::string, CalleeDerivative> callees_;
+};
+
+StatusOr<SynthesizedJVP> SynthesizeJVP(
+    const Module& module, const std::string& fn, std::vector<int> wrt = {},
+    const DerivativeRegistry& registry = {});
+
+// Convenience: gradient of a scalar function via the synthesized VJP.
+StatusOr<std::vector<double>> SilGradient(
+    const Module& module, const std::string& fn,
+    const std::vector<double>& args, const DerivativeRegistry& registry = {});
+
+}  // namespace s4tf::sil

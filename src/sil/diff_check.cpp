@@ -1,0 +1,115 @@
+#include "sil/diff_check.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace s4tf::sil {
+
+Status DiffCheckResult::status() const {
+  for (const auto& d : diagnostics) {
+    if (d.severity == Diagnostic::Severity::kError) {
+      return Status::InvalidArgument(d.message);
+    }
+  }
+  return Status::Ok();
+}
+
+int DiffCheckResult::error_count() const {
+  int n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == Diagnostic::Severity::kError) ++n;
+  }
+  return n;
+}
+
+int DiffCheckResult::warning_count() const {
+  return static_cast<int>(diagnostics.size()) - error_count();
+}
+
+bool CustomDerivativeSet::Contains(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+DiffCheckResult CheckDifferentiability(const Module& module,
+                                       const Function& fn,
+                                       std::vector<int> wrt,
+                                       const CustomDerivativeSet& custom) {
+  DiffCheckResult result;
+  const ActivityInfo activity = AnalyzeActivity(module, fn, wrt);
+
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const BasicBlock& bb = fn.blocks[b];
+    for (const Instruction& inst : bb.insts) {
+      // An instruction needs a derivative iff its result is useful and one
+      // of its operands is varied (i.e. a derivative must flow through it).
+      bool operand_varied = false;
+      for (ValueId op : inst.operands) {
+        if (activity.varied[static_cast<std::size_t>(op)]) {
+          operand_varied = true;
+          break;
+        }
+      }
+      const bool needs_derivative =
+          operand_varied && activity.useful[static_cast<std::size_t>(inst.result)];
+      if (!needs_derivative) continue;
+
+      if (inst.kind == InstKind::kCall) {
+        if (custom.Contains(inst.callee)) continue;  // base case: fine
+        const Function* callee = module.FindFunction(inst.callee);
+        if (callee == nullptr) {
+          result.diagnostics.push_back(
+              {Diagnostic::Severity::kError,
+               StrCat("function '", fn.name, "': call to unknown function '",
+                      inst.callee, "' cannot be differentiated")});
+          continue;
+        }
+        // Recurse: the callee must itself be differentiable (w.r.t. all
+        // arguments, conservatively).
+        const DiffCheckResult inner =
+            CheckDifferentiability(module, *callee, {}, custom);
+        if (!inner.ok()) {
+          result.diagnostics.push_back(
+              {Diagnostic::Severity::kError,
+               StrCat("function '", fn.name, "': callee '", inst.callee,
+                      "' is not differentiable (", inner.error_count(),
+                      " error(s) inside)")});
+        }
+        continue;
+      }
+
+      if (!IsDifferentiableInst(inst.kind)) {
+        result.diagnostics.push_back(
+            {Diagnostic::Severity::kError,
+             StrCat("function '", fn.name, "': instruction '%", inst.result,
+                    " = ", InstKindName(inst.kind),
+                    "' is active but has no derivative; mark the enclosing ",
+                    "function with a custom derivative to differentiate ",
+                    "through it")});
+      }
+    }
+  }
+
+  // The paper's example warning: return value independent of the inputs.
+  bool any_return_varied = false;
+  bool has_return = false;
+  for (const BasicBlock& bb : fn.blocks) {
+    if (bb.terminator.kind == Terminator::Kind::kReturn) {
+      has_return = true;
+      if (activity.varied[static_cast<std::size_t>(bb.terminator.value)]) {
+        any_return_varied = true;
+      }
+    }
+  }
+  if (has_return && !any_return_varied) {
+    result.diagnostics.push_back(
+        {Diagnostic::Severity::kWarning,
+         StrCat("function '", fn.name,
+                "': result does not depend on differentiable arguments; ",
+                "the derivative is always zero")});
+  }
+
+  return result;
+}
+
+}  // namespace s4tf::sil

@@ -1,0 +1,60 @@
+// Differentiability checking (paper §2.2).
+//
+// "Differentiability checking detects non-differentiable instructions and
+// emits errors and warnings (e.g. a differentiable function whose return
+// value does not depend on differentiable arguments) that help users catch
+// errors before execution."
+//
+// Errors: an *active* instruction (varied and useful) whose kind has no
+// derivative (floor/round here), or an active call to a function that is
+// itself non-differentiable and has no registered custom derivative.
+// Warnings: the paper's example — the return value does not depend on any
+// wrt argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sil/activity.h"
+#include "sil/ir.h"
+
+namespace s4tf::sil {
+
+struct Diagnostic {
+  enum class Severity { kError, kWarning };
+  Severity severity;
+  std::string message;
+};
+
+struct DiffCheckResult {
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const {
+    for (const auto& d : diagnostics) {
+      if (d.severity == Diagnostic::Severity::kError) return false;
+    }
+    return true;
+  }
+  // First error as a Status (Ok when none).
+  Status status() const;
+  int error_count() const;
+  int warning_count() const;
+};
+
+// Names of functions with registered custom derivatives: calls to these
+// terminate the recursion and are never checked internally (§2.1 base
+// case).
+class CustomDerivativeSet {
+ public:
+  void Add(const std::string& name) { names_.push_back(name); }
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+DiffCheckResult CheckDifferentiability(
+    const Module& module, const Function& fn, std::vector<int> wrt = {},
+    const CustomDerivativeSet& custom = {});
+
+}  // namespace s4tf::sil

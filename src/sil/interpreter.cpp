@@ -1,0 +1,108 @@
+#include "sil/interpreter.h"
+
+#include <cmath>
+
+namespace s4tf::sil {
+
+double EvalInst(InstKind kind, double a, double b, double constant) {
+  switch (kind) {
+    case InstKind::kConst: return constant;
+    case InstKind::kAdd: return a + b;
+    case InstKind::kSub: return a - b;
+    case InstKind::kMul: return a * b;
+    case InstKind::kDiv: return a / b;
+    case InstKind::kNeg: return -a;
+    case InstKind::kSin: return std::sin(a);
+    case InstKind::kCos: return std::cos(a);
+    case InstKind::kExp: return std::exp(a);
+    case InstKind::kLog: return std::log(a);
+    case InstKind::kTanh: return std::tanh(a);
+    case InstKind::kSqrt: return std::sqrt(a);
+    case InstKind::kCmpGT: return a > b ? 1.0 : 0.0;
+    case InstKind::kCmpLT: return a < b ? 1.0 : 0.0;
+    case InstKind::kFloor: return std::floor(a);
+    case InstKind::kRound: return std::round(a);
+    case InstKind::kCall:
+      break;
+  }
+  S4TF_UNREACHABLE() << "EvalInst on " << InstKindName(kind);
+}
+
+StatusOr<double> Interpret(const Module& module, const std::string& fn_name,
+                           const std::vector<double>& args,
+                           const InterpreterOptions& options) {
+  const Function* fn = module.FindFunction(fn_name);
+  if (fn == nullptr) return Status::NotFound("no function " + fn_name);
+  if (static_cast<int>(args.size()) != fn->num_args) {
+    return Status::InvalidArgument("arg count mismatch for " + fn_name);
+  }
+
+  std::vector<double> env(static_cast<std::size_t>(fn->num_values), 0.0);
+  for (int i = 0; i < fn->num_args; ++i) {
+    env[static_cast<std::size_t>(i)] = args[static_cast<std::size_t>(i)];
+  }
+
+  std::int64_t steps = 0;
+  int block = 0;
+  while (true) {
+    const BasicBlock& bb = fn->blocks[static_cast<std::size_t>(block)];
+    for (const Instruction& inst : bb.insts) {
+      if (++steps > options.max_steps) {
+        return Status::OutOfRange("step limit exceeded in " + fn_name);
+      }
+      double value = 0.0;
+      if (inst.kind == InstKind::kCall) {
+        std::vector<double> callee_args;
+        callee_args.reserve(inst.operands.size());
+        for (ValueId v : inst.operands) {
+          callee_args.push_back(env[static_cast<std::size_t>(v)]);
+        }
+        auto result = Interpret(module, inst.callee, callee_args, options);
+        if (!result.ok()) return result.status();
+        value = result.value();
+      } else {
+        const double a = inst.operands.size() > 0
+                             ? env[static_cast<std::size_t>(inst.operands[0])]
+                             : 0.0;
+        const double b = inst.operands.size() > 1
+                             ? env[static_cast<std::size_t>(inst.operands[1])]
+                             : 0.0;
+        value = EvalInst(inst.kind, a, b, inst.constant);
+      }
+      env[static_cast<std::size_t>(inst.result)] = value;
+    }
+
+    const Terminator& t = bb.terminator;
+    switch (t.kind) {
+      case Terminator::Kind::kReturn:
+        return env[static_cast<std::size_t>(t.value)];
+      case Terminator::Kind::kBranch: {
+        const BasicBlock& target =
+            fn->blocks[static_cast<std::size_t>(t.true_block)];
+        for (std::size_t i = 0; i < t.true_args.size(); ++i) {
+          env[static_cast<std::size_t>(target.arg_ids[i])] =
+              env[static_cast<std::size_t>(t.true_args[i])];
+        }
+        block = t.true_block;
+        break;
+      }
+      case Terminator::Kind::kCondBranch: {
+        const bool taken = env[static_cast<std::size_t>(t.value)] != 0.0;
+        const int next = taken ? t.true_block : t.false_block;
+        const auto& pass_args = taken ? t.true_args : t.false_args;
+        const BasicBlock& target =
+            fn->blocks[static_cast<std::size_t>(next)];
+        for (std::size_t i = 0; i < pass_args.size(); ++i) {
+          env[static_cast<std::size_t>(target.arg_ids[i])] =
+              env[static_cast<std::size_t>(pass_args[i])];
+        }
+        block = next;
+        break;
+      }
+      case Terminator::Kind::kNone:
+        return Status::Internal("unterminated block reached in " + fn_name);
+    }
+  }
+}
+
+}  // namespace s4tf::sil

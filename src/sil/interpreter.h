@@ -1,0 +1,25 @@
+// Reference interpreter for mini-SIL, used by the tests and by the AD
+// transformation's correctness checks ("original" semantics).
+#pragma once
+
+#include <vector>
+
+#include "sil/ir.h"
+
+namespace s4tf::sil {
+
+struct InterpreterOptions {
+  // Guards against runaway loops in malformed test programs.
+  std::int64_t max_steps = 1'000'000;
+};
+
+// Executes `fn` in `module` on scalar arguments; returns the returned
+// value or an error (unterminated path, step-limit exceeded).
+StatusOr<double> Interpret(const Module& module, const std::string& fn,
+                           const std::vector<double>& args,
+                           const InterpreterOptions& options = {});
+
+// Single-instruction semantics, shared with the JVP/VJP executors.
+double EvalInst(InstKind kind, double a, double b, double constant);
+
+}  // namespace s4tf::sil

@@ -1,0 +1,348 @@
+#include "sil/ir.h"
+
+#include <set>
+#include <sstream>
+
+namespace s4tf::sil {
+
+const char* InstKindName(InstKind kind) {
+  switch (kind) {
+    case InstKind::kConst: return "const";
+    case InstKind::kAdd: return "add";
+    case InstKind::kSub: return "sub";
+    case InstKind::kMul: return "mul";
+    case InstKind::kDiv: return "div";
+    case InstKind::kNeg: return "neg";
+    case InstKind::kSin: return "sin";
+    case InstKind::kCos: return "cos";
+    case InstKind::kExp: return "exp";
+    case InstKind::kLog: return "log";
+    case InstKind::kTanh: return "tanh";
+    case InstKind::kSqrt: return "sqrt";
+    case InstKind::kCmpGT: return "cmp_gt";
+    case InstKind::kCmpLT: return "cmp_lt";
+    case InstKind::kFloor: return "floor";
+    case InstKind::kRound: return "round";
+    case InstKind::kCall: return "call";
+  }
+  return "?";
+}
+
+int InstArity(InstKind kind) {
+  switch (kind) {
+    case InstKind::kConst:
+      return 0;
+    case InstKind::kNeg:
+    case InstKind::kSin:
+    case InstKind::kCos:
+    case InstKind::kExp:
+    case InstKind::kLog:
+    case InstKind::kTanh:
+    case InstKind::kSqrt:
+    case InstKind::kFloor:
+    case InstKind::kRound:
+      return 1;
+    case InstKind::kAdd:
+    case InstKind::kSub:
+    case InstKind::kMul:
+    case InstKind::kDiv:
+    case InstKind::kCmpGT:
+    case InstKind::kCmpLT:
+      return 2;
+    case InstKind::kCall:
+      return -1;
+  }
+  return -1;
+}
+
+bool IsDifferentiableInst(InstKind kind) {
+  switch (kind) {
+    case InstKind::kFloor:
+    case InstKind::kRound:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::int64_t Function::InstructionCount() const {
+  std::int64_t n = 0;
+  for (const BasicBlock& bb : blocks) {
+    n += static_cast<std::int64_t>(bb.insts.size());
+  }
+  return n;
+}
+
+Function& Module::AddFunction(Function fn) {
+  const std::string name = fn.name;
+  auto [it, inserted] = functions_.emplace(name, std::move(fn));
+  S4TF_CHECK(inserted) << "duplicate function " << name;
+  return it->second;
+}
+
+const Function* Module::FindFunction(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+Function* Module::FindFunction(const std::string& name) {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+FunctionBuilder::FunctionBuilder(std::string name, int num_args) {
+  fn_.name = std::move(name);
+  fn_.num_args = num_args;
+  fn_.num_values = num_args;
+  fn_.blocks.emplace_back();
+}
+
+ValueId FunctionBuilder::Arg(int i) const {
+  S4TF_CHECK_GE(i, 0);
+  S4TF_CHECK_LT(i, fn_.num_args);
+  return static_cast<ValueId>(i);
+}
+
+int FunctionBuilder::CreateBlock(int num_args) {
+  BasicBlock bb;
+  for (int i = 0; i < num_args; ++i) bb.arg_ids.push_back(NewValue());
+  fn_.blocks.push_back(std::move(bb));
+  return static_cast<int>(fn_.blocks.size()) - 1;
+}
+
+void FunctionBuilder::SetInsertionPoint(int block) {
+  S4TF_CHECK_GE(block, 0);
+  S4TF_CHECK_LT(block, static_cast<int>(fn_.blocks.size()));
+  current_block_ = block;
+}
+
+ValueId FunctionBuilder::BlockArg(int block, int i) const {
+  const auto& args = fn_.blocks[static_cast<std::size_t>(block)].arg_ids;
+  S4TF_CHECK_LT(static_cast<std::size_t>(i), args.size());
+  return args[static_cast<std::size_t>(i)];
+}
+
+ValueId FunctionBuilder::NewValue() { return fn_.num_values++; }
+
+ValueId FunctionBuilder::Const(double value) {
+  Instruction inst;
+  inst.kind = InstKind::kConst;
+  inst.constant = value;
+  inst.result = NewValue();
+  fn_.blocks[static_cast<std::size_t>(current_block_)].insts.push_back(inst);
+  return inst.result;
+}
+
+ValueId FunctionBuilder::Emit(InstKind kind, std::vector<ValueId> operands) {
+  S4TF_CHECK(kind != InstKind::kConst) << "use Const()";
+  S4TF_CHECK(kind != InstKind::kCall) << "use Call()";
+  const int arity = InstArity(kind);
+  S4TF_CHECK_EQ(static_cast<int>(operands.size()), arity)
+      << InstKindName(kind);
+  Instruction inst;
+  inst.kind = kind;
+  inst.operands = std::move(operands);
+  inst.result = NewValue();
+  fn_.blocks[static_cast<std::size_t>(current_block_)].insts.push_back(inst);
+  return inst.result;
+}
+
+ValueId FunctionBuilder::Call(const std::string& callee,
+                              std::vector<ValueId> operands) {
+  Instruction inst;
+  inst.kind = InstKind::kCall;
+  inst.callee = callee;
+  inst.operands = std::move(operands);
+  inst.result = NewValue();
+  fn_.blocks[static_cast<std::size_t>(current_block_)].insts.push_back(inst);
+  return inst.result;
+}
+
+void FunctionBuilder::Return(ValueId value) {
+  Terminator& t =
+      fn_.blocks[static_cast<std::size_t>(current_block_)].terminator;
+  S4TF_CHECK(t.kind == Terminator::Kind::kNone) << "block already terminated";
+  t.kind = Terminator::Kind::kReturn;
+  t.value = value;
+}
+
+void FunctionBuilder::Branch(int target, std::vector<ValueId> args) {
+  Terminator& t =
+      fn_.blocks[static_cast<std::size_t>(current_block_)].terminator;
+  S4TF_CHECK(t.kind == Terminator::Kind::kNone) << "block already terminated";
+  t.kind = Terminator::Kind::kBranch;
+  t.true_block = target;
+  t.true_args = std::move(args);
+}
+
+void FunctionBuilder::CondBranch(ValueId condition, int true_block,
+                                 std::vector<ValueId> true_args,
+                                 int false_block,
+                                 std::vector<ValueId> false_args) {
+  Terminator& t =
+      fn_.blocks[static_cast<std::size_t>(current_block_)].terminator;
+  S4TF_CHECK(t.kind == Terminator::Kind::kNone) << "block already terminated";
+  t.kind = Terminator::Kind::kCondBranch;
+  t.value = condition;
+  t.true_block = true_block;
+  t.true_args = std::move(true_args);
+  t.false_block = false_block;
+  t.false_args = std::move(false_args);
+}
+
+Function FunctionBuilder::Build() && {
+  VerifyFunction(fn_).ValueOrDie();
+  return std::move(fn_);
+}
+
+namespace {
+Status CheckValue(const Function& fn, ValueId v, const char* what) {
+  if (v < 0 || v >= fn.num_values) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": value id out of range in " + fn.name);
+  }
+  return Status::Ok();
+}
+
+Status CheckBranchTarget(const Function& fn, int target,
+                         const std::vector<ValueId>& args) {
+  if (target < 0 || target >= static_cast<int>(fn.blocks.size())) {
+    return Status::FailedPrecondition("branch target out of range in " +
+                                      fn.name);
+  }
+  const auto& bb = fn.blocks[static_cast<std::size_t>(target)];
+  if (args.size() != bb.arg_ids.size()) {
+    return Status::FailedPrecondition(
+        "branch argument count mismatch in " + fn.name);
+  }
+  for (ValueId v : args) S4TF_RETURN_IF_ERROR(CheckValue(fn, v, "branch arg"));
+  return Status::Ok();
+}
+}  // namespace
+
+Status VerifyFunction(const Function& fn) {
+  if (fn.blocks.empty()) {
+    return Status::FailedPrecondition("function has no blocks: " + fn.name);
+  }
+  std::set<ValueId> defined;
+  for (ValueId i = 0; i < fn.num_args; ++i) defined.insert(i);
+  for (const BasicBlock& bb : fn.blocks) {
+    for (ValueId a : bb.arg_ids) {
+      if (!defined.insert(a).second) {
+        return Status::FailedPrecondition("duplicate value definition in " +
+                                          fn.name);
+      }
+    }
+    for (const Instruction& inst : bb.insts) {
+      if (!defined.insert(inst.result).second) {
+        return Status::FailedPrecondition("duplicate value definition in " +
+                                          fn.name);
+      }
+    }
+  }
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instruction& inst : bb.insts) {
+      const int arity = InstArity(inst.kind);
+      if (arity >= 0 && static_cast<int>(inst.operands.size()) != arity) {
+        return Status::FailedPrecondition(
+            std::string("bad arity for ") + InstKindName(inst.kind) + " in " +
+            fn.name);
+      }
+      for (ValueId v : inst.operands) {
+        S4TF_RETURN_IF_ERROR(CheckValue(fn, v, "operand"));
+      }
+    }
+    const Terminator& t = bb.terminator;
+    switch (t.kind) {
+      case Terminator::Kind::kNone:
+        return Status::FailedPrecondition("unterminated block in " + fn.name);
+      case Terminator::Kind::kReturn:
+        S4TF_RETURN_IF_ERROR(CheckValue(fn, t.value, "return value"));
+        break;
+      case Terminator::Kind::kBranch:
+        S4TF_RETURN_IF_ERROR(CheckBranchTarget(fn, t.true_block, t.true_args));
+        break;
+      case Terminator::Kind::kCondBranch:
+        S4TF_RETURN_IF_ERROR(CheckValue(fn, t.value, "condition"));
+        S4TF_RETURN_IF_ERROR(CheckBranchTarget(fn, t.true_block, t.true_args));
+        S4TF_RETURN_IF_ERROR(
+            CheckBranchTarget(fn, t.false_block, t.false_args));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyModule(const Module& module) {
+  for (const auto& [name, fn] : module.functions()) {
+    S4TF_RETURN_IF_ERROR(VerifyFunction(fn));
+    // Calls must resolve and match arity.
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instruction& inst : bb.insts) {
+        if (inst.kind != InstKind::kCall) continue;
+        const Function* callee = module.FindFunction(inst.callee);
+        if (callee == nullptr) {
+          return Status::NotFound("unresolved callee " + inst.callee +
+                                  " in " + name);
+        }
+        if (static_cast<int>(inst.operands.size()) != callee->num_args) {
+          return Status::FailedPrecondition("call arity mismatch to " +
+                                            inst.callee + " in " + name);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string PrintFunction(const Function& fn) {
+  std::ostringstream out;
+  out << "func @" << fn.name << "(";
+  for (int i = 0; i < fn.num_args; ++i) {
+    if (i > 0) out << ", ";
+    out << "%" << i;
+  }
+  out << ") {\n";
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const BasicBlock& bb = fn.blocks[b];
+    out << "bb" << b << "(";
+    for (std::size_t i = 0; i < bb.arg_ids.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "%" << bb.arg_ids[i];
+    }
+    out << "):\n";
+    for (const Instruction& inst : bb.insts) {
+      out << "  %" << inst.result << " = " << InstKindName(inst.kind);
+      if (inst.kind == InstKind::kConst) {
+        out << " " << inst.constant;
+      } else if (inst.kind == InstKind::kCall) {
+        out << " @" << inst.callee;
+      }
+      for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+        out << (i == 0 && inst.kind != InstKind::kCall ? " %" : ", %")
+            << inst.operands[i];
+      }
+      out << "\n";
+    }
+    const Terminator& t = bb.terminator;
+    switch (t.kind) {
+      case Terminator::Kind::kNone:
+        out << "  <unterminated>\n";
+        break;
+      case Terminator::Kind::kReturn:
+        out << "  return %" << t.value << "\n";
+        break;
+      case Terminator::Kind::kBranch:
+        out << "  br bb" << t.true_block << "\n";
+        break;
+      case Terminator::Kind::kCondBranch:
+        out << "  cond_br %" << t.value << ", bb" << t.true_block << ", bb"
+            << t.false_block << "\n";
+        break;
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace s4tf::sil

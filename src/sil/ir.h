@@ -1,0 +1,169 @@
+// A miniature Swift Intermediate Language (SIL).
+//
+// The paper's AD transformation "operates on the Swift Intermediate
+// Language (SIL), an intermediate representation in static single
+// assignment form" (§2.2). This module reproduces the IR properties the
+// transformation depends on:
+//   * SSA values with one definition each,
+//   * basic blocks with *block arguments* (SIL's phi replacement),
+//   * unconditional/conditional branches and returns — enough control flow
+//     for branches and loops,
+//   * calls between functions in a module (the transformation recurses
+//     into callees),
+//   * a scalar (double) value domain: the transformation is about code
+//     structure, not linear algebra, and the paper's AD is explicitly
+//     independent of Tensor.
+//
+// src/sil/activity.h, diff_check.h, autodiff.h and passes.h implement the
+// paper's analysis/checking/synthesis steps and the "ordinary
+// optimizations run on AD output" claim over this IR.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace s4tf::sil {
+
+// Index into a function's value space. Function arguments occupy
+// [0, num_args); block arguments and instruction results are assigned
+// increasing ids by the builder.
+using ValueId = std::int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+enum class InstKind : std::uint8_t {
+  kConst,  // defines a literal; no operands
+  // Arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  // Transcendental.
+  kSin,
+  kCos,
+  kExp,
+  kLog,
+  kTanh,
+  kSqrt,
+  // Comparisons: produce 1.0 / 0.0. Differentiable a.e. with zero
+  // derivative; legal as *control* inputs.
+  kCmpGT,
+  kCmpLT,
+  // Non-differentiable data operations (exercise the diagnostics).
+  kFloor,
+  kRound,
+  // Call of another function in the module (single scalar result).
+  kCall,
+};
+
+const char* InstKindName(InstKind kind);
+int InstArity(InstKind kind);  // kCall returns -1 (variadic)
+
+// True when d(result)/d(operand) exists and is propagated by AD. Floor and
+// round are the deliberately non-differentiable citizens.
+bool IsDifferentiableInst(InstKind kind);
+
+struct Instruction {
+  ValueId result = kNoValue;
+  InstKind kind = InstKind::kConst;
+  std::vector<ValueId> operands;
+  double constant = 0.0;  // kConst payload
+  std::string callee;     // kCall target
+};
+
+struct Terminator {
+  enum class Kind : std::uint8_t { kNone, kReturn, kBranch, kCondBranch };
+  Kind kind = Kind::kNone;
+  // kReturn: the returned value. kCondBranch: the condition (!= 0 is true).
+  ValueId value = kNoValue;
+  int true_block = -1;               // kBranch target too
+  std::vector<ValueId> true_args;    // values passed to target block args
+  int false_block = -1;
+  std::vector<ValueId> false_args;
+};
+
+struct BasicBlock {
+  std::vector<ValueId> arg_ids;  // this block's SSA block arguments
+  std::vector<Instruction> insts;
+  Terminator terminator;
+};
+
+struct Function {
+  std::string name;
+  int num_args = 0;
+  int num_values = 0;  // total SSA values (args + block args + results)
+  std::vector<BasicBlock> blocks;  // entry is blocks[0]
+
+  // Total instruction count (used by the pass tests / ablations).
+  std::int64_t InstructionCount() const;
+};
+
+class Module {
+ public:
+  Function& AddFunction(Function fn);
+  const Function* FindFunction(const std::string& name) const;
+  Function* FindFunction(const std::string& name);
+  const std::map<std::string, Function>& functions() const {
+    return functions_;
+  }
+
+ private:
+  std::map<std::string, Function> functions_;
+};
+
+// Structured construction of SSA functions. Example:
+//
+//   FunctionBuilder b("square_plus_one", /*num_args=*/1);
+//   ValueId x = b.Arg(0);
+//   ValueId sq = b.Emit(InstKind::kMul, {x, x});
+//   ValueId one = b.Const(1.0);
+//   b.Return(b.Emit(InstKind::kAdd, {sq, one}));
+//   Function f = std::move(b).Build();
+class FunctionBuilder {
+ public:
+  FunctionBuilder(std::string name, int num_args);
+
+  ValueId Arg(int i) const;
+
+  // Creates a new block (with `num_args` block arguments) and returns its
+  // index. The entry block 0 exists on construction.
+  int CreateBlock(int num_args = 0);
+  // Redirects instruction emission to `block`.
+  void SetInsertionPoint(int block);
+  int current_block() const { return current_block_; }
+  ValueId BlockArg(int block, int i) const;
+
+  ValueId Const(double value);
+  ValueId Emit(InstKind kind, std::vector<ValueId> operands);
+  ValueId Call(const std::string& callee, std::vector<ValueId> operands);
+
+  void Return(ValueId value);
+  void Branch(int target, std::vector<ValueId> args = {});
+  void CondBranch(ValueId condition, int true_block,
+                  std::vector<ValueId> true_args, int false_block,
+                  std::vector<ValueId> false_args);
+
+  Function Build() &&;
+
+ private:
+  ValueId NewValue();
+  Function fn_;
+  int current_block_ = 0;
+};
+
+// Structural verification: every operand defined, terminators present,
+// branch argument counts match target block arguments, results unique.
+Status VerifyFunction(const Function& fn);
+Status VerifyModule(const Module& module);
+
+// Human-readable SIL-ish dump, e.g.
+//   bb0(%0):
+//     %1 = mul %0, %0
+//     return %1
+std::string PrintFunction(const Function& fn);
+
+}  // namespace s4tf::sil

@@ -1,0 +1,300 @@
+#include "sil/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "sil/interpreter.h"
+
+namespace s4tf::sil {
+
+PassResult RunDCE(Function& fn) {
+  std::vector<bool> live(static_cast<std::size_t>(fn.num_values), false);
+
+  // Seed: terminator uses.
+  for (const BasicBlock& bb : fn.blocks) {
+    const Terminator& t = bb.terminator;
+    if (t.value >= 0) live[static_cast<std::size_t>(t.value)] = true;
+    for (ValueId v : t.true_args) live[static_cast<std::size_t>(v)] = true;
+    for (ValueId v : t.false_args) live[static_cast<std::size_t>(v)] = true;
+  }
+
+  // Fixpoint: operands of live instructions are live. Branch args are
+  // conservatively live (refining them requires per-edge liveness, which
+  // DCE of straight-line adjoint code does not need).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instruction& inst : bb.insts) {
+        if (!live[static_cast<std::size_t>(inst.result)]) continue;
+        for (ValueId op : inst.operands) {
+          if (!live[static_cast<std::size_t>(op)]) {
+            live[static_cast<std::size_t>(op)] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  PassResult result;
+  for (BasicBlock& bb : fn.blocks) {
+    auto removed = std::remove_if(
+        bb.insts.begin(), bb.insts.end(), [&](const Instruction& inst) {
+          return !live[static_cast<std::size_t>(inst.result)];
+        });
+    result.removed_instructions +=
+        static_cast<int>(bb.insts.end() - removed);
+    bb.insts.erase(removed, bb.insts.end());
+  }
+  return result;
+}
+
+PassResult RunConstantFolding(Function& fn) {
+  PassResult result;
+  // value -> constant, when the defining instruction is kConst.
+  std::map<ValueId, double> constants;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    constants.clear();
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instruction& inst : bb.insts) {
+        if (inst.kind == InstKind::kConst) {
+          constants[inst.result] = inst.constant;
+        }
+      }
+    }
+    for (BasicBlock& bb : fn.blocks) {
+      for (Instruction& inst : bb.insts) {
+        if (inst.kind == InstKind::kConst || inst.kind == InstKind::kCall) {
+          continue;
+        }
+        bool all_const = !inst.operands.empty();
+        for (ValueId op : inst.operands) {
+          if (constants.count(op) == 0) {
+            all_const = false;
+            break;
+          }
+        }
+        if (!all_const) continue;
+        const double a = constants[inst.operands[0]];
+        const double b =
+            inst.operands.size() > 1 ? constants[inst.operands[1]] : 0.0;
+        const double value = EvalInst(inst.kind, a, b, 0.0);
+        inst.kind = InstKind::kConst;
+        inst.operands.clear();
+        inst.constant = value;
+        ++result.folded_constants;
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+// Rewrites every use of the ids in `replace` (operands and terminators).
+void RewriteUses(Function& fn, const std::map<ValueId, ValueId>& replace) {
+  auto fix = [&](ValueId& v) {
+    auto it = replace.find(v);
+    if (it != replace.end()) v = it->second;
+  };
+  for (BasicBlock& bb : fn.blocks) {
+    for (Instruction& inst : bb.insts) {
+      for (ValueId& op : inst.operands) fix(op);
+    }
+    Terminator& t = bb.terminator;
+    if (t.value >= 0) fix(t.value);
+    for (ValueId& v : t.true_args) fix(v);
+    for (ValueId& v : t.false_args) fix(v);
+  }
+}
+}  // namespace
+
+PassResult RunCSE(Function& fn) {
+  PassResult result;
+  std::map<ValueId, ValueId> replace;
+  for (BasicBlock& bb : fn.blocks) {
+    // Key: kind, operands, constant bits, callee.
+    std::map<std::tuple<int, std::vector<ValueId>, double, std::string>,
+             ValueId>
+        seen;
+    for (auto it = bb.insts.begin(); it != bb.insts.end();) {
+      auto key = std::make_tuple(static_cast<int>(it->kind), it->operands,
+                                 it->constant, it->callee);
+      auto found = seen.find(key);
+      if (found != seen.end()) {
+        replace[it->result] = found->second;
+        it = bb.insts.erase(it);
+        ++result.deduplicated;
+      } else {
+        seen.emplace(std::move(key), it->result);
+        ++it;
+      }
+    }
+  }
+  if (!replace.empty()) RewriteUses(fn, replace);
+  return result;
+}
+
+namespace {
+
+// Inlines the call at fn.blocks[block].insts[index]; returns false when
+// the callee is (mutually) recursive or unknown.
+bool InlineOneCall(Module& module, Function& fn, std::size_t block_index,
+                   std::size_t inst_index) {
+  const Instruction call = fn.blocks[block_index].insts[inst_index];
+  const Function* callee = module.FindFunction(call.callee);
+  if (callee == nullptr) return false;
+  // Refuse recursion (direct or through the callee's own calls — a simple
+  // conservative check: the callee must not call the caller or itself).
+  for (const BasicBlock& bb : callee->blocks) {
+    for (const Instruction& inst : bb.insts) {
+      if (inst.kind == InstKind::kCall &&
+          (inst.callee == fn.name || inst.callee == callee->name)) {
+        return false;
+      }
+    }
+  }
+
+  // Value-id remapping for imported callee values: argument i flows in
+  // through a fresh block argument of the imported entry block; every
+  // other callee value is offset into fresh caller ids.
+  // Callee value v maps to base + v (arguments become the imported entry
+  // block's arguments, at the same offsets); the continuation's result
+  // argument gets the first id past the imported range.
+  const ValueId base = fn.num_values;
+  std::vector<ValueId> entry_args(static_cast<std::size_t>(callee->num_args));
+  for (std::size_t i = 0; i < entry_args.size(); ++i) {
+    entry_args[i] = base + static_cast<ValueId>(i);
+  }
+  auto remap = [&](ValueId v) { return base + v; };
+
+  // Continuation block: receives the call result as its block argument and
+  // inherits the tail of the caller block (instructions after the call and
+  // the terminator).
+  BasicBlock continuation;
+  const ValueId result_arg = base + callee->num_values;
+  continuation.arg_ids.push_back(result_arg);
+  {
+    BasicBlock& caller_block = fn.blocks[block_index];
+    continuation.insts.assign(
+        caller_block.insts.begin() +
+            static_cast<std::ptrdiff_t>(inst_index + 1),
+        caller_block.insts.end());
+    continuation.terminator = caller_block.terminator;
+    caller_block.insts.erase(
+        caller_block.insts.begin() + static_cast<std::ptrdiff_t>(inst_index),
+        caller_block.insts.end());
+    caller_block.terminator = Terminator{};
+  }
+
+  const int callee_block_base = static_cast<int>(fn.blocks.size());
+  const int continuation_index =
+      callee_block_base + static_cast<int>(callee->blocks.size());
+
+  // The caller block now branches into the imported entry, passing the
+  // call operands as the entry's fresh block arguments.
+  {
+    Terminator& t = fn.blocks[block_index].terminator;
+    t.kind = Terminator::Kind::kBranch;
+    t.true_block = callee_block_base;
+    t.true_args = call.operands;
+  }
+
+  // Import callee blocks with remapped values, block indices, and returns
+  // turned into branches to the continuation.
+  for (std::size_t b = 0; b < callee->blocks.size(); ++b) {
+    const BasicBlock& src = callee->blocks[b];
+    BasicBlock imported;
+    if (b == 0) {
+      imported.arg_ids = entry_args;
+    }
+    for (ValueId a : src.arg_ids) imported.arg_ids.push_back(remap(a));
+    for (const Instruction& inst : src.insts) {
+      Instruction copy = inst;
+      copy.result = remap(copy.result);
+      for (ValueId& op : copy.operands) op = remap(op);
+      imported.insts.push_back(std::move(copy));
+    }
+    const Terminator& st = src.terminator;
+    Terminator& dt = imported.terminator;
+    switch (st.kind) {
+      case Terminator::Kind::kReturn:
+        dt.kind = Terminator::Kind::kBranch;
+        dt.true_block = continuation_index;
+        dt.true_args = {remap(st.value)};
+        break;
+      case Terminator::Kind::kBranch:
+        dt.kind = Terminator::Kind::kBranch;
+        dt.true_block = callee_block_base + st.true_block;
+        for (ValueId v : st.true_args) dt.true_args.push_back(remap(v));
+        break;
+      case Terminator::Kind::kCondBranch:
+        dt.kind = Terminator::Kind::kCondBranch;
+        dt.value = remap(st.value);
+        dt.true_block = callee_block_base + st.true_block;
+        dt.false_block = callee_block_base + st.false_block;
+        for (ValueId v : st.true_args) dt.true_args.push_back(remap(v));
+        for (ValueId v : st.false_args) dt.false_args.push_back(remap(v));
+        break;
+      case Terminator::Kind::kNone:
+        break;
+    }
+    fn.blocks.push_back(std::move(imported));
+  }
+  fn.blocks.push_back(std::move(continuation));
+  fn.num_values = base + callee->num_values + 1;
+
+  // The call's result now flows through the continuation's block argument.
+  std::map<ValueId, ValueId> replace{{call.result, result_arg}};
+  RewriteUses(fn, replace);
+  return true;
+}
+
+}  // namespace
+
+int RunInlining(Module& module, const std::string& fn_name) {
+  Function* fn = module.FindFunction(fn_name);
+  S4TF_CHECK(fn != nullptr) << "RunInlining: no function " << fn_name;
+  int inlined = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < fn->blocks.size() && !changed; ++b) {
+      for (std::size_t i = 0; i < fn->blocks[b].insts.size(); ++i) {
+        if (fn->blocks[b].insts[i].kind != InstKind::kCall) continue;
+        if (InlineOneCall(module, *fn, b, i)) {
+          ++inlined;
+          changed = true;  // block structure changed: restart the scan
+          break;
+        }
+      }
+    }
+  }
+  VerifyFunction(*fn).ValueOrDie();
+  return inlined;
+}
+
+PassResult OptimizeFunction(Function& fn, int max_iterations) {
+  PassResult total;
+  for (int i = 0; i < max_iterations; ++i) {
+    PassResult round;
+    const PassResult fold = RunConstantFolding(fn);
+    const PassResult cse = RunCSE(fn);
+    const PassResult dce = RunDCE(fn);
+    round.folded_constants = fold.folded_constants;
+    round.deduplicated = cse.deduplicated;
+    round.removed_instructions = dce.removed_instructions;
+    total.folded_constants += round.folded_constants;
+    total.deduplicated += round.deduplicated;
+    total.removed_instructions += round.removed_instructions;
+    if (!round.changed()) break;
+  }
+  return total;
+}
+
+}  // namespace s4tf::sil

@@ -1,0 +1,49 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace s4tf {
+namespace detail {
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "S4TF_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) out << " " << message;
+  throw InternalError(out.str());
+}
+
+}  // namespace detail
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::ostringstream out;
+  out << StatusCodeName(code_) << ": " << message_;
+  return out.str();
+}
+
+void Status::ValueOrDie() const {
+  S4TF_CHECK(ok()) << ToString();
+}
+
+}  // namespace s4tf

@@ -1,0 +1,169 @@
+// Error handling primitives for s4tf-cpp.
+//
+// Two mechanisms, used deliberately:
+//  * `S4TF_CHECK*` macros signal programmer errors (broken invariants,
+//    precondition violations). They throw `InternalError`, which tests can
+//    assert on and which terminates example binaries with a readable
+//    message.
+//  * `Status` / `StatusOr<T>` report *recoverable* conditions a caller is
+//    expected to handle (e.g. "this SIL instruction is not differentiable",
+//    mirroring the paper's differentiability-checking diagnostics).
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace s4tf {
+
+// Thrown by S4TF_CHECK on violated invariants.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+// Builds the optional streamed message for a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    FailCheck(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define S4TF_CHECK(cond)                                           \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::s4tf::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define S4TF_CHECK_EQ(a, b) S4TF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define S4TF_CHECK_NE(a, b) S4TF_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define S4TF_CHECK_LT(a, b) S4TF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define S4TF_CHECK_LE(a, b) S4TF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define S4TF_CHECK_GT(a, b) S4TF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define S4TF_CHECK_GE(a, b) S4TF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define S4TF_UNREACHABLE() \
+  ::s4tf::detail::CheckMessageBuilder(__FILE__, __LINE__, "unreachable")
+
+// Recoverable error codes, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kOutOfRange,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight status value. Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  // Throws InternalError if not ok. For callers who cannot recover.
+  void ValueOrDie() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value-or-status result type.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    S4TF_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    S4TF_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    S4TF_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    S4TF_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+#define S4TF_RETURN_IF_ERROR(expr)         \
+  do {                                     \
+    ::s4tf::Status _s4tf_status = (expr);  \
+    if (!_s4tf_status.ok()) return _s4tf_status; \
+  } while (false)
+
+}  // namespace s4tf

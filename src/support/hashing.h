@@ -1,0 +1,54 @@
+// Stable 64-bit fingerprinting used to key the lazy-trace → XLA-program
+// cache (paper §3.4: "trace fragments are hashed to become keys in an
+// XLA-program cache"). FNV-1a with mixing; stable across platforms and
+// process runs, unlike std::hash.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace s4tf {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t HashBytes(const void* data, std::size_t n,
+                               std::uint64_t seed = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  // boost::hash_combine-style mixing over 64 bits.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::uint64_t HashValue(const T& value, std::uint64_t seed = kFnvOffset) {
+  return HashBytes(&value, sizeof(T), seed);
+}
+
+inline std::uint64_t HashString(std::string_view s,
+                                std::uint64_t seed = kFnvOffset) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::uint64_t HashSpan(const std::vector<T>& values,
+                       std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = HashCombine(seed, values.size());
+  for (const T& v : values) h = HashCombine(h, HashValue(v));
+  return h;
+}
+
+}  // namespace s4tf

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Examples and benches log at INFO; the library
+// itself logs only at DEBUG/WARNING so tests stay quiet by default.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace s4tf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define S4TF_LOG(level)                                          \
+  ::s4tf::detail::LogMessage(::s4tf::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace s4tf

@@ -1,0 +1,25 @@
+#include "support/memory_meter.h"
+
+#include <cstdio>
+
+namespace s4tf {
+
+MemoryMeter& MemoryMeter::Global() {
+  static MemoryMeter meter;
+  return meter;
+}
+
+std::string HumanBytes(std::int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / (1 << 20));
+  } else if (bytes >= (1 << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace s4tf

@@ -1,0 +1,65 @@
+// Byte accounting for peak-memory measurements (Table 4 reports on-device
+// memory usage of the spline trainer). Buffer-owning types (CowArray,
+// framework runtimes) report allocations here; the meter tracks current and
+// high-water usage per scope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s4tf {
+
+// Process-wide tracked-allocation meter. Not thread safe by design: the
+// mobile experiments that use it are single threaded, and keeping it free
+// of atomics avoids perturbing the measurements.
+class MemoryMeter {
+ public:
+  static MemoryMeter& Global();
+
+  void Allocate(std::int64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+    total_allocated_ += bytes;
+    ++allocation_count_;
+  }
+  void Free(std::int64_t bytes) { current_ -= bytes; }
+
+  std::int64_t current_bytes() const { return current_; }
+  std::int64_t peak_bytes() const { return peak_; }
+  std::int64_t total_allocated_bytes() const { return total_allocated_; }
+  std::int64_t allocation_count() const { return allocation_count_; }
+
+  // Begins a measurement interval: peak is reset to the current level.
+  void ResetPeak() { peak_ = current_; }
+  void ResetAll() {
+    current_ = 0;
+    peak_ = 0;
+    total_allocated_ = 0;
+    allocation_count_ = 0;
+  }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+  std::int64_t total_allocated_ = 0;
+  std::int64_t allocation_count_ = 0;
+};
+
+// RAII scope that measures the peak over its lifetime relative to entry.
+class PeakMemoryScope {
+ public:
+  PeakMemoryScope() : entry_(MemoryMeter::Global().current_bytes()) {
+    MemoryMeter::Global().ResetPeak();
+  }
+  // Peak additional bytes allocated since the scope began.
+  std::int64_t peak_delta_bytes() const {
+    return MemoryMeter::Global().peak_bytes() - entry_;
+  }
+
+ private:
+  std::int64_t entry_;
+};
+
+std::string HumanBytes(std::int64_t bytes);
+
+}  // namespace s4tf

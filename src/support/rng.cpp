@@ -1,0 +1,97 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace s4tf {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat() {
+  return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  S4TF_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  S4TF_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;
+  while (true) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+Rng Rng::Split() {
+  return Rng(Next() ^ 0xabcdef0123456789ULL);
+}
+
+void Rng::FillUniform(float* data, std::size_t n, float lo, float hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = lo + (hi - lo) * NextFloat();
+  }
+}
+
+void Rng::FillGaussian(float* data, std::size_t n, float mean, float stddev) {
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = mean + stddev * static_cast<float>(NextGaussian());
+  }
+}
+
+}  // namespace s4tf

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the platform (synthetic datasets, weight
+// initialization, dropout) draw from this generator so that every test,
+// example, and benchmark is reproducible bit-for-bit across runs. The
+// engine is xoshiro256++ seeded through SplitMix64, which has good
+// statistical quality and is trivially portable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace s4tf {
+
+// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() { return Next(); }
+  std::uint64_t Next();
+
+  // Uniform draw in [0, 1).
+  double NextDouble();
+  float NextFloat();
+
+  // Uniform draw in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, bound).
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  // Derives an independent stream; useful for per-replica data sharding.
+  Rng Split();
+
+  // Bulk fills used by tensor/dataset code.
+  void FillUniform(float* data, std::size_t n, float lo, float hi);
+  void FillGaussian(float* data, std::size_t n, float mean, float stddev);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace s4tf

@@ -1,0 +1,38 @@
+// Simulated time.
+//
+// The accelerator benchmarks (Tables 1-3) must be machine-independent: the
+// paper's numbers come from TPUs and a GTX 1080 we do not have. Devices in
+// `src/device` therefore advance a SimClock according to an explicit cost
+// model (kernel flops / launch overhead / collective latency) instead of
+// reading the wall clock. Mobile/CPU experiments (Table 4, Fig. 9) use real
+// wall time because there the work itself is real.
+#pragma once
+
+#include <cstdint>
+
+namespace s4tf {
+
+// Monotone simulated clock measured in nanoseconds.
+class SimClock {
+ public:
+  std::int64_t now_ns() const { return now_ns_; }
+  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+  void Advance(std::int64_t ns) { now_ns_ += ns; }
+  void AdvanceSeconds(double seconds) {
+    now_ns_ += static_cast<std::int64_t>(seconds * 1e9);
+  }
+
+  // Moves the clock forward to `t_ns` if it is in the future (used when
+  // synchronizing replicas at a collective).
+  void AdvanceTo(std::int64_t t_ns) {
+    if (t_ns > now_ns_) now_ns_ = t_ns;
+  }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  std::int64_t now_ns_ = 0;
+};
+
+}  // namespace s4tf

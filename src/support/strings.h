@@ -1,0 +1,42 @@
+// Small string helpers used across modules (GCC 12 lacks std::format).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace s4tf {
+
+namespace detail {
+inline void StrAppendImpl(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& out, const T& first,
+                   const Rest&... rest) {
+  out << first;
+  StrAppendImpl(out, rest...);
+}
+}  // namespace detail
+
+// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  detail::StrAppendImpl(out, args...);
+  return out.str();
+}
+
+// Joins elements with `sep`, using operator<< for each.
+template <typename Container>
+std::string StrJoin(const Container& items, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace s4tf

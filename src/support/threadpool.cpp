@@ -1,0 +1,124 @@
+#include "support/threadpool.h"
+
+#include <atomic>
+
+#include "support/error.h"
+
+namespace s4tf {
+
+DispatchQueue::DispatchQueue() : worker_([this] { WorkerLoop(); }) {}
+
+DispatchQueue::~DispatchQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void DispatchQueue::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    S4TF_CHECK(!shutdown_) << "Submit after shutdown";
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_.notify_one();
+}
+
+void DispatchQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t DispatchQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+void DispatchQueue::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with nothing queued
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  S4TF_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& body) {
+  if (n <= 0) return;
+  const int workers = num_threads();
+  if (workers == 1 || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::int64_t> next{0};
+  std::atomic<int> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  const int shards = std::min<std::int64_t>(workers, n);
+  auto shard_fn = [&] {
+    while (true) {
+      const std::int64_t i = next.fetch_add(1);
+      if (i >= n) break;
+      body(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+    }
+    done_cv.notify_one();
+  };
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int s = 0; s < shards; ++s) tasks_.push_back(shard_fn);
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == shards; });
+}
+
+}  // namespace s4tf

@@ -1,0 +1,78 @@
+// A small fixed-size thread pool plus a single-consumer dispatch queue.
+//
+// The eager runtime (§3.2) needs exactly the structure TensorFlow Eager
+// uses: the host thread enqueues kernels and returns immediately; a
+// dedicated executor thread drains the queue in FIFO order; observing a
+// tensor's contents blocks until its producing kernel has retired. The
+// DispatchQueue below provides that; ThreadPool serves data-parallel CPU
+// kernels.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s4tf {
+
+// FIFO queue drained by one worker thread. Tasks run in submission order.
+class DispatchQueue {
+ public:
+  DispatchQueue();
+  ~DispatchQueue();
+
+  DispatchQueue(const DispatchQueue&) = delete;
+  DispatchQueue& operator=(const DispatchQueue&) = delete;
+
+  // Enqueues `task`; returns immediately.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has completed.
+  void Drain();
+
+  // Number of tasks submitted but not yet finished.
+  std::size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+// Fixed-size pool for parallel-for style work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs body(i) for i in [0, n) across the pool; blocks until done.
+  void ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& body);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace s4tf

@@ -1,0 +1,75 @@
+// Devices select an execution strategy for Tensor ops.
+//
+// Mirroring §3: "End-users can switch between the two implementations by
+// specifying a device for the computation to run on: either an eager or a
+// lazy-tracing one." A Device is a small value (kind + ordinal + backend
+// pointer); a thread-local default-device stack provides `WithDevice`
+// scoping, and Tensor ops run on their inputs' device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s4tf {
+
+class Backend;
+
+enum class DeviceKind : std::uint8_t {
+  kNaive = 0,  // synchronous CPU evaluation, zero dependencies (§3.1)
+  kEager,      // asynchronous op-by-op dispatch (§3.2)
+  kLazy,       // trace recording + domain-specific JIT (§3.3)
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+class Device {
+ public:
+  // Default: the naïve CPU device.
+  Device();
+  Device(DeviceKind kind, int ordinal, Backend* backend, std::string name);
+
+  DeviceKind kind() const { return kind_; }
+  int ordinal() const { return ordinal_; }
+  Backend& backend() const { return *backend_; }
+  const std::string& name() const { return name_; }
+
+  friend bool operator==(const Device& a, const Device& b) {
+    return a.backend_ == b.backend_ && a.ordinal_ == b.ordinal_;
+  }
+  friend bool operator!=(const Device& a, const Device& b) {
+    return !(a == b);
+  }
+
+  // The thread's current default device (top of the WithDevice stack; the
+  // naïve CPU device when the stack is empty).
+  static Device Current();
+
+ private:
+  friend class DeviceScope;
+  DeviceKind kind_;
+  int ordinal_;
+  Backend* backend_;
+  std::string name_;
+};
+
+// RAII scope that makes `device` the default for tensor creation.
+class DeviceScope {
+ public:
+  explicit DeviceScope(Device device);
+  ~DeviceScope();
+  DeviceScope(const DeviceScope&) = delete;
+  DeviceScope& operator=(const DeviceScope&) = delete;
+
+ private:
+  Device previous_;
+  bool had_previous_;
+};
+
+// Runs `fn` with `device` as the default device.
+template <typename Fn>
+auto WithDevice(Device device, Fn&& fn) {
+  DeviceScope scope(std::move(device));
+  return fn();
+}
+
+}  // namespace s4tf

@@ -1,0 +1,880 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace s4tf {
+namespace {
+
+using ElementwiseUnary = float (*)(float, const OpAttrs&);
+using ElementwiseBinary = float (*)(float, float);
+
+// Strides of `in` aligned to the (broadcast) output rank, with 0 stride on
+// broadcast dimensions — the standard NumPy broadcasting iteration trick.
+std::vector<std::int64_t> BroadcastStrides(const Shape& in,
+                                           const Shape& out) {
+  const auto in_strides = in.Strides();
+  std::vector<std::int64_t> strides(static_cast<std::size_t>(out.rank()), 0);
+  const int offset = out.rank() - in.rank();
+  for (int i = 0; i < in.rank(); ++i) {
+    const auto oi = static_cast<std::size_t>(offset + i);
+    strides[oi] = in.dim(i) == 1 ? 0 : in_strides[static_cast<std::size_t>(i)];
+  }
+  return strides;
+}
+
+// Odometer-style iteration over `out`; calls fn(out_offset, in_offsets...).
+template <int NumInputs, typename Fn>
+void ForEachBroadcast(const Shape& out,
+                      const std::array<std::vector<std::int64_t>, NumInputs>& strides,
+                      Fn&& fn) {
+  const std::int64_t n = out.NumElements();
+  const int rank = out.rank();
+  if (rank == 0) {
+    std::array<std::int64_t, NumInputs> offs{};
+    fn(0, offs);
+    return;
+  }
+  std::vector<std::int64_t> index(static_cast<std::size_t>(rank), 0);
+  std::array<std::int64_t, NumInputs> offs{};
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    fn(flat, offs);
+    // Increment odometer and input offsets together.
+    for (int d = rank - 1; d >= 0; --d) {
+      const auto sd = static_cast<std::size_t>(d);
+      ++index[sd];
+      for (int i = 0; i < NumInputs; ++i) offs[static_cast<std::size_t>(i)] += strides[static_cast<std::size_t>(i)][sd];
+      if (index[sd] < out.dim(d)) break;
+      index[sd] = 0;
+      for (int i = 0; i < NumInputs; ++i) {
+        offs[static_cast<std::size_t>(i)] -=
+            strides[static_cast<std::size_t>(i)][sd] * out.dim(d);
+      }
+    }
+  }
+}
+
+Literal BinaryBroadcast(const Literal& a, const Literal& b, const Shape& out,
+                        ElementwiseBinary fn) {
+  Literal result = Literal::Zeros(out);
+  float* r = result.data.mutable_data();
+  const float* pa = a.data.data();
+  const float* pb = b.data.data();
+  if (a.shape == b.shape && a.shape == out) {
+    const std::int64_t n = out.NumElements();
+    for (std::int64_t i = 0; i < n; ++i) r[i] = fn(pa[i], pb[i]);
+    return result;
+  }
+  std::array<std::vector<std::int64_t>, 2> strides = {
+      BroadcastStrides(a.shape, out), BroadcastStrides(b.shape, out)};
+  ForEachBroadcast<2>(out, strides,
+                      [&](std::int64_t o, const std::array<std::int64_t, 2>& in) {
+                        r[o] = fn(pa[in[0]], pb[in[1]]);
+                      });
+  return result;
+}
+
+Literal UnaryElementwise(const Literal& a, const OpAttrs& attrs,
+                         ElementwiseUnary fn) {
+  Literal result = Literal::Zeros(a.shape);
+  float* r = result.data.mutable_data();
+  const float* p = a.data.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) r[i] = fn(p[i], attrs);
+  return result;
+}
+
+Literal Reduce(const Literal& in, const OpAttrs& attrs, OpKind kind) {
+  std::vector<std::int64_t> axes = attrs.axes;
+  if (axes.empty()) {
+    for (int i = 0; i < in.shape.rank(); ++i) axes.push_back(i);
+  }
+  const Shape out_shape = InferShape(kind, {in.shape}, attrs);
+  std::vector<bool> reduced(static_cast<std::size_t>(in.shape.rank()), false);
+  std::int64_t reduce_count = 1;
+  for (std::int64_t a : axes) {
+    reduced[static_cast<std::size_t>(a)] = true;
+    reduce_count *= in.shape.dim(static_cast<int>(a));
+  }
+
+  const float init = kind == OpKind::kReduceMax
+                         ? -std::numeric_limits<float>::infinity()
+                         : 0.0f;
+  Literal result = Literal::Full(out_shape, init);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+
+  // Map each input element to its output slot by walking an odometer over
+  // the input and accumulating an output offset that skips reduced axes.
+  const int rank = in.shape.rank();
+  const auto out_strides_all = [&] {
+    // Strides of the *output* laid over input axes: reduced axes get 0.
+    std::vector<std::int64_t> s(static_cast<std::size_t>(rank), 0);
+    std::int64_t running = 1;
+    for (int i = rank - 1; i >= 0; --i) {
+      const auto si = static_cast<std::size_t>(i);
+      if (reduced[si]) {
+        if (attrs.keep_dims) {
+          // keep_dims keeps a size-1 axis: stride contribution is 0 anyway.
+        }
+        s[si] = 0;
+      } else {
+        s[si] = running;
+        running *= in.shape.dim(i);
+      }
+    }
+    return s;
+  }();
+
+  std::vector<std::int64_t> index(static_cast<std::size_t>(rank), 0);
+  std::int64_t out_off = 0;
+  const std::int64_t n = in.size();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    if (kind == OpKind::kReduceMax) {
+      r[out_off] = std::max(r[out_off], p[flat]);
+    } else {
+      r[out_off] += p[flat];
+    }
+    for (int d = rank - 1; d >= 0; --d) {
+      const auto sd = static_cast<std::size_t>(d);
+      ++index[sd];
+      out_off += out_strides_all[sd];
+      if (index[sd] < in.shape.dim(d)) break;
+      index[sd] = 0;
+      out_off -= out_strides_all[sd] * in.shape.dim(d);
+    }
+  }
+  if (kind == OpKind::kReduceMean) {
+    const float scale = 1.0f / static_cast<float>(reduce_count);
+    const std::int64_t m = result.size();
+    for (std::int64_t i = 0; i < m; ++i) r[i] *= scale;
+  }
+  return result;
+}
+
+Literal ArgMax(const Literal& in, const OpAttrs& attrs) {
+  const Shape out_shape = InferShape(OpKind::kArgMax, {in.shape}, attrs);
+  Literal result = Literal::Zeros(out_shape);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+
+  const int axis = static_cast<int>(attrs.axis);
+  const auto strides = in.shape.Strides();
+  const std::int64_t axis_dim = in.shape.dim(axis);
+  const std::int64_t axis_stride = strides[static_cast<std::size_t>(axis)];
+
+  // outer: product of dims before axis; inner: product after axis.
+  std::int64_t outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= in.shape.dim(i);
+  for (int i = axis + 1; i < in.shape.rank(); ++i) inner *= in.shape.dim(i);
+
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      const std::int64_t base = o * axis_dim * inner + i;
+      std::int64_t best = 0;
+      float best_val = p[base];
+      for (std::int64_t a = 1; a < axis_dim; ++a) {
+        const float v = p[base + a * axis_stride];
+        if (v > best_val) {
+          best_val = v;
+          best = a;
+        }
+      }
+      r[o * inner + i] = static_cast<float>(best);
+    }
+  }
+  return result;
+}
+
+Literal SoftmaxLike(const Literal& in, bool log_space) {
+  S4TF_CHECK_GE(in.shape.rank(), 1) << "softmax needs rank >= 1";
+  Literal result = Literal::Zeros(in.shape);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+  const std::int64_t cols = in.shape.dim(in.shape.rank() - 1);
+  const std::int64_t rows = in.size() / cols;
+  for (std::int64_t row = 0; row < rows; ++row) {
+    const float* x = p + row * cols;
+    float* y = r + row * cols;
+    float max_val = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < cols; ++c) max_val = std::max(max_val, x[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(x[c] - max_val);
+      y[c] = e;
+      sum += e;
+    }
+    if (log_space) {
+      const float log_sum = std::log(sum) + max_val;
+      for (std::int64_t c = 0; c < cols; ++c) y[c] = x[c] - log_sum;
+    } else {
+      const float inv = 1.0f / sum;
+      for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+    }
+  }
+  return result;
+}
+
+Literal Transpose(const Literal& in, const OpAttrs& attrs) {
+  const Shape out_shape = InferShape(OpKind::kTranspose, {in.shape}, attrs);
+  Literal result = Literal::Zeros(out_shape);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+  const auto in_strides = in.shape.Strides();
+  const int rank = out_shape.rank();
+  if (rank == 0) {
+    r[0] = p[0];
+    return result;
+  }
+  // Input strides permuted into output axis order.
+  std::vector<std::int64_t> perm_strides(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    perm_strides[static_cast<std::size_t>(i)] =
+        in_strides[static_cast<std::size_t>(attrs.axes[static_cast<std::size_t>(i)])];
+  }
+  std::vector<std::int64_t> index(static_cast<std::size_t>(rank), 0);
+  std::int64_t in_off = 0;
+  const std::int64_t n = out_shape.NumElements();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    r[flat] = p[in_off];
+    for (int d = rank - 1; d >= 0; --d) {
+      const auto sd = static_cast<std::size_t>(d);
+      ++index[sd];
+      in_off += perm_strides[sd];
+      if (index[sd] < out_shape.dim(d)) break;
+      index[sd] = 0;
+      in_off -= perm_strides[sd] * out_shape.dim(d);
+    }
+  }
+  return result;
+}
+
+Literal BroadcastTo(const Literal& in, const Shape& out) {
+  Literal result = Literal::Zeros(out);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+  std::array<std::vector<std::int64_t>, 1> strides = {
+      BroadcastStrides(in.shape, out)};
+  ForEachBroadcast<1>(out, strides,
+                      [&](std::int64_t o, const std::array<std::int64_t, 1>& i) {
+                        r[o] = p[i[0]];
+                      });
+  return result;
+}
+
+Literal SliceOp(const Literal& in, const OpAttrs& attrs) {
+  const Shape out_shape = InferShape(OpKind::kSlice, {in.shape}, attrs);
+  Literal result = Literal::Zeros(out_shape);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+  const auto in_strides = in.shape.Strides();
+  const int rank = out_shape.rank();
+  if (rank == 0) {
+    r[0] = p[0];
+    return result;
+  }
+  std::int64_t base = 0;
+  for (int d = 0; d < rank; ++d) {
+    base += attrs.starts[static_cast<std::size_t>(d)] *
+            in_strides[static_cast<std::size_t>(d)];
+  }
+  std::vector<std::int64_t> index(static_cast<std::size_t>(rank), 0);
+  std::int64_t in_off = base;
+  const std::int64_t n = out_shape.NumElements();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    r[flat] = p[in_off];
+    for (int d = rank - 1; d >= 0; --d) {
+      const auto sd = static_cast<std::size_t>(d);
+      ++index[sd];
+      in_off += in_strides[sd];
+      if (index[sd] < out_shape.dim(d)) break;
+      index[sd] = 0;
+      in_off -= in_strides[sd] * out_shape.dim(d);
+    }
+  }
+  return result;
+}
+
+Literal PadOp(const Literal& in, const OpAttrs& attrs) {
+  const Shape out_shape = InferShape(OpKind::kPad, {in.shape}, attrs);
+  Literal result = Literal::Full(out_shape, attrs.scalar);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+  const auto out_strides = out_shape.Strides();
+  const int rank = in.shape.rank();
+  if (rank == 0) {
+    r[0] = p[0];
+    return result;
+  }
+  std::int64_t base = 0;
+  for (int d = 0; d < rank; ++d) {
+    base += attrs.pads[static_cast<std::size_t>(2 * d)] *
+            out_strides[static_cast<std::size_t>(d)];
+  }
+  std::vector<std::int64_t> index(static_cast<std::size_t>(rank), 0);
+  std::int64_t out_off = base;
+  const std::int64_t n = in.size();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    r[out_off] = p[flat];
+    for (int d = rank - 1; d >= 0; --d) {
+      const auto sd = static_cast<std::size_t>(d);
+      ++index[sd];
+      out_off += out_strides[sd];
+      if (index[sd] < in.shape.dim(d)) break;
+      index[sd] = 0;
+      out_off -= out_strides[sd] * in.shape.dim(d);
+    }
+  }
+  return result;
+}
+
+Literal ConcatOp(const std::vector<const Literal*>& inputs,
+                 const OpAttrs& attrs) {
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const auto* in : inputs) shapes.push_back(in->shape);
+  const Shape out_shape = InferShape(OpKind::kConcat, shapes, attrs);
+  Literal result = Literal::Zeros(out_shape);
+  float* r = result.data.mutable_data();
+
+  const int axis = static_cast<int>(attrs.axis);
+  std::int64_t outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= out_shape.dim(i);
+  for (int i = axis + 1; i < out_shape.rank(); ++i) inner *= out_shape.dim(i);
+  const std::int64_t out_axis = out_shape.dim(axis);
+
+  std::int64_t axis_offset = 0;
+  for (const auto* in : inputs) {
+    const std::int64_t in_axis = in->shape.dim(axis);
+    const float* p = in->data.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      const float* src = p + o * in_axis * inner;
+      float* dst = r + (o * out_axis + axis_offset) * inner;
+      std::copy(src, src + in_axis * inner, dst);
+    }
+    axis_offset += in_axis;
+  }
+  return result;
+}
+
+struct PoolGeometry {
+  std::int64_t batch, in_h, in_w, channels;
+  std::int64_t out_h, out_w;
+  std::int64_t pad_h, pad_w;
+};
+
+PoolGeometry MakePoolGeometry(const Shape& in, const Shape& out,
+                              std::int64_t window_h, std::int64_t window_w,
+                              std::int64_t stride_h, std::int64_t stride_w,
+                              Padding padding) {
+  PoolGeometry g;
+  g.batch = in.dim(0);
+  g.in_h = in.dim(1);
+  g.in_w = in.dim(2);
+  g.channels = in.dim(3);
+  g.out_h = out.dim(1);
+  g.out_w = out.dim(2);
+  g.pad_h = kernels::PadLow(g.in_h, g.out_h, window_h, stride_h, padding);
+  g.pad_w = kernels::PadLow(g.in_w, g.out_w, window_w, stride_w, padding);
+  return g;
+}
+
+Literal Pool2D(const Literal& in, const OpAttrs& attrs, bool is_max) {
+  const OpKind kind = is_max ? OpKind::kMaxPool2D : OpKind::kAvgPool2D;
+  const Shape out_shape = InferShape(kind, {in.shape}, attrs);
+  Literal result = Literal::Zeros(out_shape);
+  float* r = result.data.mutable_data();
+  const float* p = in.data.data();
+  const PoolGeometry g =
+      MakePoolGeometry(in.shape, out_shape, attrs.window_h, attrs.window_w,
+                       attrs.stride_h, attrs.stride_w, attrs.padding);
+
+  for (std::int64_t b = 0; b < g.batch; ++b) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          float acc = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+          std::int64_t count = 0;
+          for (std::int64_t kh = 0; kh < attrs.window_h; ++kh) {
+            const std::int64_t ih = oh * attrs.stride_h + kh - g.pad_h;
+            if (ih < 0 || ih >= g.in_h) continue;
+            for (std::int64_t kw = 0; kw < attrs.window_w; ++kw) {
+              const std::int64_t iw = ow * attrs.stride_w + kw - g.pad_w;
+              if (iw < 0 || iw >= g.in_w) continue;
+              const float v =
+                  p[((b * g.in_h + ih) * g.in_w + iw) * g.channels + c];
+              if (is_max) {
+                acc = std::max(acc, v);
+              } else {
+                acc += v;
+              }
+              ++count;
+            }
+          }
+          const std::int64_t out_idx =
+              ((b * g.out_h + oh) * g.out_w + ow) * g.channels + c;
+          r[out_idx] = is_max ? acc : acc / static_cast<float>(count);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Literal AvgPool2DGrad(const Literal& grad_out, const OpAttrs& attrs) {
+  const Shape in_shape(attrs.shape);
+  Literal result = Literal::Zeros(in_shape);
+  float* r = result.data.mutable_data();
+  const float* g_out = grad_out.data.data();
+  const PoolGeometry g =
+      MakePoolGeometry(in_shape, grad_out.shape, attrs.window_h,
+                       attrs.window_w, attrs.stride_h, attrs.stride_w,
+                       attrs.padding);
+  for (std::int64_t b = 0; b < g.batch; ++b) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          // Count valid taps (matches forward's divisor).
+          std::int64_t count = 0;
+          for (std::int64_t kh = 0; kh < attrs.window_h; ++kh) {
+            const std::int64_t ih = oh * attrs.stride_h + kh - g.pad_h;
+            if (ih < 0 || ih >= g.in_h) continue;
+            for (std::int64_t kw = 0; kw < attrs.window_w; ++kw) {
+              const std::int64_t iw = ow * attrs.stride_w + kw - g.pad_w;
+              if (iw < 0 || iw >= g.in_w) continue;
+              ++count;
+            }
+          }
+          const float share =
+              g_out[((b * g.out_h + oh) * g.out_w + ow) * g.channels + c] /
+              static_cast<float>(count);
+          for (std::int64_t kh = 0; kh < attrs.window_h; ++kh) {
+            const std::int64_t ih = oh * attrs.stride_h + kh - g.pad_h;
+            if (ih < 0 || ih >= g.in_h) continue;
+            for (std::int64_t kw = 0; kw < attrs.window_w; ++kw) {
+              const std::int64_t iw = ow * attrs.stride_w + kw - g.pad_w;
+              if (iw < 0 || iw >= g.in_w) continue;
+              r[((b * g.in_h + ih) * g.in_w + iw) * g.channels + c] += share;
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Literal MaxPool2DGrad(const Literal& input, const Literal& grad_out,
+                      const OpAttrs& attrs) {
+  Literal result = Literal::Zeros(input.shape);
+  float* r = result.data.mutable_data();
+  const float* p = input.data.data();
+  const float* g_out = grad_out.data.data();
+  const PoolGeometry g =
+      MakePoolGeometry(input.shape, grad_out.shape, attrs.window_h,
+                       attrs.window_w, attrs.stride_h, attrs.stride_w,
+                       attrs.padding);
+  for (std::int64_t b = 0; b < g.batch; ++b) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          // Route the gradient to the window's (first) argmax, recomputed
+          // from the forward input.
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t kh = 0; kh < attrs.window_h; ++kh) {
+            const std::int64_t ih = oh * attrs.stride_h + kh - g.pad_h;
+            if (ih < 0 || ih >= g.in_h) continue;
+            for (std::int64_t kw = 0; kw < attrs.window_w; ++kw) {
+              const std::int64_t iw = ow * attrs.stride_w + kw - g.pad_w;
+              if (iw < 0 || iw >= g.in_w) continue;
+              const std::int64_t idx =
+                  ((b * g.in_h + ih) * g.in_w + iw) * g.channels + c;
+              if (p[idx] > best) {
+                best = p[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          if (best_idx >= 0) {
+            r[best_idx] +=
+                g_out[((b * g.out_h + oh) * g.out_w + ow) * g.channels + c];
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace kernels {
+
+std::int64_t PadLow(std::int64_t input, std::int64_t output,
+                    std::int64_t window, std::int64_t stride,
+                    Padding padding) {
+  if (padding == Padding::kValid) return 0;
+  const std::int64_t pad_total =
+      std::max<std::int64_t>((output - 1) * stride + window - input, 0);
+  return pad_total / 2;
+}
+
+void MatMul(const float* a, const float* b, float* out, std::int64_t m,
+            std::int64_t k, std::int64_t n) {
+  std::fill(out, out + m * n, 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      float* orow = out + i * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void Conv2D(const float* input, const Shape& in_shape, const float* filter,
+            const Shape& filter_shape, float* out, const Shape& out_shape,
+            std::int64_t stride_h, std::int64_t stride_w, Padding padding) {
+  const std::int64_t batch = in_shape.dim(0), in_h = in_shape.dim(1),
+                     in_w = in_shape.dim(2), in_c = in_shape.dim(3);
+  const std::int64_t f_h = filter_shape.dim(0), f_w = filter_shape.dim(1),
+                     out_c = filter_shape.dim(3);
+  const std::int64_t out_h = out_shape.dim(1), out_w = out_shape.dim(2);
+  const std::int64_t pad_h = PadLow(in_h, out_h, f_h, stride_h, padding);
+  const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
+
+  std::fill(out, out + out_shape.NumElements(), 0.0f);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < out_w; ++ow) {
+        float* out_px = out + ((b * out_h + oh) * out_w + ow) * out_c;
+        for (std::int64_t kh = 0; kh < f_h; ++kh) {
+          const std::int64_t ih = oh * stride_h + kh - pad_h;
+          if (ih < 0 || ih >= in_h) continue;
+          for (std::int64_t kw = 0; kw < f_w; ++kw) {
+            const std::int64_t iw = ow * stride_w + kw - pad_w;
+            if (iw < 0 || iw >= in_w) continue;
+            const float* in_px = input + ((b * in_h + ih) * in_w + iw) * in_c;
+            const float* f_px = filter + (kh * f_w + kw) * in_c * out_c;
+            for (std::int64_t ic = 0; ic < in_c; ++ic) {
+              const float iv = in_px[ic];
+              if (iv == 0.0f) continue;
+              const float* f_row = f_px + ic * out_c;
+              for (std::int64_t oc = 0; oc < out_c; ++oc) {
+                out_px[oc] += iv * f_row[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
+                         const float* filter, const Shape& filter_shape,
+                         float* grad_in, const Shape& in_shape,
+                         std::int64_t stride_h, std::int64_t stride_w,
+                         Padding padding) {
+  const std::int64_t batch = in_shape.dim(0), in_h = in_shape.dim(1),
+                     in_w = in_shape.dim(2), in_c = in_shape.dim(3);
+  const std::int64_t f_h = filter_shape.dim(0), f_w = filter_shape.dim(1),
+                     out_c = filter_shape.dim(3);
+  const std::int64_t out_h = grad_shape.dim(1), out_w = grad_shape.dim(2);
+  const std::int64_t pad_h = PadLow(in_h, out_h, f_h, stride_h, padding);
+  const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
+
+  std::fill(grad_in, grad_in + in_shape.NumElements(), 0.0f);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < out_w; ++ow) {
+        const float* g_px = grad_out + ((b * out_h + oh) * out_w + ow) * out_c;
+        for (std::int64_t kh = 0; kh < f_h; ++kh) {
+          const std::int64_t ih = oh * stride_h + kh - pad_h;
+          if (ih < 0 || ih >= in_h) continue;
+          for (std::int64_t kw = 0; kw < f_w; ++kw) {
+            const std::int64_t iw = ow * stride_w + kw - pad_w;
+            if (iw < 0 || iw >= in_w) continue;
+            float* gi_px = grad_in + ((b * in_h + ih) * in_w + iw) * in_c;
+            const float* f_px = filter + (kh * f_w + kw) * in_c * out_c;
+            for (std::int64_t ic = 0; ic < in_c; ++ic) {
+              const float* f_row = f_px + ic * out_c;
+              float acc = 0.0f;
+              for (std::int64_t oc = 0; oc < out_c; ++oc) {
+                acc += g_px[oc] * f_row[oc];
+              }
+              gi_px[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
+                          const float* grad_out, const Shape& grad_shape,
+                          float* grad_filter, const Shape& filter_shape,
+                          std::int64_t stride_h, std::int64_t stride_w,
+                          Padding padding) {
+  const std::int64_t batch = in_shape.dim(0), in_h = in_shape.dim(1),
+                     in_w = in_shape.dim(2), in_c = in_shape.dim(3);
+  const std::int64_t f_h = filter_shape.dim(0), f_w = filter_shape.dim(1),
+                     out_c = filter_shape.dim(3);
+  const std::int64_t out_h = grad_shape.dim(1), out_w = grad_shape.dim(2);
+  const std::int64_t pad_h = PadLow(in_h, out_h, f_h, stride_h, padding);
+  const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
+
+  std::fill(grad_filter, grad_filter + filter_shape.NumElements(), 0.0f);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < out_w; ++ow) {
+        const float* g_px = grad_out + ((b * out_h + oh) * out_w + ow) * out_c;
+        for (std::int64_t kh = 0; kh < f_h; ++kh) {
+          const std::int64_t ih = oh * stride_h + kh - pad_h;
+          if (ih < 0 || ih >= in_h) continue;
+          for (std::int64_t kw = 0; kw < f_w; ++kw) {
+            const std::int64_t iw = ow * stride_w + kw - pad_w;
+            if (iw < 0 || iw >= in_w) continue;
+            const float* in_px = input + ((b * in_h + ih) * in_w + iw) * in_c;
+            float* gf_px = grad_filter + (kh * f_w + kw) * in_c * out_c;
+            for (std::int64_t ic = 0; ic < in_c; ++ic) {
+              const float iv = in_px[ic];
+              if (iv == 0.0f) continue;
+              float* gf_row = gf_px + ic * out_c;
+              for (std::int64_t oc = 0; oc < out_c; ++oc) {
+                gf_row[oc] += iv * g_px[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+
+Literal EvalOpLiteral(OpKind kind, const std::vector<const Literal*>& inputs,
+                      const OpAttrs& attrs) {
+  const int arity = OpArity(kind);
+  if (arity >= 0) {
+    S4TF_CHECK_EQ(static_cast<int>(inputs.size()), arity)
+        << "op " << OpName(kind);
+  }
+  switch (kind) {
+    case OpKind::kNeg:
+      return UnaryElementwise(*inputs[0], attrs,
+                              [](float x, const OpAttrs&) { return -x; });
+    case OpKind::kExp:
+      return UnaryElementwise(
+          *inputs[0], attrs, [](float x, const OpAttrs&) { return std::exp(x); });
+    case OpKind::kLog:
+      return UnaryElementwise(
+          *inputs[0], attrs, [](float x, const OpAttrs&) { return std::log(x); });
+    case OpKind::kTanh:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs&) {
+        return std::tanh(x);
+      });
+    case OpKind::kSqrt:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs&) {
+        return std::sqrt(x);
+      });
+    case OpKind::kRsqrt:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs&) {
+        return 1.0f / std::sqrt(x);
+      });
+    case OpKind::kSquare:
+      return UnaryElementwise(*inputs[0], attrs,
+                              [](float x, const OpAttrs&) { return x * x; });
+    case OpKind::kRelu:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs&) {
+        return x > 0.0f ? x : 0.0f;
+      });
+    case OpKind::kSigmoid:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs&) {
+        return 1.0f / (1.0f + std::exp(-x));
+      });
+    case OpKind::kAbs:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs&) {
+        return std::fabs(x);
+      });
+    case OpKind::kAddScalar:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs& a) {
+        return x + a.scalar;
+      });
+    case OpKind::kMulScalar:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs& a) {
+        return x * a.scalar;
+      });
+    case OpKind::kPowScalar:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs& a) {
+        return std::pow(x, a.scalar);
+      });
+    case OpKind::kLeakyRelu:
+      return UnaryElementwise(*inputs[0], attrs, [](float x, const OpAttrs& a) {
+        return x > 0.0f ? x : a.scalar * x;
+      });
+
+    case OpKind::kAdd:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return a + b; });
+    case OpKind::kSub:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return a - b; });
+    case OpKind::kMul:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return a * b; });
+    case OpKind::kDiv:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return a / b; });
+    case OpKind::kMaximum:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return std::max(a, b); });
+    case OpKind::kMinimum:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return std::min(a, b); });
+    case OpKind::kPow:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return std::pow(a, b); });
+    case OpKind::kGreater:
+      return BinaryBroadcast(*inputs[0], *inputs[1],
+                             BroadcastShapes(inputs[0]->shape, inputs[1]->shape),
+                             [](float a, float b) { return a > b ? 1.0f : 0.0f; });
+
+    case OpKind::kSelect: {
+      const Shape out = InferShape(kind, {inputs[0]->shape, inputs[1]->shape,
+                                          inputs[2]->shape},
+                                   attrs);
+      Literal result = Literal::Zeros(out);
+      float* r = result.data.mutable_data();
+      const float* pc = inputs[0]->data.data();
+      const float* pa = inputs[1]->data.data();
+      const float* pb = inputs[2]->data.data();
+      std::array<std::vector<std::int64_t>, 3> strides = {
+          BroadcastStrides(inputs[0]->shape, out),
+          BroadcastStrides(inputs[1]->shape, out),
+          BroadcastStrides(inputs[2]->shape, out)};
+      ForEachBroadcast<3>(
+          out, strides, [&](std::int64_t o, const std::array<std::int64_t, 3>& in) {
+            r[o] = pc[in[0]] != 0.0f ? pa[in[1]] : pb[in[2]];
+          });
+      return result;
+    }
+
+    case OpKind::kReshape:
+      // Same buffer, new shape: O(1) thanks to CowArray sharing.
+      return Literal(Shape(attrs.shape), inputs[0]->data);
+
+    case OpKind::kTranspose:
+      return Transpose(*inputs[0], attrs);
+
+    case OpKind::kBroadcastTo:
+      return BroadcastTo(*inputs[0], Shape(attrs.shape));
+
+    case OpKind::kSlice:
+      return SliceOp(*inputs[0], attrs);
+
+    case OpKind::kPad:
+      return PadOp(*inputs[0], attrs);
+
+    case OpKind::kConcat:
+      return ConcatOp(inputs, attrs);
+
+    case OpKind::kReduceSum:
+    case OpKind::kReduceMean:
+    case OpKind::kReduceMax:
+      return Reduce(*inputs[0], attrs, kind);
+
+    case OpKind::kArgMax:
+      return ArgMax(*inputs[0], attrs);
+
+    case OpKind::kSoftmax:
+      return SoftmaxLike(*inputs[0], /*log_space=*/false);
+    case OpKind::kLogSoftmax:
+      return SoftmaxLike(*inputs[0], /*log_space=*/true);
+
+    case OpKind::kMatMul: {
+      const Shape out =
+          InferShape(kind, {inputs[0]->shape, inputs[1]->shape}, attrs);
+      Literal result = Literal::Zeros(out);
+      kernels::MatMul(inputs[0]->data.data(), inputs[1]->data.data(),
+                      result.data.mutable_data(), inputs[0]->shape.dim(0),
+                      inputs[0]->shape.dim(1), inputs[1]->shape.dim(1));
+      return result;
+    }
+
+    case OpKind::kConv2D: {
+      const Shape out =
+          InferShape(kind, {inputs[0]->shape, inputs[1]->shape}, attrs);
+      Literal result = Literal::Zeros(out);
+      kernels::Conv2D(inputs[0]->data.data(), inputs[0]->shape,
+                      inputs[1]->data.data(), inputs[1]->shape,
+                      result.data.mutable_data(), out, attrs.stride_h,
+                      attrs.stride_w, attrs.padding);
+      return result;
+    }
+
+    case OpKind::kConv2DBackpropInput: {
+      const Shape in_shape(attrs.shape);
+      Literal result = Literal::Zeros(in_shape);
+      kernels::Conv2DBackpropInput(
+          inputs[0]->data.data(), inputs[0]->shape, inputs[1]->data.data(),
+          inputs[1]->shape, result.data.mutable_data(), in_shape,
+          attrs.stride_h, attrs.stride_w, attrs.padding);
+      return result;
+    }
+
+    case OpKind::kConv2DBackpropFilter: {
+      const Shape filter_shape(attrs.shape);
+      Literal result = Literal::Zeros(filter_shape);
+      kernels::Conv2DBackpropFilter(
+          inputs[0]->data.data(), inputs[0]->shape, inputs[1]->data.data(),
+          inputs[1]->shape, result.data.mutable_data(), filter_shape,
+          attrs.stride_h, attrs.stride_w, attrs.padding);
+      return result;
+    }
+
+    case OpKind::kAvgPool2D:
+      return Pool2D(*inputs[0], attrs, /*is_max=*/false);
+    case OpKind::kMaxPool2D:
+      return Pool2D(*inputs[0], attrs, /*is_max=*/true);
+    case OpKind::kAvgPool2DGrad:
+      return AvgPool2DGrad(*inputs[0], attrs);
+    case OpKind::kMaxPool2DGrad:
+      return MaxPool2DGrad(*inputs[0], *inputs[1], attrs);
+
+    case OpKind::kCrossReplicaSum:
+      // Identity on a single replica; the cluster backend sums across
+      // replicas before dispatching here.
+      return *inputs[0];
+
+    case OpKind::kConstant:
+    case OpKind::kParameter:
+    case OpKind::kNumOps:
+      break;
+  }
+  S4TF_UNREACHABLE() << "EvalOpLiteral: unsupported op " << OpName(kind);
+}
+
+Literal EvalOpLiteral(OpKind kind, const std::vector<Literal>& inputs,
+                      const OpAttrs& attrs) {
+  std::vector<const Literal*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const Literal& in : inputs) ptrs.push_back(&in);
+  return EvalOpLiteral(kind, ptrs, attrs);
+}
+
+}  // namespace s4tf

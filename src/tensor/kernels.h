@@ -1,0 +1,60 @@
+// Reference CPU kernels for every op in the vocabulary.
+//
+// `EvalOpLiteral` is the single source of mathematical truth in the
+// platform. The naïve Tensor (§3.1) calls it synchronously; the eager
+// executor (§3.2) calls it from its dispatch thread; the XLA-like
+// executable (§3.3) calls it per fused cluster; the framework baselines in
+// the evaluation call it under their own dispatch disciplines. Correctness
+// tests therefore automatically cover all execution strategies, and
+// cross-strategy result equality is a meaningful invariant (tested in
+// tests/lazy and tests/frameworks).
+#pragma once
+
+#include <vector>
+
+#include "tensor/literal.h"
+#include "tensor/op.h"
+
+namespace s4tf {
+
+// Evaluates one op on concrete inputs. CHECK-fails on malformed calls
+// (wrong arity, incompatible shapes). kParameter and kCrossReplicaSum are
+// handled by backends, not here.
+Literal EvalOpLiteral(OpKind kind, const std::vector<const Literal*>& inputs,
+                      const OpAttrs& attrs);
+
+// Convenience overload for value inputs.
+Literal EvalOpLiteral(OpKind kind, const std::vector<Literal>& inputs,
+                      const OpAttrs& attrs);
+
+namespace kernels {
+
+// The individual kernels, exposed for reuse by the fused spline op in the
+// frameworks module and for direct unit testing.
+
+void MatMul(const float* a, const float* b, float* out, std::int64_t m,
+            std::int64_t k, std::int64_t n);
+
+// NHWC input, HWIO filter.
+void Conv2D(const float* input, const Shape& in_shape, const float* filter,
+            const Shape& filter_shape, float* out, const Shape& out_shape,
+            std::int64_t stride_h, std::int64_t stride_w, Padding padding);
+
+void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
+                         const float* filter, const Shape& filter_shape,
+                         float* grad_in, const Shape& in_shape,
+                         std::int64_t stride_h, std::int64_t stride_w,
+                         Padding padding);
+
+void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
+                          const float* grad_out, const Shape& grad_shape,
+                          float* grad_filter, const Shape& filter_shape,
+                          std::int64_t stride_h, std::int64_t stride_w,
+                          Padding padding);
+
+// Computes the SAME/VALID low-side padding for a window dimension.
+std::int64_t PadLow(std::int64_t input, std::int64_t output,
+                    std::int64_t window, std::int64_t stride, Padding padding);
+
+}  // namespace kernels
+}  // namespace s4tf

@@ -1,0 +1,52 @@
+// Literal: a concrete, materialized tensor value (shape + row-major
+// buffer). This is the currency of every backend: the naïve evaluator
+// computes Literal -> Literal, the eager executor passes Literals between
+// asynchronously-executing kernels, and the XLA-like executable consumes
+// and produces Literals.
+//
+// The buffer is a vs::CowArray, so Literals are mutable value types with
+// O(1) copies — the §4 story reaches all the way down to the runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "vs/cow_array.h"
+
+namespace s4tf {
+
+struct Literal {
+  Shape shape;
+  vs::CowArray<float> data;
+
+  Literal() : shape(Shape({})), data(1, 0.0f) {}
+  Literal(Shape s, vs::CowArray<float> d) : shape(std::move(s)), data(std::move(d)) {
+    S4TF_CHECK_EQ(static_cast<std::int64_t>(data.size()), shape.NumElements());
+  }
+
+  static Literal Zeros(const Shape& shape) {
+    return Literal(shape, vs::CowArray<float>(
+                              static_cast<std::size_t>(shape.NumElements()),
+                              0.0f));
+  }
+  static Literal Full(const Shape& shape, float value) {
+    return Literal(shape, vs::CowArray<float>(
+                              static_cast<std::size_t>(shape.NumElements()),
+                              value));
+  }
+  static Literal FromVector(const Shape& shape, std::vector<float> values) {
+    S4TF_CHECK_EQ(static_cast<std::int64_t>(values.size()),
+                  shape.NumElements());
+    return Literal(shape, vs::CowArray<float>(std::move(values)));
+  }
+  static Literal Scalar(float value) {
+    return Literal(Shape({}), vs::CowArray<float>(1, value));
+  }
+
+  std::int64_t size() const { return shape.NumElements(); }
+  const float* begin() const { return data.data(); }
+  const float* end() const { return data.data() + size(); }
+};
+
+}  // namespace s4tf

@@ -1,0 +1,123 @@
+// The operation vocabulary shared by every execution strategy.
+//
+// Every backend in the platform — the naïve CPU evaluator (§3.1), the
+// asynchronous eager executor (§3.2), the lazy tracer and the XLA-like JIT
+// (§3.3), and the framework baselines used in the evaluation — speaks this
+// one op set. This mirrors the paper's setup where all frameworks
+// "notionally produce identical XLA HLO": performance differences come
+// from dispatch/compilation structure, not from different math.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace s4tf {
+
+enum class OpKind : std::uint8_t {
+  // Sources.
+  kConstant,    // attrs.shape + literal payload (handled by backends)
+  kParameter,   // XLA-style graph input; attrs.axis = parameter index
+
+  // Unary elementwise.
+  kNeg,
+  kExp,
+  kLog,
+  kTanh,
+  kSqrt,
+  kRsqrt,
+  kSquare,
+  kRelu,
+  kSigmoid,
+  kAbs,
+
+  // Unary with scalar attribute.
+  kAddScalar,   // x + attrs.scalar
+  kMulScalar,   // x * attrs.scalar
+  kPowScalar,   // x ^ attrs.scalar
+  kLeakyRelu,   // max(x, attrs.scalar * x)
+
+  // Binary elementwise (NumPy broadcasting).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMaximum,
+  kMinimum,
+  kPow,
+  kGreater,     // 1.0 where a > b else 0.0
+  kSelect,      // ternary: cond != 0 ? a : b
+
+  // Shape manipulation.
+  kReshape,      // attrs.shape
+  kTranspose,    // attrs.axes = permutation
+  kBroadcastTo,  // attrs.shape
+  kSlice,        // attrs.starts / attrs.shape = sizes
+  kPad,          // attrs.pads (lo/hi per dim), attrs.scalar = value
+  kConcat,       // attrs.axis
+
+  // Reductions.
+  kReduceSum,   // attrs.axes (empty = all), attrs.keep_dims
+  kReduceMean,
+  kReduceMax,
+  kArgMax,      // attrs.axis; result is float indices
+
+  // Fused / neural-network ops.
+  kSoftmax,         // along last axis
+  kLogSoftmax,      // along last axis
+  kMatMul,          // [m,k] x [k,n] -> [m,n]
+  kConv2D,          // NHWC input, HWIO filter; attrs: strides, padding
+  kConv2DBackpropInput,
+  kConv2DBackpropFilter,
+  kAvgPool2D,       // attrs: window, strides, padding
+  kAvgPool2DGrad,
+  kMaxPool2D,
+  kMaxPool2DGrad,
+
+  // Collectives (multi-replica training, Table 1).
+  kCrossReplicaSum,
+
+  kNumOps,
+};
+
+enum class Padding : std::uint8_t { kValid = 0, kSame = 1 };
+
+// Attribute bag. Fields are meaningful only for the op kinds documented
+// above; unused fields stay at their defaults so attr hashing is stable.
+struct OpAttrs {
+  std::vector<std::int64_t> axes;    // reduce axes / transpose permutation
+  std::vector<std::int64_t> shape;   // reshape/broadcast/constant target
+  std::vector<std::int64_t> starts;  // slice starts
+  std::vector<std::int64_t> pads;    // pad: lo0, hi0, lo1, hi1, ...
+  bool keep_dims = false;
+  std::int64_t axis = -1;
+  std::int64_t window_h = 0, window_w = 0;
+  std::int64_t stride_h = 1, stride_w = 1;
+  Padding padding = Padding::kValid;
+  float scalar = 0.0f;
+
+  std::uint64_t Hash(std::uint64_t seed) const;
+  bool operator==(const OpAttrs& other) const = default;
+};
+
+const char* OpName(OpKind kind);
+
+// Number of inputs `kind` takes (kConcat is variadic and returns -1).
+int OpArity(OpKind kind);
+
+bool IsElementwise(OpKind kind);  // fusible by the XLA-like fusion pass
+
+// Shape inference shared by all backends; CHECK-fails on rank/shape
+// mismatches (the platform's analogue of the compile-time shape errors
+// static typing enables, cf. §4 "static shape tracking").
+Shape InferShape(OpKind kind, const std::vector<Shape>& inputs,
+                 const OpAttrs& attrs);
+
+// Approximate FLOP count of one execution, used by the simulated
+// accelerator cost model (Tables 1-3).
+std::int64_t OpFlops(OpKind kind, const std::vector<Shape>& inputs,
+                     const Shape& output, const OpAttrs& attrs);
+
+}  // namespace s4tf

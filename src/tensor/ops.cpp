@@ -1,0 +1,234 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace s4tf {
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kAdd, {a, b});
+}
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kSub, {a, b});
+}
+Tensor operator*(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kMul, {a, b});
+}
+Tensor operator/(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kDiv, {a, b});
+}
+Tensor& operator+=(Tensor& a, const Tensor& b) { return a = a + b; }
+Tensor& operator-=(Tensor& a, const Tensor& b) { return a = a - b; }
+Tensor& operator*=(Tensor& a, const Tensor& b) { return a = a * b; }
+Tensor operator-(const Tensor& a) { return ApplyOp(OpKind::kNeg, {a}); }
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kMaximum, {a, b});
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kMinimum, {a, b});
+}
+Tensor Pow(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kPow, {a, b});
+}
+Tensor Greater(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kGreater, {a, b});
+}
+Tensor Select(const Tensor& cond, const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kSelect, {cond, a, b});
+}
+
+Tensor operator+(const Tensor& a, float s) {
+  return ApplyOp(OpKind::kAddScalar, {a}, OpAttrs{.scalar = s});
+}
+Tensor operator+(float s, const Tensor& a) { return a + s; }
+Tensor operator-(const Tensor& a, float s) { return a + (-s); }
+Tensor operator-(float s, const Tensor& a) { return (-a) + s; }
+Tensor operator*(const Tensor& a, float s) {
+  return ApplyOp(OpKind::kMulScalar, {a}, OpAttrs{.scalar = s});
+}
+Tensor operator*(float s, const Tensor& a) { return a * s; }
+Tensor operator/(const Tensor& a, float s) { return a * (1.0f / s); }
+Tensor operator/(float s, const Tensor& a) {
+  return ApplyOp(OpKind::kDiv,
+                 {Tensor::Full(Shape({}), s, a.device()), a});
+}
+
+Tensor Exp(const Tensor& x) { return ApplyOp(OpKind::kExp, {x}); }
+Tensor Log(const Tensor& x) { return ApplyOp(OpKind::kLog, {x}); }
+Tensor Tanh(const Tensor& x) { return ApplyOp(OpKind::kTanh, {x}); }
+Tensor Sqrt(const Tensor& x) { return ApplyOp(OpKind::kSqrt, {x}); }
+Tensor Rsqrt(const Tensor& x) { return ApplyOp(OpKind::kRsqrt, {x}); }
+Tensor Square(const Tensor& x) { return ApplyOp(OpKind::kSquare, {x}); }
+Tensor Relu(const Tensor& x) { return ApplyOp(OpKind::kRelu, {x}); }
+Tensor LeakyRelu(const Tensor& x, float alpha) {
+  return ApplyOp(OpKind::kLeakyRelu, {x}, OpAttrs{.scalar = alpha});
+}
+Tensor Sigmoid(const Tensor& x) { return ApplyOp(OpKind::kSigmoid, {x}); }
+Tensor Abs(const Tensor& x) { return ApplyOp(OpKind::kAbs, {x}); }
+
+Tensor Reshape(const Tensor& x, const Shape& shape) {
+  return ApplyOp(OpKind::kReshape, {x}, OpAttrs{.shape = shape.dims()});
+}
+
+Tensor FlattenBatch(const Tensor& x) {
+  S4TF_CHECK_GE(x.rank(), 1);
+  const std::int64_t batch = x.shape().dim(0);
+  return Reshape(x, Shape({batch, x.NumElements() / batch}));
+}
+
+Tensor Transpose(const Tensor& x, std::vector<std::int64_t> perm) {
+  return ApplyOp(OpKind::kTranspose, {x}, OpAttrs{.axes = std::move(perm)});
+}
+
+Tensor Transposed(const Tensor& x) {
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(x.rank()));
+  for (int i = 0; i < x.rank(); ++i) {
+    perm[static_cast<std::size_t>(i)] = x.rank() - 1 - i;
+  }
+  return Transpose(x, std::move(perm));
+}
+
+Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
+  return ApplyOp(OpKind::kBroadcastTo, {x}, OpAttrs{.shape = shape.dims()});
+}
+
+Tensor Slice(const Tensor& x, std::vector<std::int64_t> starts,
+             std::vector<std::int64_t> sizes) {
+  return ApplyOp(OpKind::kSlice, {x},
+                 OpAttrs{.shape = std::move(sizes), .starts = std::move(starts)});
+}
+
+Tensor Pad(const Tensor& x, std::vector<std::int64_t> pads, float value) {
+  return ApplyOp(OpKind::kPad, {x},
+                 OpAttrs{.pads = std::move(pads), .scalar = value});
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, std::int64_t axis) {
+  return ApplyOp(OpKind::kConcat, parts, OpAttrs{.axis = axis});
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  S4TF_CHECK(!parts.empty()) << "Stack of nothing";
+  std::vector<std::int64_t> expanded = parts[0].shape().dims();
+  expanded.insert(expanded.begin(), 1);
+  const Shape unit(expanded);
+  std::vector<Tensor> lifted;
+  lifted.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    S4TF_CHECK_EQ(p.shape(), parts[0].shape()) << "Stack shape mismatch";
+    lifted.push_back(Reshape(p, unit));
+  }
+  return Concat(lifted, 0);
+}
+
+std::vector<Tensor> Split(const Tensor& x, std::int64_t count,
+                          std::int64_t axis) {
+  S4TF_CHECK_GT(count, 0);
+  const std::int64_t dim = x.shape().dim(static_cast<int>(axis));
+  S4TF_CHECK_EQ(dim % count, 0)
+      << "Split: axis " << axis << " of " << x.shape()
+      << " not divisible by " << count;
+  const std::int64_t piece = dim / count;
+  std::vector<Tensor> result;
+  result.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::vector<std::int64_t> starts(
+        static_cast<std::size_t>(x.rank()), 0);
+    starts[static_cast<std::size_t>(axis)] = i * piece;
+    std::vector<std::int64_t> sizes = x.shape().dims();
+    sizes[static_cast<std::size_t>(axis)] = piece;
+    result.push_back(Slice(x, std::move(starts), std::move(sizes)));
+  }
+  return result;
+}
+
+Tensor ReduceSum(const Tensor& x, std::vector<std::int64_t> axes,
+                 bool keep_dims) {
+  return ApplyOp(OpKind::kReduceSum, {x},
+                 OpAttrs{.axes = std::move(axes), .keep_dims = keep_dims});
+}
+
+Tensor ReduceMean(const Tensor& x, std::vector<std::int64_t> axes,
+                  bool keep_dims) {
+  return ApplyOp(OpKind::kReduceMean, {x},
+                 OpAttrs{.axes = std::move(axes), .keep_dims = keep_dims});
+}
+
+Tensor ReduceMax(const Tensor& x, std::vector<std::int64_t> axes,
+                 bool keep_dims) {
+  return ApplyOp(OpKind::kReduceMax, {x},
+                 OpAttrs{.axes = std::move(axes), .keep_dims = keep_dims});
+}
+
+Tensor ArgMax(const Tensor& x, std::int64_t axis) {
+  return ApplyOp(OpKind::kArgMax, {x}, OpAttrs{.axis = axis});
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return ApplyOp(OpKind::kMatMul, {a, b});
+}
+
+Tensor Softmax(const Tensor& x) { return ApplyOp(OpKind::kSoftmax, {x}); }
+Tensor LogSoftmax(const Tensor& x) {
+  return ApplyOp(OpKind::kLogSoftmax, {x});
+}
+
+Tensor Conv2D(const Tensor& input, const Tensor& filter,
+              const Conv2DOptions& options) {
+  return ApplyOp(OpKind::kConv2D, {input, filter},
+                 OpAttrs{.stride_h = options.stride_h,
+                         .stride_w = options.stride_w,
+                         .padding = options.padding});
+}
+
+namespace {
+OpAttrs PoolAttrs(const Pool2DOptions& options) {
+  return OpAttrs{.window_h = options.window_h,
+                 .window_w = options.window_w,
+                 .stride_h = options.stride_h,
+                 .stride_w = options.stride_w,
+                 .padding = options.padding};
+}
+}  // namespace
+
+Tensor AvgPool2D(const Tensor& input, const Pool2DOptions& options) {
+  return ApplyOp(OpKind::kAvgPool2D, {input}, PoolAttrs(options));
+}
+
+Tensor MaxPool2D(const Tensor& input, const Pool2DOptions& options) {
+  return ApplyOp(OpKind::kMaxPool2D, {input}, PoolAttrs(options));
+}
+
+Tensor CrossReplicaSum(const Tensor& x) {
+  return ApplyOp(OpKind::kCrossReplicaSum, {x});
+}
+
+std::string ToDebugString(const Tensor& t, std::int64_t max_elements) {
+  std::ostringstream out;
+  out << "Tensor" << t.shape() << " on " << t.device().name() << " = [";
+  const Literal lit = t.ToLiteral();
+  const std::int64_t shown = std::min(max_elements, lit.size());
+  for (std::int64_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    out << lit.data[static_cast<std::size_t>(i)];
+  }
+  if (shown < lit.size()) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const Literal la = a.ToLiteral();
+  const Literal lb = b.ToLiteral();
+  for (std::int64_t i = 0; i < la.size(); ++i) {
+    const float x = la.data[static_cast<std::size_t>(i)];
+    const float y = lb.data[static_cast<std::size_t>(i)];
+    if (std::isnan(x) || std::isnan(y)) return false;
+    if (std::fabs(x - y) > atol + rtol * std::fabs(y)) return false;
+  }
+  return true;
+}
+
+}  // namespace s4tf

@@ -1,0 +1,122 @@
+// User-facing Tensor operations.
+//
+// This is the public op surface the paper's `Tensor<Float>` exposes:
+// elementwise arithmetic with broadcasting, linear algebra, convolution,
+// pooling, reductions, and activations. Every function funnels through
+// `ApplyOp`, so all of them work unchanged on the naïve, eager, and lazy
+// devices and are recorded by the gradient tape.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace s4tf {
+
+// --- Elementwise binary (NumPy broadcasting).
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, const Tensor& b);
+Tensor operator/(const Tensor& a, const Tensor& b);
+Tensor& operator+=(Tensor& a, const Tensor& b);
+Tensor& operator-=(Tensor& a, const Tensor& b);
+Tensor& operator*=(Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a);
+
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+Tensor Pow(const Tensor& a, const Tensor& b);
+// 1.0 where a > b, else 0.0.
+Tensor Greater(const Tensor& a, const Tensor& b);
+// Elementwise cond ? a : b (cond as 0/1 floats).
+Tensor Select(const Tensor& cond, const Tensor& a, const Tensor& b);
+
+// --- Elementwise with scalar.
+Tensor operator+(const Tensor& a, float s);
+Tensor operator+(float s, const Tensor& a);
+Tensor operator-(const Tensor& a, float s);
+// s - a and s / a stay on `a`'s device (an implicit Tensor(s) would land
+// on the thread's default device and fault on cross-device math).
+Tensor operator-(float s, const Tensor& a);
+Tensor operator*(const Tensor& a, float s);
+Tensor operator*(float s, const Tensor& a);
+Tensor operator/(const Tensor& a, float s);
+Tensor operator/(float s, const Tensor& a);
+
+// --- Elementwise unary.
+Tensor Exp(const Tensor& x);
+Tensor Log(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Sqrt(const Tensor& x);
+Tensor Rsqrt(const Tensor& x);
+Tensor Square(const Tensor& x);
+Tensor Relu(const Tensor& x);
+Tensor LeakyRelu(const Tensor& x, float alpha = 0.2f);
+Tensor Sigmoid(const Tensor& x);
+Tensor Abs(const Tensor& x);
+
+// --- Shape manipulation.
+Tensor Reshape(const Tensor& x, const Shape& shape);
+// Flattens all but the leading (batch) dimension: [n, ...] -> [n, m].
+Tensor FlattenBatch(const Tensor& x);
+Tensor Transpose(const Tensor& x, std::vector<std::int64_t> perm);
+// Reverses all axes when no permutation given (matrix transpose for 2-D).
+Tensor Transposed(const Tensor& x);
+Tensor BroadcastTo(const Tensor& x, const Shape& shape);
+Tensor Slice(const Tensor& x, std::vector<std::int64_t> starts,
+             std::vector<std::int64_t> sizes);
+Tensor Pad(const Tensor& x, std::vector<std::int64_t> pads, float value = 0.f);
+Tensor Concat(const std::vector<Tensor>& parts, std::int64_t axis);
+// Stacks equal-shaped tensors along a fresh leading axis:
+// k x [d...] -> [k, d...].
+Tensor Stack(const std::vector<Tensor>& parts);
+// Splits x into `count` equal pieces along `axis` (dimension must divide
+// evenly).
+std::vector<Tensor> Split(const Tensor& x, std::int64_t count,
+                          std::int64_t axis);
+
+// --- Reductions.
+Tensor ReduceSum(const Tensor& x, std::vector<std::int64_t> axes = {},
+                 bool keep_dims = false);
+Tensor ReduceMean(const Tensor& x, std::vector<std::int64_t> axes = {},
+                  bool keep_dims = false);
+Tensor ReduceMax(const Tensor& x, std::vector<std::int64_t> axes = {},
+                 bool keep_dims = false);
+Tensor ArgMax(const Tensor& x, std::int64_t axis);
+
+// --- Linear algebra & NN.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor Softmax(const Tensor& x);
+Tensor LogSoftmax(const Tensor& x);
+
+struct Conv2DOptions {
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  Padding padding = Padding::kValid;
+};
+// NHWC input, HWIO filter.
+Tensor Conv2D(const Tensor& input, const Tensor& filter,
+              const Conv2DOptions& options = {});
+
+struct Pool2DOptions {
+  std::int64_t window_h = 2;
+  std::int64_t window_w = 2;
+  std::int64_t stride_h = 2;
+  std::int64_t stride_w = 2;
+  Padding padding = Padding::kValid;
+};
+Tensor AvgPool2D(const Tensor& input, const Pool2DOptions& options = {});
+Tensor MaxPool2D(const Tensor& input, const Pool2DOptions& options = {});
+
+// Sum across the replicas of a device cluster (identity on one replica).
+Tensor CrossReplicaSum(const Tensor& x);
+
+// --- Convenience observers (force materialization).
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-5f);
+
+// Debug rendering: "Tensor[2, 3] on cpu:naive = [1, 2, 3, ...]" with at
+// most `max_elements` values shown. Forces materialization.
+std::string ToDebugString(const Tensor& t, std::int64_t max_elements = 8);
+
+}  // namespace s4tf

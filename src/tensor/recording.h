@@ -1,0 +1,59 @@
+// Hook through which the AD system observes op execution.
+//
+// The paper performs AD as a compiler pass; here the analogous interposition
+// point is `ApplyOp`, which notifies the thread's active OpRecorder (the
+// gradient tape in src/ad) after each op. The tensor library depends only
+// on this small interface, preserving the paper's key property that the AD
+// system and the Tensor implementation are decoupled.
+#pragma once
+
+#include <vector>
+
+#include "tensor/op.h"
+
+namespace s4tf {
+
+class Tensor;
+
+class OpRecorder {
+ public:
+  virtual ~OpRecorder() = default;
+
+  // Called after `output = op(inputs)` has been issued. The recorder may
+  // tag `output` (set_grad_node) to track dataflow.
+  virtual void RecordOp(OpKind kind, const OpAttrs& attrs,
+                        const std::vector<Tensor>& inputs,
+                        Tensor& output) = 0;
+};
+
+// Thread-local active recorder (nullptr when no tape is recording).
+OpRecorder* GetRecorder();
+
+// RAII activation of a recorder for the current thread. Nestable; inner
+// scopes shadow outer ones.
+class RecorderScope {
+ public:
+  explicit RecorderScope(OpRecorder* recorder);
+  ~RecorderScope();
+  RecorderScope(const RecorderScope&) = delete;
+  RecorderScope& operator=(const RecorderScope&) = delete;
+
+ private:
+  OpRecorder* previous_;
+};
+
+// RAII deactivation (used inside pullbacks to avoid recording derivative
+// computation onto the same tape — the first-order analogue of the paper's
+// "transformation cannot transform its own output" limitation, §2.3).
+class NoRecordScope {
+ public:
+  NoRecordScope();
+  ~NoRecordScope();
+  NoRecordScope(const NoRecordScope&) = delete;
+  NoRecordScope& operator=(const NoRecordScope&) = delete;
+
+ private:
+  OpRecorder* previous_;
+};
+
+}  // namespace s4tf

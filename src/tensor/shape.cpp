@@ -1,0 +1,123 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/hashing.h"
+
+namespace s4tf {
+
+std::int64_t Shape::dim(int i) const {
+  S4TF_CHECK_GE(i, 0);
+  S4TF_CHECK_LT(i, rank());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::NumElements() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::Strides() const {
+  std::vector<std::int64_t> strides(dims_.size());
+  std::int64_t running = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    strides[static_cast<std::size_t>(i)] = running;
+    running *= dims_[static_cast<std::size_t>(i)];
+  }
+  return strides;
+}
+
+std::int64_t Shape::OffsetOf(const std::vector<std::int64_t>& index) const {
+  S4TF_CHECK_EQ(static_cast<int>(index.size()), rank());
+  std::int64_t offset = 0;
+  std::int64_t running = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    const auto si = static_cast<std::size_t>(i);
+    S4TF_CHECK_GE(index[si], 0);
+    S4TF_CHECK_LT(index[si], dims_[si]);
+    offset += index[si] * running;
+    running *= dims_[si];
+  }
+  return offset;
+}
+
+std::vector<std::int64_t> Shape::IndexOf(std::int64_t offset) const {
+  S4TF_CHECK_GE(offset, 0);
+  S4TF_CHECK_LT(offset, NumElements());
+  std::vector<std::int64_t> index(dims_.size());
+  for (int i = rank() - 1; i >= 0; --i) {
+    const auto si = static_cast<std::size_t>(i);
+    index[si] = offset % dims_[si];
+    offset /= dims_[si];
+  }
+  return index;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+bool AreBroadcastCompatible(const Shape& a, const Shape& b) {
+  const int rank = std::max(a.rank(), b.rank());
+  for (int i = 0; i < rank; ++i) {
+    const std::int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    const std::int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  S4TF_CHECK(AreBroadcastCompatible(a, b))
+      << "incompatible broadcast: " << a.ToString() << " vs " << b.ToString();
+  const int rank = std::max(a.rank(), b.rank());
+  std::vector<std::int64_t> dims(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    const std::int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    const std::int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    // NumPy rule: a size-1 dimension stretches to the other (including to
+    // zero — broadcasting against an empty axis yields an empty axis).
+    dims[static_cast<std::size_t>(rank - 1 - i)] = da == 1 ? db : da;
+  }
+  return Shape(std::move(dims));
+}
+
+std::vector<std::int64_t> BroadcastReductionAxes(const Shape& from,
+                                                 const Shape& to) {
+  std::vector<std::int64_t> axes;
+  const int extra = from.rank() - to.rank();
+  S4TF_CHECK_GE(extra, 0) << from.ToString() << " -> " << to.ToString();
+  for (int i = 0; i < from.rank(); ++i) {
+    if (i < extra) {
+      axes.push_back(i);
+      continue;
+    }
+    const std::int64_t target = to.dim(i - extra);
+    if (target == 1 && from.dim(i) != 1) axes.push_back(i);
+  }
+  return axes;
+}
+
+std::uint64_t HashShape(const Shape& shape, std::uint64_t seed) {
+  std::uint64_t h = HashCombine(seed, static_cast<std::uint64_t>(shape.rank()));
+  for (std::int64_t d : shape.dims()) {
+    h = HashCombine(h, static_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
+  return os << shape.ToString();
+}
+
+}  // namespace s4tf

@@ -1,0 +1,68 @@
+// Tensor shapes: rank, dimensions, row-major strides, and NumPy-style
+// broadcasting. Shapes are small value types used by every backend and by
+// the lazy-trace hashing (§3.4: shape changes trigger recompilation, so
+// shapes are part of the cache key).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace s4tf {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  std::int64_t dim(int i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  bool IsScalar() const { return dims_.empty(); }
+
+  std::int64_t NumElements() const;
+
+  // Row-major strides, in elements. A scalar has no strides.
+  std::vector<std::int64_t> Strides() const;
+
+  // Flattens a multi-dimensional index to a row-major offset.
+  std::int64_t OffsetOf(const std::vector<std::int64_t>& index) const;
+
+  // Inverse of OffsetOf.
+  std::vector<std::int64_t> IndexOf(std::int64_t offset) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  void Validate() const {
+    for (std::int64_t d : dims_) S4TF_CHECK_GE(d, 0) << ToString();
+  }
+  std::vector<std::int64_t> dims_;
+};
+
+// NumPy broadcasting: aligns trailing dimensions; a dimension broadcasts
+// against another when equal or when one of them is 1.
+bool AreBroadcastCompatible(const Shape& a, const Shape& b);
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+// Axes of `from` that must be sum-reduced to take a gradient of shape `to`
+// back down from a broadcasted result of shape `from` (used by AD).
+std::vector<std::int64_t> BroadcastReductionAxes(const Shape& from,
+                                                 const Shape& to);
+
+std::uint64_t HashShape(const Shape& shape, std::uint64_t seed);
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape);
+
+}  // namespace s4tf

@@ -1,0 +1,283 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "tensor/kernels.h"
+#include "tensor/recording.h"
+
+namespace s4tf {
+
+// ---------------------------------------------------------------------------
+// Device.
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kNaive:
+      return "naive";
+    case DeviceKind::kEager:
+      return "eager";
+    case DeviceKind::kLazy:
+      return "lazy";
+  }
+  return "?";
+}
+
+namespace {
+
+// The naïve device evaluates synchronously through the reference kernels.
+class NaiveBackendImpl final : public Backend {
+ public:
+  std::shared_ptr<TensorImpl> Constant(Literal value,
+                                       const Device& device) override {
+    return std::make_shared<ConcreteImpl>(std::move(value), device);
+  }
+
+  std::shared_ptr<TensorImpl> Execute(OpKind kind, const OpAttrs& attrs,
+                                      const std::vector<Tensor>& inputs,
+                                      Shape out_shape,
+                                      const Device& device) override {
+    std::vector<const Literal*> literals;
+    literals.reserve(inputs.size());
+    for (const Tensor& in : inputs) {
+      literals.push_back(&in.impl()->Materialize());
+    }
+    Literal result = EvalOpLiteral(kind, literals, attrs);
+    S4TF_CHECK_EQ(result.shape, out_shape) << OpName(kind);
+    return std::make_shared<ConcreteImpl>(std::move(result), device);
+  }
+};
+
+struct DeviceStackEntry {
+  bool active = false;
+  // Storage for the current default device; Device is not
+  // default-representable as "none" so we track `active` separately.
+  alignas(Device) unsigned char storage[sizeof(Device)];
+
+  Device& device() { return *reinterpret_cast<Device*>(storage); }
+};
+
+thread_local DeviceStackEntry g_default_device;
+
+}  // namespace
+
+Backend& NaiveBackend() {
+  static NaiveBackendImpl backend;
+  return backend;
+}
+
+Device NaiveDevice() {
+  return Device(DeviceKind::kNaive, 0, &NaiveBackend(), "cpu:naive");
+}
+
+Device::Device() : Device(DeviceKind::kNaive, 0, &NaiveBackend(), "cpu:naive") {}
+
+Device::Device(DeviceKind kind, int ordinal, Backend* backend,
+               std::string name)
+    : kind_(kind), ordinal_(ordinal), backend_(backend),
+      name_(std::move(name)) {
+  S4TF_CHECK(backend_ != nullptr);
+}
+
+Device Device::Current() {
+  if (g_default_device.active) return g_default_device.device();
+  return NaiveDevice();
+}
+
+DeviceScope::DeviceScope(Device device) {
+  had_previous_ = g_default_device.active;
+  if (had_previous_) {
+    previous_ = g_default_device.device();
+    g_default_device.device() = std::move(device);
+  } else {
+    new (g_default_device.storage) Device(std::move(device));
+    g_default_device.active = true;
+  }
+}
+
+DeviceScope::~DeviceScope() {
+  if (had_previous_) {
+    g_default_device.device() = previous_;
+  } else {
+    g_default_device.device().~Device();
+    g_default_device.active = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder hook.
+
+namespace {
+thread_local OpRecorder* g_recorder = nullptr;
+}  // namespace
+
+OpRecorder* GetRecorder() { return g_recorder; }
+
+RecorderScope::RecorderScope(OpRecorder* recorder) : previous_(g_recorder) {
+  g_recorder = recorder;
+}
+RecorderScope::~RecorderScope() { g_recorder = previous_; }
+
+NoRecordScope::NoRecordScope() : previous_(g_recorder) { g_recorder = nullptr; }
+NoRecordScope::~NoRecordScope() { g_recorder = previous_; }
+
+// ---------------------------------------------------------------------------
+// Tensor.
+
+Tensor::Tensor() : Tensor(0.0f) {}
+
+Tensor::Tensor(float value) {
+  const Device device = Device::Current();
+  impl_ = device.backend().Constant(Literal::Scalar(value), device);
+}
+
+Tensor Tensor::FromLiteral(Literal literal) {
+  return FromLiteral(std::move(literal), Device::Current());
+}
+
+Tensor Tensor::FromLiteral(Literal literal, const Device& device) {
+  return Tensor(device.backend().Constant(std::move(literal), device));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  return FromLiteral(Literal::FromVector(shape, std::move(values)));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          const Device& device) {
+  return FromLiteral(Literal::FromVector(shape, std::move(values)), device);
+}
+
+Tensor Tensor::Zeros(const Shape& shape) {
+  return FromLiteral(Literal::Zeros(shape));
+}
+Tensor Tensor::Zeros(const Shape& shape, const Device& device) {
+  return FromLiteral(Literal::Zeros(shape), device);
+}
+Tensor Tensor::Ones(const Shape& shape) {
+  return FromLiteral(Literal::Full(shape, 1.0f));
+}
+Tensor Tensor::Ones(const Shape& shape, const Device& device) {
+  return FromLiteral(Literal::Full(shape, 1.0f), device);
+}
+Tensor Tensor::Full(const Shape& shape, float value) {
+  return FromLiteral(Literal::Full(shape, value));
+}
+Tensor Tensor::Full(const Shape& shape, float value, const Device& device) {
+  return FromLiteral(Literal::Full(shape, value), device);
+}
+
+Tensor Tensor::RandomUniform(const Shape& shape, Rng& rng, float lo,
+                             float hi) {
+  std::vector<float> values(static_cast<std::size_t>(shape.NumElements()));
+  rng.FillUniform(values.data(), values.size(), lo, hi);
+  return FromVector(shape, std::move(values));
+}
+
+Tensor Tensor::RandomNormal(const Shape& shape, Rng& rng, float mean,
+                            float stddev) {
+  std::vector<float> values(static_cast<std::size_t>(shape.NumElements()));
+  rng.FillGaussian(values.data(), values.size(), mean, stddev);
+  return FromVector(shape, std::move(values));
+}
+
+Tensor Tensor::GlorotUniform(const Shape& shape, Rng& rng) {
+  // Fan-in/fan-out: final two axes for matmul weights; for conv HWIO
+  // filters the receptive field multiplies in.
+  std::int64_t fan_in = 1, fan_out = 1;
+  if (shape.rank() >= 2) {
+    std::int64_t receptive = 1;
+    for (int i = 0; i + 2 < shape.rank(); ++i) receptive *= shape.dim(i);
+    fan_in = receptive * shape.dim(shape.rank() - 2);
+    fan_out = receptive * shape.dim(shape.rank() - 1);
+  } else if (shape.rank() == 1) {
+    fan_in = fan_out = shape.dim(0);
+  }
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(shape, rng, -limit, limit);
+}
+
+Literal Tensor::ToLiteral() const {
+  impl_->device().backend().Sync(impl_->device());
+  return impl_->Materialize();
+}
+
+std::vector<float> Tensor::ToVector() const { return ToLiteral().data.ToVector(); }
+
+float Tensor::ScalarValue() const {
+  const Literal lit = ToLiteral();
+  S4TF_CHECK_EQ(lit.size(), 1) << "ScalarValue on shape " << shape();
+  return lit.data[0];
+}
+
+float Tensor::At(std::initializer_list<std::int64_t> index) const {
+  const Literal lit = ToLiteral();
+  return lit.data[static_cast<std::size_t>(
+      lit.shape.OffsetOf(std::vector<std::int64_t>(index)))];
+}
+
+Tensor Tensor::To(const Device& device) const {
+  if (device == impl_->device()) return *this;
+  return FromLiteral(ToLiteral(), device);
+}
+
+bool Tensor::InPlaceAxpy(float alpha, const Tensor& x) {
+  S4TF_CHECK_EQ(shape(), x.shape()) << "InPlaceAxpy shape mismatch";
+  auto* concrete = dynamic_cast<ConcreteImpl*>(impl_.get());
+  if (concrete != nullptr && impl_.use_count() == 1 &&
+      x.device() == device()) {
+    // Unique borrow of concrete storage: mutate in place. CowArray still
+    // deep-copies if its buffer is shared with another Literal.
+    Literal& lit = concrete->literal();
+    const Literal x_lit = x.ToLiteral();
+    const bool was_unique = lit.data.IsUniquelyReferenced();
+    float* dst = lit.data.mutable_data();
+    const float* src = x_lit.data.data();
+    const std::int64_t n = lit.size();
+    for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+    return was_unique;
+  }
+  // Fallback: rebind to a freshly computed value.
+  *this = ApplyOp(OpKind::kAdd,
+                  {*this, ApplyOp(OpKind::kMulScalar, {x},
+                                  OpAttrs{.scalar = alpha})});
+  return false;
+}
+
+void Tensor::SetAt(std::initializer_list<std::int64_t> index, float value) {
+  auto* concrete = dynamic_cast<ConcreteImpl*>(impl_.get());
+  S4TF_CHECK(concrete != nullptr) << "SetAt requires a materialized tensor";
+  if (impl_.use_count() != 1) {
+    // The impl is shared with another Tensor variable: value semantics
+    // requires divorcing storage first (tensor-level copy-on-write).
+    impl_ = std::make_shared<ConcreteImpl>(concrete->literal(), device());
+    concrete = static_cast<ConcreteImpl*>(impl_.get());
+  }
+  Literal& lit = concrete->literal();
+  const std::int64_t offset =
+      lit.shape.OffsetOf(std::vector<std::int64_t>(index));
+  lit.data.at_mut(static_cast<std::size_t>(offset)) = value;
+}
+
+Tensor ApplyOp(OpKind kind, std::vector<Tensor> inputs, OpAttrs attrs) {
+  S4TF_CHECK(!inputs.empty()) << "ApplyOp with no inputs: " << OpName(kind);
+  const Device device = inputs[0].device();
+  for (const Tensor& in : inputs) {
+    S4TF_CHECK(in.device() == device)
+        << "cross-device op " << OpName(kind) << ": " << in.device().name()
+        << " vs " << device.name();
+  }
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Tensor& in : inputs) shapes.push_back(in.shape());
+  Shape out_shape = InferShape(kind, shapes, attrs);
+
+  Tensor output(device.backend().Execute(kind, attrs, inputs,
+                                         std::move(out_shape), device));
+  if (OpRecorder* recorder = GetRecorder()) {
+    recorder->RecordOp(kind, attrs, inputs, output);
+  }
+  return output;
+}
+
+}  // namespace s4tf

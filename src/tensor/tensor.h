@@ -1,0 +1,156 @@
+// The multi-backend `Tensor` type (§3).
+//
+// A Tensor is a *mutable value type*: copies are O(1) and logically
+// disjoint; its payload is an immutable-once-created TensorImpl shared
+// between copies, with mutation expressed as rebinding (plus an explicit
+// in-place fast path used by optimizers, §4.2). The impl is polymorphic
+// over the execution strategy:
+//   * ConcreteImpl — a materialized Literal (naïve device, §3.1)
+//   * the eager backend's impl — a handle to an asynchronously-computed
+//     buffer (§3.2)
+//   * the lazy backend's impl — a node in a recorded trace (§3.3)
+// "As long as the user's program does not observe the contents of a
+// Tensor" (§3.3) all three behave identically; observation (`ToLiteral`,
+// `ScalarValue`, …) forces materialization through the backend.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/device.h"
+#include "tensor/literal.h"
+#include "tensor/op.h"
+
+namespace s4tf {
+
+class Tensor;
+
+// Backend-owned tensor payload.
+class TensorImpl {
+ public:
+  TensorImpl(Shape shape, Device device)
+      : shape_(std::move(shape)), device_(std::move(device)) {}
+  virtual ~TensorImpl() = default;
+
+  const Shape& shape() const { return shape_; }
+  const Device& device() const { return device_; }
+
+  // Returns the concrete value, computing it if necessary. May be called
+  // repeatedly; implementations cache.
+  virtual const Literal& Materialize() = 0;
+
+ private:
+  Shape shape_;
+  Device device_;
+};
+
+// An already-materialized tensor (the naïve device's only impl).
+class ConcreteImpl final : public TensorImpl {
+ public:
+  ConcreteImpl(Literal literal, Device device)
+      : TensorImpl(literal.shape, std::move(device)),
+        literal_(std::move(literal)) {}
+
+  const Literal& Materialize() override { return literal_; }
+  Literal& literal() { return literal_; }
+
+ private:
+  Literal literal_;
+};
+
+// Execution-strategy interface implemented by the naïve/eager/lazy
+// runtimes.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Wraps a concrete value for this backend (e.g. the lazy backend makes a
+  // constant trace node).
+  virtual std::shared_ptr<TensorImpl> Constant(Literal value,
+                                               const Device& device) = 0;
+
+  // Executes (or records, or enqueues) one op.
+  virtual std::shared_ptr<TensorImpl> Execute(
+      OpKind kind, const OpAttrs& attrs, const std::vector<Tensor>& inputs,
+      Shape out_shape, const Device& device) = 0;
+
+  // Blocks until all pending work on `device` is complete.
+  virtual void Sync(const Device& device) { (void)device; }
+};
+
+// Returns the process-wide naïve CPU backend / device.
+Backend& NaiveBackend();
+Device NaiveDevice();
+
+class Tensor {
+ public:
+  // Scalar zero on the current default device.
+  Tensor();
+  // Scalar constant on the current default device.
+  Tensor(float value);  // NOLINT: implicit by design, mirrors Swift literals
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // --- Factories (created on `device`, defaulting to Device::Current()).
+  static Tensor FromLiteral(Literal literal);
+  static Tensor FromLiteral(Literal literal, const Device& device);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           const Device& device);
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Zeros(const Shape& shape, const Device& device);
+  static Tensor Ones(const Shape& shape);
+  static Tensor Ones(const Shape& shape, const Device& device);
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor Full(const Shape& shape, float value, const Device& device);
+  // Deterministic initializers (draws consumed from `rng`).
+  static Tensor RandomUniform(const Shape& shape, Rng& rng, float lo = 0.0f,
+                              float hi = 1.0f);
+  static Tensor RandomNormal(const Shape& shape, Rng& rng, float mean = 0.0f,
+                             float stddev = 1.0f);
+  // He/Glorot-style initialization used by layers.
+  static Tensor GlorotUniform(const Shape& shape, Rng& rng);
+
+  // --- Metadata (never forces materialization; shapes are static, §4).
+  const Shape& shape() const { return impl_->shape(); }
+  int rank() const { return shape().rank(); }
+  std::int64_t NumElements() const { return shape().NumElements(); }
+  const Device& device() const { return impl_->device(); }
+
+  // --- Observation: forces computation (drains the eager pipeline / cuts
+  // and compiles the lazy trace).
+  Literal ToLiteral() const;
+  std::vector<float> ToVector() const;
+  float ScalarValue() const;
+  float At(std::initializer_list<std::int64_t> index) const;
+
+  // Moves this tensor's value to another device (materializes first).
+  Tensor To(const Device& device) const;
+
+  // --- Mutation (value semantics: rebinds or mutates uniquely-owned
+  // storage; never observable through other Tensor variables).
+  // this += alpha * x, in place when storage is uniquely owned. Returns
+  // true when the fast path (no buffer allocation) was taken. This is the
+  // §4.2 "inout optimizer update" primitive.
+  bool InPlaceAxpy(float alpha, const Tensor& x);
+  // Writes one element (copy-on-write as needed). Naïve device only.
+  void SetAt(std::initializer_list<std::int64_t> index, float value);
+
+  // AD-internal: identifies this value on the active gradient tape.
+  std::int64_t grad_node() const { return grad_node_; }
+  void set_grad_node(std::int64_t node) { grad_node_ = node; }
+
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+  std::int64_t grad_node_ = -1;
+};
+
+// Executes one op on the inputs' device (all inputs must agree), recording
+// it on the active gradient tape if any. The single entry point every
+// user-facing op funnels through.
+Tensor ApplyOp(OpKind kind, std::vector<Tensor> inputs, OpAttrs attrs = {});
+
+}  // namespace s4tf

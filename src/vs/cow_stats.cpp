@@ -1,0 +1,10 @@
+#include "vs/cow_stats.h"
+
+namespace s4tf::vs {
+
+CowStats& CowStats::Global() {
+  static CowStats stats;
+  return stats;
+}
+
+}  // namespace s4tf::vs

@@ -1,0 +1,38 @@
+// Instrumentation counters for the copy-on-write machinery.
+//
+// The paper's §4 claims hinge on *when copies happen*: "large values are
+// copied lazily, upon mutation, and only when shared". These counters let
+// tests and the ablation benches assert exactly that — e.g. that an
+// optimizer update of a whole model performs zero deep copies (§4.2), or
+// that sharing-then-mutating performs exactly one.
+#pragma once
+
+#include <cstdint>
+
+namespace s4tf::vs {
+
+struct CowStats {
+  std::int64_t buffer_allocations = 0;  // fresh buffers created
+  std::int64_t deep_copies = 0;         // copy-on-write triggered
+  std::int64_t unique_mutations = 0;    // in-place mutations (no copy)
+
+  static CowStats& Global();
+  void Reset() { *this = CowStats{}; }
+};
+
+// RAII scope that records counter deltas over its lifetime.
+class CowStatsScope {
+ public:
+  CowStatsScope() : entry_(CowStats::Global()) {}
+  CowStats delta() const {
+    const CowStats& now = CowStats::Global();
+    return CowStats{now.buffer_allocations - entry_.buffer_allocations,
+                    now.deep_copies - entry_.deep_copies,
+                    now.unique_mutations - entry_.unique_mutations};
+  }
+
+ private:
+  CowStats entry_;
+};
+
+}  // namespace s4tf::vs

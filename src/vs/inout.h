@@ -1,0 +1,44 @@
+// The `inout` calling convention (paper §4, Appendix A).
+//
+// Swift's `inout` is a *unique borrow*: the callee gets exclusive mutable
+// access for the duration of the call, and the paper's Figure 8 shows any
+// inout call can be rewritten as pass-by-value + reassignment, proving
+// inout does not introduce reference semantics. In C++ we spell an inout
+// parameter `Inout<T>` (an alias for T&) to mark intent, and this header
+// provides the Figure-8 rewrite adapter used by the property tests that
+// verify the equivalence mechanically.
+#pragma once
+
+#include <tuple>
+#include <utility>
+
+namespace s4tf::vs {
+
+// Marker alias: a parameter declared Inout<T> is a unique borrow. Callers
+// must pass an lvalue they own; the callee may mutate it in place.
+template <typename T>
+using Inout = T&;
+
+// Figure 8, right column: given `f(Inout<T>, Args...) -> R`, produce the
+// semantically-equivalent pass-by-value function
+// `(T, Args...) -> (T, R)`. Tests call both forms and assert identical
+// observable results, mechanizing the paper's equivalence argument.
+template <typename T, typename R, typename... Args>
+auto RewriteInoutAsPure(R (*f)(Inout<T>, Args...)) {
+  return [f](T value, Args... args) -> std::pair<T, R> {
+    R result = f(value, std::forward<Args>(args)...);
+    return {std::move(value), std::move(result)};
+  };
+}
+
+// void-returning variant: `(inout T, Args...) -> Void` becomes
+// `(T, Args...) -> T`.
+template <typename T, typename... Args>
+auto RewriteInoutAsPure(void (*f)(Inout<T>, Args...)) {
+  return [f](T value, Args... args) -> T {
+    f(value, std::forward<Args>(args)...);
+    return value;
+  };
+}
+
+}  // namespace s4tf::vs

@@ -1,0 +1,366 @@
+#include "xla/compiler.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "support/hashing.h"
+
+namespace s4tf::xla {
+
+namespace {
+
+// Rebuilds the module keeping only instructions in `keep` (which must be
+// closed under operands), remapping ids and roots.
+HloModule RebuildModule(const HloModule& module, const std::vector<bool>& keep,
+                        const std::vector<HloId>& replacement) {
+  HloModule rebuilt(module.name());
+  std::vector<HloId> remap(module.instructions().size(), -1);
+
+  // Resolve replacement chains (CSE may map a->b where b survives).
+  auto resolve = [&](HloId id) {
+    HloId r = id;
+    while (replacement[static_cast<std::size_t>(r)] != r) {
+      r = replacement[static_cast<std::size_t>(r)];
+    }
+    return r;
+  };
+
+  for (const HloInstruction& inst : module.instructions()) {
+    if (!keep[static_cast<std::size_t>(inst.id)]) continue;
+    std::vector<HloId> operands;
+    operands.reserve(inst.operands.size());
+    for (HloId op : inst.operands) {
+      const HloId r = remap[static_cast<std::size_t>(resolve(op))];
+      S4TF_CHECK_GE(r, 0) << "operand dropped by rebuild";
+      operands.push_back(r);
+    }
+    HloId fresh;
+    if (inst.kind == OpKind::kParameter) {
+      fresh = rebuilt.AddParameter(inst.shape, inst.parameter_index);
+    } else if (inst.kind == OpKind::kConstant) {
+      fresh = rebuilt.AddConstant(inst.literal);
+    } else {
+      fresh = rebuilt.AddInstruction(inst.kind, std::move(operands),
+                                     inst.attrs);
+    }
+    remap[static_cast<std::size_t>(inst.id)] = fresh;
+  }
+  for (HloId root : module.roots()) {
+    rebuilt.AddRoot(remap[static_cast<std::size_t>(resolve(root))]);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+int RunHloCse(HloModule& module) {
+  // Key: kind + attrs-hash + operands (post-replacement) + param index.
+  // Constants are deduplicated only when they share the same literal
+  // object shape AND data fingerprint.
+  std::map<std::uint64_t, HloId> seen;
+  std::vector<HloId> replacement(module.instructions().size());
+  std::iota(replacement.begin(), replacement.end(), 0);
+  std::vector<bool> keep(module.instructions().size(), true);
+  int eliminated = 0;
+
+  auto resolve = [&](HloId id) {
+    while (replacement[static_cast<std::size_t>(id)] != id) {
+      id = replacement[static_cast<std::size_t>(id)];
+    }
+    return id;
+  };
+
+  for (const HloInstruction& inst : module.instructions()) {
+    std::uint64_t h = HashCombine(0, static_cast<std::uint64_t>(inst.kind));
+    h = inst.attrs.Hash(h);
+    h = HashCombine(h, static_cast<std::uint64_t>(inst.parameter_index));
+    for (HloId op : inst.operands) {
+      h = HashCombine(h, static_cast<std::uint64_t>(resolve(op)));
+    }
+    if (inst.kind == OpKind::kConstant) {
+      h = HashBytes(inst.literal.data.data(),
+                    static_cast<std::size_t>(inst.literal.size()) *
+                        sizeof(float),
+                    h);
+    }
+    auto [it, inserted] = seen.emplace(h, inst.id);
+    if (!inserted) {
+      replacement[static_cast<std::size_t>(inst.id)] = it->second;
+      keep[static_cast<std::size_t>(inst.id)] = false;
+      ++eliminated;
+    }
+  }
+  if (eliminated > 0) module = RebuildModule(module, keep, replacement);
+  return eliminated;
+}
+
+int RunHloDce(HloModule& module) {
+  std::vector<bool> live(module.instructions().size(), false);
+  std::vector<HloId> stack(module.roots().begin(), module.roots().end());
+  while (!stack.empty()) {
+    const HloId id = stack.back();
+    stack.pop_back();
+    if (live[static_cast<std::size_t>(id)]) continue;
+    live[static_cast<std::size_t>(id)] = true;
+    for (HloId op : module.instruction(id).operands) stack.push_back(op);
+  }
+  // Parameters are part of the calling convention: always kept.
+  for (const HloInstruction& inst : module.instructions()) {
+    if (inst.kind == OpKind::kParameter) {
+      live[static_cast<std::size_t>(inst.id)] = true;
+    }
+  }
+  int removed = 0;
+  for (bool l : live) {
+    if (!l) ++removed;
+  }
+  if (removed > 0) {
+    std::vector<HloId> identity(module.instructions().size());
+    std::iota(identity.begin(), identity.end(), 0);
+    module = RebuildModule(module, live, identity);
+  }
+  return removed;
+}
+
+std::vector<int> ComputeFusionGroups(const HloModule& module) {
+  const std::size_t n = module.instructions().size();
+  std::vector<int> group(n);
+  std::iota(group.begin(), group.end(), 0);
+
+  // Union-find.
+  std::function<int(int)> find = [&](int x) {
+    while (group[static_cast<std::size_t>(x)] != x) {
+      group[static_cast<std::size_t>(x)] =
+          group[static_cast<std::size_t>(group[static_cast<std::size_t>(x)])];
+      x = group[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  const std::vector<int> uses = module.UseCounts();
+  for (const HloInstruction& inst : module.instructions()) {
+    if (!IsElementwise(inst.kind)) continue;
+    for (HloId op : inst.operands) {
+      const HloInstruction& producer = module.instruction(op);
+      // Fuse an elementwise producer with a single consumer into this
+      // instruction's kernel (classic XLA producer-consumer fusion).
+      if (IsElementwise(producer.kind) &&
+          uses[static_cast<std::size_t>(op)] == 1 &&
+          producer.shape == inst.shape) {
+        group[static_cast<std::size_t>(find(producer.id))] = find(inst.id);
+      }
+    }
+  }
+  std::vector<int> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result[i] = find(static_cast<int>(i));
+  }
+  return result;
+}
+
+std::vector<Literal> Executable::Run(const std::vector<Literal>& parameters,
+                                     SimAccelerator* accelerator) const {
+  S4TF_CHECK_EQ(static_cast<int>(parameters.size()),
+                module_.num_parameters())
+      << "parameter count mismatch for " << module_.name();
+
+  std::vector<Literal> env(module_.instructions().size());
+  for (const HloInstruction& inst : module_.instructions()) {
+    switch (inst.kind) {
+      case OpKind::kParameter:
+        env[static_cast<std::size_t>(inst.id)] =
+            parameters[static_cast<std::size_t>(inst.parameter_index)];
+        break;
+      case OpKind::kConstant:
+        env[static_cast<std::size_t>(inst.id)] = inst.literal;
+        break;
+      default: {
+        std::vector<const Literal*> inputs;
+        inputs.reserve(inst.operands.size());
+        for (HloId op : inst.operands) {
+          inputs.push_back(&env[static_cast<std::size_t>(op)]);
+        }
+        env[static_cast<std::size_t>(inst.id)] =
+            EvalOpLiteral(inst.kind, inputs, inst.attrs);
+        break;
+      }
+    }
+  }
+
+  if (accelerator != nullptr) {
+    for (const FusedKernel& kernel : kernels_) {
+      accelerator->ChargeFusedKernel(kernel.flops, kernel.external_bytes);
+    }
+  }
+
+  std::vector<Literal> outputs;
+  outputs.reserve(module_.roots().size());
+  for (HloId root : module_.roots()) {
+    outputs.push_back(env[static_cast<std::size_t>(root)]);
+  }
+  return outputs;
+}
+
+int RunHloAlgebraicSimplify(HloModule& module) {
+  std::vector<HloId> replacement(module.instructions().size());
+  std::iota(replacement.begin(), replacement.end(), 0);
+  std::vector<bool> keep(module.instructions().size(), true);
+  int simplified = 0;
+
+  auto resolve = [&](HloId id) {
+    while (replacement[static_cast<std::size_t>(id)] != id) {
+      id = replacement[static_cast<std::size_t>(id)];
+    }
+    return id;
+  };
+  auto bypass = [&](const HloInstruction& inst, HloId target) {
+    replacement[static_cast<std::size_t>(inst.id)] = resolve(target);
+    keep[static_cast<std::size_t>(inst.id)] = false;
+    ++simplified;
+  };
+
+  for (const HloInstruction& inst : module.instructions()) {
+    const auto operand = [&](std::size_t i) -> const HloInstruction& {
+      return module.instruction(resolve(inst.operands[i]));
+    };
+    switch (inst.kind) {
+      case OpKind::kMulScalar:
+        if (inst.attrs.scalar == 1.0f) bypass(inst, inst.operands[0]);
+        break;
+      case OpKind::kAddScalar:
+        if (inst.attrs.scalar == 0.0f) bypass(inst, inst.operands[0]);
+        break;
+      case OpKind::kPowScalar:
+        if (inst.attrs.scalar == 1.0f) bypass(inst, inst.operands[0]);
+        break;
+      case OpKind::kNeg:
+        if (operand(0).kind == OpKind::kNeg) {
+          bypass(inst, operand(0).operands[0]);
+        }
+        break;
+      case OpKind::kReshape:
+      case OpKind::kBroadcastTo:
+        if (inst.shape == operand(0).shape) bypass(inst, inst.operands[0]);
+        break;
+      case OpKind::kTranspose: {
+        const HloInstruction& inner = operand(0);
+        if (inner.kind == OpKind::kTranspose) {
+          bool identity = true;
+          for (std::size_t i = 0; i < inst.attrs.axes.size(); ++i) {
+            const auto composed = inner.attrs.axes[static_cast<std::size_t>(
+                inst.attrs.axes[i])];
+            if (composed != static_cast<std::int64_t>(i)) {
+              identity = false;
+              break;
+            }
+          }
+          if (identity) bypass(inst, inner.operands[0]);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (simplified > 0) module = RebuildModule(module, keep, replacement);
+  return simplified;
+}
+
+CompileResult Compile(HloModule module, const CompileOptions& options) {
+  const std::int64_t original_size = module.instruction_count();
+  if (options.enable_algebraic_simplify) RunHloAlgebraicSimplify(module);
+  if (options.enable_cse) RunHloCse(module);
+  if (options.enable_dce) RunHloDce(module);
+
+  std::vector<int> groups;
+  if (options.enable_fusion) {
+    groups = ComputeFusionGroups(module);
+  } else {
+    groups.resize(static_cast<std::size_t>(module.instruction_count()));
+    std::iota(groups.begin(), groups.end(), 0);
+  }
+
+  // Build fused kernels in topological order of their last member.
+  std::map<int, FusedKernel> by_group;
+  const std::vector<int> uses = module.UseCounts();
+  for (const HloInstruction& inst : module.instructions()) {
+    if (inst.kind == OpKind::kParameter || inst.kind == OpKind::kConstant) {
+      continue;  // data movement, no kernel
+    }
+    FusedKernel& kernel = by_group[groups[static_cast<std::size_t>(inst.id)]];
+    kernel.instructions.push_back(inst.id);
+    std::vector<Shape> input_shapes;
+    for (HloId op : inst.operands) {
+      input_shapes.push_back(module.instruction(op).shape);
+      // External input: operand produced outside the group.
+      if (groups[static_cast<std::size_t>(op)] !=
+          groups[static_cast<std::size_t>(inst.id)]) {
+        kernel.external_bytes +=
+            module.instruction(op).shape.NumElements() * 4;
+      }
+    }
+    kernel.flops += OpFlops(inst.kind, input_shapes, inst.shape, inst.attrs);
+  }
+  // External outputs: results used outside their group (or roots).
+  std::vector<bool> is_root(module.instructions().size(), false);
+  for (HloId r : module.roots()) is_root[static_cast<std::size_t>(r)] = true;
+  std::vector<bool> used_externally(module.instructions().size(), false);
+  for (const HloInstruction& inst : module.instructions()) {
+    for (HloId op : inst.operands) {
+      if (groups[static_cast<std::size_t>(op)] !=
+          groups[static_cast<std::size_t>(inst.id)]) {
+        used_externally[static_cast<std::size_t>(op)] = true;
+      }
+    }
+  }
+  for (const HloInstruction& inst : module.instructions()) {
+    if (inst.kind == OpKind::kParameter || inst.kind == OpKind::kConstant) {
+      continue;
+    }
+    if (used_externally[static_cast<std::size_t>(inst.id)] ||
+        is_root[static_cast<std::size_t>(inst.id)]) {
+      by_group[groups[static_cast<std::size_t>(inst.id)]].external_bytes +=
+          inst.shape.NumElements() * 4;
+    }
+  }
+
+  std::vector<FusedKernel> kernels;
+  kernels.reserve(by_group.size());
+  for (auto& [id, kernel] : by_group) kernels.push_back(std::move(kernel));
+
+  CompileResult result;
+  result.compile_seconds =
+      options.compile_seconds_fixed +
+      options.compile_seconds_per_instruction *
+          static_cast<double>(original_size);
+  result.executable =
+      std::make_shared<Executable>(std::move(module), std::move(kernels));
+  return result;
+}
+
+std::shared_ptr<Executable> CompileCache::GetOrCompile(
+    const HloModule& module, double* compile_seconds) {
+  const std::uint64_t key = module.Fingerprint();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    if (compile_seconds != nullptr) *compile_seconds = 0.0;
+    return it->second;
+  }
+  ++misses_;
+  CompileResult result = Compile(module, options_);
+  total_compile_seconds_ += result.compile_seconds;
+  if (compile_seconds != nullptr) *compile_seconds = result.compile_seconds;
+  cache_.emplace(key, result.executable);
+  return result.executable;
+}
+
+void CompileCache::Clear() {
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  total_compile_seconds_ = 0.0;
+}
+
+}  // namespace s4tf::xla

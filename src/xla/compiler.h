@@ -1,0 +1,132 @@
+// The XLA-like JIT: optimization passes, executable, and compilation
+// cache (paper §3.3-§3.4).
+//
+// Pipeline: CSE -> DCE -> elementwise fusion. Fusion is the headline
+// domain-specific optimization: producer/consumer chains of elementwise
+// ops collapse into one kernel that pays a single launch overhead and only
+// external memory traffic on the simulated accelerator. "Because invoking
+// the XLA JIT is computationally expensive, trace fragments are hashed to
+// become keys in an XLA-program cache; each unique trace is only compiled
+// by XLA once" — CompileCache below, with a compile-time cost model so the
+// benches can account for JIT cost on misses.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "device/sim_accelerator.h"
+#include "xla/hlo.h"
+
+namespace s4tf::xla {
+
+struct CompileOptions {
+  bool enable_algebraic_simplify = true;
+  bool enable_cse = true;
+  bool enable_dce = true;
+  bool enable_fusion = true;
+  // Modeled JIT cost (XLA compilations take O(100ms) for real models; we
+  // scale with program size).
+  double compile_seconds_per_instruction = 50e-6;
+  double compile_seconds_fixed = 2e-3;
+};
+
+// --- Optimization passes (exposed for unit tests and ablations). Each
+// returns the number of instructions eliminated/affected and rewrites the
+// module.
+int RunHloCse(HloModule& module);
+int RunHloDce(HloModule& module);
+
+// Algebraic simplification: removes provable no-ops —
+//   x * 1, x + 0, x ^ 1 (scalar-attr forms), neg(neg(x)),
+//   reshape/broadcast to the operand's own shape,
+//   transpose(transpose(x)) composing to the identity permutation.
+// AD-generated code is full of these (e.g. `grad * 1.0f` seeds), which is
+// the paper's "AD output is amenable to the same optimizations" claim in
+// HLO form. Returns the number of instructions bypassed.
+int RunHloAlgebraicSimplify(HloModule& module);
+
+// Assigns a fusion group id to every instruction (elementwise
+// producer-consumer chains where the producer has a single user merge into
+// one group). Returns group ids indexed by instruction.
+std::vector<int> ComputeFusionGroups(const HloModule& module);
+
+// One device kernel after fusion: a set of instructions executed as a
+// single launch with only external memory traffic.
+struct FusedKernel {
+  std::vector<HloId> instructions;
+  std::int64_t flops = 0;
+  std::int64_t external_bytes = 0;
+};
+
+class Executable {
+ public:
+  Executable(HloModule module, std::vector<FusedKernel> kernels)
+      : module_(std::move(module)), kernels_(std::move(kernels)) {}
+
+  // Evaluates the program on concrete parameters. If `accelerator` is
+  // given, charges one (fused) kernel per FusedKernel to its clock.
+  std::vector<Literal> Run(const std::vector<Literal>& parameters,
+                           SimAccelerator* accelerator = nullptr) const;
+
+  const HloModule& module() const { return module_; }
+  std::int64_t kernel_count() const {
+    return static_cast<std::int64_t>(kernels_.size());
+  }
+  const std::vector<FusedKernel>& kernels() const { return kernels_; }
+
+  // Charges one execution's device cost without evaluating the numerics.
+  // Used by the table harnesses to simulate paper-scale shapes (batch-128
+  // ImageNet-class programs) whose CPU evaluation would be impractical;
+  // the cost comes from the same per-kernel model as Run().
+  void ChargeTo(SimAccelerator& accelerator) const {
+    for (const FusedKernel& kernel : kernels_) {
+      accelerator.ChargeFusedKernel(kernel.flops, kernel.external_bytes);
+    }
+  }
+
+  // Total flops / external bytes of one execution (for reporting).
+  std::int64_t total_flops() const {
+    std::int64_t total = 0;
+    for (const FusedKernel& k : kernels_) total += k.flops;
+    return total;
+  }
+
+ private:
+  HloModule module_;
+  std::vector<FusedKernel> kernels_;
+};
+
+struct CompileResult {
+  std::shared_ptr<Executable> executable;
+  double compile_seconds = 0.0;  // modeled JIT cost
+};
+
+CompileResult Compile(HloModule module, const CompileOptions& options = {});
+
+// The XLA-program cache keyed by HloModule::Fingerprint().
+class CompileCache {
+ public:
+  explicit CompileCache(CompileOptions options = {})
+      : options_(std::move(options)) {}
+
+  // Returns the executable for `module`, compiling on a miss.
+  // `compile_seconds` (optional) receives the modeled JIT cost paid by
+  // THIS call (0 on a hit).
+  std::shared_ptr<Executable> GetOrCompile(const HloModule& module,
+                                           double* compile_seconds = nullptr);
+
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  double total_compile_seconds() const { return total_compile_seconds_; }
+  std::size_t size() const { return cache_.size(); }
+  void Clear();
+
+ private:
+  CompileOptions options_;
+  std::map<std::uint64_t, std::shared_ptr<Executable>> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  double total_compile_seconds_ = 0.0;
+};
+
+}  // namespace s4tf::xla

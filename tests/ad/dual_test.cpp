@@ -1,0 +1,80 @@
+#include "ad/dual.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace s4tf::ad {
+namespace {
+
+using D = Dual<double>;
+
+TEST(DualTest, ArithmeticRules) {
+  const D x = D::Variable(3.0);
+  EXPECT_DOUBLE_EQ((x + x).tangent, 2.0);
+  EXPECT_DOUBLE_EQ((x - x).tangent, 0.0);
+  EXPECT_DOUBLE_EQ((x * x).tangent, 6.0);       // d/dx x^2 = 2x
+  EXPECT_DOUBLE_EQ((D(1.0) / x).tangent, -1.0 / 9.0);
+  EXPECT_DOUBLE_EQ((-x).tangent, -1.0);
+}
+
+TEST(DualTest, ConstantsHaveZeroTangent) {
+  const D c(5.0);
+  EXPECT_DOUBLE_EQ(c.tangent, 0.0);
+  const D x = D::Variable(2.0);
+  EXPECT_DOUBLE_EQ((c * x).tangent, 5.0);
+}
+
+TEST(DualTest, TranscendentalDerivatives) {
+  const D x = D::Variable(0.7);
+  EXPECT_NEAR(exp(x).tangent, std::exp(0.7), 1e-12);
+  EXPECT_NEAR(log(x).tangent, 1.0 / 0.7, 1e-12);
+  EXPECT_NEAR(sin(x).tangent, std::cos(0.7), 1e-12);
+  EXPECT_NEAR(cos(x).tangent, -std::sin(0.7), 1e-12);
+  const double t = std::tanh(0.7);
+  EXPECT_NEAR(tanh(x).tangent, 1.0 - t * t, 1e-12);
+  EXPECT_NEAR(sqrt(x).tangent, 0.5 / std::sqrt(0.7), 1e-12);
+  EXPECT_NEAR(pow(x, 3.0).tangent, 3.0 * 0.7 * 0.7, 1e-12);
+}
+
+TEST(DualTest, AbsBranches) {
+  EXPECT_DOUBLE_EQ(abs(D::Variable(-2.0)).tangent, -1.0);
+  EXPECT_DOUBLE_EQ(abs(D::Variable(2.0)).tangent, 1.0);
+}
+
+TEST(DualTest, ScalarDerivativeOperator) {
+  // d/dx [x * exp(x)] = (1 + x) exp(x)
+  const double d = ScalarDerivative(1.3, [](D x) { return x * exp(x); });
+  EXPECT_NEAR(d, (1.0 + 1.3) * std::exp(1.3), 1e-10);
+}
+
+TEST(DualTest, ChainThroughControlFlow) {
+  // Piecewise function: derivative follows the active branch.
+  auto f = [](D x) { return x > D(0.0) ? x * x : -x; };
+  EXPECT_DOUBLE_EQ(ScalarDerivative(2.0, f), 4.0);
+  EXPECT_DOUBLE_EQ(ScalarDerivative(-2.0, f), -1.0);
+}
+
+TEST(DualTest, MatchesFiniteDifferencesOnComposite) {
+  auto f = [](D x) { return sin(x * x) / (D(1.0) + exp(-x)); };
+  for (double x0 : {-1.5, -0.2, 0.4, 1.1, 2.7}) {
+    const double analytic = ScalarDerivative(x0, f);
+    const double eps = 1e-6;
+    auto fv = [&](double v) {
+      return std::sin(v * v) / (1.0 + std::exp(-v));
+    };
+    const double numeric = (fv(x0 + eps) - fv(x0 - eps)) / (2 * eps);
+    EXPECT_NEAR(analytic, numeric, 1e-6) << "at x=" << x0;
+  }
+}
+
+TEST(DualTest, CompoundAssignment) {
+  D acc = D::Variable(1.0);
+  acc *= acc;       // x^2: tangent 2
+  acc += D(3.0);    // x^2+3: tangent 2
+  acc /= D(2.0);    // (x^2+3)/2: tangent 1
+  EXPECT_DOUBLE_EQ(acc.value, 2.0);
+  EXPECT_DOUBLE_EQ(acc.tangent, 1.0);
+}
+
+}  // namespace
+}  // namespace s4tf::ad

@@ -1,0 +1,42 @@
+// Finite-difference gradient checking shared by the AD tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace s4tf::ad::testing {
+
+// Central finite differences of a scalar-valued tensor function at x.
+inline std::vector<float> NumericalGradient(
+    const std::function<float(const Tensor&)>& f, const Tensor& x,
+    float eps = 1e-3f) {
+  const std::vector<float> base = x.ToVector();
+  std::vector<float> grad(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::vector<float> plus = base, minus = base;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const float fp = f(Tensor::FromVector(x.shape(), plus, x.device()));
+    const float fm = f(Tensor::FromVector(x.shape(), minus, x.device()));
+    grad[i] = (fp - fm) / (2.0f * eps);
+  }
+  return grad;
+}
+
+inline void ExpectGradientsClose(const std::vector<float>& analytic,
+                                 const std::vector<float>& numeric,
+                                 float tol = 2e-2f) {
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    const float scale =
+        std::max({1.0f, std::fabs(analytic[i]), std::fabs(numeric[i])});
+    EXPECT_NEAR(analytic[i], numeric[i], tol * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace s4tf::ad::testing

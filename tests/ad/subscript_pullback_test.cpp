@@ -1,0 +1,91 @@
+#include "ad/subscript_pullback.h"
+
+#include <gtest/gtest.h>
+
+namespace s4tf::ad {
+namespace {
+
+FloatArray MakeValues(std::size_t n) {
+  FloatArray values(n, 0.0f);
+  float* data = values.mutable_data();
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<float>(i) * 0.5f;
+  return values;
+}
+
+TEST(SubscriptPullbackTest, PrimalValuesAgree) {
+  const FloatArray values = MakeValues(10);
+  EXPECT_EQ(MyOp(values, 2, 7), 1.0f + 3.5f);
+  EXPECT_EQ(MyOpWithFunctionalPullback(values, 2, 7).value,
+            MyOp(values, 2, 7));
+  EXPECT_EQ(MyOpWithMutablePullback(values, 2, 7).value, MyOp(values, 2, 7));
+}
+
+TEST(SubscriptPullbackTest, FunctionalPullbackIsOneHot) {
+  const FloatArray values = MakeValues(6);
+  auto [value, pullback] = SubscriptWithFunctionalPullback(values, 3);
+  EXPECT_EQ(value, 1.5f);
+  const FloatArray d = pullback(2.0f);
+  EXPECT_EQ(d.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(d[i], i == 3 ? 2.0f : 0.0f);
+  }
+}
+
+TEST(SubscriptPullbackTest, MutablePullbackAccumulates) {
+  const FloatArray values = MakeValues(6);
+  auto [value, pullback] = SubscriptWithMutablePullback(values, 3);
+  (void)value;
+  FloatArray grad(6, 0.0f);
+  pullback(2.0f, grad);
+  pullback(0.5f, grad);  // accumulation, not overwrite
+  EXPECT_EQ(grad[3], 2.5f);
+  EXPECT_EQ(grad[0], 0.0f);
+}
+
+TEST(SubscriptPullbackTest, FormulationsAgreeOnMyOp) {
+  const FloatArray values = MakeValues(16);
+  for (std::size_t a = 0; a < 16; a += 3) {
+    for (std::size_t b = 1; b < 16; b += 5) {
+      auto functional = MyOpWithFunctionalPullback(values, a, b);
+      auto mutable_form = MyOpWithMutablePullback(values, a, b);
+      const FloatArray df = functional.pullback(1.0f);
+      FloatArray dm(16, 0.0f);
+      mutable_form.pullback(1.0f, dm);
+      EXPECT_TRUE(df == dm) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(SubscriptPullbackTest, RepeatedIndexDoublesGradient) {
+  // myOp(values, i, i) = 2 * values[i]; gradient at i must be 2.
+  const FloatArray values = MakeValues(8);
+  auto functional = MyOpWithFunctionalPullback(values, 4, 4);
+  auto mutable_form = MyOpWithMutablePullback(values, 4, 4);
+  EXPECT_EQ(functional.pullback(1.0f)[4], 2.0f);
+  FloatArray dm(8, 0.0f);
+  mutable_form.pullback(1.0f, dm);
+  EXPECT_EQ(dm[4], 2.0f);
+}
+
+TEST(SubscriptPullbackTest, MutablePullbackAllocatesNothing) {
+  const FloatArray values = MakeValues(1000);
+  auto mutable_form = MyOpWithMutablePullback(values, 10, 20);
+  FloatArray grad(1000, 0.0f);
+  grad.mutable_data();  // force uniqueness before measuring
+  vs::CowStatsScope stats;
+  for (int i = 0; i < 100; ++i) mutable_form.pullback(1.0f, grad);
+  EXPECT_EQ(stats.delta().buffer_allocations, 0);  // O(1), zero alloc
+  EXPECT_EQ(stats.delta().deep_copies, 0);
+}
+
+TEST(SubscriptPullbackTest, FunctionalPullbackAllocatesPerCall) {
+  const FloatArray values = MakeValues(1000);
+  auto functional = MyOpWithFunctionalPullback(values, 10, 20);
+  vs::CowStatsScope stats;
+  for (int i = 0; i < 10; ++i) functional.pullback(1.0f);
+  // 3 arrays per call: two one-hots plus the sum.
+  EXPECT_EQ(stats.delta().buffer_allocations, 30);
+}
+
+}  // namespace
+}  // namespace s4tf::ad

@@ -1,0 +1,315 @@
+#include "ad/tape.h"
+
+#include <cmath>
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "ad/operators.h"
+#include "gradient_check.h"
+
+namespace s4tf::ad {
+namespace {
+
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+TEST(TapeTest, GradientOfSquareSum) {
+  // f(x) = sum(x^2); df/dx = 2x.
+  const Tensor x = Tensor::FromVector(Shape({3}), {1, -2, 3});
+  const auto [value, grad] =
+      ValueWithGradient(x, [](const Tensor& t) { return ReduceSum(Square(t)); });
+  EXPECT_NEAR(value.ScalarValue(), 14.0f, 1e-5);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{2, -4, 6}));
+}
+
+TEST(TapeTest, GradientThroughChain) {
+  // f(x) = sum(exp(2x)); df/dx = 2 exp(2x).
+  const Tensor x = Tensor::FromVector(Shape({2}), {0.0f, 1.0f});
+  const Tensor grad =
+      GradientAt(x, [](const Tensor& t) { return ReduceSum(Exp(t * 2.0f)); });
+  const auto g = grad.ToVector();
+  EXPECT_NEAR(g[0], 2.0f, 1e-4);
+  EXPECT_NEAR(g[1], 2.0f * std::exp(2.0f), 1e-3);
+}
+
+TEST(TapeTest, ConstantsAreNotVaried) {
+  // Ops on unwatched tensors are skipped (activity analysis: not varied).
+  const Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  const Tensor c = Tensor::FromVector(Shape({2}), {5, 5});
+  GradientTape tape;
+  Tensor watched = x;
+  tape.Watch(watched);
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    Tensor unrelated = c * c;  // must not be recorded
+    loss = ReduceSum(watched * c) + ReduceSum(unrelated) * 0.0f;
+  }
+  const auto grads = tape.ComputeGradients(loss);
+  EXPECT_EQ(tape.GradientFor(grads, watched).ToVector(),
+            (std::vector<float>{5, 5}));
+}
+
+TEST(TapeTest, LossIndependentOfParameterGivesZeros) {
+  const Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  const auto [value, grad] = ValueWithGradient(x, [](const Tensor&) {
+    return Tensor::Full(Shape({}), 3.0f);
+  });
+  EXPECT_EQ(value.ScalarValue(), 3.0f);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{0, 0}));
+}
+
+TEST(TapeTest, FanOutAccumulatesGradients) {
+  // f(x) = sum(x * x) where x is used twice through separate paths.
+  const Tensor x = Tensor::FromVector(Shape({2}), {3, 4});
+  const Tensor grad = GradientAt(x, [](const Tensor& t) {
+    const Tensor a = t * 2.0f;
+    const Tensor b = t * 3.0f;
+    return ReduceSum(a + b);  // d/dx = 5
+  });
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{5, 5}));
+}
+
+TEST(TapeTest, NonScalarLossRejected) {
+  const Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  EXPECT_THROW(ValueWithGradient(x, [](const Tensor& t) { return t * 2.0f; }),
+               InternalError);
+}
+
+TEST(TapeTest, SecondGradientCallIsIdempotent) {
+  GradientTape tape;
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  tape.Watch(x);
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    loss = ReduceSum(Square(x));
+  }
+  const auto g1 = tape.ComputeGradients(loss);
+  const auto g2 = tape.ComputeGradients(loss);
+  EXPECT_EQ(tape.GradientFor(g1, x).ToVector(),
+            tape.GradientFor(g2, x).ToVector());
+}
+
+TEST(TapeTest, UnbroadcastReducesCorrectAxes) {
+  const Tensor g = Tensor::Ones(Shape({2, 3}));
+  EXPECT_EQ(Unbroadcast(g, Shape({3})).ToVector(),
+            (std::vector<float>{2, 2, 2}));
+  EXPECT_EQ(Unbroadcast(g, Shape({2, 1})).ToVector(),
+            (std::vector<float>{3, 3}));
+  EXPECT_EQ(Unbroadcast(g, Shape({})).ScalarValue(), 6.0f);
+  EXPECT_EQ(Unbroadcast(g, Shape({2, 3})).ToVector(),
+            std::vector<float>(6, 1.0f));
+}
+
+TEST(TapeTest, BroadcastingOpsGetCorrectGradients) {
+  // loss = sum(m + row): d(row) must sum over the broadcast rows.
+  const Tensor m = Tensor::Zeros(Shape({4, 3}));
+  const Tensor row = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  const auto [loss, grad] = ValueWithGradient(row, [&](const Tensor& r) {
+    return ReduceSum(m + r);
+  });
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{4, 4, 4}));
+}
+
+TEST(TapeTest, CustomDerivativeOverridesDecomposition) {
+  // Primal computes x^2 but the registered derivative claims 10x; the
+  // reverse pass must use the custom rule (base-case termination, §2.1).
+  auto f = WithCustomDerivative(
+      [](const Tensor& x) { return ReduceSum(Square(x)); },
+      [](const Tensor& x, const Tensor&, const Tensor& grad) {
+        return grad * x * 10.0f;
+      });
+  const Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  const Tensor grad = GradientAt(x, f);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{10, 20}));
+}
+
+TEST(TapeTest, CustomDerivativeBodyIsNotRecorded) {
+  // The primal body's internal ops must not appear on the tape.
+  GradientTape tape;
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  tape.Watch(x);
+  auto f = WithCustomDerivative(
+      [](const Tensor& t) {
+        Tensor acc = t;
+        for (int i = 0; i < 20; ++i) acc = acc * 1.0f;  // 20 internal ops
+        return ReduceSum(acc);
+      },
+      [](const Tensor&, const Tensor&, const Tensor& grad) {
+        return grad * 1.0f;
+      });
+  {
+    RecorderScope scope(&tape);
+    f(x);
+  }
+  // 1 watch node + 1 custom-call node only.
+  EXPECT_EQ(tape.num_nodes(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: analytic tape gradients match finite differences for a
+// library of composite functions (the AD system's core correctness
+// invariant).
+
+struct GradCheckCase {
+  const char* name;
+  Shape shape;
+  std::function<Tensor(const Tensor&)> f;
+};
+
+class TapeGradCheckTest : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(TapeGradCheckTest, MatchesFiniteDifferences) {
+  const auto& c = GetParam();
+  Rng rng(1234);
+  // Inputs in (0.3, 1.3) keep log/sqrt/div well-conditioned.
+  const Tensor x = Tensor::RandomUniform(c.shape, rng, 0.3f, 1.3f);
+  const auto [value, grad] = ValueWithGradient(x, c.f);
+  (void)value;
+  const auto numeric = NumericalGradient(
+      [&](const Tensor& t) { return c.f(t).ScalarValue(); }, x);
+  ExpectGradientsClose(grad.ToVector(), numeric);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, TapeGradCheckTest,
+    ::testing::Values(
+        GradCheckCase{"sum_square", Shape({5}),
+                      [](const Tensor& t) { return ReduceSum(Square(t)); }},
+        GradCheckCase{"exp_log", Shape({4}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Exp(t) + Log(t));
+                      }},
+        GradCheckCase{"tanh_sigmoid", Shape({6}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Tanh(t) * Sigmoid(t));
+                      }},
+        GradCheckCase{"sqrt_rsqrt", Shape({4}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Sqrt(t) + Rsqrt(t));
+                      }},
+        GradCheckCase{"div_chain", Shape({3}),
+                      [](const Tensor& t) {
+                        return ReduceSum(t / (t + 1.0f));
+                      }},
+        GradCheckCase{"relu_leaky", Shape({8}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Relu(t - 0.8f) +
+                                         LeakyRelu(t - 0.8f, 0.1f));
+                      }},
+        GradCheckCase{"softmax_weighted", Shape({2, 4}),
+                      [](const Tensor& t) {
+                        const Tensor w = Tensor::FromVector(
+                            Shape({2, 4}),
+                            {1, 2, 3, 4, 4, 3, 2, 1}, t.device());
+                        return ReduceSum(Softmax(t) * w);
+                      }},
+        GradCheckCase{"log_softmax_pick", Shape({2, 3}),
+                      [](const Tensor& t) {
+                        const Tensor w = Tensor::FromVector(
+                            Shape({2, 3}), {1, 0, 0, 0, 1, 0}, t.device());
+                        return ReduceSum(LogSoftmax(t) * w);
+                      }},
+        GradCheckCase{"matmul_quadratic", Shape({3, 3}),
+                      [](const Tensor& t) {
+                        return ReduceSum(MatMul(t, Transposed(t)));
+                      }},
+        GradCheckCase{"reduce_mean_axes", Shape({2, 3}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Square(ReduceMean(t, {0})));
+                      }},
+        GradCheckCase{"reduce_max", Shape({2, 3}),
+                      [](const Tensor& t) {
+                        return ReduceSum(ReduceMax(t * 3.0f, {1}));
+                      }},
+        GradCheckCase{"slice_pad", Shape({3, 4}),
+                      [](const Tensor& t) {
+                        return ReduceSum(
+                            Square(Slice(t, {1, 1}, {2, 2})));
+                      }},
+        GradCheckCase{"concat_paths", Shape({2, 2}),
+                      [](const Tensor& t) {
+                        return ReduceSum(
+                            Square(Concat({t, t * 2.0f}, 1)));
+                      }},
+        GradCheckCase{"transpose_mix", Shape({2, 3}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Transpose(t, {1, 0}) *
+                                         Transpose(Square(t), {1, 0}));
+                      }},
+        GradCheckCase{"broadcast_mul", Shape({3}),
+                      [](const Tensor& t) {
+                        const Tensor m = Tensor::Ones(Shape({4, 3}));
+                        return ReduceSum(Square(m * t));
+                      }},
+        GradCheckCase{"maximum_minimum", Shape({6}),
+                      [](const Tensor& t) {
+                        return ReduceSum(Maximum(t, 0.8f - t) +
+                                         Minimum(t * 2.0f, t + 0.1f));
+                      }},
+        GradCheckCase{"select_mask", Shape({5}),
+                      [](const Tensor& t) {
+                        const Tensor mask = Greater(t, 0.8f + t * 0.0f);
+                        return ReduceSum(Select(mask, Square(t), t * 3.0f));
+                      }},
+        GradCheckCase{"pow_scalar", Shape({4}),
+                      [](const Tensor& t) {
+                        return ReduceSum(ApplyOp(OpKind::kPowScalar, {t},
+                                                 OpAttrs{.scalar = 3.0f}));
+                      }}),
+    [](const ::testing::TestParamInfo<GradCheckCase>& info) {
+      return info.param.name;
+    });
+
+struct ConvGradCase {
+  const char* name;
+  Shape input;
+  std::function<Tensor(const Tensor&)> f;
+};
+
+class ConvPoolGradTest : public ::testing::TestWithParam<ConvGradCase> {};
+
+TEST_P(ConvPoolGradTest, MatchesFiniteDifferences) {
+  const auto& c = GetParam();
+  Rng rng(77);
+  const Tensor x = Tensor::RandomUniform(c.input, rng, -1.0f, 1.0f);
+  const auto [value, grad] = ValueWithGradient(x, c.f);
+  (void)value;
+  const auto numeric = NumericalGradient(
+      [&](const Tensor& t) { return c.f(t).ScalarValue(); }, x, 1e-2f);
+  ExpectGradientsClose(grad.ToVector(), numeric, 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConvPoolGradTest,
+    ::testing::Values(
+        ConvGradCase{"conv_input", Shape({1, 5, 5, 2}),
+                     [](const Tensor& t) {
+                       Rng wrng(5);
+                       const Tensor f = Tensor::RandomUniform(
+                           Shape({3, 3, 2, 3}), wrng, -0.5f, 0.5f);
+                       return ReduceSum(Square(Conv2D(t, f)));
+                     }},
+        ConvGradCase{"conv_filter", Shape({3, 3, 2, 2}),
+                     [](const Tensor& t) {
+                       Rng xrng(6);
+                       const Tensor x = Tensor::RandomUniform(
+                           Shape({1, 5, 5, 2}), xrng, -0.5f, 0.5f);
+                       return ReduceSum(Square(
+                           Conv2D(x, t, {.padding = Padding::kSame})));
+                     }},
+        ConvGradCase{"avg_pool", Shape({1, 4, 4, 2}),
+                     [](const Tensor& t) {
+                       return ReduceSum(Square(AvgPool2D(t)));
+                     }},
+        ConvGradCase{"max_pool", Shape({1, 4, 4, 1}),
+                     [](const Tensor& t) {
+                       return ReduceSum(Square(MaxPool2D(t)));
+                     }}),
+    [](const ::testing::TestParamInfo<ConvGradCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace s4tf::ad

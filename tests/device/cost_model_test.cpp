@@ -1,0 +1,85 @@
+#include "device/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "device/sim_accelerator.h"
+
+namespace s4tf {
+namespace {
+
+TEST(CostModelTest, RooflineTakesMaxOfComputeAndMemory) {
+  AcceleratorSpec spec;
+  spec.peak_flops = 1e9;
+  spec.memory_bandwidth = 1e9;
+  // Compute bound: 1e9 flops over 8 bytes.
+  EXPECT_DOUBLE_EQ(KernelSeconds(spec, 1'000'000'000, 8), 1.0);
+  // Memory bound: 8 flops over 1e9 bytes.
+  EXPECT_DOUBLE_EQ(KernelSeconds(spec, 8, 1'000'000'000), 1.0);
+}
+
+TEST(CostModelTest, OpBytesCountsInputsAndOutput) {
+  EXPECT_EQ(OpBytes({Shape({10}), Shape({10})}, Shape({10})), 3 * 10 * 4);
+  EXPECT_EQ(OpBytes({}, Shape({2, 2})), 16);
+}
+
+TEST(CostModelTest, AllReduceScalesWithReplicas) {
+  const AcceleratorSpec spec = AcceleratorSpec::TpuV3Core();
+  const std::int64_t bytes = 100 << 20;  // 100 MB of gradients
+  EXPECT_DOUBLE_EQ(AllReduceSeconds(spec, bytes, 1), 0.0);
+  const double t16 = AllReduceSeconds(spec, bytes, 16);
+  const double t32 = AllReduceSeconds(spec, bytes, 32);
+  const double t128 = AllReduceSeconds(spec, bytes, 128);
+  EXPECT_GT(t16, 0.0);
+  EXPECT_GT(t32, t16);
+  EXPECT_GT(t128, t32);
+  // Ring algorithm: volume term saturates at 2x bytes/bandwidth, so the
+  // 128-replica time is far less than 8x the 16-replica time.
+  EXPECT_LT(t128, 2.0 * t16);
+}
+
+TEST(CostModelTest, HardwareSpecsAreOrdered) {
+  // TPU core beats GTX 1080 beats mobile CPU on peak compute.
+  EXPECT_GT(AcceleratorSpec::TpuV3Core().peak_flops,
+            AcceleratorSpec::Gtx1080().peak_flops);
+  EXPECT_GT(AcceleratorSpec::Gtx1080().peak_flops,
+            AcceleratorSpec::MobileCpu().peak_flops);
+}
+
+TEST(SimAcceleratorTest, ChargesLaunchPlusRoofline) {
+  AcceleratorSpec spec;
+  spec.peak_flops = 1e9;
+  spec.memory_bandwidth = 1e12;
+  spec.kernel_launch_overhead = 1e-3;
+  SimAccelerator accel(spec);
+  accel.ChargeKernel(1'000'000, 8);  // 1ms compute + 1ms launch
+  EXPECT_NEAR(accel.elapsed_seconds(), 2e-3, 1e-9);
+  EXPECT_EQ(accel.kernels_launched(), 1);
+}
+
+TEST(SimAcceleratorTest, FusionSavesLaunchesAndTraffic) {
+  AcceleratorSpec spec;
+  spec.peak_flops = 1e15;  // compute free
+  spec.memory_bandwidth = 1e9;
+  spec.kernel_launch_overhead = 1e-3;
+  SimAccelerator unfused(spec);
+  SimAccelerator fused(spec);
+  // Ten chained elementwise ops over 1 MB: unfused pays 10 launches and
+  // 2 MB traffic each; fused pays one launch and 2 MB total.
+  for (int i = 0; i < 10; ++i) unfused.ChargeKernel(0, 2 << 20);
+  fused.ChargeFusedKernel(0, 2 << 20);
+  EXPECT_GT(unfused.elapsed_seconds(), 5.0 * fused.elapsed_seconds());
+}
+
+TEST(SimAcceleratorTest, ResetClearsClockAndCounters) {
+  SimAccelerator accel(AcceleratorSpec::Gtx1080());
+  accel.ChargeKernel(1000, 1000);
+  accel.ChargeAllReduce(1 << 20, 8);
+  accel.ChargeStall(0.5);
+  EXPECT_GT(accel.elapsed_seconds(), 0.0);
+  accel.Reset();
+  EXPECT_EQ(accel.elapsed_seconds(), 0.0);
+  EXPECT_EQ(accel.kernels_launched(), 0);
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,118 @@
+#include "eager/eager_backend.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace s4tf {
+namespace {
+
+TEST(EagerBackendTest, ProducesSameResultsAsNaive) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Rng rng(5);
+  const Tensor a_cpu = Tensor::RandomUniform(Shape({4, 4}), rng, -1, 1);
+  const Tensor b_cpu = Tensor::RandomUniform(Shape({4, 4}), rng, -1, 1);
+  const Tensor naive = Relu(MatMul(a_cpu, b_cpu) * 2.0f + 1.0f);
+
+  const Tensor a = a_cpu.To(eager);
+  const Tensor b = b_cpu.To(eager);
+  const Tensor result = Relu(MatMul(a, b) * 2.0f + 1.0f);
+  EXPECT_EQ(result.device().kind(), DeviceKind::kEager);
+  EXPECT_EQ(result.ToVector(), naive.ToVector());
+}
+
+TEST(EagerBackendTest, DispatchReturnsBeforeExecution) {
+  // "Control is returned to the user's program before the kernel
+  // finishes": enqueue a chain and observe pending work before syncing.
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Full(Shape({64, 64}), 1.0f, eager);
+  float expected = 1.0f;
+  for (int i = 0; i < 50; ++i) {
+    x = x * 1.01f + 0.001f;  // two ops per iteration
+    expected = expected * 1.01f + 0.001f;
+  }
+  EXPECT_EQ(backend.ops_dispatched(), 100);
+  backend.Sync(eager);
+  EXPECT_EQ(backend.pending_ops(), 0u);
+  EXPECT_NEAR(x.At({0, 0}), expected, 0.01f);
+}
+
+TEST(EagerBackendTest, ObservationBlocksUntilReady) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Full(Shape({8}), 2.0f, eager);
+  Tensor y = Square(x) + 1.0f;
+  // ToVector must return the correct value regardless of queue state.
+  EXPECT_EQ(y.ToVector(), std::vector<float>(8, 5.0f));
+}
+
+TEST(EagerBackendTest, HostTimeChargedPerOp) {
+  EagerOptions options;
+  options.dispatch_overhead_seconds = 1e-3;
+  EagerBackend backend(options);
+  const Device eager = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), eager);
+  for (int i = 0; i < 10; ++i) x = x + 1.0f;
+  backend.Sync(eager);
+  EXPECT_NEAR(backend.host_seconds(), 10e-3, 1e-9);
+  EXPECT_GT(backend.device_seconds(), 0.0);
+}
+
+TEST(EagerBackendTest, NoFusionMeansOneKernelPerOp) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Ones(Shape({16}), eager);
+  for (int i = 0; i < 7; ++i) x = Relu(x * 2.0f);
+  backend.Sync(eager);
+  EXPECT_EQ(backend.ops_dispatched(), 14);
+  EXPECT_GE(backend.device_seconds(),
+            14 * backend.device_seconds() / 15);  // all 14 launched
+}
+
+TEST(EagerBackendTest, ConstantsAreImmediatelyReady) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  const Tensor c = Tensor::Full(Shape({3}), 7.0f, eager);
+  auto* impl = dynamic_cast<EagerImpl*>(c.impl().get());
+  ASSERT_NE(impl, nullptr);
+  EXPECT_TRUE(impl->buffer()->ready());
+  EXPECT_EQ(backend.ops_dispatched(), 0);
+}
+
+TEST(EagerBackendTest, ResetStatsDrainsAndZeroes) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), eager);
+  x = x + x;
+  backend.ResetStats();
+  EXPECT_EQ(backend.ops_dispatched(), 0);
+  EXPECT_EQ(backend.host_seconds(), 0.0);
+  EXPECT_EQ(backend.device_seconds(), 0.0);
+}
+
+TEST(EagerBackendTest, PipelineDepthWatermarkTracksRunAhead) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Full(Shape({256, 256}), 1.0f, eager);
+  // Big matmuls keep the worker busy while the host enqueues ahead.
+  for (int i = 0; i < 8; ++i) x = MatMul(x, x) * 1e-3f;
+  backend.Sync(eager);
+  EXPECT_GE(backend.max_pipeline_depth(), 2u);  // host ran ahead
+  backend.ResetStats();
+  EXPECT_EQ(backend.max_pipeline_depth(), 0u);
+}
+
+TEST(EagerBackendTest, DeepPipelineKeepsFifoCorrectness) {
+  // A long dependency chain through the async queue must retire in order.
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Full(Shape({1}), 0.0f, eager);
+  for (int i = 0; i < 200; ++i) x = x + 1.0f;
+  EXPECT_EQ(x.ScalarValue(), 200.0f);
+}
+
+}  // namespace
+}  // namespace s4tf

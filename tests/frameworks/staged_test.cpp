@@ -1,0 +1,113 @@
+#include "frameworks/staged.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/datasets.h"
+#include "nn/models/lenet.h"
+#include "frameworks/profiles.h"
+
+namespace s4tf::frameworks {
+namespace {
+
+TEST(StagedTrainStepTest, MatchesDirectTrainingLossTrajectory) {
+  // Graph-mode staged execution must compute the exact same training
+  // trajectory as the direct (naive-device) tape loop.
+  const auto dataset = nn::SyntheticImageDataset::Mnist(32, 99);
+  const float lr = 0.05f;
+
+  // Reference: direct training on the naive device.
+  Rng rng1(7);
+  nn::LeNet reference(rng1);
+  nn::SGD<nn::LeNet> sgd(lr);
+  std::vector<float> reference_losses;
+  for (int step = 0; step < 3; ++step) {
+    const auto batch = dataset.Batch(step, 8, NaiveDevice());
+    reference_losses.push_back(nn::TrainStep(
+        reference, sgd, [&batch](const nn::LeNet& m) {
+          return nn::SoftmaxCrossEntropy(m(batch.images), batch.one_hot);
+        }));
+  }
+
+  // Staged: compile once, re-run with fresh batches.
+  Rng rng2(7);
+  const nn::LeNet model(rng2);
+  StagedOptions options;
+  options.learning_rate = lr;
+  StagedTrainStep<nn::LeNet> staged(model, Shape({8, 28, 28, 1}), 10,
+                                    options);
+  for (int step = 0; step < 3; ++step) {
+    const auto batch = dataset.Batch(step, 8, NaiveDevice());
+    const float loss =
+        staged.Run(batch.images.ToLiteral(), batch.one_hot.ToLiteral());
+    EXPECT_NEAR(loss, reference_losses[static_cast<std::size_t>(step)], 1e-3f)
+        << "step " << step;
+  }
+}
+
+TEST(StagedTrainStepTest, CompilesExactlyOnce) {
+  Rng rng(8);
+  const nn::LeNet model(rng);
+  StagedTrainStep<nn::LeNet> staged(model, Shape({4, 28, 28, 1}), 10);
+  const double compile_cost = staged.compile_seconds();
+  EXPECT_GT(compile_cost, 0.0);
+  const auto dataset = nn::SyntheticImageDataset::Mnist(16, 3);
+  for (int step = 0; step < 4; ++step) {
+    const auto batch = dataset.Batch(step, 4, NaiveDevice());
+    staged.Run(batch.images.ToLiteral(), batch.one_hot.ToLiteral());
+  }
+  EXPECT_EQ(staged.compile_seconds(), compile_cost);  // no recompiles
+  EXPECT_EQ(staged.steps(), 4);
+}
+
+TEST(StagedTrainStepTest, HostCostIsPerStepNotPerOp) {
+  Rng rng(9);
+  const nn::LeNet model(rng);
+  StagedOptions options;
+  options.session_overhead_seconds = 1e-3;
+  StagedTrainStep<nn::LeNet> staged(model, Shape({4, 28, 28, 1}), 10,
+                                    options);
+  const auto dataset = nn::SyntheticImageDataset::Mnist(16, 3);
+  for (int step = 0; step < 5; ++step) {
+    const auto batch = dataset.Batch(step, 4, NaiveDevice());
+    staged.Run(batch.images.ToLiteral(), batch.one_hot.ToLiteral());
+  }
+  EXPECT_NEAR(staged.host_seconds(), 5e-3, 1e-9);
+  // The program has hundreds of instructions; per-op pricing would cost
+  // orders of magnitude more host time.
+  EXPECT_GT(staged.program_size(), 100);
+}
+
+TEST(StagedTrainStepTest, WeightsEvolve) {
+  Rng rng(10);
+  const nn::LeNet model(rng);
+  StagedTrainStep<nn::LeNet> staged(model, Shape({4, 28, 28, 1}), 10);
+  const auto before = staged.weights()[0].data.ToVector();
+  const auto dataset = nn::SyntheticImageDataset::Mnist(16, 4);
+  const auto batch = dataset.Batch(0, 4, NaiveDevice());
+  staged.Run(batch.images.ToLiteral(), batch.one_hot.ToLiteral());
+  EXPECT_NE(staged.weights()[0].data.ToVector(), before);
+}
+
+TEST(ProfilesTest, Table3OrderingConstants) {
+  // The host-cost constants must preserve the paper's structure: S4TF
+  // eager has the heaviest per-op path; PyTorch the lightest; lazy traces
+  // cheaper than eager dispatches.
+  EXPECT_GT(S4tfEagerProfile().per_op_host_seconds,
+            S4tfLazyProfile().per_op_host_seconds);
+  EXPECT_GT(S4tfEagerProfile().per_op_host_seconds,
+            PyTorchLikeProfile().per_op_host_seconds);
+  EXPECT_FALSE(PyTorchLikeProfile().fusion);
+  EXPECT_TRUE(S4tfLazyProfile().fusion);
+  EXPECT_EQ(TensorFlowGraphProfile().strategy,
+            ExecutionStrategy::kStagedGraph);
+}
+
+TEST(ProfilesTest, Table2EfficiencyOrdering) {
+  EXPECT_GT(Table2TensorFlowProfile().device_efficiency,
+            Table2JaxFlaxProfile().device_efficiency);
+  EXPECT_NEAR(Table2JaxFlaxProfile().device_efficiency,
+              Table2S4tfProfile().device_efficiency, 0.1);
+}
+
+}  // namespace
+}  // namespace s4tf::frameworks

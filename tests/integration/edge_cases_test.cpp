@@ -1,0 +1,205 @@
+// Edge-case and failure-injection coverage across the stack.
+#include <atomic>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "ad/operators.h"
+#include "eager/eager_backend.h"
+#include "lazy/lazy_tensor.h"
+#include "tensor/ops.h"
+
+namespace s4tf {
+namespace {
+
+// --- Degenerate shapes.
+
+TEST(EdgeCaseTest, ZeroElementTensors) {
+  const Tensor empty = Tensor::Zeros(Shape({0, 3}));
+  EXPECT_EQ(empty.NumElements(), 0);
+  const Tensor doubled = empty * 2.0f;
+  EXPECT_EQ(doubled.shape(), Shape({0, 3}));
+  EXPECT_TRUE(doubled.ToVector().empty());
+  // Reducing an empty axis still works (sum of nothing is zero).
+  EXPECT_EQ(ReduceSum(empty).ScalarValue(), 0.0f);
+}
+
+TEST(EdgeCaseTest, SingleElementEverything) {
+  const Tensor one = Tensor::Full(Shape({1, 1}), 3.0f);
+  EXPECT_EQ(MatMul(one, one).ScalarValue(), 9.0f);
+  EXPECT_EQ(Softmax(one).ToVector(), (std::vector<float>{1.0f}));
+  EXPECT_EQ(Transposed(one).shape(), Shape({1, 1}));
+}
+
+TEST(EdgeCaseTest, ScalarBroadcastEverywhere) {
+  const Tensor scalar = Tensor(2.0f);
+  const Tensor mat = Tensor::Ones(Shape({3, 4}));
+  EXPECT_EQ((scalar * mat).shape(), Shape({3, 4}));
+  EXPECT_EQ((mat + scalar).At({2, 3}), 3.0f);
+  EXPECT_EQ(Maximum(scalar, mat).At({0, 0}), 2.0f);
+}
+
+TEST(EdgeCaseTest, DeepReshapeChainSharesOneBuffer) {
+  vs::CowStatsScope stats;
+  Tensor t = Tensor::Ones(Shape({24}));
+  const auto base_allocs = stats.delta().buffer_allocations;
+  t = Reshape(t, Shape({2, 12}));
+  t = Reshape(t, Shape({4, 6}));
+  t = Reshape(t, Shape({2, 3, 4}));
+  t = Reshape(t, Shape({24}));
+  // Reshape is O(1): no new data buffers beyond the original.
+  EXPECT_EQ(stats.delta().buffer_allocations, base_allocs);
+  EXPECT_EQ(t.ToVector(), std::vector<float>(24, 1.0f));
+}
+
+// --- Gradient edge cases.
+
+TEST(EdgeCaseTest, GradientThroughZeroElementBranchIsZero) {
+  const Tensor x = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+  const auto [value, grad] = ad::ValueWithGradient(x, [](const Tensor& t) {
+    const Tensor empty = Slice(t, {0}, {0});  // zero-length slice
+    return ReduceSum(Square(t)) + ReduceSum(empty);
+  });
+  EXPECT_EQ(value.ScalarValue(), 30.0f);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{2, 4, 6, 8}));
+}
+
+TEST(EdgeCaseTest, ReluGradientAtExactlyZero) {
+  // Subgradient convention: d/dx relu(0) == 0 (Greater(0,0) == 0).
+  const Tensor x = Tensor::FromVector(Shape({3}), {-1.0f, 0.0f, 1.0f});
+  const Tensor grad =
+      ad::GradientAt(x, [](const Tensor& t) { return ReduceSum(Relu(t)); });
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{0, 0, 1}));
+}
+
+TEST(EdgeCaseTest, NestedGradientScopesAreIndependent) {
+  // A gradient computed inside another gradient's function sees its own
+  // tape only (inner RecorderScope shadows the outer one).
+  const Tensor x = Tensor::FromVector(Shape({2}), {2.0f, 3.0f});
+  const auto [value, grad] = ad::ValueWithGradient(x, [](const Tensor& t) {
+    // Inner, independent gradient of y -> sum(y^2) at a constant point.
+    const Tensor inner_point = Tensor::FromVector(Shape({2}), {1.0f, 1.0f},
+                                                  t.device());
+    const Tensor inner_grad = ad::GradientAt(
+        inner_point, [](const Tensor& y) { return ReduceSum(Square(y)); });
+    // Use the inner gradient (a constant w.r.t. t) in the outer loss.
+    return ReduceSum(t * inner_grad);  // = sum(t * 2)
+  });
+  EXPECT_EQ(value.ScalarValue(), 10.0f);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{2, 2}));
+}
+
+TEST(EdgeCaseTest, WatchingTheSameTensorTwiceIsHarmless) {
+  ad::GradientTape tape;
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  tape.Watch(x);
+  tape.Watch(x);  // re-watch: new node, same semantics
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    loss = ReduceSum(Square(x));
+  }
+  const auto grads = tape.ComputeGradients(loss);
+  EXPECT_EQ(tape.GradientFor(grads, x).ToVector(),
+            (std::vector<float>{2, 4}));
+}
+
+// --- Lazy device edge cases.
+
+TEST(EdgeCaseTest, DiamondTraceDeduplicatesViaCse) {
+  // The same subexpression reached through two paths compiles once.
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor x = Tensor::Ones(Shape({64}), lazy);
+  const Tensor shared = Exp(x * 0.5f);
+  const Tensor left = shared + 1.0f;
+  const Tensor right = shared * 2.0f;
+  const Tensor result = left + right;
+  EXPECT_NEAR(result.At({0}),
+              (std::exp(0.5f) + 1.0f) + 2.0f * std::exp(0.5f), 1e-5f);
+}
+
+TEST(EdgeCaseTest, ObservingTwiceComputesOnce) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor y = Exp(Tensor::Ones(Shape({8}), lazy));
+  (void)y.ToVector();
+  const auto kernels = backend.kernels_launched();
+  (void)y.ToVector();  // cached literal, no recompute
+  (void)y.At({3});
+  EXPECT_EQ(backend.kernels_launched(), kernels);
+}
+
+TEST(EdgeCaseTest, MixedMaterializedAndPendingTraces) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor a = Tensor::Ones(Shape({4}), lazy) * 2.0f;
+  (void)a.ToVector();  // a is now a cached leaf
+  const Tensor b = a + 1.0f;
+  const Tensor c = b * a;  // mixes cached leaf with pending nodes
+  EXPECT_EQ(c.ToVector(), std::vector<float>(4, 6.0f));
+}
+
+TEST(EdgeCaseTest, BarrierWithNothingPendingIsANoOp) {
+  LazyBackend backend;
+  LazyTensorBarrier(backend.device());
+  EXPECT_EQ(backend.kernels_launched(), 0);
+  EXPECT_EQ(backend.cache_misses(), 0);
+}
+
+TEST(EdgeCaseTest, HugeUnrolledTraceStillCompiles) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), lazy);
+  for (int i = 0; i < 2000; ++i) x = x * 1.0005f;
+  EXPECT_NEAR(x.At({0}), std::pow(1.0005f, 2000.0f), 0.05f);
+  EXPECT_EQ(backend.ops_traced(), 2000);
+}
+
+// --- Eager device edge cases.
+
+TEST(EdgeCaseTest, EagerResultsConsumedFromAnotherThread) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  Tensor x = Tensor::Full(Shape({16}), 1.0f, eager);
+  for (int i = 0; i < 32; ++i) x = x + 0.5f;
+  std::atomic<float> observed{0.0f};
+  std::thread consumer([&] { observed = x.At({7}); });
+  consumer.join();
+  EXPECT_FLOAT_EQ(observed.load(), 17.0f);
+}
+
+TEST(EdgeCaseTest, ManySmallEagerProgramsInterleaved) {
+  EagerBackend backend;
+  const Device eager = backend.device();
+  float total = 0.0f;
+  for (int round = 0; round < 20; ++round) {
+    Tensor a = Tensor::Full(Shape({4}), static_cast<float>(round), eager);
+    Tensor b = Relu(a - 5.0f);
+    total += ReduceSum(b).ScalarValue();  // observe mid-stream every round
+  }
+  // sum over rounds of 4*max(round-5, 0) = 4 * (1+2+...+14).
+  EXPECT_FLOAT_EQ(total, 4.0f * 105.0f);
+}
+
+// --- Recorder hook contract.
+
+TEST(EdgeCaseTest, NoRecordScopeSuppressesNestedRecording) {
+  ad::GradientTape tape;
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  tape.Watch(x);
+  {
+    RecorderScope scope(&tape);
+    {
+      NoRecordScope off;
+      Tensor hidden = Square(x);  // not recorded
+      (void)hidden;
+      EXPECT_EQ(GetRecorder(), nullptr);
+    }
+    EXPECT_EQ(GetRecorder(), &tape);
+  }
+  EXPECT_EQ(tape.num_nodes(), 1);  // only the watch node
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,170 @@
+#include "lazy/lazy_tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "ad/operators.h"
+#include "tensor/ops.h"
+
+namespace s4tf {
+namespace {
+
+TEST(LazyTensorTest, NothingExecutesUntilObservation) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({32}), lazy);
+  Tensor y = Relu(x * 2.0f + 1.0f);
+  EXPECT_EQ(backend.ops_traced(), 3);
+  EXPECT_EQ(backend.kernels_launched(), 0);  // recorded, not run
+  EXPECT_EQ(y.ToVector(), std::vector<float>(32, 3.0f));  // observation
+  EXPECT_GT(backend.kernels_launched(), 0);
+}
+
+TEST(LazyTensorTest, IllusionOfEagerExecution) {
+  // The same program on naive and lazy devices is indistinguishable by
+  // results ("the code cannot distinguish when a Tensor operation is
+  // actually executed").
+  Rng rng(11);
+  const Tensor a_cpu = Tensor::RandomUniform(Shape({6, 6}), rng, -1, 1);
+  const Tensor naive =
+      Softmax(MatMul(a_cpu, Transposed(a_cpu)) * 0.5f);
+
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor a = a_cpu.To(lazy);
+  const Tensor result = Softmax(MatMul(a, Transposed(a)) * 0.5f);
+  EXPECT_EQ(result.ToVector(), naive.ToVector());
+}
+
+TEST(LazyTensorTest, TraceCacheHitsOnRetraceWithFreshData) {
+  // Each training iteration re-traces; the XLA-program cache must hit
+  // because leaf data enters as parameters (§3.4).
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  for (int step = 0; step < 5; ++step) {
+    Rng rng(static_cast<std::uint64_t>(step + 1));
+    const Tensor x =
+        Tensor::RandomUniform(Shape({16}), rng, 0, 1).To(lazy);
+    const Tensor y = ReduceSum(Square(x) * 3.0f);
+    (void)y.ScalarValue();
+  }
+  EXPECT_EQ(backend.cache_misses(), 1);
+  EXPECT_EQ(backend.cache_hits(), 4);
+}
+
+TEST(LazyTensorTest, ShapeChangeTriggersRecompilation) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  for (std::int64_t n : {8, 16, 8, 16, 8}) {
+    const Tensor x = Tensor::Ones(Shape({n}), lazy);
+    (void)ReduceSum(x * 2.0f).ScalarValue();
+  }
+  EXPECT_EQ(backend.cache_misses(), 2);  // one program per shape
+  EXPECT_EQ(backend.cache_hits(), 3);
+}
+
+TEST(LazyTensorTest, BarrierCutsTraceAndMaterializesPending) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({8}), lazy);
+  Tensor y = x * 3.0f;
+  Tensor z = y + 1.0f;
+  EXPECT_EQ(backend.kernels_launched(), 0);
+  LazyTensorBarrier(lazy);
+  EXPECT_GT(backend.kernels_launched(), 0);
+  // After the barrier the values are cached; observing launches nothing.
+  const auto launched = backend.kernels_launched();
+  EXPECT_EQ(z.ToVector(), std::vector<float>(8, 4.0f));
+  EXPECT_EQ(backend.kernels_launched(), launched);
+}
+
+TEST(LazyTensorTest, MaterializedNodeActsAsLeafForLaterTraces) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), lazy);
+  Tensor y = x * 2.0f;
+  (void)y.ToVector();  // materialize y
+  Tensor z = y + 1.0f;  // new trace rooted at cached y
+  EXPECT_EQ(z.ToVector(), std::vector<float>(4, 3.0f));
+}
+
+TEST(LazyTensorTest, ControlFlowIsUnrolledIntoTrace) {
+  // A host loop of 10 adds produces a 10-op trace (§3.4 "we fully unroll
+  // any control flow").
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), lazy);
+  for (int i = 0; i < 10; ++i) x = x + 1.0f;
+  const auto counts = SummarizeTrace({x});
+  int add_scalar = 0;
+  for (const auto& c : counts) {
+    if (c.kind == OpKind::kAddScalar) add_scalar = c.count;
+  }
+  EXPECT_EQ(add_scalar, 10);
+  EXPECT_EQ(x.ToVector(), std::vector<float>(4, 11.0f));
+}
+
+TEST(LazyTensorTest, DotExportContainsAllOps) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor x = Tensor::Ones(Shape({4}), lazy);
+  const Tensor y = Relu(x * 2.0f);
+  const std::string dot = TraceToDot({y});
+  EXPECT_NE(dot.find("digraph LazyTrace"), std::string::npos);
+  EXPECT_NE(dot.find("relu"), std::string::npos);
+  EXPECT_NE(dot.find("mul_scalar"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(LazyTensorTest, FusionReducesKernelsVsEagerOpByOp) {
+  // 20 chained elementwise ops: lazy+XLA fuses to ~1 kernel.
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({1024}), lazy);
+  for (int i = 0; i < 20; ++i) x = Tanh(x * 0.9f);
+  (void)x.ToVector();
+  EXPECT_LE(backend.kernels_launched(), 2);
+  EXPECT_EQ(backend.ops_traced(), 40);
+}
+
+TEST(LazyTensorTest, GradientTapeComposesWithLazyDevice) {
+  // The tape pullbacks are ordinary Tensor ops, so the whole backward pass
+  // lands in the same trace and is fused/compiled too.
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor x = Tensor::FromVector(Shape({3}), {1, 2, 3}, lazy);
+  const auto [value, grad] = ad::ValueWithGradient(
+      x, [](const Tensor& t) { return ReduceSum(Square(t)); });
+  EXPECT_EQ(value.ScalarValue(), 14.0f);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{2, 4, 6}));
+  EXPECT_EQ(grad.device().kind(), DeviceKind::kLazy);
+}
+
+TEST(LazyTensorTest, TracingOverheadChargedPerOpEachIteration) {
+  LazyOptions options;
+  options.trace_overhead_seconds_per_op = 1e-3;
+  LazyBackend backend(options);
+  const Device lazy = backend.device();
+  for (int step = 0; step < 3; ++step) {
+    Tensor x = Tensor::Ones(Shape({4}), lazy);
+    x = x * 2.0f + 1.0f;
+    (void)x.ToVector();
+  }
+  // 2 ops per step, 3 steps.
+  EXPECT_NEAR(backend.host_seconds(), 6e-3, 1e-9);
+}
+
+TEST(LazyTensorTest, CompileCostPaidOnceOnly) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  double after_first = 0.0;
+  for (int step = 0; step < 4; ++step) {
+    Tensor x = Tensor::Ones(Shape({64}), lazy);
+    (void)ReduceSum(Exp(x)).ScalarValue();
+    if (step == 0) after_first = backend.compile_seconds();
+  }
+  EXPECT_GT(after_first, 0.0);
+  EXPECT_EQ(backend.compile_seconds(), after_first);
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,75 @@
+#include "nn/models/autoencoder.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "nn/datasets.h"
+#include "nn/losses.h"
+#include "nn/optimizers.h"
+
+namespace s4tf::nn {
+namespace {
+
+TEST(AutoencoderTest, ShapesThroughBottleneck) {
+  Rng rng(1);
+  const Autoencoder model(64, 32, 8, rng);
+  const Tensor x = Tensor::Ones(Shape({5, 64}));
+  EXPECT_EQ(model.Encode(x).shape(), Shape({5, 8}));
+  EXPECT_EQ(model.Decode(model.Encode(x)).shape(), Shape({5, 64}));
+  EXPECT_EQ(model(x).shape(), Shape({5, 64}));
+}
+
+TEST(AutoencoderTest, ReconstructionLossDecreasesWithTraining) {
+  Rng rng(2);
+  Autoencoder model(32, 24, 6, rng);
+  // Data living on a low-dimensional manifold: mixtures of two patterns.
+  Rng data_rng(3);
+  std::vector<float> data(16 * 32);
+  for (int i = 0; i < 16; ++i) {
+    const float a = data_rng.NextFloat();
+    const float b = data_rng.NextFloat();
+    for (int j = 0; j < 32; ++j) {
+      data[static_cast<std::size_t>(i * 32 + j)] =
+          a * std::sin(0.3f * static_cast<float>(j)) +
+          b * std::cos(0.15f * static_cast<float>(j));
+    }
+  }
+  const Tensor x = Tensor::FromVector(Shape({16, 32}), data);
+  Adam<Autoencoder> optimizer(0.01f);
+  auto loss_fn = [&](const Autoencoder& m) {
+    return MeanSquaredError(m(x), x);
+  };
+  const float before = loss_fn(model).ScalarValue();
+  for (int step = 0; step < 150; ++step) {
+    auto [loss, grads] = ad::ValueWithGradient(model, loss_fn);
+    (void)loss;
+    optimizer.Update(model, grads);
+  }
+  const float after = loss_fn(model).ScalarValue();
+  EXPECT_LT(after, before * 0.05f);  // 2-D manifold fits through 6 dims
+}
+
+TEST(AutoencoderTest, LatentCodesDifferForDifferentInputs) {
+  Rng rng(4);
+  const Autoencoder model(16, 12, 4, rng);
+  Rng xr(5);
+  const Tensor a = Tensor::RandomUniform(Shape({1, 16}), xr, -1, 1);
+  const Tensor b = Tensor::RandomUniform(Shape({1, 16}), xr, -1, 1);
+  EXPECT_FALSE(AllClose(model.Encode(a), model.Encode(b)));
+}
+
+TEST(AutoencoderTest, GradientsReachEncoderThroughDecoder) {
+  Rng rng(6);
+  const Autoencoder model(8, 6, 2, rng);
+  Rng xr(7);
+  const Tensor x = Tensor::RandomUniform(Shape({4, 8}), xr, -1, 1);
+  const auto [loss, grads] = ad::ValueWithGradient(
+      model, [&](const Autoencoder& m) { return MeanSquaredError(m(x), x); });
+  (void)loss;
+  float magnitude = 0.0f;
+  for (float g : grads.encode1.weight.ToVector()) magnitude += std::fabs(g);
+  EXPECT_GT(magnitude, 0.0f);
+}
+
+}  // namespace
+}  // namespace s4tf::nn

@@ -1,0 +1,145 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "ad/operators.h"
+
+namespace s4tf::nn {
+namespace {
+
+TEST(DenseTest, ShapeAndAffineMath) {
+  Rng rng(1);
+  Dense layer(3, 2, Activation::kIdentity, rng);
+  layer.weight = Tensor::FromVector(Shape({3, 2}), {1, 0, 0, 1, 1, 1});
+  layer.bias = Tensor::FromVector(Shape({2}), {10, 20});
+  const Tensor x = Tensor::FromVector(Shape({1, 3}), {1, 2, 3});
+  EXPECT_EQ(layer(x).ToVector(), (std::vector<float>{14, 25}));
+}
+
+TEST(DenseTest, ActivationApplied) {
+  Rng rng(2);
+  Dense layer(2, 2, Activation::kRelu, rng);
+  layer.weight = Tensor::FromVector(Shape({2, 2}), {1, -1, 0, 0});
+  layer.bias = Tensor::Zeros(Shape({2}));
+  const Tensor x = Tensor::FromVector(Shape({1, 2}), {5, 0});
+  EXPECT_EQ(layer(x).ToVector(), (std::vector<float>{5, 0}));
+}
+
+TEST(Conv2DLayerTest, SamePaddingPreservesSpatialDims) {
+  Rng rng(3);
+  Conv2D layer(3, 3, 1, 4, rng, Padding::kSame, Activation::kRelu);
+  const Tensor x = Tensor::Ones(Shape({2, 8, 8, 1}));
+  EXPECT_EQ(layer(x).shape(), Shape({2, 8, 8, 4}));
+}
+
+TEST(Conv2DLayerTest, StrideHalvesDims) {
+  Rng rng(4);
+  Conv2D layer(3, 3, 2, 2, rng, Padding::kSame, Activation::kIdentity, 2);
+  const Tensor x = Tensor::Ones(Shape({1, 8, 8, 2}));
+  EXPECT_EQ(layer(x).shape(), Shape({1, 4, 4, 2}));
+}
+
+TEST(Conv2DLayerTest, BiasAdded) {
+  Rng rng(5);
+  Conv2D layer(1, 1, 1, 1, rng);
+  layer.filter = Tensor::FromVector(Shape({1, 1, 1, 1}), {0.0f});
+  layer.bias = Tensor::FromVector(Shape({1}), {3.5f});
+  const Tensor x = Tensor::Ones(Shape({1, 2, 2, 1}));
+  EXPECT_EQ(layer(x).ToVector(), std::vector<float>(4, 3.5f));
+}
+
+TEST(PoolLayerTest, AvgAndMax) {
+  const Tensor x = Tensor::FromVector(
+      Shape({1, 2, 2, 1}), {1, 3, 5, 7});
+  AvgPool2D avg;
+  MaxPool2D max;
+  EXPECT_EQ(avg(x).ToVector(), (std::vector<float>{4}));
+  EXPECT_EQ(max(x).ToVector(), (std::vector<float>{7}));
+}
+
+TEST(FlattenTest, CollapsesAllButBatch) {
+  Flatten flatten;
+  EXPECT_EQ(flatten(Tensor::Ones(Shape({3, 4, 5, 2}))).shape(),
+            Shape({3, 40}));
+}
+
+TEST(DropoutTest, IdentityAtInference) {
+  Dropout dropout{0.5f};
+  const Tensor x = Tensor::Ones(Shape({100}));
+  EXPECT_EQ(dropout(x).ToVector(), x.ToVector());
+}
+
+TEST(DropoutTest, MasksAndRescalesInTraining) {
+  Dropout dropout{0.5f};
+  const Tensor x = Tensor::Ones(Shape({4000}));
+  TrainingPhase phase;
+  const auto y = dropout(x).ToVector();
+  int zeros = 0;
+  for (float v : y) {
+    EXPECT_TRUE(v == 0.0f || v == 2.0f);  // 1/(1-0.5) scaling
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 1600);
+  EXPECT_LT(zeros, 2400);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityEvenInTraining) {
+  Dropout dropout{0.0f};
+  TrainingPhase phase;
+  const Tensor x = Tensor::Ones(Shape({16}));
+  EXPECT_EQ(dropout(x).ToVector(), x.ToVector());
+}
+
+TEST(BatchNormTest, NormalizesPerChannel) {
+  BatchNorm bn(2);
+  // Channel 0: values {1,3}; channel 1: {10, 30}.
+  const Tensor x = Tensor::FromVector(Shape({2, 2}), {1, 10, 3, 30});
+  const auto y = bn(x).ToVector();
+  // Each channel normalized to approximately +-1.
+  EXPECT_NEAR(y[0], -1.0f, 0.01f);
+  EXPECT_NEAR(y[2], 1.0f, 0.01f);
+  EXPECT_NEAR(y[1], -1.0f, 0.01f);
+  EXPECT_NEAR(y[3], 1.0f, 0.01f);
+}
+
+TEST(BatchNormTest, ScaleAndOffsetApplied) {
+  BatchNorm bn(1);
+  bn.scale = Tensor::FromVector(Shape({1}), {2.0f});
+  bn.offset = Tensor::FromVector(Shape({1}), {5.0f});
+  const Tensor x = Tensor::FromVector(Shape({2, 1}), {-1, 1});
+  const auto y = bn(x).ToVector();
+  EXPECT_NEAR(y[0], 5.0f - 2.0f, 0.01f);
+  EXPECT_NEAR(y[1], 5.0f + 2.0f, 0.01f);
+}
+
+TEST(BatchNormTest, GradientFlowsThroughNormalization) {
+  BatchNorm bn(1);
+  Rng rng(7);
+  const Tensor x = Tensor::RandomUniform(Shape({8, 1}), rng, -1, 1);
+  const auto [loss, grads] = ad::ValueWithGradient(
+      bn, [&x](const BatchNorm& layer) { return ReduceSum(Square(layer(x))); });
+  (void)loss;
+  // d/d(scale) sum((x_hat*s + b)^2) != 0 generically.
+  EXPECT_NE(grads.scale.ToVector()[0], 0.0f);
+}
+
+TEST(SequencedTest, AppliesLayersInOrder) {
+  Rng rng(8);
+  Dense d1(2, 3, Activation::kIdentity, rng);
+  Dense d2(3, 1, Activation::kIdentity, rng);
+  const Tensor x = Tensor::Ones(Shape({4, 2}));
+  const Tensor direct = d2(d1(x));
+  const Tensor sequenced = Sequenced(x, d1, d2);
+  EXPECT_EQ(direct.ToVector(), sequenced.ToVector());
+}
+
+TEST(LayerValueSemanticsTest, CopiedLayerIsIndependent) {
+  Rng rng(9);
+  Dense a(2, 2, Activation::kIdentity, rng);
+  Dense b = a;  // O(1) value copy
+  b.weight = b.weight * 2.0f;
+  EXPECT_FALSE(AllClose(a.weight, b.weight));
+}
+
+}  // namespace
+}  // namespace s4tf::nn

@@ -1,0 +1,148 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ad/operators.h"
+#include "nn/losses.h"
+#include "nn/models/lenet.h"
+#include "nn/models/resnet.h"
+#include "nn/models/spline.h"
+
+namespace s4tf::nn {
+namespace {
+
+TEST(LeNetTest, Figure6ArchitectureShapes) {
+  Rng rng(1);
+  const LeNet model(rng);
+  EXPECT_EQ(model.conv1.filter.shape(), Shape({5, 5, 1, 6}));
+  EXPECT_EQ(model.conv2.filter.shape(), Shape({5, 5, 6, 16}));
+  EXPECT_EQ(model.fc1.weight.shape(), Shape({400, 120}));
+  EXPECT_EQ(model.fc2.weight.shape(), Shape({120, 84}));
+  EXPECT_EQ(model.fc3.weight.shape(), Shape({84, 10}));
+  const Tensor x = Tensor::Zeros(Shape({2, 28, 28, 1}));
+  EXPECT_EQ(model(x).shape(), Shape({2, 10}));
+}
+
+TEST(LeNetTest, ParameterCountMatchesLeCun98Variant) {
+  Rng rng(2);
+  const LeNet model(rng);
+  std::int64_t count = 0;
+  model.VisitParameters([&](const Tensor& p) { count += p.NumElements(); });
+  // conv1: 5*5*1*6+6; conv2: 5*5*6*16+16; fc1: 400*120+120;
+  // fc2: 120*84+84; fc3: 84*10+10.
+  EXPECT_EQ(count, 156 + 2416 + 48120 + 10164 + 850);
+}
+
+TEST(LeNetTest, GradientsFlowToAllParameters) {
+  Rng rng(3);
+  const LeNet model(rng);
+  Rng xr(4);
+  const Tensor x = Tensor::RandomUniform(Shape({2, 28, 28, 1}), xr, 0, 1);
+  const Tensor labels = OneHot({3, 7}, 10, x.device());
+  const auto [loss, grads] = ad::ValueWithGradient(
+      model, [&](const LeNet& m) {
+        return SoftmaxCrossEntropy(m(x), labels);
+      });
+  EXPECT_GT(loss.ScalarValue(), 0.0f);
+  // Every parameter gradient is shaped and non-degenerate somewhere.
+  EXPECT_EQ(grads.conv1.filter.shape(), Shape({5, 5, 1, 6}));
+  EXPECT_EQ(grads.fc3.bias.shape(), Shape({10}));
+  float magnitude = 0.0f;
+  for (float g : grads.conv1.filter.ToVector()) magnitude += std::fabs(g);
+  EXPECT_GT(magnitude, 0.0f);
+}
+
+TEST(ResNetTest, Cifar56HasExpectedStructure) {
+  Rng rng(5);
+  const ResNet model(ResNetConfig::Cifar(56), rng);
+  EXPECT_EQ(model.blocks.size(), 27u);  // 3 stages x 9 blocks
+  // Projection blocks exactly at stage transitions.
+  int projections = 0;
+  for (const auto& b : model.blocks) {
+    if (b.has_projection) ++projections;
+  }
+  EXPECT_EQ(projections, 2);
+  // ~0.85M parameters for ResNet-56 (He et al. report 0.85M).
+  const std::int64_t params = model.ParameterCount();
+  EXPECT_GT(params, 800'000);
+  EXPECT_LT(params, 900'000);
+}
+
+TEST(ResNetTest, ForwardShapesCifar) {
+  Rng rng(6);
+  const ResNet model(ResNetConfig::Cifar(8), rng);  // tiny depth for speed
+  const Tensor x = Tensor::Zeros(Shape({2, 32, 32, 3}));
+  EXPECT_EQ(model(x).shape(), Shape({2, 10}));
+}
+
+TEST(ResNetTest, ImageNetScaledConfigShapes) {
+  Rng rng(7);
+  const ResNet model(ResNetConfig::ImageNetScaled(1, 8, 100), rng);
+  const Tensor x = Tensor::Zeros(Shape({1, 32, 32, 3}));
+  EXPECT_EQ(model(x).shape(), Shape({1, 100}));
+}
+
+TEST(ResNetTest, GradientsFlowThroughResidualConnections) {
+  Rng rng(8);
+  const ResNet model(ResNetConfig::Cifar(8), rng);
+  Rng xr(9);
+  const Tensor x = Tensor::RandomUniform(Shape({2, 8, 8, 3}), xr, 0, 1);
+  const Tensor labels = OneHot({1, 2}, 10, x.device());
+  const auto [loss, grads] = ad::ValueWithGradient(
+      model, [&](const ResNet& m) {
+        return SoftmaxCrossEntropy(m(x), labels);
+      });
+  (void)loss;
+  // The stem only receives gradient through every residual block.
+  float stem_grad = 0.0f;
+  for (float g : grads.stem.filter.ToVector()) stem_grad += std::fabs(g);
+  EXPECT_GT(stem_grad, 0.0f);
+  EXPECT_EQ(grads.blocks.elements.size(), model.blocks.size());
+}
+
+TEST(ResNetTest, InvalidCifarDepthRejected) {
+  EXPECT_THROW(ResNetConfig::Cifar(57), InternalError);
+}
+
+TEST(SplineTest, BasisHasLocalSupportAndPartitionLikeShape) {
+  const auto basis =
+      BuildSplineBasis({0.0f, 0.25f, 0.5f, 0.75f, 1.0f}, 5).ToVector();
+  // At a knot position, the matching basis function is 1.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(basis[static_cast<std::size_t>(i * 5 + i)], 1.0f, 1e-5);
+  }
+  // Basis functions two knots away vanish.
+  EXPECT_EQ(basis[2], 0.0f);  // B_2 at x=0
+}
+
+TEST(SplineTest, ModelEvaluatesLinearCombination) {
+  Rng rng(10);
+  SplineModel model(3, rng);
+  model.control_points = Tensor::FromVector(Shape({3, 1}), {1, 2, 3});
+  const Tensor basis = BuildSplineBasis({0.0f, 0.5f, 1.0f}, 3);
+  const auto y = model(basis).ToVector();
+  EXPECT_NEAR(y[0], 1.0f, 1e-5);
+  EXPECT_NEAR(y[1], 2.0f, 1e-5);
+  EXPECT_NEAR(y[2], 3.0f, 1e-5);
+}
+
+TEST(SplineTest, LossIsZeroAtExactFit) {
+  Rng rng(11);
+  SplineModel model(4, rng);
+  model.control_points = Tensor::Zeros(Shape({4, 1}));
+  const Tensor basis = BuildSplineBasis({0.1f, 0.6f}, 4);
+  const Tensor targets = Tensor::Zeros(Shape({2, 1}));
+  EXPECT_NEAR(SplineLoss(model, basis, targets).ScalarValue(), 0.0f, 1e-7);
+}
+
+TEST(ModelValueSemanticsTest, CopyingModelIsO1AndIndependent) {
+  Rng rng(12);
+  LeNet a(rng);
+  vs::CowStatsScope stats;
+  LeNet b = a;  // value copy: no buffer allocations
+  EXPECT_EQ(stats.delta().buffer_allocations, 0);
+  b.fc3.bias = b.fc3.bias + 1.0f;
+  EXPECT_FALSE(AllClose(a.fc3.bias, b.fc3.bias));
+}
+
+}  // namespace
+}  // namespace s4tf::nn

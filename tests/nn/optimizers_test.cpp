@@ -1,0 +1,173 @@
+#include "nn/optimizers.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "nn/datasets.h"
+#include "nn/models/spline.h"
+
+namespace s4tf::nn {
+namespace {
+
+// A fixed quadratic fitting problem used by the optimizer sweeps.
+struct Problem {
+  SplineModel model;
+  Tensor basis;
+  Tensor targets;
+  float Loss() const { return SplineLoss(model, basis, targets).ScalarValue(); }
+};
+
+Problem MakeProblem(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  Problem p{SplineModel(6, rng),
+            BuildSplineBasis({0.0f, 0.2f, 0.4f, 0.6f, 0.8f, 1.0f}, 6),
+            Tensor::FromVector(Shape({6, 1}), {1, -1, 2, 0, 1.5f, -0.5f})};
+  return p;
+}
+
+template <typename Optimizer>
+float RunSteps(Problem& p, Optimizer& opt, int steps) {
+  float last = 0.0f;
+  for (int i = 0; i < steps; ++i) {
+    auto [loss, grads] = ad::ValueWithGradient(
+        p.model, [&](const SplineModel& m) {
+          return SplineLoss(m, p.basis, p.targets);
+        });
+    last = loss.ScalarValue();
+    opt.Update(p.model, grads);
+  }
+  return last;
+}
+
+TEST(RMSPropTest, ConvergesOnQuadratic) {
+  Problem p = MakeProblem();
+  RMSProp<SplineModel> opt(0.05f);
+  const float initial = p.Loss();
+  RunSteps(p, opt, 300);
+  EXPECT_LT(p.Loss(), initial * 0.01f);
+}
+
+TEST(OptimizerSweepTest, AllOptimizersReduceLoss) {
+  {
+    Problem p = MakeProblem();
+    SGD<SplineModel> opt(0.2f);
+    const float initial = p.Loss();
+    RunSteps(p, opt, 100);
+    EXPECT_LT(p.Loss(), initial * 0.2f) << "sgd";
+  }
+  {
+    Problem p = MakeProblem();
+    SGD<SplineModel> opt(0.1f, 0.9f);
+    const float initial = p.Loss();
+    RunSteps(p, opt, 100);
+    EXPECT_LT(p.Loss(), initial * 0.2f) << "sgd+momentum";
+  }
+  {
+    Problem p = MakeProblem();
+    Adam<SplineModel> opt(0.1f);
+    const float initial = p.Loss();
+    RunSteps(p, opt, 200);
+    EXPECT_LT(p.Loss(), initial * 0.2f) << "adam";
+  }
+  {
+    Problem p = MakeProblem();
+    RMSProp<SplineModel> opt(0.05f);
+    const float initial = p.Loss();
+    RunSteps(p, opt, 200);
+    EXPECT_LT(p.Loss(), initial * 0.2f) << "rmsprop";
+  }
+}
+
+TEST(GradientClippingTest, GlobalNormComputed) {
+  Problem p = MakeProblem();
+  SplineModel::TangentVector grads;
+  grads.control_points = Tensor::FromVector(Shape({6, 1}), {3, 4, 0, 0, 0, 0});
+  EXPECT_FLOAT_EQ(GlobalNorm(p.model, grads), 5.0f);
+}
+
+TEST(GradientClippingTest, ClipScalesDownOnlyWhenAboveThreshold) {
+  Problem p = MakeProblem();
+  SplineModel::TangentVector grads;
+  grads.control_points = Tensor::FromVector(Shape({6, 1}), {3, 4, 0, 0, 0, 0});
+  // Above the threshold: scaled to norm 1.
+  const float pre = ClipByGlobalNorm(p.model, grads, 1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(GlobalNorm(p.model, grads), 1.0f, 1e-5f);
+  // Below: untouched.
+  const float pre2 = ClipByGlobalNorm(p.model, grads, 10.0f);
+  EXPECT_NEAR(pre2, 1.0f, 1e-5f);
+  EXPECT_NEAR(GlobalNorm(p.model, grads), 1.0f, 1e-5f);
+}
+
+TEST(ScheduleTest, WarmupCosineShape) {
+  const WarmupCosineSchedule schedule(1.0f, 10, 110, 0.1f);
+  // Warmup is linear and increasing.
+  EXPECT_NEAR(schedule.At(0), 0.1f, 1e-5f);
+  EXPECT_LT(schedule.At(3), schedule.At(7));
+  EXPECT_NEAR(schedule.At(9), 1.0f, 1e-5f);
+  // Cosine decay: midpoint halfway between peak and floor, floor at end.
+  EXPECT_NEAR(schedule.At(60), 0.55f, 0.01f);
+  EXPECT_NEAR(schedule.At(110), 0.1f, 1e-4f);
+  // Clamped past the end.
+  EXPECT_NEAR(schedule.At(500), 0.1f, 1e-4f);
+}
+
+TEST(ScheduleTest, StepDecay) {
+  const StepDecaySchedule schedule(0.8f, 0.5f, 100);
+  EXPECT_FLOAT_EQ(schedule.At(0), 0.8f);
+  EXPECT_FLOAT_EQ(schedule.At(99), 0.8f);
+  EXPECT_FLOAT_EQ(schedule.At(100), 0.4f);
+  EXPECT_FLOAT_EQ(schedule.At(250), 0.2f);
+}
+
+TEST(ScheduleTest, ScheduledSGDConverges) {
+  Problem p = MakeProblem();
+  SGD<SplineModel> opt(0.0f);
+  const WarmupCosineSchedule schedule(0.3f, 5, 100, 0.01f);
+  const float initial = p.Loss();
+  for (int step = 0; step < 100; ++step) {
+    opt.set_learning_rate(schedule.At(step));
+    auto [loss, grads] = ad::ValueWithGradient(
+        p.model, [&](const SplineModel& m) {
+          return SplineLoss(m, p.basis, p.targets);
+        });
+    (void)loss;
+    opt.Update(p.model, grads);
+  }
+  EXPECT_LT(p.Loss(), initial * 0.05f);
+}
+
+TEST(GradientClippingTest, ClippedTrainingStaysStable) {
+  // A deliberately huge learning rate diverges unclipped but survives
+  // with aggressive global-norm clipping (steps bounded by lr * max_norm).
+  Problem unclipped = MakeProblem();
+  Problem clipped = MakeProblem();
+  SGD<SplineModel> opt_a(50.0f);
+  SGD<SplineModel> opt_b(50.0f);
+  for (int i = 0; i < 40; ++i) {
+    {
+      auto [loss, grads] = ad::ValueWithGradient(
+          unclipped.model, [&](const SplineModel& m) {
+            return SplineLoss(m, unclipped.basis, unclipped.targets);
+          });
+      (void)loss;
+      opt_a.Update(unclipped.model, grads);
+    }
+    {
+      auto [loss, grads] = ad::ValueWithGradient(
+          clipped.model, [&](const SplineModel& m) {
+            return SplineLoss(m, clipped.basis, clipped.targets);
+          });
+      (void)loss;
+      ClipByGlobalNorm(clipped.model, grads, 0.01f);
+      opt_b.Update(clipped.model, grads);
+    }
+  }
+  EXPECT_TRUE(std::isnan(unclipped.Loss()) || std::isinf(unclipped.Loss()) ||
+              unclipped.Loss() > 10.0f)
+      << "expected divergence without clipping";
+  EXPECT_LT(clipped.Loss(), 2.0f);
+}
+
+}  // namespace
+}  // namespace s4tf::nn

@@ -1,0 +1,176 @@
+#include "sil/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "sil/diff_check.h"
+#include "sil_testlib.h"
+
+namespace s4tf::sil {
+namespace {
+
+TEST(ActivityTest, StraightLineAllActive) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::SquarePlusOne());
+  const ActivityInfo info = AnalyzeActivity(m, fn);
+  // x, x*x and the sum are varied & useful; the constant 1 is useful only.
+  EXPECT_TRUE(info.IsActiveValue(0));  // x
+  EXPECT_TRUE(info.IsActiveValue(1));  // x*x
+  EXPECT_TRUE(info.IsActiveValue(3));  // sum
+  EXPECT_FALSE(info.varied[2]);        // const 1 is not varied
+  EXPECT_TRUE(info.useful[2]);         // but it is useful
+}
+
+TEST(ActivityTest, DeadComputationIsNotUseful) {
+  FunctionBuilder b("with_dead", 1);
+  const ValueId x = b.Arg(0);
+  const ValueId dead = b.Emit(InstKind::kExp, {x});  // never used
+  (void)dead;
+  b.Return(b.Emit(InstKind::kMul, {x, x}));
+  Module m;
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  const ActivityInfo info = AnalyzeActivity(m, fn);
+  EXPECT_TRUE(info.varied[1]);   // exp(x) depends on x
+  EXPECT_FALSE(info.useful[1]);  // but contributes nothing
+  EXPECT_FALSE(info.IsActiveValue(1));
+}
+
+TEST(ActivityTest, ConstantChainIsNotVaried) {
+  FunctionBuilder b("const_chain", 1);
+  const ValueId c = b.Const(2.0);
+  const ValueId c2 = b.Emit(InstKind::kMul, {c, c});
+  b.Return(b.Emit(InstKind::kAdd, {b.Arg(0), c2}));
+  Module m;
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  const ActivityInfo info = AnalyzeActivity(m, fn);
+  EXPECT_FALSE(info.varied[1]);  // c
+  EXPECT_FALSE(info.varied[2]);  // c*c
+  EXPECT_TRUE(info.useful[2]);
+  EXPECT_TRUE(info.IsActiveValue(0));
+}
+
+TEST(ActivityTest, WrtSubsetRestrictsVariedness) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::SinMulExp());
+  // wrt x only: y is not varied.
+  const ActivityInfo info = AnalyzeActivity(m, fn, {0});
+  EXPECT_TRUE(info.varied[0]);
+  EXPECT_FALSE(info.varied[1]);
+  // sin(x) (value 2) is varied; the product sin(x)*y too.
+  EXPECT_TRUE(info.varied[2]);
+  EXPECT_TRUE(info.varied[3]);
+}
+
+TEST(ActivityTest, VariednessFlowsThroughBlockArguments) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::AbsViaBranch());
+  const ActivityInfo info = AnalyzeActivity(m, fn);
+  // The join block's argument receives x or -x: varied and useful.
+  const ValueId join_arg = fn.blocks[1].arg_ids[0];
+  EXPECT_TRUE(info.IsActiveValue(join_arg));
+}
+
+TEST(ActivityTest, LoopFixpointMarksCarriedValues) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::PowViaLoop(3));
+  const ActivityInfo info = AnalyzeActivity(m, fn);
+  // The accumulator block-arg is varied (via acc*x) and useful (returned);
+  // the loop counter is neither varied nor useful as data.
+  const ValueId header_acc = fn.blocks[1].arg_ids[0];
+  const ValueId header_i = fn.blocks[1].arg_ids[1];
+  EXPECT_TRUE(info.IsActiveValue(header_acc));
+  EXPECT_FALSE(info.varied[static_cast<std::size_t>(header_i)]);
+}
+
+TEST(DiffCheckTest, CleanFunctionPasses) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::SinMulExp());
+  const DiffCheckResult result = CheckDifferentiability(m, fn);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.error_count(), 0);
+  EXPECT_EQ(result.warning_count(), 0);
+}
+
+TEST(DiffCheckTest, ActiveFloorIsAnError) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::FloorTimesX());
+  const DiffCheckResult result = CheckDifferentiability(m, fn);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.error_count(), 1);
+  EXPECT_NE(result.diagnostics[0].message.find("floor"), std::string::npos);
+}
+
+TEST(DiffCheckTest, InactiveFloorIsFine) {
+  // floor of a constant: not varied, so no derivative needed.
+  FunctionBuilder b("const_floor", 1);
+  const ValueId c = b.Const(2.7);
+  const ValueId f = b.Emit(InstKind::kFloor, {c});
+  b.Return(b.Emit(InstKind::kMul, {b.Arg(0), f}));
+  Module m;
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  EXPECT_TRUE(CheckDifferentiability(m, fn).ok());
+}
+
+TEST(DiffCheckTest, DeadFloorIsFine) {
+  // floor(x) computed but unused: varied but not useful.
+  FunctionBuilder b("dead_floor", 1);
+  const ValueId x = b.Arg(0);
+  (void)b.Emit(InstKind::kFloor, {x});
+  b.Return(b.Emit(InstKind::kMul, {x, x}));
+  Module m;
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  EXPECT_TRUE(CheckDifferentiability(m, fn).ok());
+}
+
+TEST(DiffCheckTest, WarnsWhenResultIgnoresInputs) {
+  // The paper's example: the result does not depend on differentiable
+  // arguments.
+  Module m;
+  const Function& fn = m.AddFunction(testing::IgnoresSecondArg());
+  const DiffCheckResult result = CheckDifferentiability(m, fn, {1});
+  EXPECT_TRUE(result.ok());  // a warning, not an error
+  ASSERT_EQ(result.warning_count(), 1);
+  EXPECT_NE(result.diagnostics[0].message.find("does not depend"),
+            std::string::npos);
+}
+
+TEST(DiffCheckTest, CallToNonDifferentiableCalleeIsAnError) {
+  Module m;
+  m.AddFunction(testing::FloorTimesX());
+  FunctionBuilder b("caller", 1);
+  b.Return(b.Call("floor_times_x", {b.Arg(0)}));
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  const DiffCheckResult result = CheckDifferentiability(m, fn);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.diagnostics[0].message.find("floor_times_x"),
+            std::string::npos);
+}
+
+TEST(DiffCheckTest, CustomDerivativeTerminatesRecursion) {
+  // Same program, but floor_times_x has a registered custom derivative:
+  // the base case suppresses the error (§2.1).
+  Module m;
+  m.AddFunction(testing::FloorTimesX());
+  FunctionBuilder b("caller", 1);
+  b.Return(b.Call("floor_times_x", {b.Arg(0)}));
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  CustomDerivativeSet custom;
+  custom.Add("floor_times_x");
+  EXPECT_TRUE(CheckDifferentiability(m, fn, {}, custom).ok());
+}
+
+TEST(DiffCheckTest, UnknownCalleeIsAnError) {
+  Module m;
+  FunctionBuilder b("caller", 1);
+  b.Return(b.Call("missing_fn", {b.Arg(0)}));
+  const Function& fn = m.AddFunction(std::move(b).Build());
+  EXPECT_FALSE(CheckDifferentiability(m, fn).ok());
+}
+
+TEST(DiffCheckTest, ComparisonsAsControlAreFine) {
+  Module m;
+  const Function& fn = m.AddFunction(testing::AbsViaBranch());
+  EXPECT_TRUE(CheckDifferentiability(m, fn).ok());
+}
+
+}  // namespace
+}  // namespace s4tf::sil

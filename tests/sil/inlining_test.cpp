@@ -1,0 +1,138 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sil/autodiff.h"
+#include "sil/interpreter.h"
+#include "sil/passes.h"
+#include "sil_testlib.h"
+
+namespace s4tf::sil {
+namespace {
+
+TEST(InliningTest, StraightLineCallee) {
+  Module m = testing::CallModule();  // user(x) = square_plus_one(sin x) * x
+  const double before = Interpret(m, "user", {0.8}).value();
+  const int inlined = RunInlining(m, "user");
+  EXPECT_EQ(inlined, 1);
+  const Function* user = m.FindFunction("user");
+  // No calls remain.
+  for (const BasicBlock& bb : user->blocks) {
+    for (const Instruction& inst : bb.insts) {
+      EXPECT_NE(inst.kind, InstKind::kCall);
+    }
+  }
+  EXPECT_DOUBLE_EQ(Interpret(m, "user", {0.8}).value(), before);
+}
+
+TEST(InliningTest, SemanticsPreservedAcrossInputs) {
+  Module m = testing::CallModule();
+  Module inlined = testing::CallModule();
+  RunInlining(inlined, "user");
+  for (double x : {-2.0, -0.3, 0.0, 0.5, 1.9}) {
+    EXPECT_NEAR(Interpret(m, "user", {x}).value(),
+                Interpret(inlined, "user", {x}).value(), 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(InliningTest, CalleeWithControlFlow) {
+  // caller(x) = abs_branch(x) * 2 — the callee's cond_br and block
+  // argument must be spliced correctly.
+  Module m;
+  m.AddFunction(testing::AbsViaBranch());
+  FunctionBuilder b("caller", 1);
+  const ValueId h = b.Call("abs_branch", {b.Arg(0)});
+  const ValueId two = b.Const(2.0);
+  b.Return(b.Emit(InstKind::kMul, {h, two}));
+  m.AddFunction(std::move(b).Build());
+
+  EXPECT_EQ(RunInlining(m, "caller"), 1);
+  EXPECT_DOUBLE_EQ(Interpret(m, "caller", {-3.5}).value(), 7.0);
+  EXPECT_DOUBLE_EQ(Interpret(m, "caller", {3.5}).value(), 7.0);
+}
+
+TEST(InliningTest, CalleeWithLoop) {
+  Module m;
+  m.AddFunction(testing::PowViaLoop(4));
+  FunctionBuilder b("caller", 1);
+  const ValueId p = b.Call("pow_loop", {b.Arg(0)});
+  b.Return(b.Emit(InstKind::kAdd, {p, p}));
+  m.AddFunction(std::move(b).Build());
+
+  EXPECT_EQ(RunInlining(m, "caller"), 1);
+  EXPECT_DOUBLE_EQ(Interpret(m, "caller", {2.0}).value(), 32.0);
+}
+
+TEST(InliningTest, MultipleCallSites) {
+  Module m;
+  m.AddFunction(testing::SquarePlusOne());
+  FunctionBuilder b("caller", 2);
+  const ValueId a = b.Call("square_plus_one", {b.Arg(0)});
+  const ValueId c = b.Call("square_plus_one", {b.Arg(1)});
+  b.Return(b.Emit(InstKind::kMul, {a, c}));
+  m.AddFunction(std::move(b).Build());
+
+  EXPECT_EQ(RunInlining(m, "caller"), 2);
+  // (2^2+1) * (3^2+1) = 50.
+  EXPECT_DOUBLE_EQ(Interpret(m, "caller", {2.0, 3.0}).value(), 50.0);
+}
+
+TEST(InliningTest, NestedCallsInlineTransitively) {
+  // outer -> middle -> square_plus_one. Inlining outer pulls in middle's
+  // call, which the next iteration inlines too.
+  Module m;
+  m.AddFunction(testing::SquarePlusOne());
+  {
+    FunctionBuilder b("middle", 1);
+    const ValueId h = b.Call("square_plus_one", {b.Arg(0)});
+    b.Return(b.Emit(InstKind::kNeg, {h}));
+    m.AddFunction(std::move(b).Build());
+  }
+  {
+    FunctionBuilder b("outer", 1);
+    b.Return(b.Call("middle", {b.Arg(0)}));
+    m.AddFunction(std::move(b).Build());
+  }
+  EXPECT_EQ(RunInlining(m, "outer"), 2);
+  EXPECT_DOUBLE_EQ(Interpret(m, "outer", {3.0}).value(), -10.0);
+}
+
+TEST(InliningTest, RecursionIsRefused) {
+  Module m;
+  FunctionBuilder b("self_call", 1);
+  b.Return(b.Call("self_call", {b.Arg(0)}));
+  m.AddFunction(std::move(b).Build());
+  EXPECT_EQ(RunInlining(m, "self_call"), 0);
+}
+
+TEST(InliningTest, InlinedFunctionStillDifferentiates) {
+  // The AD transformation must work identically on the inlined body
+  // (fewer callee derivatives to capture, same gradients).
+  Module m = testing::CallModule();
+  const auto g_call = SilGradient(m, "user", {0.7}).value();
+  RunInlining(m, "user");
+  OptimizeFunction(*m.FindFunction("user"));
+  const auto g_inline = SilGradient(m, "user", {0.7}).value();
+  EXPECT_NEAR(g_call[0], g_inline[0], 1e-12);
+}
+
+TEST(InliningTest, FollowedByOptimizationShrinksCode) {
+  Module m;
+  m.AddFunction(testing::SquarePlusOne());
+  FunctionBuilder b("caller", 1);
+  const ValueId a = b.Call("square_plus_one", {b.Arg(0)});
+  const ValueId c = b.Call("square_plus_one", {b.Arg(0)});  // same arg!
+  b.Return(b.Emit(InstKind::kAdd, {a, c}));
+  m.AddFunction(std::move(b).Build());
+  RunInlining(m, "caller");
+  Function* caller = m.FindFunction("caller");
+  const auto before = caller->InstructionCount();
+  OptimizeFunction(*caller);
+  // CSE alone cannot merge across the block splits, but constant folding
+  // merges the duplicated `1.0` constants at minimum.
+  EXPECT_LE(caller->InstructionCount(), before);
+  EXPECT_DOUBLE_EQ(Interpret(m, "caller", {2.0}).value(), 10.0);
+}
+
+}  // namespace
+}  // namespace s4tf::sil

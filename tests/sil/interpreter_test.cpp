@@ -1,0 +1,95 @@
+#include "sil/interpreter.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sil_testlib.h"
+
+namespace s4tf::sil {
+namespace {
+
+using testing::AbsViaBranch;
+using testing::CallModule;
+using testing::PowViaLoop;
+using testing::SinMulExp;
+using testing::SquarePlusOne;
+
+TEST(InterpreterTest, StraightLine) {
+  Module m;
+  m.AddFunction(SquarePlusOne());
+  EXPECT_DOUBLE_EQ(Interpret(m, "square_plus_one", {3.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(Interpret(m, "square_plus_one", {-2.0}).value(), 5.0);
+}
+
+TEST(InterpreterTest, Transcendentals) {
+  Module m;
+  m.AddFunction(SinMulExp());
+  const double x = 0.7, y = 1.3;
+  EXPECT_NEAR(Interpret(m, "sin_mul_exp", {x, y}).value(),
+              std::sin(x) * y + std::exp(x / y), 1e-12);
+}
+
+TEST(InterpreterTest, BranchingFollowsCondition) {
+  Module m;
+  m.AddFunction(AbsViaBranch());
+  EXPECT_DOUBLE_EQ(Interpret(m, "abs_branch", {4.5}).value(), 4.5);
+  EXPECT_DOUBLE_EQ(Interpret(m, "abs_branch", {-4.5}).value(), 4.5);
+  EXPECT_DOUBLE_EQ(Interpret(m, "abs_branch", {0.0}).value(), -0.0);
+}
+
+TEST(InterpreterTest, LoopComputesPower) {
+  Module m;
+  m.AddFunction(PowViaLoop(5));
+  EXPECT_DOUBLE_EQ(Interpret(m, "pow_loop", {2.0}).value(), 32.0);
+  EXPECT_DOUBLE_EQ(Interpret(m, "pow_loop", {1.5}).value(),
+                   std::pow(1.5, 5));
+}
+
+TEST(InterpreterTest, ZeroIterationLoop) {
+  Module m;
+  m.AddFunction(PowViaLoop(0));
+  EXPECT_DOUBLE_EQ(Interpret(m, "pow_loop", {7.0}).value(), 1.0);
+}
+
+TEST(InterpreterTest, CallsResolveThroughModule) {
+  const Module m = CallModule();
+  const double x = 0.9;
+  const double expected = (std::sin(x) * std::sin(x) + 1.0) * x;
+  EXPECT_NEAR(Interpret(m, "user", {x}).value(), expected, 1e-12);
+}
+
+TEST(InterpreterTest, MissingFunctionIsNotFound) {
+  Module m;
+  const auto result = Interpret(m, "ghost", {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterTest, ArgCountMismatchRejected) {
+  Module m;
+  m.AddFunction(SquarePlusOne());
+  EXPECT_EQ(Interpret(m, "square_plus_one", {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InterpreterTest, InfiniteLoopHitsStepLimit) {
+  FunctionBuilder b("spin", 0);
+  b.Branch(0);  // bb0 branches to itself forever
+  Module m;
+  m.AddFunction(std::move(b).Build());
+  InterpreterOptions options;
+  options.max_steps = 1000;
+  // A self-loop with no instructions never increments steps; add one.
+  FunctionBuilder b2("spin2", 0);
+  const int loop = b2.CreateBlock(0);
+  b2.Branch(loop);
+  b2.SetInsertionPoint(loop);
+  b2.Const(1.0);
+  b2.Branch(loop);
+  m.AddFunction(std::move(b2).Build());
+  EXPECT_EQ(Interpret(m, "spin2", {}, options).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace s4tf::sil

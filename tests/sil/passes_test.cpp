@@ -1,0 +1,156 @@
+#include "sil/passes.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sil/autodiff.h"
+#include "sil/interpreter.h"
+#include "sil_testlib.h"
+
+namespace s4tf::sil {
+namespace {
+
+TEST(DcePassTest, RemovesDeadChain) {
+  FunctionBuilder b("dead_chain", 1);
+  const ValueId x = b.Arg(0);
+  ValueId dead = b.Emit(InstKind::kExp, {x});
+  for (int i = 0; i < 5; ++i) dead = b.Emit(InstKind::kSin, {dead});
+  b.Return(b.Emit(InstKind::kMul, {x, x}));
+  Function fn = std::move(b).Build();
+  EXPECT_EQ(fn.InstructionCount(), 7);
+  const PassResult r = RunDCE(fn);
+  EXPECT_EQ(r.removed_instructions, 6);
+  EXPECT_EQ(fn.InstructionCount(), 1);
+  EXPECT_TRUE(VerifyFunction(fn).ok());
+}
+
+TEST(DcePassTest, KeepsEverythingLive) {
+  Function fn = testing::SinMulExp();
+  const PassResult r = RunDCE(fn);
+  EXPECT_EQ(r.removed_instructions, 0);
+}
+
+TEST(DcePassTest, PreservesSemantics) {
+  FunctionBuilder b("mixed", 2);
+  const ValueId x = b.Arg(0);
+  const ValueId y = b.Arg(1);
+  (void)b.Emit(InstKind::kExp, {y});  // dead
+  const ValueId live = b.Emit(InstKind::kMul, {x, y});
+  (void)b.Emit(InstKind::kTanh, {x});  // dead
+  b.Return(live);
+  Function fn = std::move(b).Build();
+  Module before;
+  before.AddFunction(fn);
+  RunDCE(fn);
+  Module after;
+  after.AddFunction(fn);
+  for (double x0 : {-1.0, 0.5, 2.0}) {
+    EXPECT_DOUBLE_EQ(Interpret(before, "mixed", {x0, 3.0}).value(),
+                     Interpret(after, "mixed", {x0, 3.0}).value());
+  }
+}
+
+TEST(ConstFoldTest, FoldsConstantExpressions) {
+  FunctionBuilder b("folds", 1);
+  const ValueId two = b.Const(2.0);
+  const ValueId three = b.Const(3.0);
+  const ValueId six = b.Emit(InstKind::kMul, {two, three});
+  const ValueId twelve = b.Emit(InstKind::kAdd, {six, six});
+  b.Return(b.Emit(InstKind::kMul, {b.Arg(0), twelve}));
+  Function fn = std::move(b).Build();
+  const PassResult r = RunConstantFolding(fn);
+  EXPECT_EQ(r.folded_constants, 2);  // six, twelve
+  Module m;
+  m.AddFunction(fn);
+  EXPECT_DOUBLE_EQ(Interpret(m, "folds", {2.0}).value(), 24.0);
+}
+
+TEST(ConstFoldTest, DoesNotTouchVariedOps) {
+  Function fn = testing::SquarePlusOne();
+  const PassResult r = RunConstantFolding(fn);
+  EXPECT_EQ(r.folded_constants, 0);
+}
+
+TEST(CsePassTest, DeduplicatesWithinBlock) {
+  FunctionBuilder b("dupes", 1);
+  const ValueId x = b.Arg(0);
+  const ValueId a = b.Emit(InstKind::kSin, {x});
+  const ValueId b1 = b.Emit(InstKind::kSin, {x});  // duplicate
+  const ValueId sum = b.Emit(InstKind::kAdd, {a, b1});
+  b.Return(sum);
+  Function fn = std::move(b).Build();
+  const PassResult r = RunCSE(fn);
+  EXPECT_EQ(r.deduplicated, 1);
+  Module m;
+  m.AddFunction(fn);
+  EXPECT_NEAR(Interpret(m, "dupes", {0.5}).value(), 2 * std::sin(0.5), 1e-12);
+}
+
+TEST(CsePassTest, ChainsConvergeUnderOptimize) {
+  FunctionBuilder b("chain_dupes", 1);
+  const ValueId x = b.Arg(0);
+  const ValueId s1 = b.Emit(InstKind::kSin, {x});
+  const ValueId s2 = b.Emit(InstKind::kSin, {x});
+  const ValueId e1 = b.Emit(InstKind::kExp, {s1});
+  const ValueId e2 = b.Emit(InstKind::kExp, {s2});  // dup after s2->s1
+  b.Return(b.Emit(InstKind::kAdd, {e1, e2}));
+  Function fn = std::move(b).Build();
+  OptimizeFunction(fn);
+  EXPECT_EQ(fn.InstructionCount(), 3);  // sin, exp, add
+}
+
+TEST(OptimizePipelineTest, PreservesSemanticsOnControlFlow) {
+  Function fn = testing::PowViaLoop(4);
+  Module before;
+  before.AddFunction(fn);
+  OptimizeFunction(fn);
+  EXPECT_TRUE(VerifyFunction(fn).ok());
+  Module after;
+  after.AddFunction(fn);
+  for (double x0 : {0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(Interpret(before, "pow_loop", {x0}).value(),
+                     Interpret(after, "pow_loop", {x0}).value());
+  }
+}
+
+TEST(OptimizePipelineTest, AdOutputIsOptimizableLikeRegularCode) {
+  // The paper's claim: AD-generated code is amenable to the same
+  // optimizations. Differentiate a function whose primal contains dead and
+  // duplicate computation, then check (a) the gradient is unchanged by
+  // optimizing the primal first, (b) passes fire on the primal.
+  FunctionBuilder b("messy", 1);
+  const ValueId x = b.Arg(0);
+  (void)b.Emit(InstKind::kExp, {x});               // dead
+  const ValueId s1 = b.Emit(InstKind::kSin, {x});
+  const ValueId s2 = b.Emit(InstKind::kSin, {x});  // duplicate
+  const ValueId c1 = b.Const(2.0);
+  const ValueId c2 = b.Const(3.0);
+  const ValueId c6 = b.Emit(InstKind::kMul, {c1, c2});  // foldable
+  const ValueId p = b.Emit(InstKind::kMul, {s1, s2});
+  b.Return(b.Emit(InstKind::kMul, {p, c6}));
+  Function messy = std::move(b).Build();
+
+  Module unoptimized;
+  unoptimized.AddFunction(messy);
+  const auto g_before = SilGradient(unoptimized, "messy", {0.8}).value();
+
+  Function optimized = messy;
+  const PassResult r = OptimizeFunction(optimized);
+  EXPECT_GT(r.removed_instructions, 0);
+  EXPECT_GT(r.deduplicated + r.folded_constants, 0);
+  Module opt;
+  opt.AddFunction(optimized);
+  const auto g_after = SilGradient(opt, "messy", {0.8}).value();
+  EXPECT_NEAR(g_before[0], g_after[0], 1e-12);
+
+  // The optimized primal produces a smaller adjoint, too.
+  auto vjp_messy = SynthesizeVJP(unoptimized, "messy").value();
+  auto vjp_opt = SynthesizeVJP(opt, "messy").value();
+  int messy_adjoint = 0, opt_adjoint = 0;
+  for (int c : vjp_messy.AdjointInstructionCounts()) messy_adjoint += c;
+  for (int c : vjp_opt.AdjointInstructionCounts()) opt_adjoint += c;
+  EXPECT_LT(opt_adjoint, messy_adjoint);
+}
+
+}  // namespace
+}  // namespace s4tf::sil

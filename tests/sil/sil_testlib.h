@@ -1,0 +1,111 @@
+// Shared mini-SIL test programs.
+#pragma once
+
+#include "sil/ir.h"
+
+namespace s4tf::sil::testing {
+
+// f(x) = x^2 + 1
+inline Function SquarePlusOne() {
+  FunctionBuilder b("square_plus_one", 1);
+  const ValueId x = b.Arg(0);
+  const ValueId sq = b.Emit(InstKind::kMul, {x, x});
+  const ValueId one = b.Const(1.0);
+  b.Return(b.Emit(InstKind::kAdd, {sq, one}));
+  return std::move(b).Build();
+}
+
+// f(x, y) = sin(x) * y + exp(x / y)
+inline Function SinMulExp() {
+  FunctionBuilder b("sin_mul_exp", 2);
+  const ValueId x = b.Arg(0);
+  const ValueId y = b.Arg(1);
+  const ValueId s = b.Emit(InstKind::kSin, {x});
+  const ValueId sy = b.Emit(InstKind::kMul, {s, y});
+  const ValueId q = b.Emit(InstKind::kDiv, {x, y});
+  const ValueId e = b.Emit(InstKind::kExp, {q});
+  b.Return(b.Emit(InstKind::kAdd, {sy, e}));
+  return std::move(b).Build();
+}
+
+// abs(x) via control flow and a block argument join.
+inline Function AbsViaBranch() {
+  FunctionBuilder b("abs_branch", 1);
+  const ValueId x = b.Arg(0);
+  const int join = b.CreateBlock(1);
+  const ValueId zero = b.Const(0.0);
+  const ValueId pos = b.Emit(InstKind::kCmpGT, {x, zero});
+  const ValueId neg = b.Emit(InstKind::kNeg, {x});
+  b.CondBranch(pos, join, {x}, join, {neg});
+  b.SetInsertionPoint(join);
+  b.Return(b.BlockArg(join, 0));
+  return std::move(b).Build();
+}
+
+// pow(x, n) for fixed integer n via a loop:
+//   bb0:       br bb1(1.0, 0.0)
+//   bb1(acc,i): cond_br (i < n) bb2(acc,i) bb3(acc)
+//   bb2(acc,i): acc' = acc * x; i' = i + 1; br bb1(acc', i')
+//   bb3(acc):  return acc
+inline Function PowViaLoop(int n) {
+  FunctionBuilder b("pow_loop", 1);
+  const ValueId x = b.Arg(0);
+  const int header = b.CreateBlock(2);
+  const int body = b.CreateBlock(2);
+  const int exit = b.CreateBlock(1);
+
+  const ValueId one = b.Const(1.0);
+  const ValueId zero = b.Const(0.0);
+  b.Branch(header, {one, zero});
+
+  b.SetInsertionPoint(header);
+  const ValueId acc = b.BlockArg(header, 0);
+  const ValueId i = b.BlockArg(header, 1);
+  const ValueId limit = b.Const(static_cast<double>(n));
+  const ValueId cont = b.Emit(InstKind::kCmpLT, {i, limit});
+  b.CondBranch(cont, body, {acc, i}, exit, {acc});
+
+  b.SetInsertionPoint(body);
+  const ValueId acc2 = b.BlockArg(body, 0);
+  const ValueId i2 = b.BlockArg(body, 1);
+  const ValueId next_acc = b.Emit(InstKind::kMul, {acc2, x});
+  const ValueId step = b.Const(1.0);
+  const ValueId next_i = b.Emit(InstKind::kAdd, {i2, step});
+  b.Branch(header, {next_acc, next_i});
+
+  b.SetInsertionPoint(exit);
+  b.Return(b.BlockArg(exit, 0));
+  return std::move(b).Build();
+}
+
+// g(x) = floor(x) * x — non-differentiable through floor.
+inline Function FloorTimesX() {
+  FunctionBuilder b("floor_times_x", 1);
+  const ValueId x = b.Arg(0);
+  const ValueId f = b.Emit(InstKind::kFloor, {x});
+  b.Return(b.Emit(InstKind::kMul, {f, x}));
+  return std::move(b).Build();
+}
+
+// h(x, y) = x * 2 (y unused); return depends only on arg 0.
+inline Function IgnoresSecondArg() {
+  FunctionBuilder b("ignores_y", 2);
+  const ValueId two = b.Const(2.0);
+  b.Return(b.Emit(InstKind::kMul, {b.Arg(0), two}));
+  return std::move(b).Build();
+}
+
+// A module with helper(x) = x^2 + 1 and user(x) = helper(sin(x)) * x.
+inline Module CallModule() {
+  Module m;
+  m.AddFunction(SquarePlusOne());
+  FunctionBuilder b("user", 1);
+  const ValueId x = b.Arg(0);
+  const ValueId s = b.Emit(InstKind::kSin, {x});
+  const ValueId h = b.Call("square_plus_one", {s});
+  b.Return(b.Emit(InstKind::kMul, {h, x}));
+  m.AddFunction(std::move(b).Build());
+  return m;
+}
+
+}  // namespace s4tf::sil::testing

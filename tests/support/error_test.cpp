@@ -1,0 +1,94 @@
+#include "support/error.h"
+
+#include <gtest/gtest.h>
+
+namespace s4tf {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(S4TF_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsInternalError) {
+  EXPECT_THROW(S4TF_CHECK(false) << "boom", InternalError);
+}
+
+TEST(CheckTest, MessageIncludesExpressionAndPayload) {
+  try {
+    S4TF_CHECK(2 > 3) << "custom payload " << 42;
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("custom payload 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ComparisonMacrosIncludeValues) {
+  try {
+    const int a = 5, b = 9;
+    S4TF_CHECK_EQ(a, b);
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5"), std::string::npos);
+    EXPECT_NE(what.find("9"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, AllComparisonMacrosBehave) {
+  EXPECT_NO_THROW(S4TF_CHECK_EQ(1, 1));
+  EXPECT_NO_THROW(S4TF_CHECK_NE(1, 2));
+  EXPECT_NO_THROW(S4TF_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(S4TF_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(S4TF_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(S4TF_CHECK_GE(3, 3));
+  EXPECT_THROW(S4TF_CHECK_NE(1, 1), InternalError);
+  EXPECT_THROW(S4TF_CHECK_LT(2, 1), InternalError);
+  EXPECT_THROW(S4TF_CHECK_GT(1, 2), InternalError);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_NE(s.ToString().find("INVALID_ARGUMENT"), std::string::npos);
+}
+
+TEST(StatusTest, ValueOrDieThrowsOnError) {
+  EXPECT_NO_THROW(Status::Ok().ValueOrDie());
+  EXPECT_THROW(Status::Internal("x").ValueOrDie(), InternalError);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(v.value(), InternalError);
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  auto inner = []() -> Status { return Status::OutOfRange("oops"); };
+  auto outer = [&]() -> Status {
+    S4TF_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace s4tf

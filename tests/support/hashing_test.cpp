@@ -1,0 +1,43 @@
+#include "support/hashing.h"
+
+#include <gtest/gtest.h>
+
+namespace s4tf {
+namespace {
+
+TEST(HashingTest, StableAcrossCalls) {
+  EXPECT_EQ(HashString("lenet-forward"), HashString("lenet-forward"));
+}
+
+TEST(HashingTest, DistinguishesStrings) {
+  EXPECT_NE(HashString("conv2d"), HashString("conv2e"));
+  EXPECT_NE(HashString(""), HashString(" "));
+}
+
+TEST(HashingTest, SeedChangesResult) {
+  EXPECT_NE(HashString("x"), HashString("x", 12345));
+}
+
+TEST(HashingTest, HashCombineOrderSensitive) {
+  const std::uint64_t a = HashCombine(HashCombine(1, 2), 3);
+  const std::uint64_t b = HashCombine(HashCombine(1, 3), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashingTest, HashValueTrivialTypes) {
+  EXPECT_EQ(HashValue(42), HashValue(42));
+  EXPECT_NE(HashValue(42), HashValue(43));
+  EXPECT_EQ(HashValue(1.5f), HashValue(1.5f));
+}
+
+TEST(HashingTest, HashSpanSensitiveToLengthAndContent) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> b = {1, 2, 3, 0};
+  const std::vector<int> c = {1, 2, 4};
+  EXPECT_EQ(HashSpan(a), HashSpan(a));
+  EXPECT_NE(HashSpan(a), HashSpan(b));
+  EXPECT_NE(HashSpan(a), HashSpan(c));
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,109 @@
+#include "support/rng.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace s4tf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(13);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[rng.NextBelow(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.Split();
+  // The split stream should not replay the parent's outputs.
+  Rng parent(23);
+  parent.Next();  // advance past the Split draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (b.Next() == parent.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, FillUniformWithinBounds) {
+  Rng rng(29);
+  float buf[256];
+  rng.FillUniform(buf, 256, -1.5f, 2.5f);
+  for (float x : buf) {
+    EXPECT_GE(x, -1.5f);
+    EXPECT_LT(x, 2.5f);
+  }
+}
+
+TEST(RngTest, FillGaussianHonorsMeanAndStddev) {
+  Rng rng(31);
+  std::vector<float> buf(20000);
+  rng.FillGaussian(buf.data(), buf.size(), 3.0f, 0.5f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (float x : buf) {
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / static_cast<double>(buf.size());
+  const double var = sum_sq / static_cast<double>(buf.size()) - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace s4tf

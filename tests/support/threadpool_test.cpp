@@ -1,0 +1,106 @@
+#include "support/threadpool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "support/sim_clock.h"
+#include "support/memory_meter.h"
+
+namespace s4tf {
+namespace {
+
+TEST(DispatchQueueTest, RunsTasksInSubmissionOrder) {
+  DispatchQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    queue.Submit([i, &order] { order.push_back(i); });
+  }
+  queue.Drain();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(DispatchQueueTest, DrainBlocksUntilAllComplete) {
+  DispatchQueue queue;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    queue.Submit([&done] { ++done; });
+  }
+  queue.Drain();
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(DispatchQueueTest, SubmitReturnsBeforeTaskRuns) {
+  DispatchQueue queue;
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  queue.Submit([&] {
+    while (!release.load()) {
+    }
+    ran = true;
+  });
+  // The worker is blocked in the first task; host thread runs ahead.
+  EXPECT_FALSE(ran.load());
+  release = true;
+  queue.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::int64_t i) {
+    ++hits[static_cast<std::size_t>(i)];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesZeroAndOne) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.ParallelFor(0, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.ParallelFor(1, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0);
+  clock.Advance(1500);
+  EXPECT_EQ(clock.now_ns(), 1500);
+  clock.AdvanceSeconds(1e-6);
+  EXPECT_EQ(clock.now_ns(), 2500);
+  clock.AdvanceTo(2000);  // in the past: no-op
+  EXPECT_EQ(clock.now_ns(), 2500);
+  clock.AdvanceTo(10000);
+  EXPECT_EQ(clock.now_ns(), 10000);
+  clock.Reset();
+  EXPECT_EQ(clock.now_ns(), 0);
+}
+
+TEST(MemoryMeterTest, TracksCurrentAndPeak) {
+  MemoryMeter meter;
+  meter.Allocate(100);
+  meter.Allocate(50);
+  EXPECT_EQ(meter.current_bytes(), 150);
+  EXPECT_EQ(meter.peak_bytes(), 150);
+  meter.Free(120);
+  EXPECT_EQ(meter.current_bytes(), 30);
+  EXPECT_EQ(meter.peak_bytes(), 150);
+  meter.ResetPeak();
+  EXPECT_EQ(meter.peak_bytes(), 30);
+  meter.Allocate(10);
+  EXPECT_EQ(meter.peak_bytes(), 40);
+  EXPECT_EQ(meter.allocation_count(), 3);
+}
+
+TEST(MemoryMeterTest, HumanBytesFormats) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 << 20), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace s4tf

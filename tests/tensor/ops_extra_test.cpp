@@ -1,0 +1,92 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ad/operators.h"
+#include "tensor/ops.h"
+
+namespace s4tf {
+namespace {
+
+TEST(StackSplitTest, StackAddsLeadingAxis) {
+  const Tensor a = Tensor::FromVector(Shape({2}), {1, 2});
+  const Tensor b = Tensor::FromVector(Shape({2}), {3, 4});
+  const Tensor c = Tensor::FromVector(Shape({2}), {5, 6});
+  const Tensor stacked = Stack({a, b, c});
+  EXPECT_EQ(stacked.shape(), Shape({3, 2}));
+  EXPECT_EQ(stacked.ToVector(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(StackSplitTest, StackOfScalars) {
+  const Tensor stacked = Stack({Tensor(1.0f), Tensor(2.0f)});
+  EXPECT_EQ(stacked.shape(), Shape({2}));
+}
+
+TEST(StackSplitTest, StackRejectsMismatchedShapes) {
+  EXPECT_THROW(Stack({Tensor::Zeros(Shape({2})), Tensor::Zeros(Shape({3}))}),
+               InternalError);
+}
+
+TEST(StackSplitTest, SplitRoundTripsConcat) {
+  Rng rng(1);
+  const Tensor x = Tensor::RandomUniform(Shape({4, 6}), rng, -1, 1);
+  const auto pieces = Split(x, 3, 1);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].shape(), Shape({4, 2}));
+  EXPECT_EQ(Concat(pieces, 1).ToVector(), x.ToVector());
+}
+
+TEST(StackSplitTest, SplitAlongLeadingAxis) {
+  const Tensor x = Tensor::FromVector(Shape({4, 2}),
+                                      {1, 2, 3, 4, 5, 6, 7, 8});
+  const auto halves = Split(x, 2, 0);
+  EXPECT_EQ(halves[0].ToVector(), (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(halves[1].ToVector(), (std::vector<float>{5, 6, 7, 8}));
+}
+
+TEST(StackSplitTest, SplitRejectsUnevenDivision) {
+  EXPECT_THROW(Split(Tensor::Zeros(Shape({5, 2})), 2, 0), InternalError);
+}
+
+TEST(StackSplitTest, GradientsFlowThroughStackAndSplit) {
+  const Tensor x = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+  const auto [value, grad] = ad::ValueWithGradient(x, [](const Tensor& t) {
+    const auto halves = Split(t, 2, 0);
+    const Tensor restacked = Stack({halves[1], halves[0]});  // swap order
+    return ReduceSum(Square(restacked) * 2.0f);
+  });
+  EXPECT_NEAR(value.ScalarValue(), 2.0f * (1 + 4 + 9 + 16), 1e-5);
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{4, 8, 12, 16}));
+}
+
+TEST(ScalarOperatorTest, FloatMinusTensorStaysOnDevice) {
+  const Tensor t = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  EXPECT_EQ((10.0f - t).ToVector(), (std::vector<float>{9, 8, 7}));
+}
+
+TEST(ScalarOperatorTest, FloatDividedByTensor) {
+  const Tensor t = Tensor::FromVector(Shape({3}), {1, 2, 4});
+  EXPECT_EQ((8.0f / t).ToVector(), (std::vector<float>{8, 4, 2}));
+}
+
+TEST(DebugStringTest, RendersShapeDeviceAndValues) {
+  const Tensor t = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const std::string s = ToDebugString(t, 4);
+  EXPECT_NE(s.find("Tensor[2, 3]"), std::string::npos);
+  EXPECT_NE(s.find("cpu:naive"), std::string::npos);
+  EXPECT_NE(s.find("[1, 2, 3, 4, ...]"), std::string::npos);
+  // Small tensors show everything, no ellipsis.
+  const std::string full = ToDebugString(Tensor(7.0f));
+  EXPECT_NE(full.find("[7]"), std::string::npos);
+  EXPECT_EQ(full.find("..."), std::string::npos);
+}
+
+TEST(ScalarOperatorTest, GradOfFloatMinusTensor) {
+  const Tensor x = Tensor::FromVector(Shape({2}), {1, 2});
+  const Tensor grad = ad::GradientAt(
+      x, [](const Tensor& t) { return ReduceSum(Square(3.0f - t)); });
+  // d/dx (3-x)^2 = -2(3-x).
+  EXPECT_EQ(grad.ToVector(), (std::vector<float>{-4, -2}));
+}
+
+}  // namespace
+}  // namespace s4tf

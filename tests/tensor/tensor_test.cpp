@@ -1,0 +1,188 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "vs/cow_stats.h"
+
+namespace s4tf {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.shape(), Shape({}));
+  EXPECT_EQ(t.ScalarValue(), 0.0f);
+}
+
+TEST(TensorTest, ScalarLiteral) {
+  Tensor t = 2.5f;
+  EXPECT_EQ(t.ScalarValue(), 2.5f);
+}
+
+TEST(TensorTest, FactoriesProduceExpectedValues) {
+  EXPECT_EQ(Tensor::Zeros(Shape({2, 2})).ToVector(),
+            (std::vector<float>{0, 0, 0, 0}));
+  EXPECT_EQ(Tensor::Ones(Shape({3})).ToVector(),
+            (std::vector<float>{1, 1, 1}));
+  EXPECT_EQ(Tensor::Full(Shape({2}), 7.0f).ToVector(),
+            (std::vector<float>{7, 7}));
+  EXPECT_EQ(Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4}).At({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, RandomFactoriesAreDeterministic) {
+  Rng a(3), b(3);
+  const Tensor x = Tensor::RandomNormal(Shape({16}), a);
+  const Tensor y = Tensor::RandomNormal(Shape({16}), b);
+  EXPECT_EQ(x.ToVector(), y.ToVector());
+}
+
+TEST(TensorTest, GlorotUniformRespectsFanLimit) {
+  Rng rng(4);
+  const Tensor w = Tensor::GlorotUniform(Shape({100, 50}), rng);
+  const float limit = std::sqrt(6.0f / 150.0f);
+  for (float v : w.ToVector()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(TensorTest, CopyIsO1AndValueSemantic) {
+  Tensor x = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  vs::CowStatsScope stats;
+  Tensor y = x;  // shares the impl
+  EXPECT_EQ(stats.delta().buffer_allocations, 0);
+  x.SetAt({0}, 99.0f);
+  EXPECT_EQ(x.At({0}), 99.0f);
+  EXPECT_EQ(y.At({0}), 1.0f);  // mutation invisible through y
+}
+
+TEST(TensorTest, SetAtOnUniqueTensorIsInPlace) {
+  Tensor x = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+  vs::CowStatsScope stats;
+  x.SetAt({2}, 30.0f);
+  EXPECT_EQ(stats.delta().deep_copies, 0);
+  EXPECT_EQ(x.At({2}), 30.0f);
+}
+
+TEST(TensorTest, InPlaceAxpyFastPathWhenUnique) {
+  Tensor x = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  const Tensor g = Tensor::FromVector(Shape({3}), {10, 10, 10});
+  EXPECT_TRUE(x.InPlaceAxpy(-0.5f, g));
+  EXPECT_EQ(x.ToVector(), (std::vector<float>{-4, -3, -2}));
+}
+
+TEST(TensorTest, InPlaceAxpyPreservesValueSemanticsWhenShared) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 1});
+  Tensor y = x;  // impl shared
+  const Tensor g = Tensor::FromVector(Shape({2}), {1, 1});
+  EXPECT_FALSE(x.InPlaceAxpy(1.0f, g));  // fast path declined
+  EXPECT_EQ(x.ToVector(), (std::vector<float>{2, 2}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{1, 1}));
+}
+
+TEST(TensorTest, AtChecksBounds) {
+  const Tensor t = Tensor::Zeros(Shape({2, 2}));
+  EXPECT_THROW(t.At({2, 0}), InternalError);
+}
+
+TEST(TensorTest, ScalarValueRejectsNonScalar) {
+  EXPECT_THROW(Tensor::Zeros(Shape({2})).ScalarValue(), InternalError);
+}
+
+TEST(TensorTest, CrossDeviceOpRejected) {
+  // Two distinct backend instances count as different devices.
+  const Tensor a = Tensor::Zeros(Shape({2}));
+  Device other(DeviceKind::kNaive, 1, &NaiveBackend(), "cpu:other");
+  const Tensor b = Tensor::Zeros(Shape({2}), other);
+  EXPECT_THROW(a + b, InternalError);
+  // Transfer fixes it.
+  const Tensor b_moved = b.To(a.device());
+  EXPECT_NO_THROW(a + b_moved);
+}
+
+TEST(TensorOpsTest, ArithmeticOperators) {
+  const Tensor a = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  const Tensor b = Tensor::FromVector(Shape({3}), {4, 5, 6});
+  EXPECT_EQ((a + b).ToVector(), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ((b - a).ToVector(), (std::vector<float>{3, 3, 3}));
+  EXPECT_EQ((a * b).ToVector(), (std::vector<float>{4, 10, 18}));
+  EXPECT_EQ((b / a).ToVector(), (std::vector<float>{4, 2.5, 2}));
+  EXPECT_EQ((-a).ToVector(), (std::vector<float>{-1, -2, -3}));
+  EXPECT_EQ((a + 1.0f).ToVector(), (std::vector<float>{2, 3, 4}));
+  EXPECT_EQ((2.0f * a).ToVector(), (std::vector<float>{2, 4, 6}));
+  EXPECT_EQ((a / 2.0f).ToVector(), (std::vector<float>{0.5, 1, 1.5}));
+}
+
+TEST(TensorOpsTest, CompoundAssignmentRebinds) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1, 2});
+  const Tensor snapshot = a;
+  a += Tensor::FromVector(Shape({2}), {10, 10});
+  EXPECT_EQ(a.ToVector(), (std::vector<float>{11, 12}));
+  EXPECT_EQ(snapshot.ToVector(), (std::vector<float>{1, 2}));
+}
+
+TEST(TensorOpsTest, MatMulAndTranspose) {
+  const Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const Tensor at = Transposed(a);
+  EXPECT_EQ(at.shape(), Shape({3, 2}));
+  const Tensor prod = MatMul(a, at);
+  EXPECT_EQ(prod.ToVector(), (std::vector<float>{14, 32, 32, 77}));
+}
+
+TEST(TensorOpsTest, FlattenBatch) {
+  const Tensor x = Tensor::Zeros(Shape({4, 2, 3}));
+  EXPECT_EQ(FlattenBatch(x).shape(), Shape({4, 6}));
+}
+
+TEST(TensorOpsTest, ReductionsAndSoftmax) {
+  const Tensor x = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  EXPECT_EQ(ReduceSum(x).ScalarValue(), 10.0f);
+  EXPECT_EQ(ReduceMean(x).ScalarValue(), 2.5f);
+  EXPECT_EQ(ReduceMax(x).ScalarValue(), 4.0f);
+  const Tensor sm = Softmax(x);
+  const auto v = sm.ToVector();
+  EXPECT_NEAR(v[0] + v[1], 1.0f, 1e-6);
+  EXPECT_NEAR(v[2] + v[3], 1.0f, 1e-6);
+}
+
+TEST(TensorOpsTest, AllCloseToleratesSmallDiffs) {
+  const Tensor a = Tensor::FromVector(Shape({2}), {1.0f, 2.0f});
+  const Tensor b = Tensor::FromVector(Shape({2}), {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b));
+  const Tensor c = Tensor::FromVector(Shape({2}), {1.1f, 2.0f});
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_FALSE(AllClose(a, Tensor::Zeros(Shape({3}))));
+}
+
+TEST(DeviceTest, DefaultIsNaive) {
+  EXPECT_EQ(Device::Current().kind(), DeviceKind::kNaive);
+  EXPECT_EQ(Device::Current().name(), "cpu:naive");
+}
+
+TEST(DeviceTest, WithDeviceScopes) {
+  Device other(DeviceKind::kNaive, 7, &NaiveBackend(), "cpu:scoped");
+  WithDevice(other, [&] {
+    EXPECT_EQ(Device::Current().ordinal(), 7);
+    Device inner(DeviceKind::kNaive, 8, &NaiveBackend(), "cpu:inner");
+    WithDevice(inner, [&] {
+      EXPECT_EQ(Device::Current().ordinal(), 8);
+      return 0;
+    });
+    EXPECT_EQ(Device::Current().ordinal(), 7);
+    return 0;
+  });
+  EXPECT_EQ(Device::Current().ordinal(), 0);
+}
+
+TEST(DeviceTest, TensorCreationUsesScopedDevice) {
+  Device other(DeviceKind::kNaive, 3, &NaiveBackend(), "cpu:three");
+  WithDevice(other, [&] {
+    const Tensor t = Tensor::Zeros(Shape({1}));
+    EXPECT_EQ(t.device().ordinal(), 3);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,178 @@
+#include "vs/cow_array.h"
+
+#include <gtest/gtest.h>
+
+#include "vs/inout.h"
+
+namespace s4tf::vs {
+namespace {
+
+// Paper Figure 5, third column: Swift arrays have value semantics.
+//   var x = [3]; var y = x; x[0] += 1  =>  x == [4], y == [3]
+TEST(CowArrayTest, Figure5ValueSemantics) {
+  CowArray<int> x{3};
+  CowArray<int> y = x;
+  x.at_mut(0) += 1;
+  EXPECT_EQ(x[0], 4);
+  EXPECT_EQ(y[0], 3);  // no spooky action at a distance
+}
+
+TEST(CowArrayTest, CopyIsO1BufferShare) {
+  CowArray<float> x(1000, 1.0f);
+  CowStatsScope stats;
+  CowArray<float> y = x;  // no allocation, no element copies
+  EXPECT_TRUE(x.SharesStorageWith(y));
+  EXPECT_EQ(stats.delta().buffer_allocations, 0);
+  EXPECT_EQ(stats.delta().deep_copies, 0);
+}
+
+TEST(CowArrayTest, MutationOfSharedValueCopiesLazily) {
+  CowArray<float> x(100, 2.0f);
+  CowArray<float> y = x;
+  CowStatsScope stats;
+  y.at_mut(5) = 7.0f;  // shared -> exactly one deep copy
+  EXPECT_EQ(stats.delta().deep_copies, 1);
+  EXPECT_FALSE(x.SharesStorageWith(y));
+  EXPECT_EQ(x[5], 2.0f);
+  EXPECT_EQ(y[5], 7.0f);
+}
+
+TEST(CowArrayTest, UniqueMutationIsInPlace) {
+  CowArray<float> x(100, 0.0f);
+  CowStatsScope stats;
+  for (int i = 0; i < 10; ++i) x.at_mut(static_cast<std::size_t>(i)) = 1.0f;
+  EXPECT_EQ(stats.delta().deep_copies, 0);
+  EXPECT_EQ(stats.delta().unique_mutations, 10);
+}
+
+TEST(CowArrayTest, IsUniquelyReferencedTracksSharing) {
+  CowArray<int> x(3, 0);
+  EXPECT_TRUE(x.IsUniquelyReferenced());
+  {
+    CowArray<int> y = x;
+    EXPECT_FALSE(x.IsUniquelyReferenced());
+  }
+  EXPECT_TRUE(x.IsUniquelyReferenced());
+}
+
+TEST(CowArrayTest, RepeatedMutationAfterDivorceStaysInPlace) {
+  CowArray<int> x(50, 0);
+  CowArray<int> y = x;
+  x.at_mut(0) = 1;  // copy happens here
+  CowStatsScope stats;
+  x.at_mut(1) = 2;  // now unique again: in place
+  x.at_mut(2) = 3;
+  EXPECT_EQ(stats.delta().deep_copies, 0);
+  EXPECT_EQ(y[1], 0);
+}
+
+TEST(CowArrayTest, ReadAccessNeverCopies) {
+  CowArray<int> x(10, 5);
+  CowArray<int> y = x;
+  CowStatsScope stats;
+  int sum = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] + y[i];
+  EXPECT_EQ(sum, 100);
+  EXPECT_EQ(stats.delta().deep_copies, 0);
+  EXPECT_TRUE(x.SharesStorageWith(y));
+}
+
+TEST(CowArrayTest, AssignmentReplacesValue) {
+  CowArray<int> x{1, 2, 3};
+  CowArray<int> y{9};
+  y = x;
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[2], 3);
+  EXPECT_TRUE(x.SharesStorageWith(y));
+}
+
+TEST(CowArrayTest, EqualityIsValueEquality) {
+  CowArray<int> x{1, 2, 3};
+  CowArray<int> y{1, 2, 3};  // distinct buffers, same value
+  EXPECT_FALSE(x.SharesStorageWith(y));
+  EXPECT_TRUE(x == y);
+  y.at_mut(0) = 0;
+  EXPECT_FALSE(x == y);
+}
+
+TEST(CowArrayTest, PushBackAndResizePreserveValueSemantics) {
+  CowArray<int> x{1};
+  CowArray<int> y = x;
+  x.push_back(2);
+  EXPECT_EQ(x.size(), 2u);
+  EXPECT_EQ(y.size(), 1u);
+  y.resize(5, 7);
+  EXPECT_EQ(y.size(), 5u);
+  EXPECT_EQ(y[4], 7);
+  EXPECT_EQ(x.size(), 2u);
+}
+
+TEST(CowArrayTest, DefaultConstructedSharesEmptySingleton) {
+  CowArray<int> a;
+  CowArray<int> b;
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  a.push_back(1);  // first mutation divorces the shared empty buffer
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CowArrayTest, ToVectorRoundTrips) {
+  CowArray<float> x{1.0f, 2.0f, 3.0f};
+  const std::vector<float> v = x.ToVector();
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: inout can be rewritten as pass-by-value + reassignment.
+
+bool IncInout(Inout<int> x) {
+  x = x + 1;
+  return x < 10;
+}
+
+TEST(InoutTest, Figure8LeftColumn) {
+  int y = 2;
+  bool z = IncInout(y);
+  EXPECT_EQ(y, 3);
+  EXPECT_TRUE(z);
+}
+
+TEST(InoutTest, Figure8RewriteEquivalence) {
+  // Mechanical check of the paper's equivalence claim: for many inputs the
+  // inout form and the rewritten pure form produce identical results.
+  auto pure = RewriteInoutAsPure<int, bool>(&IncInout);
+  for (int y0 = -5; y0 < 20; ++y0) {
+    int y_inout = y0;
+    const bool z_inout = IncInout(y_inout);
+    const auto [y_pure, z_pure] = pure(y0);
+    EXPECT_EQ(y_inout, y_pure);
+    EXPECT_EQ(z_inout, z_pure);
+  }
+}
+
+void ScaleInout(Inout<CowArray<float>> a, float s) {
+  float* data = a.mutable_data();
+  for (std::size_t i = 0; i < a.size(); ++i) data[i] *= s;
+}
+
+TEST(InoutTest, VoidReturningRewriteOnArrays) {
+  auto pure = RewriteInoutAsPure<CowArray<float>, float>(&ScaleInout);
+  CowArray<float> a{1.0f, 2.0f};
+  CowArray<float> b = a;
+  ScaleInout(a, 3.0f);
+  const CowArray<float> c = pure(b, 3.0f);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(InoutTest, InoutDoesNotIntroduceReferenceSemantics) {
+  // A unique borrow cannot be observed through another variable.
+  CowArray<float> a{1.0f, 2.0f};
+  CowArray<float> alias = a;
+  ScaleInout(a, 2.0f);
+  EXPECT_EQ(alias[0], 1.0f);
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace s4tf::vs

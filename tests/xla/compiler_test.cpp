@@ -1,0 +1,183 @@
+#include "xla/compiler.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace s4tf::xla {
+namespace {
+
+// relu(a*b + c) elementwise over [64].
+HloModule ElementwiseChain() {
+  HloModule m("chain");
+  const HloId a = m.AddParameter(Shape({64}), 0);
+  const HloId b = m.AddParameter(Shape({64}), 1);
+  const HloId c = m.AddParameter(Shape({64}), 2);
+  const HloId mul = m.AddInstruction(OpKind::kMul, {a, b});
+  const HloId add = m.AddInstruction(OpKind::kAdd, {mul, c});
+  m.AddRoot(m.AddInstruction(OpKind::kRelu, {add}));
+  return m;
+}
+
+TEST(HloCseTest, DeduplicatesIdenticalSubexpressions) {
+  HloModule m;
+  const HloId p = m.AddParameter(Shape({8}), 0);
+  const HloId s1 = m.AddInstruction(OpKind::kSquare, {p});
+  const HloId s2 = m.AddInstruction(OpKind::kSquare, {p});
+  const HloId e1 = m.AddInstruction(OpKind::kExp, {s1});
+  const HloId e2 = m.AddInstruction(OpKind::kExp, {s2});
+  m.AddRoot(m.AddInstruction(OpKind::kAdd, {e1, e2}));
+  const std::int64_t before = m.instruction_count();
+  int eliminated = 0;
+  // Iterate: chains dedupe one level per pass.
+  for (int i = 0; i < 4; ++i) eliminated += RunHloCse(m);
+  EXPECT_EQ(eliminated, 2);
+  EXPECT_EQ(m.instruction_count(), before - 2);
+  // Semantics preserved: exp(x^2)*2.
+  const auto out = Compile(m).executable->Run({Literal::Full(Shape({8}), 2.f)});
+  EXPECT_NEAR(out[0].data[0], 2 * std::exp(4.0f), 1e-2);
+}
+
+TEST(HloDceTest, DropsUnreachableInstructions) {
+  HloModule m;
+  const HloId p = m.AddParameter(Shape({4}), 0);
+  const HloId live = m.AddInstruction(OpKind::kRelu, {p});
+  const HloId dead = m.AddInstruction(OpKind::kExp, {p});
+  (void)m.AddInstruction(OpKind::kTanh, {dead});  // dead chain
+  m.AddRoot(live);
+  EXPECT_EQ(RunHloDce(m), 2);
+  EXPECT_EQ(m.instruction_count(), 2);
+}
+
+TEST(FusionTest, ChainsFuseIntoOneGroup) {
+  const HloModule m = ElementwiseChain();
+  const auto groups = ComputeFusionGroups(m);
+  // mul (3), add (4), relu (5) share a group.
+  EXPECT_EQ(groups[3], groups[4]);
+  EXPECT_EQ(groups[4], groups[5]);
+}
+
+TEST(FusionTest, MultiUseProducerIsNotFused) {
+  HloModule m;
+  const HloId p = m.AddParameter(Shape({8}), 0);
+  const HloId shared = m.AddInstruction(OpKind::kSquare, {p});
+  const HloId u1 = m.AddInstruction(OpKind::kRelu, {shared});
+  const HloId u2 = m.AddInstruction(OpKind::kTanh, {shared});
+  m.AddRoot(u1);
+  m.AddRoot(u2);
+  const auto groups = ComputeFusionGroups(m);
+  EXPECT_NE(groups[static_cast<std::size_t>(shared)],
+            groups[static_cast<std::size_t>(u1)]);
+  EXPECT_NE(groups[static_cast<std::size_t>(shared)],
+            groups[static_cast<std::size_t>(u2)]);
+}
+
+TEST(FusionTest, NonElementwiseBreaksFusion) {
+  HloModule m;
+  const HloId a = m.AddParameter(Shape({4, 4}), 0);
+  const HloId doubled = m.AddInstruction(OpKind::kMulScalar, {a},
+                                         OpAttrs{.scalar = 2.0f});
+  const HloId mm = m.AddInstruction(OpKind::kMatMul, {doubled, doubled});
+  m.AddRoot(m.AddInstruction(OpKind::kRelu, {mm}));
+  const auto groups = ComputeFusionGroups(m);
+  EXPECT_NE(groups[static_cast<std::size_t>(doubled)],
+            groups[static_cast<std::size_t>(mm)]);
+  EXPECT_NE(groups[static_cast<std::size_t>(mm)], groups[3]);
+}
+
+TEST(CompileTest, FusionReducesKernelCount) {
+  CompileOptions fused_opts;
+  CompileOptions unfused_opts;
+  unfused_opts.enable_fusion = false;
+  const auto fused = Compile(ElementwiseChain(), fused_opts);
+  const auto unfused = Compile(ElementwiseChain(), unfused_opts);
+  EXPECT_EQ(fused.executable->kernel_count(), 1);
+  EXPECT_EQ(unfused.executable->kernel_count(), 3);
+}
+
+TEST(CompileTest, FusedAndUnfusedProduceIdenticalResults) {
+  CompileOptions unfused_opts;
+  unfused_opts.enable_fusion = false;
+  const auto fused = Compile(ElementwiseChain());
+  const auto unfused = Compile(ElementwiseChain(), unfused_opts);
+  std::vector<Literal> params = {Literal::Full(Shape({64}), 0.5f),
+                                 Literal::Full(Shape({64}), -3.0f),
+                                 Literal::Full(Shape({64}), 2.0f)};
+  const auto a = fused.executable->Run(params);
+  const auto b = unfused.executable->Run(params);
+  EXPECT_EQ(a[0].data.ToVector(), b[0].data.ToVector());
+}
+
+TEST(CompileTest, FusedExecutionIsCheaperOnAccelerator) {
+  const auto fused = Compile(ElementwiseChain());
+  CompileOptions unfused_opts;
+  unfused_opts.enable_fusion = false;
+  const auto unfused = Compile(ElementwiseChain(), unfused_opts);
+  std::vector<Literal> params = {Literal::Full(Shape({64}), 1.f),
+                                 Literal::Full(Shape({64}), 1.f),
+                                 Literal::Full(Shape({64}), 1.f)};
+  SimAccelerator a1(AcceleratorSpec::Gtx1080());
+  SimAccelerator a2(AcceleratorSpec::Gtx1080());
+  fused.executable->Run(params, &a1);
+  unfused.executable->Run(params, &a2);
+  EXPECT_LT(a1.elapsed_seconds(), a2.elapsed_seconds());
+}
+
+TEST(CompileTest, CompileCostScalesWithProgramSize) {
+  HloModule small;
+  HloId v = small.AddParameter(Shape({4}), 0);
+  small.AddRoot(small.AddInstruction(OpKind::kRelu, {v}));
+  HloModule big;
+  v = big.AddParameter(Shape({4}), 0);
+  for (int i = 0; i < 100; ++i) v = big.AddInstruction(OpKind::kTanh, {v});
+  big.AddRoot(v);
+  EXPECT_GT(Compile(big).compile_seconds, Compile(small).compile_seconds);
+}
+
+TEST(CompileCacheTest, HitsOnIdenticalStructure) {
+  CompileCache cache;
+  double cost1 = 0.0, cost2 = 0.0;
+  const auto e1 = cache.GetOrCompile(ElementwiseChain(), &cost1);
+  const auto e2 = cache.GetOrCompile(ElementwiseChain(), &cost2);
+  EXPECT_EQ(e1.get(), e2.get());
+  EXPECT_GT(cost1, 0.0);
+  EXPECT_EQ(cost2, 0.0);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(CompileCacheTest, ShapeChangeMisses) {
+  CompileCache cache;
+  auto build = [](std::int64_t n) {
+    HloModule m;
+    const HloId p = m.AddParameter(Shape({n}), 0);
+    m.AddRoot(m.AddInstruction(OpKind::kRelu, {p}));
+    return m;
+  };
+  cache.GetOrCompile(build(8));
+  cache.GetOrCompile(build(16));
+  cache.GetOrCompile(build(8));
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExecutableTest, ParameterCountChecked) {
+  const auto compiled = Compile(ElementwiseChain());
+  EXPECT_THROW(compiled.executable->Run({Literal::Full(Shape({64}), 1.f)}),
+               InternalError);
+}
+
+TEST(ExecutableTest, MatMulProgramComputesCorrectly) {
+  HloModule m;
+  const HloId a = m.AddParameter(Shape({2, 3}), 0);
+  const HloId b = m.AddParameter(Shape({3, 2}), 1);
+  m.AddRoot(m.AddInstruction(OpKind::kMatMul, {a, b}));
+  const auto compiled = Compile(std::move(m));
+  const auto out = compiled.executable->Run(
+      {Literal::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6}),
+       Literal::FromVector(Shape({3, 2}), {7, 8, 9, 10, 11, 12})});
+  EXPECT_EQ(out[0].data.ToVector(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+}  // namespace
+}  // namespace s4tf::xla

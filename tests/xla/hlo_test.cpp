@@ -1,0 +1,92 @@
+#include "xla/hlo.h"
+
+#include <gtest/gtest.h>
+
+namespace s4tf::xla {
+namespace {
+
+HloModule SimpleModule() {
+  HloModule m("simple");
+  const HloId p0 = m.AddParameter(Shape({2, 3}), 0);
+  const HloId p1 = m.AddParameter(Shape({2, 3}), 1);
+  const HloId sum = m.AddInstruction(OpKind::kAdd, {p0, p1});
+  const HloId act = m.AddInstruction(OpKind::kRelu, {sum});
+  m.AddRoot(act);
+  return m;
+}
+
+TEST(HloModuleTest, BuildsAndInfersShapes) {
+  const HloModule m = SimpleModule();
+  EXPECT_EQ(m.instruction_count(), 4);
+  EXPECT_EQ(m.num_parameters(), 2);
+  EXPECT_EQ(m.instruction(2).shape, Shape({2, 3}));
+  EXPECT_EQ(m.roots().size(), 1u);
+}
+
+TEST(HloModuleTest, RejectsForwardReferences) {
+  HloModule m;
+  EXPECT_THROW(m.AddInstruction(OpKind::kRelu, {5}), InternalError);
+}
+
+TEST(HloModuleTest, UseCounts) {
+  HloModule m;
+  const HloId p = m.AddParameter(Shape({4}), 0);
+  const HloId sq = m.AddInstruction(OpKind::kMul, {p, p});
+  m.AddRoot(sq);
+  const auto uses = m.UseCounts();
+  EXPECT_EQ(uses[static_cast<std::size_t>(p)], 2);
+  EXPECT_EQ(uses[static_cast<std::size_t>(sq)], 1);  // root
+}
+
+TEST(HloModuleTest, FingerprintStableAndStructural) {
+  EXPECT_EQ(SimpleModule().Fingerprint(), SimpleModule().Fingerprint());
+}
+
+TEST(HloModuleTest, FingerprintIgnoresConstantValues) {
+  // The XLA-program cache must hit when only the data changed (§3.4).
+  auto build = [](float value) {
+    HloModule m;
+    const HloId c = m.AddConstant(Literal::Full(Shape({8}), value));
+    const HloId p = m.AddParameter(Shape({8}), 0);
+    m.AddRoot(m.AddInstruction(OpKind::kMul, {c, p}));
+    return m;
+  };
+  EXPECT_EQ(build(1.0f).Fingerprint(), build(2.0f).Fingerprint());
+}
+
+TEST(HloModuleTest, FingerprintSensitiveToShapes) {
+  // Shape changes trigger recompilation (§3.4).
+  auto build = [](std::int64_t n) {
+    HloModule m;
+    const HloId p = m.AddParameter(Shape({n}), 0);
+    m.AddRoot(m.AddInstruction(OpKind::kRelu, {p}));
+    return m;
+  };
+  EXPECT_NE(build(8).Fingerprint(), build(16).Fingerprint());
+}
+
+TEST(HloModuleTest, FingerprintSensitiveToOpsAndAttrs) {
+  auto base = [] {
+    HloModule m;
+    const HloId p = m.AddParameter(Shape({8}), 0);
+    m.AddRoot(m.AddInstruction(OpKind::kMulScalar, {p},
+                               OpAttrs{.scalar = 2.0f}));
+    return m;
+  };
+  HloModule other;
+  const HloId p = other.AddParameter(Shape({8}), 0);
+  other.AddRoot(other.AddInstruction(OpKind::kMulScalar, {p},
+                                     OpAttrs{.scalar = 3.0f}));
+  EXPECT_NE(base().Fingerprint(), other.Fingerprint());
+}
+
+TEST(HloModuleTest, ToStringIsReadable) {
+  const std::string text = SimpleModule().ToString();
+  EXPECT_NE(text.find("param(0)"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+  EXPECT_NE(text.find("relu"), std::string::npos);
+  EXPECT_NE(text.find("roots: %3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s4tf::xla
