@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_subscript_pullback.dir/bench_fig9_subscript_pullback.cpp.o"
+  "CMakeFiles/bench_fig9_subscript_pullback.dir/bench_fig9_subscript_pullback.cpp.o.d"
+  "bench_fig9_subscript_pullback"
+  "bench_fig9_subscript_pullback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_subscript_pullback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

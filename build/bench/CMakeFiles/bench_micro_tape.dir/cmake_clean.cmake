@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tape.dir/bench_micro_tape.cpp.o"
+  "CMakeFiles/bench_micro_tape.dir/bench_micro_tape.cpp.o.d"
+  "bench_micro_tape"
+  "bench_micro_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

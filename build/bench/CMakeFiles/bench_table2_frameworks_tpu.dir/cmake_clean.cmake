@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_frameworks_tpu.dir/bench_table2_frameworks_tpu.cpp.o"
+  "CMakeFiles/bench_table2_frameworks_tpu.dir/bench_table2_frameworks_tpu.cpp.o.d"
+  "bench_table2_frameworks_tpu"
+  "bench_table2_frameworks_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_frameworks_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_gpu_resnet56.cpp" "bench/CMakeFiles/bench_table3_gpu_resnet56.dir/bench_table3_gpu_resnet56.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_gpu_resnet56.dir/bench_table3_gpu_resnet56.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frameworks/CMakeFiles/s4tf_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/s4tf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/s4tf_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/lazy/CMakeFiles/s4tf_lazy.dir/DependInfo.cmake"
+  "/root/repo/build/src/xla/CMakeFiles/s4tf_xla.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4tf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/s4tf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/vs/CMakeFiles/s4tf_vs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mobile_spline.dir/bench_table4_mobile_spline.cpp.o"
+  "CMakeFiles/bench_table4_mobile_spline.dir/bench_table4_mobile_spline.cpp.o.d"
+  "bench_table4_mobile_spline"
+  "bench_table4_mobile_spline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mobile_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differentiable_physics.dir/differentiable_physics.cpp.o"
+  "CMakeFiles/differentiable_physics.dir/differentiable_physics.cpp.o.d"
+  "differentiable_physics"
+  "differentiable_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differentiable_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_trace_viz.dir/lazy_trace_viz.cpp.o"
+  "CMakeFiles/lazy_trace_viz.dir/lazy_trace_viz.cpp.o.d"
+  "lazy_trace_viz"
+  "lazy_trace_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_trace_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

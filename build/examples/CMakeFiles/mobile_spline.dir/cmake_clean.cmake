@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_spline.dir/mobile_spline.cpp.o"
+  "CMakeFiles/mobile_spline.dir/mobile_spline.cpp.o.d"
+  "mobile_spline"
+  "mobile_spline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

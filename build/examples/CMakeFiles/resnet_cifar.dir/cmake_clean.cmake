@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_cifar.dir/resnet_cifar.cpp.o"
+  "CMakeFiles/resnet_cifar.dir/resnet_cifar.cpp.o.d"
+  "resnet_cifar"
+  "resnet_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_bandit.dir/rl_bandit.cpp.o"
+  "CMakeFiles/rl_bandit.dir/rl_bandit.cpp.o.d"
+  "rl_bandit"
+  "rl_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/value_semantics_tour.cpp" "examples/CMakeFiles/value_semantics_tour.dir/value_semantics_tour.cpp.o" "gcc" "examples/CMakeFiles/value_semantics_tour.dir/value_semantics_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/s4tf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/vs/CMakeFiles/s4tf_vs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

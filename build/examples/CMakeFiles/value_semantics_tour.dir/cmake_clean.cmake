@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_semantics_tour.dir/value_semantics_tour.cpp.o"
+  "CMakeFiles/value_semantics_tour.dir/value_semantics_tour.cpp.o.d"
+  "value_semantics_tour"
+  "value_semantics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_semantics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

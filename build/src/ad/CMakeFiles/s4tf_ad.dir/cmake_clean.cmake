@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_ad.dir/tape.cpp.o"
+  "CMakeFiles/s4tf_ad.dir/tape.cpp.o.d"
+  "libs4tf_ad.a"
+  "libs4tf_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

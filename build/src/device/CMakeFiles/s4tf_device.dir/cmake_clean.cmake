@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_device.dir/cost_model.cpp.o"
+  "CMakeFiles/s4tf_device.dir/cost_model.cpp.o.d"
+  "libs4tf_device.a"
+  "libs4tf_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

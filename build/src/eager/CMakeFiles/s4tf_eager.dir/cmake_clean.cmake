@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_eager.dir/eager_backend.cpp.o"
+  "CMakeFiles/s4tf_eager.dir/eager_backend.cpp.o.d"
+  "libs4tf_eager.a"
+  "libs4tf_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

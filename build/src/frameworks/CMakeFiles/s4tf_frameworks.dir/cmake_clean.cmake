@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_frameworks.dir/mobile.cpp.o"
+  "CMakeFiles/s4tf_frameworks.dir/mobile.cpp.o.d"
+  "libs4tf_frameworks.a"
+  "libs4tf_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

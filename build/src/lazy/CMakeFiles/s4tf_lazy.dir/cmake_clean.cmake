@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_lazy.dir/lazy_tensor.cpp.o"
+  "CMakeFiles/s4tf_lazy.dir/lazy_tensor.cpp.o.d"
+  "libs4tf_lazy.a"
+  "libs4tf_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/s4tf_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/s4tf_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/datasets.cpp" "src/nn/CMakeFiles/s4tf_nn.dir/datasets.cpp.o" "gcc" "src/nn/CMakeFiles/s4tf_nn.dir/datasets.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/s4tf_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/s4tf_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/losses.cpp" "src/nn/CMakeFiles/s4tf_nn.dir/losses.cpp.o" "gcc" "src/nn/CMakeFiles/s4tf_nn.dir/losses.cpp.o.d"
+  "/root/repo/src/nn/models/resnet.cpp" "src/nn/CMakeFiles/s4tf_nn.dir/models/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/s4tf_nn.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/nn/models/spline.cpp" "src/nn/CMakeFiles/s4tf_nn.dir/models/spline.cpp.o" "gcc" "src/nn/CMakeFiles/s4tf_nn.dir/models/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ad/CMakeFiles/s4tf_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/lazy/CMakeFiles/s4tf_lazy.dir/DependInfo.cmake"
+  "/root/repo/build/src/xla/CMakeFiles/s4tf_xla.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/s4tf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/s4tf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/vs/CMakeFiles/s4tf_vs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

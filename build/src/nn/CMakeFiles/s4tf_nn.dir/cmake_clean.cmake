@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/s4tf_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/s4tf_nn.dir/datasets.cpp.o"
+  "CMakeFiles/s4tf_nn.dir/datasets.cpp.o.d"
+  "CMakeFiles/s4tf_nn.dir/layers.cpp.o"
+  "CMakeFiles/s4tf_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/s4tf_nn.dir/losses.cpp.o"
+  "CMakeFiles/s4tf_nn.dir/losses.cpp.o.d"
+  "CMakeFiles/s4tf_nn.dir/models/resnet.cpp.o"
+  "CMakeFiles/s4tf_nn.dir/models/resnet.cpp.o.d"
+  "CMakeFiles/s4tf_nn.dir/models/spline.cpp.o"
+  "CMakeFiles/s4tf_nn.dir/models/spline.cpp.o.d"
+  "libs4tf_nn.a"
+  "libs4tf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs4tf_nn.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sil/activity.cpp" "src/sil/CMakeFiles/s4tf_sil.dir/activity.cpp.o" "gcc" "src/sil/CMakeFiles/s4tf_sil.dir/activity.cpp.o.d"
+  "/root/repo/src/sil/autodiff.cpp" "src/sil/CMakeFiles/s4tf_sil.dir/autodiff.cpp.o" "gcc" "src/sil/CMakeFiles/s4tf_sil.dir/autodiff.cpp.o.d"
+  "/root/repo/src/sil/diff_check.cpp" "src/sil/CMakeFiles/s4tf_sil.dir/diff_check.cpp.o" "gcc" "src/sil/CMakeFiles/s4tf_sil.dir/diff_check.cpp.o.d"
+  "/root/repo/src/sil/interpreter.cpp" "src/sil/CMakeFiles/s4tf_sil.dir/interpreter.cpp.o" "gcc" "src/sil/CMakeFiles/s4tf_sil.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sil/ir.cpp" "src/sil/CMakeFiles/s4tf_sil.dir/ir.cpp.o" "gcc" "src/sil/CMakeFiles/s4tf_sil.dir/ir.cpp.o.d"
+  "/root/repo/src/sil/passes.cpp" "src/sil/CMakeFiles/s4tf_sil.dir/passes.cpp.o" "gcc" "src/sil/CMakeFiles/s4tf_sil.dir/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_sil.dir/activity.cpp.o"
+  "CMakeFiles/s4tf_sil.dir/activity.cpp.o.d"
+  "CMakeFiles/s4tf_sil.dir/autodiff.cpp.o"
+  "CMakeFiles/s4tf_sil.dir/autodiff.cpp.o.d"
+  "CMakeFiles/s4tf_sil.dir/diff_check.cpp.o"
+  "CMakeFiles/s4tf_sil.dir/diff_check.cpp.o.d"
+  "CMakeFiles/s4tf_sil.dir/interpreter.cpp.o"
+  "CMakeFiles/s4tf_sil.dir/interpreter.cpp.o.d"
+  "CMakeFiles/s4tf_sil.dir/ir.cpp.o"
+  "CMakeFiles/s4tf_sil.dir/ir.cpp.o.d"
+  "CMakeFiles/s4tf_sil.dir/passes.cpp.o"
+  "CMakeFiles/s4tf_sil.dir/passes.cpp.o.d"
+  "libs4tf_sil.a"
+  "libs4tf_sil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_sil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_support.dir/error.cpp.o"
+  "CMakeFiles/s4tf_support.dir/error.cpp.o.d"
+  "CMakeFiles/s4tf_support.dir/logging.cpp.o"
+  "CMakeFiles/s4tf_support.dir/logging.cpp.o.d"
+  "CMakeFiles/s4tf_support.dir/memory_meter.cpp.o"
+  "CMakeFiles/s4tf_support.dir/memory_meter.cpp.o.d"
+  "CMakeFiles/s4tf_support.dir/rng.cpp.o"
+  "CMakeFiles/s4tf_support.dir/rng.cpp.o.d"
+  "CMakeFiles/s4tf_support.dir/threadpool.cpp.o"
+  "CMakeFiles/s4tf_support.dir/threadpool.cpp.o.d"
+  "libs4tf_support.a"
+  "libs4tf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

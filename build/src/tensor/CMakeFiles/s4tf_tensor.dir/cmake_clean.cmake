@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/s4tf_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/s4tf_tensor.dir/op.cpp.o"
+  "CMakeFiles/s4tf_tensor.dir/op.cpp.o.d"
+  "CMakeFiles/s4tf_tensor.dir/ops.cpp.o"
+  "CMakeFiles/s4tf_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/s4tf_tensor.dir/shape.cpp.o"
+  "CMakeFiles/s4tf_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/s4tf_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/s4tf_tensor.dir/tensor.cpp.o.d"
+  "libs4tf_tensor.a"
+  "libs4tf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_vs.dir/cow_stats.cpp.o"
+  "CMakeFiles/s4tf_vs.dir/cow_stats.cpp.o.d"
+  "libs4tf_vs.a"
+  "libs4tf_vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_vs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_xla.dir/compiler.cpp.o"
+  "CMakeFiles/s4tf_xla.dir/compiler.cpp.o.d"
+  "CMakeFiles/s4tf_xla.dir/hlo.cpp.o"
+  "CMakeFiles/s4tf_xla.dir/hlo.cpp.o.d"
+  "libs4tf_xla.a"
+  "libs4tf_xla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_xla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

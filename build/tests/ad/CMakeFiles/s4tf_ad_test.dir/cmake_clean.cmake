@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_ad_test.dir/dual_test.cpp.o"
+  "CMakeFiles/s4tf_ad_test.dir/dual_test.cpp.o.d"
+  "CMakeFiles/s4tf_ad_test.dir/operators_test.cpp.o"
+  "CMakeFiles/s4tf_ad_test.dir/operators_test.cpp.o.d"
+  "CMakeFiles/s4tf_ad_test.dir/subscript_pullback_test.cpp.o"
+  "CMakeFiles/s4tf_ad_test.dir/subscript_pullback_test.cpp.o.d"
+  "CMakeFiles/s4tf_ad_test.dir/tape_test.cpp.o"
+  "CMakeFiles/s4tf_ad_test.dir/tape_test.cpp.o.d"
+  "s4tf_ad_test"
+  "s4tf_ad_test.pdb"
+  "s4tf_ad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_ad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_frameworks_test.dir/mobile_test.cpp.o"
+  "CMakeFiles/s4tf_frameworks_test.dir/mobile_test.cpp.o.d"
+  "CMakeFiles/s4tf_frameworks_test.dir/staged_test.cpp.o"
+  "CMakeFiles/s4tf_frameworks_test.dir/staged_test.cpp.o.d"
+  "s4tf_frameworks_test"
+  "s4tf_frameworks_test.pdb"
+  "s4tf_frameworks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_frameworks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_integration_test.dir/cross_backend_test.cpp.o"
+  "CMakeFiles/s4tf_integration_test.dir/cross_backend_test.cpp.o.d"
+  "CMakeFiles/s4tf_integration_test.dir/data_parallel_test.cpp.o"
+  "CMakeFiles/s4tf_integration_test.dir/data_parallel_test.cpp.o.d"
+  "CMakeFiles/s4tf_integration_test.dir/edge_cases_test.cpp.o"
+  "CMakeFiles/s4tf_integration_test.dir/edge_cases_test.cpp.o.d"
+  "s4tf_integration_test"
+  "s4tf_integration_test.pdb"
+  "s4tf_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_lazy_test.dir/lazy_tensor_test.cpp.o"
+  "CMakeFiles/s4tf_lazy_test.dir/lazy_tensor_test.cpp.o.d"
+  "s4tf_lazy_test"
+  "s4tf_lazy_test.pdb"
+  "s4tf_lazy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_lazy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

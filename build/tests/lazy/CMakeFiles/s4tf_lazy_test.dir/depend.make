@@ -1,0 +1,2 @@
+# Empty dependencies file for s4tf_lazy_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_nn_test.dir/autoencoder_test.cpp.o"
+  "CMakeFiles/s4tf_nn_test.dir/autoencoder_test.cpp.o.d"
+  "CMakeFiles/s4tf_nn_test.dir/checkpoint_test.cpp.o"
+  "CMakeFiles/s4tf_nn_test.dir/checkpoint_test.cpp.o.d"
+  "CMakeFiles/s4tf_nn_test.dir/layers_test.cpp.o"
+  "CMakeFiles/s4tf_nn_test.dir/layers_test.cpp.o.d"
+  "CMakeFiles/s4tf_nn_test.dir/models_test.cpp.o"
+  "CMakeFiles/s4tf_nn_test.dir/models_test.cpp.o.d"
+  "CMakeFiles/s4tf_nn_test.dir/optimizers_test.cpp.o"
+  "CMakeFiles/s4tf_nn_test.dir/optimizers_test.cpp.o.d"
+  "CMakeFiles/s4tf_nn_test.dir/training_test.cpp.o"
+  "CMakeFiles/s4tf_nn_test.dir/training_test.cpp.o.d"
+  "s4tf_nn_test"
+  "s4tf_nn_test.pdb"
+  "s4tf_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

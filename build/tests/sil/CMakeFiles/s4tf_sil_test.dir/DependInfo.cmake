@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sil/activity_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/activity_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/activity_test.cpp.o.d"
+  "/root/repo/tests/sil/autodiff_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/autodiff_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/autodiff_test.cpp.o.d"
+  "/root/repo/tests/sil/inlining_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/inlining_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/inlining_test.cpp.o.d"
+  "/root/repo/tests/sil/interpreter_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/interpreter_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/sil/ir_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/ir_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/sil/passes_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/passes_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/passes_test.cpp.o.d"
+  "/root/repo/tests/sil/random_programs_test.cpp" "tests/sil/CMakeFiles/s4tf_sil_test.dir/random_programs_test.cpp.o" "gcc" "tests/sil/CMakeFiles/s4tf_sil_test.dir/random_programs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sil/CMakeFiles/s4tf_sil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

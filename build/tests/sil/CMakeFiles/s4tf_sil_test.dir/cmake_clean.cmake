@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_sil_test.dir/activity_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/activity_test.cpp.o.d"
+  "CMakeFiles/s4tf_sil_test.dir/autodiff_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/autodiff_test.cpp.o.d"
+  "CMakeFiles/s4tf_sil_test.dir/inlining_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/inlining_test.cpp.o.d"
+  "CMakeFiles/s4tf_sil_test.dir/interpreter_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/interpreter_test.cpp.o.d"
+  "CMakeFiles/s4tf_sil_test.dir/ir_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/ir_test.cpp.o.d"
+  "CMakeFiles/s4tf_sil_test.dir/passes_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/passes_test.cpp.o.d"
+  "CMakeFiles/s4tf_sil_test.dir/random_programs_test.cpp.o"
+  "CMakeFiles/s4tf_sil_test.dir/random_programs_test.cpp.o.d"
+  "s4tf_sil_test"
+  "s4tf_sil_test.pdb"
+  "s4tf_sil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_sil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/error_test.cpp" "tests/support/CMakeFiles/s4tf_support_test.dir/error_test.cpp.o" "gcc" "tests/support/CMakeFiles/s4tf_support_test.dir/error_test.cpp.o.d"
+  "/root/repo/tests/support/hashing_test.cpp" "tests/support/CMakeFiles/s4tf_support_test.dir/hashing_test.cpp.o" "gcc" "tests/support/CMakeFiles/s4tf_support_test.dir/hashing_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/support/CMakeFiles/s4tf_support_test.dir/rng_test.cpp.o" "gcc" "tests/support/CMakeFiles/s4tf_support_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/support/strings_test.cpp" "tests/support/CMakeFiles/s4tf_support_test.dir/strings_test.cpp.o" "gcc" "tests/support/CMakeFiles/s4tf_support_test.dir/strings_test.cpp.o.d"
+  "/root/repo/tests/support/threadpool_test.cpp" "tests/support/CMakeFiles/s4tf_support_test.dir/threadpool_test.cpp.o" "gcc" "tests/support/CMakeFiles/s4tf_support_test.dir/threadpool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

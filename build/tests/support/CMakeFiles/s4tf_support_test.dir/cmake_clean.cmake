@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_support_test.dir/error_test.cpp.o"
+  "CMakeFiles/s4tf_support_test.dir/error_test.cpp.o.d"
+  "CMakeFiles/s4tf_support_test.dir/hashing_test.cpp.o"
+  "CMakeFiles/s4tf_support_test.dir/hashing_test.cpp.o.d"
+  "CMakeFiles/s4tf_support_test.dir/rng_test.cpp.o"
+  "CMakeFiles/s4tf_support_test.dir/rng_test.cpp.o.d"
+  "CMakeFiles/s4tf_support_test.dir/strings_test.cpp.o"
+  "CMakeFiles/s4tf_support_test.dir/strings_test.cpp.o.d"
+  "CMakeFiles/s4tf_support_test.dir/threadpool_test.cpp.o"
+  "CMakeFiles/s4tf_support_test.dir/threadpool_test.cpp.o.d"
+  "s4tf_support_test"
+  "s4tf_support_test.pdb"
+  "s4tf_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/kernels_test.cpp" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/kernels_test.cpp.o" "gcc" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/tensor/op_test.cpp" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/op_test.cpp.o" "gcc" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/op_test.cpp.o.d"
+  "/root/repo/tests/tensor/ops_extra_test.cpp" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/ops_extra_test.cpp.o" "gcc" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/ops_extra_test.cpp.o.d"
+  "/root/repo/tests/tensor/shape_test.cpp" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/shape_test.cpp.o" "gcc" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/shape_test.cpp.o.d"
+  "/root/repo/tests/tensor/tensor_test.cpp" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/tensor_test.cpp.o" "gcc" "tests/tensor/CMakeFiles/s4tf_tensor_test.dir/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/s4tf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/s4tf_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/vs/CMakeFiles/s4tf_vs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/s4tf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_tensor_test.dir/kernels_test.cpp.o"
+  "CMakeFiles/s4tf_tensor_test.dir/kernels_test.cpp.o.d"
+  "CMakeFiles/s4tf_tensor_test.dir/op_test.cpp.o"
+  "CMakeFiles/s4tf_tensor_test.dir/op_test.cpp.o.d"
+  "CMakeFiles/s4tf_tensor_test.dir/ops_extra_test.cpp.o"
+  "CMakeFiles/s4tf_tensor_test.dir/ops_extra_test.cpp.o.d"
+  "CMakeFiles/s4tf_tensor_test.dir/shape_test.cpp.o"
+  "CMakeFiles/s4tf_tensor_test.dir/shape_test.cpp.o.d"
+  "CMakeFiles/s4tf_tensor_test.dir/tensor_test.cpp.o"
+  "CMakeFiles/s4tf_tensor_test.dir/tensor_test.cpp.o.d"
+  "s4tf_tensor_test"
+  "s4tf_tensor_test.pdb"
+  "s4tf_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

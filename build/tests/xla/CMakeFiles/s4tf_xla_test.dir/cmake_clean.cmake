@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4tf_xla_test.dir/compiler_test.cpp.o"
+  "CMakeFiles/s4tf_xla_test.dir/compiler_test.cpp.o.d"
+  "CMakeFiles/s4tf_xla_test.dir/hlo_test.cpp.o"
+  "CMakeFiles/s4tf_xla_test.dir/hlo_test.cpp.o.d"
+  "CMakeFiles/s4tf_xla_test.dir/simplify_test.cpp.o"
+  "CMakeFiles/s4tf_xla_test.dir/simplify_test.cpp.o.d"
+  "s4tf_xla_test"
+  "s4tf_xla_test.pdb"
+  "s4tf_xla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4tf_xla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
