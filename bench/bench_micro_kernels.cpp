@@ -1,8 +1,15 @@
 // Microbenchmarks of the reference CPU kernels shared by every backend.
+//
+// The *Threads benchmarks sweep the intra-op pool size (Arg = thread
+// count) on fixed hot-kernel workloads, so the threads=1 vs threads=N
+// rows measure the speedup from ParallelForRange sharding directly.
+// Compare the wall-clock "Time" column (UseRealTime): CPU time stays
+// roughly constant while wall time shrinks.
 #include <benchmark/benchmark.h>
 
 #include "support/rng.h"
 #include "tensor/kernels.h"
+#include "tensor/tensor.h"
 
 namespace s4tf {
 namespace {
@@ -38,6 +45,34 @@ void BM_Conv2D(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2D)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MatMul512Threads(benchmark::State& state) {
+  SetIntraOpParallelism(static_cast<int>(state.range(0)));
+  const std::int64_t n = 512;
+  const Literal a = RandomLiteral(Shape({n, n}), 1);
+  const Literal b = RandomLiteral(Shape({n, n}), 2);
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kMatMul, {a, b}, {});
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  SetIntraOpParallelism(0);
+}
+BENCHMARK(BM_MatMul512Threads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_Conv2DBatch8Threads(benchmark::State& state) {
+  SetIntraOpParallelism(static_cast<int>(state.range(0)));
+  const Literal input = RandomLiteral(Shape({8, 32, 32, 16}), 3);
+  const Literal filter = RandomLiteral(Shape({3, 3, 16, 32}), 4);
+  OpAttrs attrs;
+  attrs.padding = Padding::kSame;
+  for (auto _ : state) {
+    Literal out = EvalOpLiteral(OpKind::kConv2D, {input, filter}, attrs);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  SetIntraOpParallelism(0);
+}
+BENCHMARK(BM_Conv2DBatch8Threads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_Softmax(benchmark::State& state) {
   const Literal x = RandomLiteral(Shape({state.range(0), 1000}), 5);

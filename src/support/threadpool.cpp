@@ -1,6 +1,10 @@
 #include "support/threadpool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
 
 #include "support/error.h"
 
@@ -14,6 +18,8 @@ DispatchQueue::~DispatchQueue() {
     shutdown_ = true;
   }
   cv_.notify_all();
+  // WorkerLoop keeps popping until the queue is empty, so joining here
+  // drains every task submitted before destruction began.
   worker_.join();
 }
 
@@ -29,6 +35,7 @@ void DispatchQueue::Submit(std::function<void()> task) {
 
 void DispatchQueue::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
+  S4TF_CHECK(!shutdown_) << "Drain after shutdown";
   drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
@@ -43,7 +50,7 @@ void DispatchQueue::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // shutdown with nothing queued
+      if (tasks_.empty()) return;  // shutdown with everything drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
@@ -89,36 +96,160 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::int64_t n,
                              const std::function<void(std::int64_t)>& body) {
+  ParallelForRange(n, 1, [&body](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::ParallelForRange(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (n <= 0) return;
-  const int workers = num_threads();
-  if (workers == 1 || n == 1) {
-    for (std::int64_t i = 0; i < n; ++i) body(i);
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t num_blocks = (n + grain - 1) / grain;
+  if (num_blocks == 1 || num_threads() == 1) {
+    body(0, n);
     return;
   }
-  std::atomic<std::int64_t> next{0};
-  std::atomic<int> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  const int shards = std::min<std::int64_t>(workers, n);
-  auto shard_fn = [&] {
-    while (true) {
-      const std::int64_t i = next.fetch_add(1);
-      if (i >= n) break;
-      body(i);
-    }
-    {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      ++done;
-    }
-    done_cv.notify_one();
+
+  // Shared between the caller, the pool workers that pick up a
+  // participation ticket, and tickets that fire after the region already
+  // finished (they see no blocks left and return). shared_ptr keeps the
+  // state alive for those stragglers.
+  struct State {
+    std::int64_t n = 0;
+    std::int64_t grain = 0;
+    std::int64_t num_blocks = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::atomic<std::int64_t> next_block{0};
+    std::atomic<int> active{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first body exception; guarded by mutex
   };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->grain = grain;
+  state->num_blocks = num_blocks;
+  state->body = &body;
+
+  // Claims blocks until none remain. Run by the caller and by however many
+  // workers are free; completion never depends on a worker being free, so
+  // nesting ParallelFor inside a pool worker cannot deadlock.
+  auto participate = [](State& s) {
+    s.active.fetch_add(1, std::memory_order_acq_rel);
+    while (true) {
+      const std::int64_t block =
+          s.next_block.fetch_add(1, std::memory_order_relaxed);
+      if (block >= s.num_blocks) break;
+      const std::int64_t begin = block * s.grain;
+      const std::int64_t end = std::min(s.n, begin + s.grain);
+      try {
+        (*s.body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.error) s.error = std::current_exception();
+        // Abandon the blocks not yet handed out.
+        s.next_block.store(s.num_blocks, std::memory_order_relaxed);
+      }
+    }
+    // Decrement under the lock so the caller's predicate check can't miss
+    // the final notify.
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.active.fetch_sub(1, std::memory_order_acq_rel);
+    s.done_cv.notify_all();
+  };
+
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(num_threads(), num_blocks)) - 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (int s = 0; s < shards; ++s) tasks_.push_back(shard_fn);
+    for (int i = 0; i < helpers; ++i) {
+      tasks_.push_back([state, participate] { participate(*state); });
+    }
   }
   cv_.notify_all();
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == shards; });
+
+  participate(*state);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->next_block.load(std::memory_order_relaxed) >=
+               state->num_blocks &&
+           state->active.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+// --- Process-wide intra-op pool. -------------------------------------------
+
+namespace {
+
+std::mutex& PoolMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// 0 means "use the env/hardware default".
+int& RequestedThreads() {
+  static int requested = 0;
+  return requested;
+}
+
+// Guarded by PoolMutex(). Null until first used with > 1 threads.
+std::shared_ptr<ThreadPool>& PoolSlot() {
+  static std::shared_ptr<ThreadPool> pool;
+  return pool;
+}
+
+int ResolveThreadsLocked() {
+  if (RequestedThreads() > 0) return RequestedThreads();
+  if (const char* env = std::getenv("S4TF_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Returns the pool to run on, or null to run inline (single-threaded).
+std::shared_ptr<ThreadPool> AcquirePool() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  const int want = ResolveThreadsLocked();
+  auto& slot = PoolSlot();
+  if (want <= 1) return nullptr;
+  if (!slot || slot->num_threads() != want) {
+    slot = std::make_shared<ThreadPool>(want);
+  }
+  return slot;
+}
+
+}  // namespace
+
+int IntraOpThreads() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  return ResolveThreadsLocked();
+}
+
+void SetIntraOpThreads(int num_threads) {
+  S4TF_CHECK_GE(num_threads, 0);
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  RequestedThreads() = num_threads;
+  // Drop the old pool; regions that hold a reference finish on it. The
+  // next AcquirePool rebuilds at the new size.
+  PoolSlot().reset();
+}
+
+void ParallelForRange(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  const std::shared_ptr<ThreadPool> pool = AcquirePool();
+  if (!pool) {
+    body(0, n);
+    return;
+  }
+  pool->ParallelForRange(n, grain, body);
 }
 
 }  // namespace s4tf

@@ -5,10 +5,13 @@
 // dedicated executor thread drains the queue in FIFO order; observing a
 // tensor's contents blocks until its producing kernel has retired. The
 // DispatchQueue below provides that; ThreadPool serves data-parallel CPU
-// kernels.
+// kernels through the process-wide intra-op pool (IntraOpPool /
+// ParallelForRange), which the reference kernels in tensor/kernels.cpp
+// shard their output slices across.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -21,6 +24,7 @@ namespace s4tf {
 class DispatchQueue {
  public:
   DispatchQueue();
+  // Runs every task submitted so far to completion, then stops the worker.
   ~DispatchQueue();
 
   DispatchQueue(const DispatchQueue&) = delete;
@@ -29,7 +33,10 @@ class DispatchQueue {
   // Enqueues `task`; returns immediately.
   void Submit(std::function<void()> task);
 
-  // Blocks until every task submitted so far has completed.
+  // Blocks until every task submitted so far has completed. CHECK-fails if
+  // the queue is already shutting down: a Drain racing destruction is a
+  // caller lifetime bug, and failing loudly beats hanging on a
+  // condition variable that will never be notified again.
   void Drain();
 
   // Number of tasks submitted but not yet finished.
@@ -48,6 +55,12 @@ class DispatchQueue {
 };
 
 // Fixed-size pool for parallel-for style work.
+//
+// Both entry points block until the whole iteration space is done and are
+// safe to call from a pool worker (the calling thread claims shards
+// itself, so progress never depends on a free worker). If the body
+// throws, the remaining shards are abandoned, the pool stays usable, and
+// the first exception is rethrown on the calling thread.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -62,10 +75,15 @@ class ThreadPool {
   void ParallelFor(std::int64_t n,
                    const std::function<void(std::int64_t)>& body);
 
+  // Runs body(begin, end) over disjoint subranges covering [0, n), each at
+  // most `grain` indices long (grain < 1 is treated as 1). Shards are
+  // contiguous, so a body that writes only to its [begin, end) output
+  // slice is deterministic regardless of thread count.
+  void ParallelForRange(
+      std::int64_t n, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t)>& body);
+
  private:
-  struct Task {
-    std::function<void()> fn;
-  };
   void WorkerLoop();
 
   std::mutex mutex_;
@@ -74,5 +92,26 @@ class ThreadPool {
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };
+
+// --- Process-wide intra-op pool. -------------------------------------------
+//
+// CPU kernels shard across one lazily-created global pool, mirroring
+// TensorFlow's intra-op thread pool. Its size is, in priority order: the
+// last SetIntraOpThreads(n > 0) call, the S4TF_NUM_THREADS environment
+// variable, then std::thread::hardware_concurrency().
+
+// Current intra-op thread count (>= 1). Does not create the pool.
+int IntraOpThreads();
+
+// Overrides the intra-op thread count; 0 restores the env/hardware
+// default. Takes effect on the next parallel region: in-flight regions
+// finish on the pool they started with.
+void SetIntraOpThreads(int num_threads);
+
+// ParallelForRange on the global pool. Runs inline when the pool size is 1
+// (no worker threads are ever created in that case).
+void ParallelForRange(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body);
 
 }  // namespace s4tf

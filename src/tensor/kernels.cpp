@@ -6,11 +6,26 @@
 #include <functional>
 #include <limits>
 
+#include "support/threadpool.h"
+
 namespace s4tf {
 namespace {
 
 using ElementwiseUnary = float (*)(float, const OpAttrs&);
 using ElementwiseBinary = float (*)(float, float);
+
+// Intra-op sharding policy. Every parallel kernel below shards a
+// *disjoint* slice of its output across the global pool and accumulates
+// into each output element on a single thread in a fixed order, so results
+// are bit-identical for any thread count (see DESIGN.md, "Intra-op
+// threading"). Reduction axes are never split.
+//
+// Grain size: shards of fewer than ~16K flop-equivalents cost more in
+// queueing than they recover, so size shards to at least that much work.
+std::int64_t GrainFor(std::int64_t cost_per_item) {
+  constexpr std::int64_t kMinShardCost = 16 * 1024;
+  return std::max<std::int64_t>(1, kMinShardCost / std::max<std::int64_t>(cost_per_item, 1));
+}
 
 // Strides of `in` aligned to the (broadcast) output rank, with 0 stride on
 // broadcast dimensions — the standard NumPy broadcasting iteration trick.
@@ -26,21 +41,28 @@ std::vector<std::int64_t> BroadcastStrides(const Shape& in,
   return strides;
 }
 
-// Odometer-style iteration over `out`; calls fn(out_offset, in_offsets...).
+// Odometer-style iteration over the flat range [begin, end) of `out`;
+// calls fn(out_offset, in_offsets...). The odometer is seeded from `begin`
+// so disjoint ranges can run on different threads.
 template <int NumInputs, typename Fn>
-void ForEachBroadcast(const Shape& out,
-                      const std::array<std::vector<std::int64_t>, NumInputs>& strides,
-                      Fn&& fn) {
-  const std::int64_t n = out.NumElements();
+void ForEachBroadcastRange(
+    const Shape& out,
+    const std::array<std::vector<std::int64_t>, NumInputs>& strides,
+    std::int64_t begin, std::int64_t end, Fn&& fn) {
   const int rank = out.rank();
-  if (rank == 0) {
-    std::array<std::int64_t, NumInputs> offs{};
-    fn(0, offs);
-    return;
-  }
   std::vector<std::int64_t> index(static_cast<std::size_t>(rank), 0);
   std::array<std::int64_t, NumInputs> offs{};
-  for (std::int64_t flat = 0; flat < n; ++flat) {
+  std::int64_t rem = begin;
+  for (int d = rank - 1; d >= 0; --d) {
+    const auto sd = static_cast<std::size_t>(d);
+    index[sd] = rem % out.dim(d);
+    rem /= out.dim(d);
+    for (int i = 0; i < NumInputs; ++i) {
+      offs[static_cast<std::size_t>(i)] +=
+          index[sd] * strides[static_cast<std::size_t>(i)][sd];
+    }
+  }
+  for (std::int64_t flat = begin; flat < end; ++flat) {
     fn(flat, offs);
     // Increment odometer and input offsets together.
     for (int d = rank - 1; d >= 0; --d) {
@@ -57,6 +79,22 @@ void ForEachBroadcast(const Shape& out,
   }
 }
 
+// Parallel iteration over all of `out`, sharded by contiguous flat ranges.
+template <int NumInputs, typename Fn>
+void ForEachBroadcast(const Shape& out,
+                      const std::array<std::vector<std::int64_t>, NumInputs>& strides,
+                      Fn&& fn) {
+  const std::int64_t n = out.NumElements();
+  if (out.rank() == 0) {
+    std::array<std::int64_t, NumInputs> offs{};
+    fn(0, offs);
+    return;
+  }
+  ParallelForRange(n, GrainFor(2), [&](std::int64_t begin, std::int64_t end) {
+    ForEachBroadcastRange<NumInputs>(out, strides, begin, end, fn);
+  });
+}
+
 Literal BinaryBroadcast(const Literal& a, const Literal& b, const Shape& out,
                         ElementwiseBinary fn) {
   Literal result = Literal::Zeros(out);
@@ -64,8 +102,12 @@ Literal BinaryBroadcast(const Literal& a, const Literal& b, const Shape& out,
   const float* pa = a.data.data();
   const float* pb = b.data.data();
   if (a.shape == b.shape && a.shape == out) {
-    const std::int64_t n = out.NumElements();
-    for (std::int64_t i = 0; i < n; ++i) r[i] = fn(pa[i], pb[i]);
+    ParallelForRange(out.NumElements(), GrainFor(1),
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         r[i] = fn(pa[i], pb[i]);
+                       }
+                     });
     return result;
   }
   std::array<std::vector<std::int64_t>, 2> strides = {
@@ -82,8 +124,12 @@ Literal UnaryElementwise(const Literal& a, const OpAttrs& attrs,
   Literal result = Literal::Zeros(a.shape);
   float* r = result.data.mutable_data();
   const float* p = a.data.data();
-  const std::int64_t n = a.size();
-  for (std::int64_t i = 0; i < n; ++i) r[i] = fn(p[i], attrs);
+  ParallelForRange(a.size(), GrainFor(1),
+                   [&](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       r[i] = fn(p[i], attrs);
+                     }
+                   });
   return result;
 }
 
@@ -196,25 +242,30 @@ Literal SoftmaxLike(const Literal& in, bool log_space) {
   const float* p = in.data.data();
   const std::int64_t cols = in.shape.dim(in.shape.rank() - 1);
   const std::int64_t rows = in.size() / cols;
-  for (std::int64_t row = 0; row < rows; ++row) {
-    const float* x = p + row * cols;
-    float* y = r + row * cols;
-    float max_val = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < cols; ++c) max_val = std::max(max_val, x[c]);
-    float sum = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(x[c] - max_val);
-      y[c] = e;
-      sum += e;
+  // Each row is one output slice: the max/sum reductions stay within a
+  // single shard, so the split is over rows only.
+  ParallelForRange(rows, GrainFor(4 * cols), [&](std::int64_t row_begin,
+                                                 std::int64_t row_end) {
+    for (std::int64_t row = row_begin; row < row_end; ++row) {
+      const float* x = p + row * cols;
+      float* y = r + row * cols;
+      float max_val = -std::numeric_limits<float>::infinity();
+      for (std::int64_t c = 0; c < cols; ++c) max_val = std::max(max_val, x[c]);
+      float sum = 0.0f;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float e = std::exp(x[c] - max_val);
+        y[c] = e;
+        sum += e;
+      }
+      if (log_space) {
+        const float log_sum = std::log(sum) + max_val;
+        for (std::int64_t c = 0; c < cols; ++c) y[c] = x[c] - log_sum;
+      } else {
+        const float inv = 1.0f / sum;
+        for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+      }
     }
-    if (log_space) {
-      const float log_sum = std::log(sum) + max_val;
-      for (std::int64_t c = 0; c < cols; ++c) y[c] = x[c] - log_sum;
-    } else {
-      const float inv = 1.0f / sum;
-      for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
-    }
-  }
+  });
   return result;
 }
 
@@ -392,8 +443,14 @@ Literal Pool2D(const Literal& in, const OpAttrs& attrs, bool is_max) {
       MakePoolGeometry(in.shape, out_shape, attrs.window_h, attrs.window_w,
                        attrs.stride_h, attrs.stride_w, attrs.padding);
 
-  for (std::int64_t b = 0; b < g.batch; ++b) {
-    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+  // Disjoint output rows: shard over (batch, out_h).
+  const std::int64_t pool_row_cost =
+      g.out_w * g.channels * attrs.window_h * attrs.window_w;
+  ParallelForRange(g.batch * g.out_h, GrainFor(pool_row_cost), [&](
+                       std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t row = row_begin; row < row_end; ++row) {
+      const std::int64_t b = row / g.out_h;
+      const std::int64_t oh = row % g.out_h;
       for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
         for (std::int64_t c = 0; c < g.channels; ++c) {
           float acc = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
@@ -420,7 +477,7 @@ Literal Pool2D(const Literal& in, const OpAttrs& attrs, bool is_max) {
         }
       }
     }
-  }
+  });
   return result;
 }
 
@@ -433,7 +490,10 @@ Literal AvgPool2DGrad(const Literal& grad_out, const OpAttrs& attrs) {
       MakePoolGeometry(in_shape, grad_out.shape, attrs.window_h,
                        attrs.window_w, attrs.stride_h, attrs.stride_w,
                        attrs.padding);
-  for (std::int64_t b = 0; b < g.batch; ++b) {
+  // Overlapping windows scatter across input rows, so the only disjoint
+  // output slice is a whole image: shard over batch.
+  ParallelForRange(g.batch, 1, [&](std::int64_t b_begin, std::int64_t b_end) {
+  for (std::int64_t b = b_begin; b < b_end; ++b) {
     for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
       for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
         for (std::int64_t c = 0; c < g.channels; ++c) {
@@ -464,6 +524,7 @@ Literal AvgPool2DGrad(const Literal& grad_out, const OpAttrs& attrs) {
       }
     }
   }
+  });
   return result;
 }
 
@@ -477,7 +538,9 @@ Literal MaxPool2DGrad(const Literal& input, const Literal& grad_out,
       MakePoolGeometry(input.shape, grad_out.shape, attrs.window_h,
                        attrs.window_w, attrs.stride_h, attrs.stride_w,
                        attrs.padding);
-  for (std::int64_t b = 0; b < g.batch; ++b) {
+  // Same disjointness argument as AvgPool2DGrad: shard over batch.
+  ParallelForRange(g.batch, 1, [&](std::int64_t b_begin, std::int64_t b_end) {
+  for (std::int64_t b = b_begin; b < b_end; ++b) {
     for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
       for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
         for (std::int64_t c = 0; c < g.channels; ++c) {
@@ -507,6 +570,7 @@ Literal MaxPool2DGrad(const Literal& input, const Literal& grad_out,
       }
     }
   }
+  });
   return result;
 }
 
@@ -526,15 +590,20 @@ std::int64_t PadLow(std::int64_t input, std::int64_t output,
 void MatMul(const float* a, const float* b, float* out, std::int64_t m,
             std::int64_t k, std::int64_t n) {
   std::fill(out, out + m * n, 0.0f);
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = a[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      float* orow = out + i * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // Each shard owns a contiguous block of output rows; the k-reduction for
+  // a row stays on one thread, in the serial order.
+  ParallelForRange(m, GrainFor(2 * k * n), [&](std::int64_t i_begin,
+                                               std::int64_t i_end) {
+    for (std::int64_t i = i_begin; i < i_end; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = a[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        float* orow = out + i * n;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void Conv2D(const float* input, const Shape& in_shape, const float* filter,
@@ -549,8 +618,13 @@ void Conv2D(const float* input, const Shape& in_shape, const float* filter,
   const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
 
   std::fill(out, out + out_shape.NumElements(), 0.0f);
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+  // Disjoint output rows: shard over (batch, out_h).
+  const std::int64_t conv_row_cost = out_w * f_h * f_w * in_c * out_c * 2;
+  ParallelForRange(batch * out_h, GrainFor(conv_row_cost), [&](
+                       std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t row = row_begin; row < row_end; ++row) {
+      const std::int64_t b = row / out_h;
+      const std::int64_t oh = row % out_h;
       for (std::int64_t ow = 0; ow < out_w; ++ow) {
         float* out_px = out + ((b * out_h + oh) * out_w + ow) * out_c;
         for (std::int64_t kh = 0; kh < f_h; ++kh) {
@@ -573,7 +647,7 @@ void Conv2D(const float* input, const Shape& in_shape, const float* filter,
         }
       }
     }
-  }
+  });
 }
 
 void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
@@ -590,7 +664,11 @@ void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
   const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
 
   std::fill(grad_in, grad_in + in_shape.NumElements(), 0.0f);
-  for (std::int64_t b = 0; b < batch; ++b) {
+  // Windows overlap across out_h, so per-image slices are the finest
+  // disjoint split of grad_in: shard over batch. Within an image the
+  // serial scatter order is preserved, keeping results bit-identical.
+  ParallelForRange(batch, 1, [&](std::int64_t b_begin, std::int64_t b_end) {
+  for (std::int64_t b = b_begin; b < b_end; ++b) {
     for (std::int64_t oh = 0; oh < out_h; ++oh) {
       for (std::int64_t ow = 0; ow < out_w; ++ow) {
         const float* g_px = grad_out + ((b * out_h + oh) * out_w + ow) * out_c;
@@ -615,6 +693,7 @@ void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
       }
     }
   }
+  });
 }
 
 void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
@@ -631,18 +710,26 @@ void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
   const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
 
   std::fill(grad_filter, grad_filter + filter_shape.NumElements(), 0.0f);
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t oh = 0; oh < out_h; ++oh) {
-      for (std::int64_t ow = 0; ow < out_w; ++ow) {
-        const float* g_px = grad_out + ((b * out_h + oh) * out_w + ow) * out_c;
-        for (std::int64_t kh = 0; kh < f_h; ++kh) {
+  // Every (kh, kw) tap owns a disjoint in_c*out_c slice of grad_filter, so
+  // shard over taps. For a fixed tap the (b, oh, ow) accumulation below
+  // runs ascending — the same per-element order as the serial
+  // batch-major loop nest, so the sum is bit-identical.
+  ParallelForRange(f_h * f_w, 1, [&](std::int64_t tap_begin,
+                                     std::int64_t tap_end) {
+    for (std::int64_t tap = tap_begin; tap < tap_end; ++tap) {
+      const std::int64_t kh = tap / f_w;
+      const std::int64_t kw = tap % f_w;
+      float* gf_px = grad_filter + tap * in_c * out_c;
+      for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
           const std::int64_t ih = oh * stride_h + kh - pad_h;
           if (ih < 0 || ih >= in_h) continue;
-          for (std::int64_t kw = 0; kw < f_w; ++kw) {
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
             const std::int64_t iw = ow * stride_w + kw - pad_w;
             if (iw < 0 || iw >= in_w) continue;
+            const float* g_px =
+                grad_out + ((b * out_h + oh) * out_w + ow) * out_c;
             const float* in_px = input + ((b * in_h + ih) * in_w + iw) * in_c;
-            float* gf_px = grad_filter + (kh * f_w + kw) * in_c * out_c;
             for (std::int64_t ic = 0; ic < in_c; ++ic) {
               const float iv = in_px[ic];
               if (iv == 0.0f) continue;
@@ -655,7 +742,7 @@ void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace kernels

@@ -8,6 +8,12 @@
 // tests therefore automatically cover all execution strategies, and
 // cross-strategy result equality is a meaningful invariant (tested in
 // tests/lazy and tests/frameworks).
+//
+// Hot kernels shard across the process-wide intra-op thread pool
+// (support/threadpool.h). Parallelism is only ever over disjoint output
+// slices — never over reduction axes — so every kernel's result is
+// bit-identical for any thread count (tested in
+// tests/tensor/parallel_kernels_test.cpp).
 #pragma once
 
 #include <vector>

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/threadpool.h"
 #include "tensor/kernels.h"
 #include "tensor/recording.h"
 
@@ -64,6 +65,10 @@ Backend& NaiveBackend() {
   static NaiveBackendImpl backend;
   return backend;
 }
+
+int IntraOpParallelism() { return IntraOpThreads(); }
+
+void SetIntraOpParallelism(int num_threads) { SetIntraOpThreads(num_threads); }
 
 Device NaiveDevice() {
   return Device(DeviceKind::kNaive, 0, &NaiveBackend(), "cpu:naive");

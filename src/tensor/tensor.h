@@ -84,6 +84,13 @@ class Backend {
 Backend& NaiveBackend();
 Device NaiveDevice();
 
+// Intra-op parallelism for the CPU kernels every backend evaluates
+// through. Thin forwarders over support/threadpool.h's global pool so
+// callers configuring execution don't reach into support/ directly.
+// `num_threads` == 0 restores the S4TF_NUM_THREADS / hardware default.
+int IntraOpParallelism();
+void SetIntraOpParallelism(int num_threads);
+
 class Tensor {
  public:
   // Scalar zero on the current default device.

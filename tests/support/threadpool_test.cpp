@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
 
 #include "support/sim_clock.h"
 #include "support/memory_meter.h"
@@ -63,6 +65,122 @@ TEST(ThreadPoolTest, ParallelForHandlesZeroAndOne) {
   EXPECT_EQ(count, 0);
   pool.ParallelFor(1, [&](std::int64_t) { ++count; });
   EXPECT_EQ(count, 1);
+}
+
+TEST(DispatchQueueTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  {
+    DispatchQueue queue;
+    // The first task blocks the worker so the rest are still queued when
+    // the destructor runs; shutdown must execute them anyway.
+    queue.Submit([&] {
+      while (!release.load()) {
+      }
+      ++ran;
+    });
+    for (int i = 0; i < 20; ++i) {
+      queue.Submit([&ran] { ++ran; });
+    }
+    release = true;
+  }
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](std::int64_t i) {
+                                  if (i == 37) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must survive a throwing body and stay usable.
+  std::atomic<int> count{0};
+  pool.ParallelFor(50, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  // With 2 workers and 4 outer shards, inner ParallelFor calls run while
+  // every worker is busy; the calling thread must make progress alone.
+  pool.ParallelFor(4, [&](std::int64_t) {
+    pool.ParallelFor(8, [&](std::int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  // 100 not divisible by 7: the last block must be the 2-wide remainder.
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelForRange(100, 7, [&](std::int64_t begin, std::int64_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end - begin, 7);
+    for (std::int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeSmallerThanGrainRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::int64_t> covered{0};
+  pool.ParallelForRange(5, 100, [&](std::int64_t begin, std::int64_t end) {
+    ++calls;
+    covered += end - begin;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 5);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeClampsBadGrainAndEmptyRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10);
+  pool.ParallelForRange(10, 0, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  int calls = 0;
+  pool.ParallelForRange(0, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.ParallelForRange(-3, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(GlobalPoolTest, SetterOverridesThreadCount) {
+  SetIntraOpThreads(3);
+  EXPECT_EQ(IntraOpThreads(), 3);
+  SetIntraOpThreads(0);  // back to env/hardware default
+  EXPECT_GE(IntraOpThreads(), 1);
+}
+
+TEST(GlobalPoolTest, FreeParallelForRangeCoversRange) {
+  SetIntraOpThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelForRange(64, 5, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Single-threaded mode runs inline as one block.
+  SetIntraOpThreads(1);
+  int calls = 0;
+  ParallelForRange(64, 5, [&](std::int64_t begin, std::int64_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 64);
+  });
+  EXPECT_EQ(calls, 1);
+  SetIntraOpThreads(0);
 }
 
 TEST(SimClockTest, AdvancesMonotonically) {
