@@ -73,9 +73,11 @@ int main() {
 
   std::printf("accuracy run (real training on synthetic stand-in data)...\n");
   WallTimer acc_timer;
+  MetricsDelta counters;
   const float accuracy = MeasureAccuracy();
-  std::printf("measured accuracy: %.1f%%  (in %.1f s wall)\n\n",
-              100.0f * accuracy, acc_timer.Seconds());
+  std::printf("measured accuracy: %.1f%%  (in %.1f s wall)\n%s\n\n",
+              100.0f * accuracy, acc_timer.Seconds(),
+              counters.Summary().c_str());
 
   TablePrinter table({"# Cores", "Accuracy (top-1)", "Training time",
                       "Throughput (ex/s)", "Per-core (ex/s/core)"},

@@ -81,15 +81,17 @@ int main() {
 
   Rng rng(2);
   const nn::ResNet model(nn::ResNetConfig::ImageNetScaled(2, 16, 100), rng);
+  MetricsDelta counters;
   const StepProgram program =
       BuildStepProgram(model, Shape({kPerCoreBatch, 32, 32, 3}), 100, 0.1f);
   std::printf(
       "per-core step: %lld traced ops, %lld HLO instructions, %lld fused "
-      "kernels, %lld parameters\n\n",
+      "kernels, %lld parameters\n%s\n\n",
       static_cast<long long>(program.trace_ops),
       static_cast<long long>(program.program_instructions),
       static_cast<long long>(program.fused->kernel_count()),
-      static_cast<long long>(program.parameter_count));
+      static_cast<long long>(program.parameter_count),
+      counters.Summary().c_str());
 
   TablePrinter table(
       {"Framework", "Throughput (examples/s)", "Training time (90 epochs)"},

@@ -95,16 +95,17 @@ int main() {
               static_cast<long long>(model.ParameterCount()));
 
   WallTimer build_timer;
+  MetricsDelta counters;
   const StepProgram program = BuildStepProgram(
       model, Shape({batch, 32, 32, 3}), 10, /*learning_rate=*/0.1f);
   std::printf(
       "traced SGD step at batch %lld: %lld ops -> %lld HLO instructions "
-      "-> %lld fused kernels (built in %.1f ms)\n\n",
+      "-> %lld fused kernels (built in %.1f ms)\n%s\n\n",
       static_cast<long long>(batch),
       static_cast<long long>(program.trace_ops),
       static_cast<long long>(program.program_instructions),
       static_cast<long long>(program.fused->kernel_count()),
-      build_timer.Milliseconds());
+      build_timer.Milliseconds(), counters.Summary().c_str());
 
   TablePrinter table({"Framework", "Throughput (examples/s)"}, {34, 24});
   table.PrintHeader();

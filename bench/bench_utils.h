@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace s4tf::bench {
 
 // Fixed-width table printer so every harness emits rows shaped like the
@@ -70,5 +72,64 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+// Counter columns for the table harnesses: take a snapshot before the
+// measured region and read the deltas after. Unlike wall-clock columns,
+// these are deterministic — identical on any machine and thread count —
+// so regressions show up as an exact diff, not a noisy percentage (see
+// EXPERIMENTS.md, "Counter columns").
+class MetricsDelta {
+ public:
+  MetricsDelta() : before_(obs::MetricsRegistry::Global().Snapshot()) {}
+
+  // Cumulative delta of `name` since construction.
+  std::int64_t Counter(const std::string& name) const {
+    return obs::MetricsRegistry::Global().Snapshot().counter(name) -
+           before_.counter(name);
+  }
+
+  std::int64_t KernelDispatches() const {
+    return Counter("tensor.kernel.dispatches");
+  }
+  std::int64_t KernelBytes() const { return Counter("tensor.kernel.bytes"); }
+  std::int64_t CacheHits() const { return Counter("xla.cache.hits"); }
+  std::int64_t CacheMisses() const { return Counter("xla.cache.misses"); }
+
+  // Restarts the window (e.g. after a warm-up phase).
+  void Reset() { before_ = obs::MetricsRegistry::Global().Snapshot(); }
+
+  // The standard counter columns every table harness prints alongside its
+  // wall-clock numbers, e.g.
+  //   counters: ops=1.2K  bytes=38.1M  cache=3 hit / 1 miss
+  std::string Summary() const;
+
+ private:
+  obs::MetricsSnapshot before_;
+};
+
+inline std::string FormatCount(long long value);
+
+inline std::string MetricsDelta::Summary() const {
+  std::string out = "counters: ops=" + FormatCount(KernelDispatches()) +
+                    "  bytes=" + FormatCount(KernelBytes()) +
+                    "  cache=" + FormatCount(CacheHits()) + " hit / " +
+                    FormatCount(CacheMisses()) + " miss";
+  return out;
+}
+
+// "1.2M"-style rendering so counter columns stay narrow. Exact below 10K.
+inline std::string FormatCount(long long value) {
+  char buf[64];
+  if (value < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+  } else if (value < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(value) / 1e3);
+  } else if (value < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(value) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(value) / 1e9);
+  }
+  return buf;
+}
 
 }  // namespace s4tf::bench

@@ -2,10 +2,27 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace s4tf {
 
 namespace {
+
 std::atomic<int> g_next_eager_ordinal{0};
+
+obs::Counter& DispatchCounter() {
+  static obs::Counter* counter = obs::GetCounter("eager.ops_dispatched");
+  return *counter;
+}
+
+// Gauge, not counter: pipeline depth is a high-water mark and depends on
+// scheduling, so it is excluded from the cross-thread determinism contract.
+obs::Gauge& PipelineDepthGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("eager.pipeline_depth.max");
+  return *gauge;
+}
+
 }  // namespace
 
 const Literal& EagerBuffer::Wait() const {
@@ -53,8 +70,10 @@ std::shared_ptr<TensorImpl> EagerBackend::Execute(
     OpKind kind, const OpAttrs& attrs, const std::vector<Tensor>& inputs,
     Shape out_shape, const Device& device) {
   // Host side: pay the dispatch overhead and return immediately.
+  obs::TraceSpan dispatch_span("eager.dispatch", "eager");
   host_clock_.AdvanceSeconds(options_.dispatch_overhead_seconds);
   ++ops_dispatched_;
+  DispatchCounter().Increment();
 
   auto buffer = std::make_shared<EagerBuffer>();
   auto result = std::make_shared<EagerImpl>(out_shape, device, buffer);
@@ -73,6 +92,8 @@ std::shared_ptr<TensorImpl> EagerBackend::Execute(
   const std::int64_t bytes = OpBytes(input_shapes, out_shape);
 
   max_pipeline_depth_ = std::max(max_pipeline_depth_, queue_.pending() + 1);
+  PipelineDepthGauge().SetMax(
+      static_cast<std::int64_t>(max_pipeline_depth_));
   queue_.Submit([this, kind, attrs, flops, bytes,
                  input_impls = std::move(input_impls), buffer]() {
     std::vector<const Literal*> literals;

@@ -4,10 +4,35 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace s4tf {
 
 namespace {
+
 std::atomic<int> g_next_lazy_ordinal{0};
+
+obs::Counter& OpsTracedCounter() {
+  static obs::Counter* counter = obs::GetCounter("lazy.ops_traced");
+  return *counter;
+}
+
+obs::Counter& BarrierCutCounter() {
+  static obs::Counter* counter = obs::GetCounter("lazy.barrier.cuts");
+  return *counter;
+}
+
+obs::Counter& AutoFlushCounter() {
+  static obs::Counter* counter = obs::GetCounter("lazy.auto_flushes");
+  return *counter;
+}
+
+obs::Counter& MaterializationCounter() {
+  static obs::Counter* counter = obs::GetCounter("lazy.materializations");
+  return *counter;
+}
+
 }  // namespace
 
 const Literal& LazyImpl::Materialize() {
@@ -42,12 +67,14 @@ std::shared_ptr<TensorImpl> LazyBackend::Execute(
   // Recording only: the op executes when somebody looks (§3.3).
   host_clock_.AdvanceSeconds(options_.trace_overhead_seconds_per_op);
   ++ops_traced_;
+  OpsTracedCounter().Increment();
   // §3.4 future work: cut the trace automatically once it grows past the
   // configured threshold, so runaway unrolled loops stay compilable.
   if (options_.auto_flush_threshold > 0 &&
       ++ops_since_flush_ >= options_.auto_flush_threshold) {
     ops_since_flush_ = 0;
     ++auto_flushes_;
+    AutoFlushCounter().Increment();
     Barrier();
   }
 
@@ -74,6 +101,11 @@ void LazyBackend::Sync(const Device& device) {
 }
 
 void LazyBackend::Barrier() {
+  // Counted unconditionally (even when nothing is pending): the counter
+  // tracks trace *cut points*, which is what the cache-regression tests
+  // assert on, not whether a cut happened to have live work behind it.
+  BarrierCutCounter().Increment();
+  obs::TraceSpan span("lazy.barrier", "lazy");
   std::vector<std::shared_ptr<LazyNode>> roots;
   for (auto& weak : pending_) {
     if (auto impl = weak.lock()) {
@@ -156,8 +188,14 @@ xla::HloModule LowerTrace(const std::vector<std::shared_ptr<LazyNode>>& roots,
 
 void LazyBackend::Materialize(
     const std::vector<std::shared_ptr<LazyNode>>& roots) {
+  MaterializationCounter().Increment();
+  obs::TraceSpan span("lazy.materialize", "lazy", "roots",
+                      static_cast<std::int64_t>(roots.size()));
   std::vector<std::shared_ptr<LazyNode>> leaves;
-  const xla::HloModule module = LowerTrace(roots, &leaves);
+  const xla::HloModule module = [&] {
+    obs::TraceSpan lower_span("lazy.lower_trace", "lazy");
+    return LowerTrace(roots, &leaves);
+  }();
   std::vector<Literal> parameter_values;
   parameter_values.reserve(leaves.size());
   for (const auto& leaf : leaves) parameter_values.push_back(leaf->LeafValue());
@@ -166,12 +204,16 @@ void LazyBackend::Materialize(
   // Compile (cached by trace fingerprint) and execute on the simulated
   // accelerator.
   double compile_cost = 0.0;
-  const std::shared_ptr<xla::Executable> executable =
-      cache_.GetOrCompile(module, &compile_cost);
+  const std::shared_ptr<xla::Executable> executable = [&] {
+    obs::TraceSpan compile_span("lazy.get_or_compile", "lazy");
+    return cache_.GetOrCompile(module, &compile_cost);
+  }();
   compile_seconds_ += compile_cost;
 
-  std::vector<Literal> outputs =
-      executable->Run(parameter_values, &accelerator_);
+  std::vector<Literal> outputs = [&] {
+    obs::TraceSpan run_span("lazy.execute", "lazy");
+    return executable->Run(parameter_values, &accelerator_);
+  }();
   S4TF_CHECK_EQ(outputs.size(), output_nodes.size());
   for (std::size_t i = 0; i < outputs.size(); ++i) {
     output_nodes[i]->cached = std::move(outputs[i]);

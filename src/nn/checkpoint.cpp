@@ -4,8 +4,28 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace s4tf::nn {
 namespace {
+
+struct CheckpointMetrics {
+  obs::Counter* saves;
+  obs::Counter* loads;
+  obs::Counter* bytes_written;
+  obs::Counter* bytes_read;
+
+  static CheckpointMetrics& Get() {
+    static CheckpointMetrics metrics = {
+        obs::GetCounter("nn.checkpoint.saves"),
+        obs::GetCounter("nn.checkpoint.loads"),
+        obs::GetCounter("nn.checkpoint.bytes_written"),
+        obs::GetCounter("nn.checkpoint.bytes_read"),
+    };
+    return metrics;
+  }
+};
 
 constexpr char kMagic[8] = {'S', '4', 'T', 'F', 'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kVersion = 1;
@@ -32,6 +52,8 @@ std::int64_t Checkpoint::TotalElements() const {
 }
 
 Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
+  obs::TraceSpan span("nn.checkpoint.save", "checkpoint", "elements",
+                      checkpoint.TotalElements());
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::NotFound("cannot open for writing: " + path);
   out.write(kMagic, sizeof(kMagic));
@@ -45,10 +67,15 @@ Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
                                            sizeof(float)));
   }
   if (!out) return Status::Internal("short write to " + path);
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.saves->Increment();
+  metrics.bytes_written->Add(checkpoint.TotalElements() *
+                             static_cast<std::int64_t>(sizeof(float)));
   return Status::Ok();
 }
 
 StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
+  obs::TraceSpan span("nn.checkpoint.load", "checkpoint");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open: " + path);
   char magic[8];
@@ -87,6 +114,10 @@ StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
     if (!in) return Status::InvalidArgument("truncated payload in " + path);
     checkpoint.entries.push_back(std::move(entry));
   }
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.loads->Increment();
+  metrics.bytes_read->Add(checkpoint.TotalElements() *
+                          static_cast<std::int64_t>(sizeof(float)));
   return checkpoint;
 }
 

@@ -22,8 +22,24 @@
 #include "nn/datasets.h"
 #include "nn/losses.h"
 #include "nn/optimizers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace s4tf::nn {
+
+namespace internal {
+
+inline obs::Counter& StepCounter() {
+  static obs::Counter* counter = obs::GetCounter("nn.train.steps");
+  return *counter;
+}
+
+inline obs::Counter& EpochCounter() {
+  static obs::Counter* counter = obs::GetCounter("nn.train.epochs");
+  return *counter;
+}
+
+}  // namespace internal
 
 struct TrainOptions {
   bool auto_barrier = true;
@@ -49,8 +65,16 @@ Device ModelDevice(const M& model) {
 template <ad::DifferentiableStruct M, typename Optimizer, typename LossFn>
 float TrainStep(M& model, Optimizer& optimizer, LossFn&& loss_fn,
                 const TrainOptions& options = {}) {
-  auto [loss, grads] = ad::ValueWithGradient(model, loss_fn);
-  optimizer.Update(model, grads);
+  internal::StepCounter().Increment();
+  obs::TraceSpan step_span("nn.train_step", "train");
+  auto [loss, grads] = [&] {
+    obs::TraceSpan grad_span("nn.value_with_gradient", "train");
+    return ad::ValueWithGradient(model, loss_fn);
+  }();
+  {
+    obs::TraceSpan update_span("nn.optimizer_update", "train");
+    optimizer.Update(model, grads);
+  }
   const Device device = ModelDevice(model);
   if (options.auto_barrier && device.kind() == DeviceKind::kLazy) {
     // Cut the trace after the update step so the training loop is not
@@ -71,6 +95,8 @@ void MoveModelTo(M& model, const Device& device) {
 template <ad::DifferentiableStruct M, typename Optimizer, typename Dataset>
 float TrainEpoch(M& model, Optimizer& optimizer, const Dataset& dataset,
                  int batch_size, const TrainOptions& options = {}) {
+  internal::EpochCounter().Increment();
+  obs::TraceSpan epoch_span("nn.train_epoch", "train");
   const Device device = ModelDevice(model);
   const int batches = dataset.NumBatches(batch_size);
   S4TF_CHECK_GT(batches, 0);

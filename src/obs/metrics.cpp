@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+namespace s4tf::obs {
+
+void Histogram::Record(double seconds) {
+  const std::int64_t micros =
+      seconds <= 0.0 ? 0 : static_cast<std::int64_t>(seconds * 1e6);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(micros, std::memory_order_relaxed);
+  std::int64_t current = max_micros_.load(std::memory_order_relaxed);
+  while (micros > current &&
+         !max_micros_.compare_exchange_weak(current, micros,
+                                            std::memory_order_relaxed)) {
+  }
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 && (std::int64_t{1} << bucket) <= micros) {
+    ++bucket;
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::map<std::string, std::int64_t> MetricsSnapshot::CounterDeltaSince(
+    const MetricsSnapshot& before) const {
+  std::map<std::string, std::int64_t> delta;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    const std::int64_t prior = it == before.counters.end() ? 0 : it->second;
+    if (value != prior) delta[name] = value - prior;
+  }
+  return delta;
+}
+
+// Instruments live in deques so pointers stay stable as new ones register;
+// the maps only index them. One mutex guards registration and snapshots —
+// never the hot increment path, which touches only the instrument's own
+// atomics.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_index;
+  std::map<std::string, Gauge*> gauge_index;
+  std::map<std::string, Histogram*> histogram_index;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: usable during static teardown
+  return *impl;
+}
+
+namespace {
+
+[[noreturn]] void FailKindMismatch(const std::string& name) {
+  std::fprintf(stderr,
+               "s4tf obs: metric '%s' already registered as a different "
+               "instrument kind\n",
+               name.c_str());
+  std::abort();
+}
+
+void DumpAtExit() {
+  std::fputs(MetricsRegistry::Global().TextSummary().c_str(), stderr);
+}
+
+}  // namespace
+
+bool MetricsDumpEnabledFromEnv() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("S4TF_METRICS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return enabled;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    if (MetricsDumpEnabledFromEnv()) std::atexit(DumpAtExit);
+    return r;
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counter_index.find(name);
+  if (it != i.counter_index.end()) return it->second;
+  if (i.gauge_index.count(name) > 0 || i.histogram_index.count(name) > 0) {
+    FailKindMismatch(name);
+  }
+  Counter* counter = &i.counters.emplace_back(name);
+  i.counter_index.emplace(name, counter);
+  return counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauge_index.find(name);
+  if (it != i.gauge_index.end()) return it->second;
+  if (i.counter_index.count(name) > 0 || i.histogram_index.count(name) > 0) {
+    FailKindMismatch(name);
+  }
+  Gauge* gauge = &i.gauges.emplace_back(name);
+  i.gauge_index.emplace(name, gauge);
+  return gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.histogram_index.find(name);
+  if (it != i.histogram_index.end()) return it->second;
+  if (i.counter_index.count(name) > 0 || i.gauge_index.count(name) > 0) {
+    FailKindMismatch(name);
+  }
+  Histogram* histogram = &i.histograms.emplace_back(name);
+  i.histogram_index.emplace(name, histogram);
+  return histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  MetricsSnapshot snapshot;
+  for (const Counter& c : i.counters) snapshot.counters[c.name()] = c.value();
+  for (const Gauge& g : i.gauges) snapshot.gauges[g.name()] = g.value();
+  return snapshot;
+}
+
+std::string MetricsRegistry::TextSummary() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::ostringstream out;
+  out << "== s4tf metrics ==\n";
+  // The indexes are sorted by name; values read via relaxed atomics.
+  for (const auto& [name, counter] : i.counter_index) {
+    if (counter->value() == 0) continue;
+    out << "counter   " << name << " = " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : i.gauge_index) {
+    if (gauge->value() == 0) continue;
+    out << "gauge     " << name << " = " << gauge->value() << "\n";
+  }
+  for (const auto& [name, histogram] : i.histogram_index) {
+    if (histogram->count() == 0) continue;
+    const double mean =
+        static_cast<double>(histogram->total_micros()) /
+        static_cast<double>(histogram->count());
+    out << "histogram " << name << ": count=" << histogram->count()
+        << " total_us=" << histogram->total_micros()
+        << " mean_us=" << static_cast<std::int64_t>(mean)
+        << " max_us=" << histogram->max_micros() << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (Counter& c : i.counters) c.value_.store(0, std::memory_order_relaxed);
+  for (Gauge& g : i.gauges) g.value_.store(0, std::memory_order_relaxed);
+  for (Histogram& h : i.histograms) {
+    h.count_.store(0, std::memory_order_relaxed);
+    h.total_micros_.store(0, std::memory_order_relaxed);
+    h.max_micros_.store(0, std::memory_order_relaxed);
+    for (auto& bucket : h.buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+Histogram* GetHistogram(const std::string& name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+}  // namespace s4tf::obs

@@ -1,0 +1,172 @@
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms.
+//
+// The paper's performance claims (trace-cache hits, barrier cuts, per-op
+// dispatch counts, §3.3-§3.4) are invisible in wall-clock time on a
+// loaded CI box; deterministic counters are the perf signal that survives
+// any hardware. Design constraints, in order:
+//
+//  * cheap enough to leave on: an increment is one relaxed atomic RMW on
+//    a pointer the call site caches in a function-local static;
+//  * thread-safe from any thread, including ParallelForRange workers and
+//    the eager executor (hammered under TSAN in tests/obs);
+//  * registered instruments are never invalidated: the registry hands out
+//    stable pointers backed by a std::deque and never removes entries
+//    (Reset() zeroes values but keeps the objects).
+//
+// Counter naming scheme: dotted lowercase paths, `<module>.<what>[.<unit>]`
+// (e.g. "tensor.kernel.dispatches", "xla.cache.hits",
+// "lazy.barrier.cuts", "tensor.kernel.bytes"). Counters are *cumulative
+// over the process*: tests compare before/after snapshots, never absolute
+// values. Counters whose value legitimately depends on the intra-op
+// thread count carry a ".shards" suffix; everything else must be
+// bit-identical for any S4TF_NUM_THREADS (tested in tests/obs).
+//
+// `S4TF_METRICS=1` prints the text summary to stderr at process exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace s4tf::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Last-written instantaneous value (e.g. pipeline depth, pool size).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  // Keeps the running maximum (lock-free CAS loop).
+  void SetMax(std::int64_t value) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Latency histogram over power-of-two microsecond buckets:
+// [0,1us), [1,2us), [2,4us), ... plus an overflow bucket. Wall-clock
+// valued, so *not* part of the deterministic counter set.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 28;  // last bucket = >= 2^26 us (~67s)
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Record(double seconds);
+
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  // Total in microseconds (summed as integers so reads are lock-free).
+  std::int64_t total_micros() const {
+    return total_micros_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max_micros() const {
+    return max_micros_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> total_micros_{0};
+  std::atomic<std::int64_t> max_micros_{0};
+  std::atomic<std::int64_t> buckets_[kNumBuckets] = {};
+};
+
+// Point-in-time copy of every counter (and gauge) value, keyed by name.
+// The unit of comparison for counter-backed tests: take one before the
+// workload, one after, and assert on the difference.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+
+  // counters[name] - before.counters[name], treating absent names as 0.
+  // Gauges are instantaneous, not cumulative, so they do not participate.
+  std::map<std::string, std::int64_t> CounterDeltaSince(
+      const MetricsSnapshot& before) const;
+
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrumented module reports to.
+  static MetricsRegistry& Global();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. The pointer is stable for the life of the process; hot call
+  // sites should cache it (function-local static). Requesting the same
+  // name with two different instrument kinds is a programmer error and
+  // CHECK-fails.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Human-readable dump of every non-zero instrument, sorted by name
+  // (what S4TF_METRICS=1 prints at exit).
+  std::string TextSummary() const;
+
+  // Zeroes every instrument's value. Registered objects (and pointers to
+  // them) stay valid. Test-only: concurrent increments during a reset are
+  // not torn, just attributed before/after arbitrarily.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Convenience accessors mirroring MetricsRegistry::Global().Get*.
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);
+
+// True when S4TF_METRICS=1 (read once at first use).
+bool MetricsDumpEnabledFromEnv();
+
+}  // namespace s4tf::obs

@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace s4tf::obs {
+
+namespace {
+
+// Per-thread event buffer. Owned via shared_ptr from both the thread
+// (thread_local) and the tracer's registry, so events survive thread exit
+// and the registry survives threads that outlive Stop().
+struct ThreadBuffer {
+  int tid = 0;
+  std::mutex mutex;  // uncontended except when the writer drains
+  std::vector<TraceEvent> events;
+};
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mutex;
+  std::string path;
+  std::chrono::steady_clock::time_point start;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<int> next_tid{0};
+  bool started = false;
+
+  std::shared_ptr<ThreadBuffer>& LocalBuffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer;
+    if (!buffer) {
+      buffer = std::make_shared<ThreadBuffer>();
+      buffer->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex);
+      buffers.push_back(buffer);
+    }
+    return buffer;
+  }
+};
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();  // leaked: usable during static teardown
+  return *impl;
+}
+
+namespace {
+void WriteTraceAtExit() { Tracer::Global().Stop(); }
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    if (const char* path = std::getenv("S4TF_TRACE");
+        path != nullptr && path[0] != '\0') {
+      t->Start(path);
+      std::atexit(WriteTraceAtExit);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::Start(const std::string& path) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.path = path;
+  i.start = std::chrono::steady_clock::now();
+  for (auto& buffer : i.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  i.started = true;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+double Tracer::NowUs() const {
+  Impl& i = impl();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - i.start)
+      .count();
+}
+
+int Tracer::CurrentThreadId() {
+  return Tracer::Global().impl().LocalBuffer()->tid;
+}
+
+void Tracer::Record(TraceEvent event) {
+  Impl& i = impl();
+  std::shared_ptr<ThreadBuffer>& buffer = i.LocalBuffer();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+std::int64_t Tracer::Stop() {
+  Impl& i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    if (!i.started) return 0;
+    i.started = false;
+  }
+  // Spans still open keep recording into buffers after this point; they
+  // simply miss the file. Flip the flag first so new spans are no-ops.
+  enabled_.store(false, std::memory_order_relaxed);
+  WriteFile();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::int64_t total = 0;
+  for (auto& buffer : i.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += static_cast<std::int64_t>(buffer->events.size());
+    buffer->events.clear();
+  }
+  return total;
+}
+
+void Tracer::WriteFile() {
+  Impl& i = impl();
+  std::vector<TraceEvent> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    path = i.path;
+    for (auto& buffer : i.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  if (path.empty()) return;
+  // Monotonic output: ordered by start time (ties broken by longer span
+  // first so parents precede their children).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "s4tf obs: cannot write trace to %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) std::fputs(",\n", out);
+    first = false;
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                 "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+                 JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+                 e.tid, e.ts_us, e.dur_us);
+    if (!e.arg_name.empty()) {
+      std::fprintf(out, ",\"args\":{\"%s\":%lld}",
+                   JsonEscape(e.arg_name).c_str(),
+                   static_cast<long long>(e.arg_value));
+    }
+    std::fputs("}", out);
+  }
+  std::fputs("\n]}\n", out);
+  std::fclose(out);
+}
+
+void TraceSpan::Begin(const char* name, const char* category) {
+  name_ = name;
+  category_ = category;
+  start_us_ = Tracer::Global().NowUs();
+}
+
+void TraceSpan::End() {
+  Tracer& tracer = Tracer::Global();
+  const double end_us = tracer.NowUs();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  if (arg_name_ != nullptr) {
+    event.arg_name = arg_name_;
+    event.arg_value = arg_value_;
+  }
+  tracer.Record(std::move(event));
+}
+
+}  // namespace s4tf::obs

@@ -1,0 +1,118 @@
+// Scoped-span tracer emitting Chrome trace-event JSON.
+//
+// `S4TF_TRACE=<path>` traces the whole process and writes `<path>` at
+// exit; the file loads directly in chrome://tracing or
+// https://ui.perfetto.dev. Tests (and examples) can also drive the
+// tracer programmatically with Start()/Stop().
+//
+// Event model: every span becomes one "complete" event
+// (`"ph":"X"`, with `ts`/`dur` in microseconds since Start) on the
+// thread that ran it. Spans are strictly scoped (RAII), so events on one
+// thread are always properly nested; the writer sorts events by start
+// timestamp, so the emitted stream is monotonic — both properties are
+// what tests/obs validates by parsing the file back.
+//
+// Cost when disabled: one relaxed atomic load per span (the constructor
+// reads the enabled flag and does nothing else). Cost when enabled: two
+// steady_clock reads plus an append to a per-thread buffer; buffers are
+// only merged under a lock at Stop()/exit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s4tf::obs {
+
+// One completed span, in microseconds relative to the trace start.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  // Optional single numeric argument ("args":{"<arg_name>":<arg_value>}).
+  std::string arg_name;
+  std::int64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  // The process-wide tracer. First access arms it from S4TF_TRACE (if
+  // set) and registers the at-exit writer.
+  static Tracer& Global();
+
+  // True while collecting. Hot call sites gate on this before doing any
+  // span work.
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Begins collecting; spans opened from now on are recorded. `path` is
+  // where Stop() (or process exit) writes the JSON.
+  void Start(const std::string& path);
+
+  // Stops collecting, writes the JSON file, and returns the number of
+  // events written. No-op (returns 0) when not started.
+  std::int64_t Stop();
+
+  // Appends one completed event (called by TraceSpan; public so backends
+  // can record externally-timed phases).
+  void Record(TraceEvent event);
+
+  // Microseconds since Start() on the tracer's clock.
+  double NowUs() const;
+
+  // Small dense id for the calling thread (0 = first thread seen).
+  static int CurrentThreadId();
+
+ private:
+  Tracer() = default;
+  void WriteFile();
+
+  std::atomic<bool> enabled_{false};
+  struct Impl;
+  Impl& impl() const;
+};
+
+// RAII scoped span. `name` and `category` must outlive the span (string
+// literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "s4tf")
+      : active_(Tracer::Global().enabled()) {
+    if (active_) Begin(name, category);
+  }
+  // Span with one numeric argument, e.g. S4TF span("matmul", "kernel")
+  // carrying the element count.
+  TraceSpan(const char* name, const char* category, const char* arg_name,
+            std::int64_t arg_value)
+      : active_(Tracer::Global().enabled()) {
+    if (active_) {
+      Begin(name, category);
+      arg_name_ = arg_name;
+      arg_value_ = arg_value;
+    }
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name, const char* category);
+  void End();
+
+  bool active_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_value_ = 0;
+  double start_us_ = 0.0;
+};
+
+}  // namespace s4tf::obs

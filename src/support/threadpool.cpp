@@ -6,9 +6,31 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace s4tf {
+
+namespace {
+
+// Regions are one-per-call and therefore thread-count invariant; shard
+// counts depend on how the iteration space splits, so they carry the
+// ".shards" suffix that excludes them from the determinism contract
+// (see obs/metrics.h).
+obs::Counter& RegionCounter() {
+  static obs::Counter* counter =
+      obs::GetCounter("support.parallel_for.regions");
+  return *counter;
+}
+
+obs::Counter& ShardCounter() {
+  static obs::Counter* counter =
+      obs::GetCounter("support.parallel_for.shards");
+  return *counter;
+}
+
+}  // namespace
 
 DispatchQueue::DispatchQueue() : worker_([this] { WorkerLoop(); }) {}
 
@@ -105,9 +127,12 @@ void ThreadPool::ParallelForRange(
     std::int64_t n, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (n <= 0) return;
+  RegionCounter().Increment();
   grain = std::max<std::int64_t>(grain, 1);
   const std::int64_t num_blocks = (n + grain - 1) / grain;
   if (num_blocks == 1 || num_threads() == 1) {
+    ShardCounter().Increment();
+    obs::TraceSpan span("parallel_for.shard", "threadpool", "items", n);
     body(0, n);
     return;
   }
@@ -144,7 +169,10 @@ void ThreadPool::ParallelForRange(
       if (block >= s.num_blocks) break;
       const std::int64_t begin = block * s.grain;
       const std::int64_t end = std::min(s.n, begin + s.grain);
+      ShardCounter().Increment();
       try {
+        obs::TraceSpan span("parallel_for.shard", "threadpool", "items",
+                            end - begin);
         (*s.body)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(s.mutex);
@@ -246,6 +274,9 @@ void ParallelForRange(
   if (n <= 0) return;
   const std::shared_ptr<ThreadPool> pool = AcquirePool();
   if (!pool) {
+    RegionCounter().Increment();
+    ShardCounter().Increment();
+    obs::TraceSpan span("parallel_for.shard", "threadpool", "items", n);
     body(0, n);
     return;
   }

@@ -5,10 +5,46 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/threadpool.h"
 
 namespace s4tf {
+namespace {
+
+// Counters for the single mathematical choke point of the platform: every
+// execution strategy (naive/eager/lazy-fused/framework baselines) funnels
+// kernel evaluation through EvalOpLiteral, so these counts are the
+// hardware-independent "ops dispatched / bytes moved" signal the benches
+// and counter-backed tests assert on. Per-kind counters are cached in an
+// array indexed by OpKind so the hot path pays one relaxed RMW, not a map
+// lookup.
+struct KernelMetrics {
+  obs::Counter* dispatches;
+  obs::Counter* bytes;
+  obs::Counter* by_kind[static_cast<std::size_t>(OpKind::kNumOps)];
+
+  KernelMetrics() {
+    dispatches = obs::GetCounter("tensor.kernel.dispatches");
+    bytes = obs::GetCounter("tensor.kernel.bytes");
+    for (std::size_t k = 0; k < static_cast<std::size_t>(OpKind::kNumOps);
+         ++k) {
+      by_kind[k] = obs::GetCounter(
+          std::string("tensor.kernel.dispatch.") +
+          OpName(static_cast<OpKind>(k)));
+    }
+  }
+
+  static KernelMetrics& Get() {
+    static KernelMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
 namespace {
 
 using ElementwiseUnary = float (*)(float, const OpAttrs&);
@@ -747,8 +783,11 @@ void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
 
 }  // namespace kernels
 
-Literal EvalOpLiteral(OpKind kind, const std::vector<const Literal*>& inputs,
-                      const OpAttrs& attrs) {
+namespace {
+
+Literal EvalOpLiteralImpl(OpKind kind,
+                          const std::vector<const Literal*>& inputs,
+                          const OpAttrs& attrs) {
   const int arity = OpArity(kind);
   if (arity >= 0) {
     S4TF_CHECK_EQ(static_cast<int>(inputs.size()), arity)
@@ -954,6 +993,28 @@ Literal EvalOpLiteral(OpKind kind, const std::vector<const Literal*>& inputs,
       break;
   }
   S4TF_UNREACHABLE() << "EvalOpLiteral: unsupported op " << OpName(kind);
+}
+
+}  // namespace
+
+Literal EvalOpLiteral(OpKind kind, const std::vector<const Literal*>& inputs,
+                      const OpAttrs& attrs) {
+  KernelMetrics& metrics = KernelMetrics::Get();
+  metrics.dispatches->Increment();
+  metrics.by_kind[static_cast<std::size_t>(kind)]->Increment();
+
+  std::int64_t elements = 0;
+  for (const Literal* in : inputs) elements += in->size();
+
+  obs::TraceSpan span(OpName(kind), "kernel", "input_elements", elements);
+  Literal result = EvalOpLiteralImpl(kind, inputs, attrs);
+
+  // Bytes moved = every input read once + the output written once. This is
+  // a lower bound (broadcasts and matmul re-read), but it is deterministic,
+  // backend-independent, and matches the cost model the scheduler uses.
+  metrics.bytes->Add((elements + result.size()) *
+                     static_cast<std::int64_t>(sizeof(float)));
+  return result;
 }
 
 Literal EvalOpLiteral(OpKind kind, const std::vector<Literal>& inputs,

@@ -1,14 +1,65 @@
 #include "xla/compiler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/hashing.h"
 
 namespace s4tf::xla {
 
 namespace {
+
+obs::Counter& CacheHitCounter() {
+  static obs::Counter* counter = obs::GetCounter("xla.cache.hits");
+  return *counter;
+}
+
+obs::Counter& CacheMissCounter() {
+  static obs::Counter* counter = obs::GetCounter("xla.cache.misses");
+  return *counter;
+}
+
+// Times one optimization pass: wall-clock into a per-pass histogram
+// (xla.pass.<name>) plus a span when tracing is on. Wall-clock histograms
+// are reporting-only and excluded from the determinism contract.
+class PassTimer {
+ public:
+  PassTimer(const char* span_name, obs::Histogram* histogram)
+      : histogram_(histogram),
+        span_(span_name, "xla"),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~PassTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  obs::TraceSpan span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct PassHistograms {
+  obs::Histogram* algebraic_simplify;
+  obs::Histogram* cse;
+  obs::Histogram* dce;
+  obs::Histogram* fusion;
+
+  static PassHistograms& Get() {
+    static PassHistograms histograms = {
+        obs::GetHistogram("xla.pass.algebraic_simplify"),
+        obs::GetHistogram("xla.pass.cse"),
+        obs::GetHistogram("xla.pass.dce"),
+        obs::GetHistogram("xla.pass.fusion"),
+    };
+    return histograms;
+  }
+};
 
 // Rebuilds the module keeping only instructions in `keep` (which must be
 // closed under operands), remapping ids and roots.
@@ -268,13 +319,27 @@ int RunHloAlgebraicSimplify(HloModule& module) {
 }
 
 CompileResult Compile(HloModule module, const CompileOptions& options) {
+  obs::TraceSpan compile_span("xla.compile", "xla", "instructions",
+                              module.instruction_count());
+  PassHistograms& pass_histograms = PassHistograms::Get();
   const std::int64_t original_size = module.instruction_count();
-  if (options.enable_algebraic_simplify) RunHloAlgebraicSimplify(module);
-  if (options.enable_cse) RunHloCse(module);
-  if (options.enable_dce) RunHloDce(module);
+  if (options.enable_algebraic_simplify) {
+    PassTimer timer("xla.pass.algebraic_simplify",
+                    pass_histograms.algebraic_simplify);
+    RunHloAlgebraicSimplify(module);
+  }
+  if (options.enable_cse) {
+    PassTimer timer("xla.pass.cse", pass_histograms.cse);
+    RunHloCse(module);
+  }
+  if (options.enable_dce) {
+    PassTimer timer("xla.pass.dce", pass_histograms.dce);
+    RunHloDce(module);
+  }
 
   std::vector<int> groups;
   if (options.enable_fusion) {
+    PassTimer timer("xla.pass.fusion", pass_histograms.fusion);
     groups = ComputeFusionGroups(module);
   } else {
     groups.resize(static_cast<std::size_t>(module.instruction_count()));
@@ -342,13 +407,19 @@ CompileResult Compile(HloModule module, const CompileOptions& options) {
 std::shared_ptr<Executable> CompileCache::GetOrCompile(
     const HloModule& module, double* compile_seconds) {
   const std::uint64_t key = module.Fingerprint();
+  // Holding the lock across the compile serializes concurrent misses on
+  // the same key, preserving the "each unique trace is only compiled once"
+  // invariant even when multiple threads race to materialize.
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheHitCounter().Increment();
     if (compile_seconds != nullptr) *compile_seconds = 0.0;
     return it->second;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMissCounter().Increment();
   CompileResult result = Compile(module, options_);
   total_compile_seconds_ += result.compile_seconds;
   if (compile_seconds != nullptr) *compile_seconds = result.compile_seconds;
@@ -357,9 +428,10 @@ std::shared_ptr<Executable> CompileCache::GetOrCompile(
 }
 
 void CompileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   cache_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
   total_compile_seconds_ = 0.0;
 }
 

@@ -11,8 +11,10 @@
 // benches can account for JIT cost on misses.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "device/sim_accelerator.h"
 #include "xla/hlo.h"
@@ -115,17 +117,29 @@ class CompileCache {
   std::shared_ptr<Executable> GetOrCompile(const HloModule& module,
                                            double* compile_seconds = nullptr);
 
-  std::int64_t hits() const { return hits_; }
-  std::int64_t misses() const { return misses_; }
-  double total_compile_seconds() const { return total_compile_seconds_; }
-  std::size_t size() const { return cache_.size(); }
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  double total_compile_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_compile_seconds_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+  }
   void Clear();
 
  private:
   CompileOptions options_;
+  // Guards cache_ and total_compile_seconds_. hits_/misses_ are atomic so
+  // the accessors stay lock-free (benches poll them mid-run); every other
+  // member is only touched under the lock.
+  mutable std::mutex mutex_;
   std::map<std::uint64_t, std::shared_ptr<Executable>> cache_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
   double total_compile_seconds_ = 0.0;
 };
 

@@ -1,10 +1,22 @@
-// Finite-difference gradient checking shared by the AD tests.
+// Finite-difference gradient checking shared by the AD and NN tests.
+//
+// Three levels:
+//  * NumericalGradient / ExpectGradientsClose — the raw primitives;
+//  * CheckInputGradient — tape gradient of a Tensor -> scalar-Tensor
+//    function vs central differences, in one call;
+//  * CheckModelGradients — walks every parameter of a Differentiable
+//    model (VisitWithTangent) and finite-differences each element
+//    against the analytic TangentVector, which is how the layer
+//    backward paths (Conv2D, pooling, softmax, ...) are validated.
 #pragma once
 
 #include <cmath>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "ad/operators.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -29,14 +41,63 @@ inline std::vector<float> NumericalGradient(
 
 inline void ExpectGradientsClose(const std::vector<float>& analytic,
                                  const std::vector<float>& numeric,
-                                 float tol = 2e-2f) {
-  ASSERT_EQ(analytic.size(), numeric.size());
+                                 float tol = 2e-2f,
+                                 const std::string& context = "") {
+  ASSERT_EQ(analytic.size(), numeric.size()) << context;
   for (std::size_t i = 0; i < analytic.size(); ++i) {
     const float scale =
         std::max({1.0f, std::fabs(analytic[i]), std::fabs(numeric[i])});
     EXPECT_NEAR(analytic[i], numeric[i], tol * scale)
-        << "gradient mismatch at flat index " << i;
+        << context << "gradient mismatch at flat index " << i;
   }
+}
+
+// Tape gradient of `f` (Tensor -> scalar Tensor) at `x` vs central
+// differences, in one call.
+template <typename F>
+void CheckInputGradient(F&& f, const Tensor& x, float tol = 2e-2f,
+                        float eps = 1e-3f) {
+  const auto [value, grad] = ValueWithGradient(x, f);
+  (void)value;
+  const auto numeric = NumericalGradient(
+      [&](const Tensor& t) { return f(t).ScalarValue(); }, x, eps);
+  ExpectGradientsClose(grad.ToVector(), numeric, tol);
+}
+
+// Validates the analytic TangentVector of `loss_fn(model)` against
+// element-wise central differences over EVERY trainable parameter. The
+// model is taken by value: parameters are perturbed in place through the
+// VisitWithTangent traversal and restored after each element. Keep the
+// models tiny — cost is two forward passes per parameter element.
+template <typename M, typename LossFn>
+void CheckModelGradients(M model, LossFn&& loss_fn, float tol = 2e-2f,
+                         float eps = 1e-2f) {
+  auto [loss, grads] = ValueWithGradient(model, loss_fn);
+  (void)loss;
+  int slot = 0;
+  model.VisitWithTangent(grads, [&](Tensor& param, Tensor& grad) {
+    const std::vector<float> base = param.ToVector();
+    // A zero TangentVector leaves tangents default-shaped; that means the
+    // analytic gradient is zero everywhere for this parameter.
+    const std::vector<float> analytic = grad.shape() == param.shape()
+                                            ? grad.ToVector()
+                                            : std::vector<float>(base.size());
+    std::vector<float> numeric(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      std::vector<float> plus = base, minus = base;
+      plus[i] += eps;
+      minus[i] -= eps;
+      param = Tensor::FromVector(param.shape(), plus, param.device());
+      const float fp = loss_fn(std::as_const(model)).ScalarValue();
+      param = Tensor::FromVector(param.shape(), minus, param.device());
+      const float fm = loss_fn(std::as_const(model)).ScalarValue();
+      numeric[i] = (fp - fm) / (2.0f * eps);
+    }
+    param = Tensor::FromVector(param.shape(), base, param.device());
+    ExpectGradientsClose(analytic, numeric, tol,
+                         "parameter #" + std::to_string(slot) + ": ");
+    ++slot;
+  });
 }
 
 }  // namespace s4tf::ad::testing

@@ -2,11 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
+
 #include "ad/operators.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace s4tf {
 namespace {
+
+// CounterDeltaSince omits zero deltas; absent means "didn't move".
+std::int64_t DeltaOf(const std::map<std::string, std::int64_t>& delta,
+                     const std::string& name) {
+  auto it = delta.find(name);
+  return it == delta.end() ? 0 : it->second;
+}
+
+// One hand-rolled SGD training step on the lazy device: forward, tape
+// gradient, parameter update, barrier. `seed` varies the leaf data so
+// repeated steps exercise the "fresh data, same program" path.
+void RunTrainingStep(const Device& lazy, Tensor& w, std::uint64_t seed,
+                     std::int64_t batch) {
+  Rng rng(seed);
+  const Tensor x =
+      Tensor::RandomUniform(Shape({batch, 4}), rng, -1, 1).To(lazy);
+  const Tensor target =
+      Tensor::RandomUniform(Shape({batch, 2}), rng, -1, 1).To(lazy);
+  const auto [loss, grad] = ad::ValueWithGradient(w, [&](const Tensor& p) {
+    return ReduceSum(Square(MatMul(x, p) - target));
+  });
+  (void)loss;
+  w = w - grad * 0.01f;
+  LazyTensorBarrier(lazy);
+}
 
 TEST(LazyTensorTest, NothingExecutesUntilObservation) {
   LazyBackend backend;
@@ -164,6 +194,74 @@ TEST(LazyTensorTest, CompileCostPaidOnceOnly) {
   }
   EXPECT_GT(after_first, 0.0);
   EXPECT_EQ(backend.compile_seconds(), after_first);
+}
+
+// --- Counter-backed cache regression tests. These assert on deltas of the
+// process-wide registry counters (obs/metrics.h), which see through every
+// layer: if anything on the materialize path starts recompiling per step,
+// these fail with an exact count, not a wall-clock hunch.
+
+TEST(LazyCounterTest, IdenticalStepWithFreshDataCompilesNothingNew) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor w = Tensor::FromVector(
+      Shape({4, 2}), {0.1f, -0.2f, 0.3f, 0.0f, -0.1f, 0.2f, 0.4f, -0.3f},
+      lazy);
+  // Step 0 pays the compiles for the forward+backward+update program.
+  RunTrainingStep(lazy, w, /*seed=*/1, /*batch=*/8);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    RunTrainingStep(lazy, w, seed, /*batch=*/8);
+  }
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(DeltaOf(delta, "xla.cache.misses"), 0)
+      << "re-tracing an identical training step must hit the program cache";
+  EXPECT_GE(DeltaOf(delta, "xla.cache.hits"), 3);
+  EXPECT_EQ(DeltaOf(delta, "lazy.barrier.cuts"), 3);  // one per step
+}
+
+TEST(LazyCounterTest, ShapeChangeCompilesExactlyOneNewProgram) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor w8 = Tensor::Zeros(Shape({4, 2}), lazy);
+  RunTrainingStep(lazy, w8, /*seed=*/1, /*batch=*/8);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  Tensor w16 = Tensor::Zeros(Shape({4, 2}), lazy);
+  RunTrainingStep(lazy, w16, /*seed=*/2, /*batch=*/16);
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(DeltaOf(delta, "xla.cache.misses"), 1)
+      << "a new batch size is a new program: exactly one compile";
+}
+
+TEST(LazyCounterTest, BarrierIncrementsCutCounter) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  const Tensor x = Tensor::Ones(Shape({8}), lazy);
+  const Tensor y = x * 2.0f;
+  (void)y;
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  LazyTensorBarrier(lazy);
+  LazyTensorBarrier(lazy);  // empty cut still counts as a cut point
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(DeltaOf(delta, "lazy.barrier.cuts"), 2);
+}
+
+TEST(LazyCounterTest, OpsTracedCounterMatchesBackendStat) {
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), lazy);
+  x = Relu(x * 2.0f + 1.0f);
+  (void)x.ToVector();
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(DeltaOf(delta, "lazy.ops_traced"), backend.ops_traced());
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "ad/operators.h"
+#include "tests/ad/gradient_check.h"
 
 namespace s4tf::nn {
 namespace {
+
+using ad::testing::CheckInputGradient;
+using ad::testing::CheckModelGradients;
 
 TEST(DenseTest, ShapeAndAffineMath) {
   Rng rng(1);
@@ -121,6 +125,90 @@ TEST(BatchNormTest, GradientFlowsThroughNormalization) {
   (void)loss;
   // d/d(scale) sum((x_hat*s + b)^2) != 0 generically.
   EXPECT_NE(grads.scale.ToVector()[0], 0.0f);
+}
+
+// --- Backward-path gradient checks (finite differences via the shared
+// harness in tests/ad/gradient_check.h). Shapes are tiny on purpose:
+// the model checker pays two forward passes per parameter element.
+
+TEST(Conv2DLayerTest, GradientsMatchFiniteDifferences) {
+  Rng rng(21);
+  Conv2D layer(2, 2, 2, 2, rng, Padding::kValid, Activation::kIdentity);
+  const Tensor x = Tensor::RandomUniform(Shape({1, 3, 3, 2}), rng, -1, 1);
+  CheckModelGradients(layer, [&x](const Conv2D& m) {
+    return ReduceSum(Square(m(x)));
+  });
+}
+
+TEST(Conv2DLayerTest, StridedSamePaddingGradients) {
+  Rng rng(22);
+  Conv2D layer(3, 3, 1, 2, rng, Padding::kSame, Activation::kIdentity, 2);
+  const Tensor x = Tensor::RandomUniform(Shape({1, 4, 4, 1}), rng, -1, 1);
+  CheckModelGradients(layer, [&x](const Conv2D& m) {
+    return ReduceSum(Square(m(x)));
+  });
+}
+
+TEST(Conv2DLayerTest, ReluActivationGradients) {
+  Rng rng(23);
+  Conv2D layer(2, 2, 1, 2, rng, Padding::kValid, Activation::kRelu);
+  // Inputs away from the ReLU kink keep finite differences well-defined.
+  const Tensor x = Tensor::RandomUniform(Shape({1, 3, 3, 1}), rng, 0.5f, 1.5f);
+  CheckModelGradients(layer, [&x](const Conv2D& m) {
+    return ReduceSum(Square(m(x)));
+  });
+}
+
+TEST(Conv2DLayerTest, InputGradientMatchesFiniteDifferences) {
+  Rng rng(24);
+  Conv2D layer(2, 2, 2, 2, rng, Padding::kValid, Activation::kIdentity);
+  const Tensor x = Tensor::RandomUniform(Shape({1, 3, 3, 2}), rng, -1, 1);
+  CheckInputGradient(
+      [&layer](const Tensor& t) { return ReduceSum(Square(layer(t))); }, x);
+}
+
+TEST(PoolLayerTest, AvgPoolInputGradient) {
+  Rng rng(25);
+  AvgPool2D pool;
+  const Tensor x = Tensor::RandomUniform(Shape({1, 4, 4, 2}), rng, -1, 1);
+  CheckInputGradient(
+      [&pool](const Tensor& t) { return ReduceSum(Square(pool(t))); }, x);
+}
+
+TEST(PoolLayerTest, MaxPoolInputGradient) {
+  // Hand-picked values with well-separated maxima per window, so the
+  // piecewise-constant argmax cannot flip inside the finite-difference
+  // stencil.
+  MaxPool2D pool;
+  const Tensor x = Tensor::FromVector(
+      Shape({1, 4, 4, 1}), {0.1f, 0.9f, 0.2f, 0.6f,  //
+                            0.4f, 0.3f, 1.4f, 0.2f,  //
+                            2.0f, 0.5f, 0.7f, 0.1f,  //
+                            0.6f, 1.1f, 0.3f, 1.8f});
+  CheckInputGradient(
+      [&pool](const Tensor& t) { return ReduceSum(Square(pool(t))); }, x);
+}
+
+TEST(SoftmaxTest, InputGradientMatchesFiniteDifferences) {
+  Rng rng(26);
+  const Tensor x = Tensor::RandomUniform(Shape({2, 5}), rng, -1, 1);
+  const Tensor target = Tensor::RandomUniform(Shape({2, 5}), rng, 0, 1);
+  CheckInputGradient(
+      [&target](const Tensor& t) {
+        return ReduceSum(Square(Softmax(t) - target));
+      },
+      x);
+}
+
+TEST(SoftmaxTest, LogSoftmaxInputGradient) {
+  Rng rng(27);
+  const Tensor x = Tensor::RandomUniform(Shape({2, 4}), rng, -1, 1);
+  const Tensor weights = Tensor::RandomUniform(Shape({2, 4}), rng, 0, 1);
+  CheckInputGradient(
+      [&weights](const Tensor& t) {
+        return ReduceSum(LogSoftmax(t) * weights) * -1.0f;
+      },
+      x);
 }
 
 TEST(SequencedTest, AppliesLayersInOrder) {

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "support/rng.h"
+#include "support/threadpool.h"
+#include "tensor/ops.h"
+
+namespace s4tf {
+namespace {
+
+// The determinism contract (DESIGN.md): every counter is bit-identical
+// across intra-op thread counts, except names ending in ".shards" (shard
+// counts legitimately depend on pool size). Gauges and wall-clock
+// histograms are excluded — only counters carry the contract.
+
+bool EndsWithShards(const std::string& name) {
+  constexpr const char kSuffix[] = ".shards";
+  constexpr std::size_t kLen = sizeof(kSuffix) - 1;
+  return name.size() >= kLen &&
+         name.compare(name.size() - kLen, kLen, kSuffix) == 0;
+}
+
+// A fixed workload big enough that the kernels actually shard across the
+// pool: matmul, elementwise chain, reduction — all on the default
+// (naive) device so every op goes through EvalOpLiteral.
+void RunWorkload() {
+  Rng rng(1234);
+  const Tensor a = Tensor::RandomUniform(Shape({64, 96}), rng, -1, 1);
+  const Tensor b = Tensor::RandomUniform(Shape({96, 48}), rng, -1, 1);
+  Tensor c = MatMul(a, b);
+  c = Relu(c) + c * 0.5f;
+  const float value = ReduceSum(Square(c)).ScalarValue();
+  ASSERT_TRUE(std::isfinite(value));
+}
+
+// Runs the workload under `num_threads` and returns the counter delta it
+// produced, with the exempt ".shards" names removed.
+std::map<std::string, std::int64_t> CountersUnder(int num_threads) {
+  SetIntraOpThreads(num_threads);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  RunWorkload();
+  auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  for (auto it = delta.begin(); it != delta.end();) {
+    it = EndsWithShards(it->first) ? delta.erase(it) : std::next(it);
+  }
+  return delta;
+}
+
+class CounterDeterminismTest : public ::testing::Test {
+ protected:
+  ~CounterDeterminismTest() override { SetIntraOpThreads(0); }
+};
+
+TEST_F(CounterDeterminismTest, BitIdenticalAcrossOneTwoFourThreads) {
+  const auto one = CountersUnder(1);
+  const auto two = CountersUnder(2);
+  const auto four = CountersUnder(4);
+
+  // The workload must have moved the needle at all for this to mean
+  // anything.
+  ASSERT_GT(one.count("tensor.kernel.dispatches"), 0u);
+  EXPECT_GT(one.at("tensor.kernel.dispatches"), 0);
+
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST_F(CounterDeterminismTest, RegionCountInvariantButShardsMayVary) {
+  SetIntraOpThreads(1);
+  const obs::MetricsSnapshot before1 =
+      obs::MetricsRegistry::Global().Snapshot();
+  RunWorkload();
+  const auto delta1 =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before1);
+
+  SetIntraOpThreads(4);
+  const obs::MetricsSnapshot before4 =
+      obs::MetricsRegistry::Global().Snapshot();
+  RunWorkload();
+  const auto delta4 =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before4);
+
+  // One region per ParallelForRange call — invariant.
+  ASSERT_GT(delta1.count("support.parallel_for.regions"), 0u);
+  EXPECT_EQ(delta1.at("support.parallel_for.regions"),
+            delta4.at("support.parallel_for.regions"));
+  // Shard counts depend on pool size: with more threads at least as many
+  // shards are claimed as with one.
+  const auto shards_of = [](const std::map<std::string, std::int64_t>& d) {
+    auto it = d.find("support.parallel_for.shards");
+    return it == d.end() ? std::int64_t{0} : it->second;
+  };
+  EXPECT_GE(shards_of(delta4), shards_of(delta1));
+}
+
+TEST_F(CounterDeterminismTest, RepeatedIdenticalRunsProduceIdenticalDeltas) {
+  const auto first = CountersUnder(2);
+  const auto second = CountersUnder(2);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,110 @@
+// Concurrency hammer for the metrics registry and tracer. The assertions
+// are deliberately simple (sums add up, nothing crashes); the real check
+// is running this under ThreadSanitizer, which the CI tsan job does via
+// the "obs" ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/threadpool.h"
+
+namespace s4tf::obs {
+namespace {
+
+class RegistryHammerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetIntraOpThreads(4); }
+  void TearDown() override { SetIntraOpThreads(0); }
+};
+
+TEST_F(RegistryHammerTest, ConcurrentRegistrationAndIncrement) {
+  constexpr std::int64_t kIters = 2000;
+  constexpr int kNames = 8;
+  // Every shard resolves a rotating name (racing registration of the same
+  // instrument from several workers) and bumps it.
+  ParallelForRange(kIters, /*grain=*/1, [](std::int64_t begin,
+                                           std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      Counter* counter = GetCounter("test.hammer.counter." +
+                                    std::to_string(i % kNames));
+      counter->Increment();
+    }
+  });
+  std::int64_t total = 0;
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (int n = 0; n < kNames; ++n) {
+    total += snapshot.counter("test.hammer.counter." + std::to_string(n));
+  }
+  // >= because ctest may run this binary's tests repeatedly in-process;
+  // the first run contributes exactly kIters.
+  EXPECT_GE(total, kIters);
+  EXPECT_EQ(total % kIters, 0);
+}
+
+TEST_F(RegistryHammerTest, SnapshotsMidFlightSeeConsistentValues) {
+  Counter* counter = GetCounter("test.hammer.mid_flight");
+  const std::int64_t start = counter->value();
+  constexpr std::int64_t kIters = 4000;
+  std::atomic<bool> done{false};
+  // Snapshot continuously from the main thread while workers increment.
+  std::thread snapshotter([&] {
+    std::int64_t last = start;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::int64_t seen =
+          MetricsRegistry::Global().Snapshot().counter(
+              "test.hammer.mid_flight");
+      EXPECT_GE(seen, last);  // monotone under concurrent increments
+      EXPECT_LE(seen, start + kIters);
+      last = seen;
+    }
+  });
+  ParallelForRange(kIters, /*grain=*/16,
+                   [&](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       counter->Increment();
+                     }
+                   });
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+  EXPECT_EQ(counter->value(), start + kIters);
+}
+
+TEST_F(RegistryHammerTest, GaugesAndHistogramsFromWorkers) {
+  Gauge* gauge = GetGauge("test.hammer.gauge");
+  Histogram* histogram = GetHistogram("test.hammer.histogram");
+  const std::int64_t start_count = histogram->count();
+  constexpr std::int64_t kIters = 2000;
+  ParallelForRange(kIters, /*grain=*/4,
+                   [&](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       gauge->SetMax(i);
+                       histogram->Record(static_cast<double>(i % 64) * 1e-6);
+                     }
+                   });
+  EXPECT_EQ(gauge->value(), kIters - 1);
+  EXPECT_EQ(histogram->count(), start_count + kIters);
+}
+
+TEST_F(RegistryHammerTest, TracerRecordsFromWorkersWithoutTearing) {
+  const std::string path = ::testing::TempDir() + "s4tf_hammer_trace.json";
+  Tracer::Global().Start(path);
+  constexpr std::int64_t kIters = 512;
+  ParallelForRange(kIters, /*grain=*/8,
+                   [](std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       TraceSpan span("hammer_span", "test", "index", i);
+                     }
+                   });
+  // +1 per-shard span emitted by ParallelForRange itself, so >= kIters.
+  EXPECT_GE(Tracer::Global().Stop(), kIters);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s4tf::obs
