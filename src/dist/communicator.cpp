@@ -1,0 +1,345 @@
+#include "dist/communicator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+
+namespace s4tf::dist {
+namespace {
+
+obs::Counter* AllReduceCalls() {
+  static obs::Counter* c = obs::GetCounter("dist.allreduce.calls");
+  return c;
+}
+obs::Counter* AllReduceBytes() {
+  static obs::Counter* c = obs::GetCounter("dist.allreduce.bytes");
+  return c;
+}
+obs::Counter* AllReduceBuckets() {
+  static obs::Counter* c = obs::GetCounter("dist.allreduce.buckets");
+  return c;
+}
+obs::Counter* AllReduceChunks() {
+  static obs::Counter* c = obs::GetCounter("dist.allreduce.chunks");
+  return c;
+}
+obs::Counter* BarrierCount() {
+  static obs::Counter* c = obs::GetCounter("dist.barrier.count");
+  return c;
+}
+obs::Counter* SendMessages() {
+  static obs::Counter* c = obs::GetCounter("dist.send.messages");
+  return c;
+}
+obs::Counter* RetryCount() {
+  static obs::Counter* c = obs::GetCounter("dist.retry.count");
+  return c;
+}
+obs::Counter* RecvTimeouts() {
+  static obs::Counter* c = obs::GetCounter("dist.recv.timeouts");
+  return c;
+}
+obs::Counter* DroppedChunks() {
+  static obs::Counter* c = obs::GetCounter("dist.fault.dropped_chunks");
+  return c;
+}
+obs::Counter* StragglerDelays() {
+  static obs::Counter* c = obs::GetCounter("dist.fault.straggler_delays");
+  return c;
+}
+
+}  // namespace
+
+std::vector<float> OrderedTreeReduce(std::vector<std::vector<float>> parts) {
+  S4TF_CHECK(!parts.empty()) << "OrderedTreeReduce needs at least one part";
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    S4TF_CHECK_EQ(parts[i].size(), parts[0].size())
+        << "OrderedTreeReduce parts must have equal length";
+  }
+  // Pairwise rounds: (0,1), (2,3), ...; an odd tail carries unchanged to
+  // the next round. The combine order per element is a fixed function of
+  // parts.size(), never of scheduling.
+  while (parts.size() > 1) {
+    std::vector<std::vector<float>> next;
+    next.reserve((parts.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      std::vector<float>& a = parts[i];
+      const std::vector<float>& b = parts[i + 1];
+      for (std::size_t j = 0; j < a.size(); ++j) a[j] += b[j];
+      next.push_back(std::move(a));
+    }
+    if (parts.size() % 2 == 1) next.push_back(std::move(parts.back()));
+    parts = std::move(next);
+  }
+  return std::move(parts.front());
+}
+
+std::vector<float> OrderedTreeReduceMean(
+    std::vector<std::vector<float>> parts) {
+  const float scale = 1.0f / static_cast<float>(parts.size());
+  std::vector<float> out = OrderedTreeReduce(std::move(parts));
+  for (float& v : out) v *= scale;
+  return out;
+}
+
+RingCommunicator::RingCommunicator(int world_size, CollectiveOptions options,
+                                   FaultPlan faults)
+    : world_(world_size),
+      options_(options),
+      injector_(std::move(faults)),
+      states_(static_cast<std::size_t>(std::max(world_size, 1))) {
+  S4TF_CHECK_GE(world_, 1) << "world size must be positive";
+  S4TF_CHECK_LT(world_, 1 << 10) << "world size exceeds message-key range";
+  S4TF_CHECK_GT(options_.bucket_bytes, 0) << "bucket_bytes must be positive";
+  S4TF_CHECK_GE(options_.max_retries, 0);
+  mailboxes_.reserve(static_cast<std::size_t>(world_));
+  for (int i = 0; i < world_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+RingCommunicator::~RingCommunicator() = default;
+
+void RingCommunicator::AttachAccelerator(int rank,
+                                         SimAccelerator* accelerator) {
+  S4TF_CHECK_GE(rank, 0);
+  S4TF_CHECK_LT(rank, world_);
+  states_[static_cast<std::size_t>(rank)].accelerator = accelerator;
+}
+
+void RingCommunicator::Send(int dst, const MessageKey& key,
+                            std::vector<float> payload) {
+  SendMessages()->Increment();
+  Message msg;
+  msg.payload = std::move(payload);
+  msg.drops_remaining = injector_.DropsFor(key);
+  msg.available_at = std::chrono::steady_clock::now();
+  const std::chrono::microseconds delay = injector_.DelayFor(key);
+  if (delay.count() > 0) {
+    msg.available_at += delay;
+    StragglerDelays()->Increment();
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    const bool inserted =
+        box.slots.emplace(key.Packed(), std::move(msg)).second;
+    S4TF_CHECK(inserted) << "duplicate collective message key (collective "
+                            "calls out of order across ranks?)";
+  }
+  box.cv.notify_all();
+}
+
+std::vector<float> RingCommunicator::Recv(int rank, const MessageKey& key,
+                                          std::size_t expected_len) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const std::uint64_t slot = key.Packed();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Zero-duration marker so traces show every retry individually.
+      obs::TraceSpan retry_span("dist.retry", "dist", "attempt", attempt);
+      RetryCount()->Increment();
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.recv_timeout;
+    std::unique_lock<std::mutex> lock(box.mutex);
+    bool timed_out = false;
+    while (!timed_out) {
+      const auto now = std::chrono::steady_clock::now();
+      auto it = box.slots.find(slot);
+      if (it == box.slots.end()) {
+        if (now >= deadline) {
+          timed_out = true;
+        } else {
+          box.cv.wait_until(lock, deadline);
+        }
+        continue;
+      }
+      Message& msg = it->second;
+      if (msg.drops_remaining > 0) {
+        // This delivery is injected as lost. The receiver's observable
+        // behaviour — one timeout, one retry — is charged immediately
+        // instead of sleeping out the full recv_timeout, keeping the
+        // retry accounting identical while tests stay fast.
+        --msg.drops_remaining;
+        DroppedChunks()->Increment();
+        timed_out = true;
+        continue;
+      }
+      if (msg.available_at > now) {
+        // Straggler: deposited but not yet readable.
+        if (now >= deadline) {
+          timed_out = true;
+        } else {
+          box.cv.wait_until(lock, std::min(msg.available_at, deadline));
+        }
+        continue;
+      }
+      std::vector<float> payload = std::move(msg.payload);
+      box.slots.erase(it);
+      lock.unlock();
+      S4TF_CHECK_EQ(payload.size(), expected_len)
+          << "collective payload length mismatch";
+      return payload;
+    }
+    RecvTimeouts()->Increment();
+  }
+  S4TF_CHECK(false) << "collective receive failed after "
+                    << options_.max_retries
+                    << " retries (rank " << rank << ", phase "
+                    << static_cast<int>(key.phase) << ", seq " << key.seq
+                    << ", bucket " << key.bucket << ", src " << key.src
+                    << ", chunk " << key.chunk << ")";
+  return {};  // unreachable; S4TF_CHECK throws
+}
+
+void RingCommunicator::AllReduce(int rank, std::vector<float>& data,
+                                 ReduceOp op) {
+  S4TF_CHECK_GE(rank, 0);
+  S4TF_CHECK_LT(rank, world_);
+  obs::TraceSpan span("dist.allreduce", "dist", "bytes",
+                      static_cast<std::int64_t>(data.size() * sizeof(float)));
+  AllReduceCalls()->Increment();
+  AllReduceBytes()->Add(static_cast<std::int64_t>(data.size() * sizeof(float)));
+
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const std::uint32_t seq = state.next_seq++;
+
+  const std::int64_t len = static_cast<std::int64_t>(data.size());
+  const std::int64_t bucket_elems = std::max<std::int64_t>(
+      1, options_.bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
+  const std::int64_t num_buckets =
+      len == 0 ? 0 : (len + bucket_elems - 1) / bucket_elems;
+  S4TF_CHECK_LT(num_buckets, 1 << 16) << "too many buckets for message key";
+  AllReduceBuckets()->Add(num_buckets);
+
+  const int next = (rank + 1) % world_;
+  const int prev = (rank - 1 + world_) % world_;
+
+  for (std::int64_t b = 0; b < num_buckets; ++b) {
+    const std::int64_t b_begin = b * bucket_elems;
+    const std::int64_t b_len = std::min(len - b_begin, bucket_elems);
+    // One chunk per rank; `per`-sized except a short (possibly empty)
+    // tail. Every rank derives the same geometry from b_len alone, so
+    // empty chunks are skipped consistently on both sides of every send.
+    const std::int64_t per = (b_len + world_ - 1) / world_;
+    const auto chunk_begin = [&](int c) {
+      return b_begin + std::min<std::int64_t>(b_len, c * per);
+    };
+    const auto chunk_len = [&](int c) {
+      return std::min<std::int64_t>(b_len, (c + 1) * per) -
+             std::min<std::int64_t>(b_len, c * per);
+    };
+
+    // Scatter: every raw chunk goes straight to its owner rank.
+    for (int c = 0; c < world_; ++c) {
+      const std::int64_t clen = chunk_len(c);
+      if (clen == 0) continue;
+      AllReduceChunks()->Increment();
+      if (state.accelerator != nullptr) {
+        state.accelerator->ChargeAllReduce(
+            clen * static_cast<std::int64_t>(sizeof(float)), world_);
+      }
+      if (c == rank) continue;  // own chunk stays local
+      MessageKey key{MessagePhase::kScatter, seq,
+                     static_cast<std::uint32_t>(b),
+                     static_cast<std::uint16_t>(rank),
+                     static_cast<std::uint16_t>(c)};
+      Send(c, key,
+           std::vector<float>(data.begin() + chunk_begin(c),
+                              data.begin() + chunk_begin(c) + clen));
+    }
+
+    // Owner-side reduce of this rank's chunk: parts gathered in rank
+    // order 0..world-1 and combined by the canonical tree, so the result
+    // is independent of arrival order, chunking, and threading.
+    const std::int64_t own_len = chunk_len(rank);
+    if (own_len > 0) {
+      std::vector<std::vector<float>> parts;
+      parts.reserve(static_cast<std::size_t>(world_));
+      for (int src = 0; src < world_; ++src) {
+        if (src == rank) {
+          parts.emplace_back(data.begin() + chunk_begin(rank),
+                             data.begin() + chunk_begin(rank) + own_len);
+        } else {
+          MessageKey key{MessagePhase::kScatter, seq,
+                         static_cast<std::uint32_t>(b),
+                         static_cast<std::uint16_t>(src),
+                         static_cast<std::uint16_t>(rank)};
+          parts.push_back(
+              Recv(rank, key, static_cast<std::size_t>(own_len)));
+        }
+      }
+      std::vector<float> reduced = op == ReduceOp::kMean
+                                       ? OrderedTreeReduceMean(std::move(parts))
+                                       : OrderedTreeReduce(std::move(parts));
+      std::copy(reduced.begin(), reduced.end(),
+                data.begin() + chunk_begin(rank));
+    }
+
+    // All-gather ring: at step s, send the chunk received at step s-1
+    // (own reduced chunk at s=0) to the next rank.
+    for (int s = 0; s < world_ - 1; ++s) {
+      const int send_chunk = (rank - s + world_) % world_;
+      const std::int64_t slen = chunk_len(send_chunk);
+      if (slen > 0) {
+        MessageKey key{MessagePhase::kGather, seq,
+                       static_cast<std::uint32_t>(b),
+                       static_cast<std::uint16_t>(rank),
+                       static_cast<std::uint16_t>(send_chunk)};
+        Send(next, key,
+             std::vector<float>(
+                 data.begin() + chunk_begin(send_chunk),
+                 data.begin() + chunk_begin(send_chunk) + slen));
+      }
+      const int recv_chunk = (rank - 1 - s + world_) % world_;
+      const std::int64_t rlen = chunk_len(recv_chunk);
+      if (rlen > 0) {
+        MessageKey key{MessagePhase::kGather, seq,
+                       static_cast<std::uint32_t>(b),
+                       static_cast<std::uint16_t>(prev),
+                       static_cast<std::uint16_t>(recv_chunk)};
+        std::vector<float> payload =
+            Recv(rank, key, static_cast<std::size_t>(rlen));
+        std::copy(payload.begin(), payload.end(),
+                  data.begin() + chunk_begin(recv_chunk));
+      }
+    }
+  }
+}
+
+void RingCommunicator::Barrier(int rank) {
+  S4TF_CHECK_GE(rank, 0);
+  S4TF_CHECK_LT(rank, world_);
+  obs::TraceSpan span("dist.barrier", "dist");
+  BarrierCount()->Increment();
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const std::uint32_t seq = state.next_seq++;
+  if (world_ == 1) return;
+
+  const int next = (rank + 1) % world_;
+  const int prev = (rank - 1 + world_) % world_;
+  const auto key_for = [seq](MessagePhase phase, int src) {
+    return MessageKey{phase, seq, 0, static_cast<std::uint16_t>(src), 0};
+  };
+  // Pass 1 (kBarrierIn): a token travels 0 -> 1 -> ... -> world-1 -> 0;
+  // rank 0 receiving it proves every rank has entered. Pass 2
+  // (kBarrierOut): the release token travels the same ring; no rank
+  // exits before rank 0 has observed full arrival.
+  if (rank == 0) {
+    Send(next, key_for(MessagePhase::kBarrierIn, 0), {});
+    Recv(0, key_for(MessagePhase::kBarrierIn, world_ - 1), 0);
+    Send(next, key_for(MessagePhase::kBarrierOut, 0), {});
+    Recv(0, key_for(MessagePhase::kBarrierOut, world_ - 1), 0);
+  } else {
+    Recv(rank, key_for(MessagePhase::kBarrierIn, prev), 0);
+    Send(next, key_for(MessagePhase::kBarrierIn, rank), {});
+    Recv(rank, key_for(MessagePhase::kBarrierOut, prev), 0);
+    Send(next, key_for(MessagePhase::kBarrierOut, rank), {});
+  }
+}
+
+}  // namespace s4tf::dist

@@ -1,0 +1,150 @@
+// The replica collective layer (paper §5.1.1, Table 1).
+//
+// Synchronous data-parallel training is where the paper's platform earns
+// its scaling claims: K replicas compute gradients on their own shards and
+// all-reduce them every step. This header is the redesigned collective
+// API behind ReplicaGroup::TrainStep (nn/replica_group.h):
+//
+//   * Communicator — the abstract collective surface. Every rank calls the
+//     same collectives in the same order from its own worker thread.
+//   * RingCommunicator — the in-process implementation: gradient buffers
+//     are split into configurable-size buckets, each bucket into one chunk
+//     per rank; raw chunks are scattered to their owner rank, reduced
+//     there in a *canonical* rank-ordered tree (OrderedTreeReduce), and
+//     the reduced chunks travel a classic all-gather ring. A per-replica
+//     SimAccelerator can be attached to charge the ring's simulated cost
+//     per chunk (cost_model.h's AllReduceSeconds).
+//
+// Determinism contract: the tree reduction order per element depends only
+// on the world size — not on thread scheduling, message arrival order, or
+// the bucket/chunk partition (elements reduce across ranks independently,
+// so chunk boundaries cannot reassociate anything). Hence the threaded,
+// bucketed, fault-injected ring is bit-identical to OrderedTreeReduce[Mean]
+// applied to the whole per-rank buffers on one thread — the sequential
+// reference ReplicaGroup uses.
+//
+// Fault model: every message consults the seeded FaultInjector; lost
+// deliveries and straggler delays surface as receive timeouts, recovered
+// by bounded retry (obs counters and trace spans record every retry,
+// timeout, and barrier). Because every receive is bounded by
+// (1 + max_retries) * recv_timeout, a replica that dies mid-collective
+// cannot hang the group: its peers exhaust their budgets and fail loudly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "device/sim_accelerator.h"
+#include "dist/fault_injector.h"
+
+namespace s4tf::dist {
+
+enum class ReduceOp {
+  kSum = 0,
+  kMean,  // sum scaled by 1/world_size inside the collective
+};
+
+struct CollectiveOptions {
+  // Gradient bucketing granularity: each bucket is reduced and charged
+  // independently (one ring per bucket, one chunk per rank per bucket).
+  std::int64_t bucket_bytes = 1 << 16;
+  // Per receive attempt; a lost delivery costs one timeout.
+  std::chrono::milliseconds recv_timeout{250};
+  // Receive attempts beyond the first before the collective fails loudly.
+  int max_retries = 8;
+};
+
+// Rank-ordered pairwise tree reduction: parts[0..n) combine as
+// ((p0+p1)+(p2+p3))+... regardless of how the caller obtained them. This
+// is the one reduction the whole dist layer performs — the ring transports
+// chunks but never reassociates — so results are bit-identical between
+// the threaded collective and a sequential reference. All parts must have
+// equal length.
+std::vector<float> OrderedTreeReduce(std::vector<std::vector<float>> parts);
+// OrderedTreeReduce followed by scaling with 1.0f / parts.size() — the
+// all-reduce-mean every data-parallel step uses, applied inside the
+// collective so optimizers always see correctly-scaled tangents.
+std::vector<float> OrderedTreeReduceMean(
+    std::vector<std::vector<float>> parts);
+
+// The collective surface. All methods are collective calls: every rank in
+// [0, world_size) must invoke them with its own rank, in the same order.
+// Implementations are safe for one concurrent caller per rank.
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int world_size() const = 0;
+  virtual const char* name() const = 0;
+
+  // In-place all-reduce of `data`; every rank passes a buffer of the same
+  // length and returns with the identical reduced contents.
+  virtual void AllReduce(int rank, std::vector<float>& data,
+                         ReduceOp op) = 0;
+
+  // Blocks until every rank has arrived.
+  virtual void Barrier(int rank) = 0;
+};
+
+// In-process communicator over per-rank mailboxes (see file header for
+// the algorithm and its contracts).
+class RingCommunicator final : public Communicator {
+ public:
+  explicit RingCommunicator(int world_size, CollectiveOptions options = {},
+                            FaultPlan faults = {});
+  ~RingCommunicator() override;
+
+  int world_size() const override { return world_; }
+  const char* name() const override { return "ring"; }
+
+  void AllReduce(int rank, std::vector<float>& data, ReduceOp op) override;
+  void Barrier(int rank) override;
+
+  // Attaches a simulated accelerator for `rank`; every non-empty chunk the
+  // rank participates in charges ChargeAllReduce(chunk_bytes, world) there.
+  // Pass nullptr to detach. Not thread-safe against in-flight collectives.
+  void AttachAccelerator(int rank, SimAccelerator* accelerator);
+
+  const CollectiveOptions& options() const { return options_; }
+
+ private:
+  struct Message {
+    std::vector<float> payload;
+    // Straggler injection: readable only once this instant has passed.
+    std::chrono::steady_clock::time_point available_at;
+    // Drop injection: deliveries still to be lost before one gets through.
+    int drops_remaining = 0;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<std::uint64_t, Message> slots;
+  };
+
+  // Per-rank state touched only by that rank's worker thread.
+  struct RankState {
+    std::uint32_t next_seq = 0;
+    SimAccelerator* accelerator = nullptr;
+  };
+
+  // Asynchronous deposit into dst's mailbox (never blocks).
+  void Send(int dst, const MessageKey& key, std::vector<float> payload);
+  // Blocking receive with timeout + bounded retry; CHECK-fails (throws
+  // InternalError) once the retry budget is exhausted.
+  std::vector<float> Recv(int rank, const MessageKey& key,
+                          std::size_t expected_len);
+
+  int world_;
+  CollectiveOptions options_;
+  FaultInjector injector_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<RankState> states_;
+};
+
+}  // namespace s4tf::dist

@@ -1,0 +1,47 @@
+#include "dist/fault_injector.h"
+
+#include "support/error.h"
+#include "support/hashing.h"
+
+namespace s4tf::dist {
+
+std::uint64_t MessageKey::Packed() const {
+  S4TF_CHECK_LT(seq, 1u << 25) << "collective sequence number overflow";
+  S4TF_CHECK_LT(bucket, 1u << 16) << "bucket index overflow";
+  S4TF_CHECK_LT(src, 1u << 10) << "rank overflow";
+  S4TF_CHECK_LT(chunk, 1u << 10) << "chunk index overflow";
+  // phase(3) | seq(25) | bucket(16) | src(10) | chunk(10) = 64 bits.
+  return (static_cast<std::uint64_t>(phase) << 61) |
+         (static_cast<std::uint64_t>(seq) << 36) |
+         (static_cast<std::uint64_t>(bucket) << 20) |
+         (static_cast<std::uint64_t>(src) << 10) |
+         static_cast<std::uint64_t>(chunk);
+}
+
+double FaultInjector::UnitDraw(const MessageKey& key,
+                               std::uint64_t salt) const {
+  std::uint64_t h = HashValue(key.Packed(), kFnvOffset ^ plan_.seed);
+  h = HashCombine(h, salt);
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+int FaultInjector::DropsFor(const MessageKey& key) const {
+  if (plan_.drop_probability <= 0.0) return 0;
+  if (UnitDraw(key, /*salt=*/0x9d09) >= plan_.drop_probability) return 0;
+  return plan_.drops_per_event;
+}
+
+std::chrono::microseconds FaultInjector::DelayFor(
+    const MessageKey& key) const {
+  if (plan_.straggler_probability <= 0.0 ||
+      plan_.straggler_delay.count() <= 0) {
+    return std::chrono::microseconds{0};
+  }
+  if (UnitDraw(key, /*salt=*/0x57a6) >= plan_.straggler_probability) {
+    return std::chrono::microseconds{0};
+  }
+  return plan_.straggler_delay;
+}
+
+}  // namespace s4tf::dist

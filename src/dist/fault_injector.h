@@ -1,0 +1,79 @@
+// Deterministic fault injection for the replica communicator.
+//
+// The paper's Table 1 runs are synchronous across 8-32 TPU hosts; at that
+// scale, dropped packets and straggling replicas are the normal case, not
+// the exception. The simulated transport in dist/communicator.h consults a
+// FaultInjector on every message send: a message may lose its first k
+// deliveries (the receiver times out and retries) or arrive late (a
+// straggler delay). All decisions are pure functions of (seed, message
+// key), so a faulty run is bit-reproducible and — because message keys do
+// not depend on thread scheduling — the injected fault set is identical
+// for any worker interleaving.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace s4tf::dist {
+
+// Phases of the bucketed ring all-reduce plus the ring barrier. Part of
+// every message key.
+enum class MessagePhase : std::uint8_t {
+  kScatter = 0,     // raw gradient chunk, source -> chunk owner
+  kGather = 1,      // reduced chunk travelling the all-gather ring
+  kBarrierIn = 2,   // barrier pass 1: token accumulates at rank 0
+  kBarrierOut = 3,  // barrier pass 2: release travels the ring
+};
+
+// Uniquely identifies one logical message of one collective. `seq` is the
+// per-communicator collective sequence number (every rank calls the same
+// collectives in the same order, so ranks agree on it without
+// synchronization).
+struct MessageKey {
+  MessagePhase phase = MessagePhase::kScatter;
+  std::uint32_t seq = 0;     // < 2^25
+  std::uint32_t bucket = 0;  // < 2^16
+  std::uint16_t src = 0;     // < 2^10
+  std::uint16_t chunk = 0;   // < 2^10, == owner rank within the bucket
+  // Collision-free bit packing; CHECK-fails when a field is out of range.
+  std::uint64_t Packed() const;
+};
+
+// What to inject. Probabilities are evaluated per message against a
+// seeded hash, so "probability 1" means "every message" deterministically.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  // P(a message loses its first deliveries). The receiver sees a timeout
+  // per lost delivery and retries (bounded by CollectiveOptions).
+  double drop_probability = 0.0;
+  // How many consecutive deliveries a dropped message loses.
+  int drops_per_event = 1;
+  // P(a message is delayed by straggler_delay before becoming readable).
+  double straggler_probability = 0.0;
+  std::chrono::microseconds straggler_delay{0};
+
+  bool enabled() const {
+    return drop_probability > 0.0 || straggler_probability > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Number of deliveries of `key` lost before one gets through.
+  int DropsFor(const MessageKey& key) const;
+
+  // Extra latency before `key` becomes readable at the destination.
+  std::chrono::microseconds DelayFor(const MessageKey& key) const;
+
+ private:
+  // Uniform draw in [0, 1) determined by (seed, key, salt).
+  double UnitDraw(const MessageKey& key, std::uint64_t salt) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace s4tf::dist

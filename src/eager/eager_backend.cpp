@@ -1,6 +1,8 @@
 #include "eager/eager_backend.h"
 
 #include <atomic>
+#include <map>
+#include <mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -120,5 +122,33 @@ void EagerBackend::ResetStats() {
   ops_dispatched_ = 0;
   max_pipeline_depth_ = 0;
 }
+
+namespace {
+
+// Device::ForReplica(kEager, ordinal) support: one process-lifetime
+// backend (own dispatch queue + simulated accelerator) per replica
+// ordinal. The backend self-assigns a global ordinal, so the minted
+// Device carries the requested replica ordinal explicitly.
+Device EagerReplicaDevice(int ordinal) {
+  static std::mutex mutex;
+  static std::map<int, EagerBackend*>* backends =
+      new std::map<int, EagerBackend*>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = backends->find(ordinal);
+  if (it == backends->end()) {
+    EagerOptions options;
+    options.name = "cpu:eager:replica";
+    it = backends->emplace(ordinal, new EagerBackend(options)).first;
+  }
+  return Device(DeviceKind::kEager, ordinal, it->second,
+                "cpu:eager:replica:" + std::to_string(ordinal));
+}
+
+[[maybe_unused]] const bool g_eager_replica_factory_registered = [] {
+  RegisterReplicaDeviceFactory(DeviceKind::kEager, &EagerReplicaDevice);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace s4tf

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "obs/metrics.h"
@@ -295,5 +296,33 @@ std::string TraceToDot(const std::vector<Tensor>& roots) {
   out << "}\n";
   return out.str();
 }
+
+namespace {
+
+// Device::ForReplica(kLazy, ordinal) support: one process-lifetime
+// backend (own trace cache + simulated accelerator) per replica ordinal.
+// The backend self-assigns a global ordinal, so the minted Device carries
+// the requested replica ordinal explicitly.
+Device LazyReplicaDevice(int ordinal) {
+  static std::mutex mutex;
+  static std::map<int, LazyBackend*>* backends =
+      new std::map<int, LazyBackend*>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = backends->find(ordinal);
+  if (it == backends->end()) {
+    LazyOptions options;
+    options.name = "cpu:lazy:replica";
+    it = backends->emplace(ordinal, new LazyBackend(options)).first;
+  }
+  return Device(DeviceKind::kLazy, ordinal, it->second,
+                "cpu:lazy:replica:" + std::to_string(ordinal));
+}
+
+[[maybe_unused]] const bool g_lazy_replica_factory_registered = [] {
+  RegisterReplicaDeviceFactory(DeviceKind::kLazy, &LazyReplicaDevice);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace s4tf

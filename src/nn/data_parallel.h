@@ -1,47 +1,35 @@
-// Synchronous data-parallel training (paper §5.1.1, Table 1).
+// Deprecated shim over the replica-group API (paper §5.1.1, Table 1).
 //
-// "... 8 hosts synchronously training a single model in data-parallel
-// fashion." Each replica computes gradients on its own shard with the
-// same weights; gradients are all-reduced (averaged) and every replica
-// applies the identical update, so the parallel step is mathematically a
-// single large-batch step — which is why Table 1's accuracy column is
-// independent of cluster size. DataParallelTrainStep performs exactly this
-// computation (for real, on however many shards), and the tests verify
-// the large-batch equivalence.
+// Synchronous data-parallel training used to live here as a free
+// function whose "all-reduce" was a single-threaded sum with post-hoc
+// averaging. The real implementation is now ReplicaGroup::TrainStep
+// (nn/replica_group.h): per-replica worker threads, a bucketed ring
+// all-reduce with mean applied inside the collective, deterministic
+// fault injection, and per-replica devices. This wrapper only keeps old
+// call sites compiling while they migrate.
 #pragma once
 
 #include <vector>
 
-#include "ad/operators.h"
-#include "nn/datasets.h"
-#include "nn/losses.h"
+#include "nn/replica_group.h"
 
 namespace s4tf::nn {
 
 // One synchronous data-parallel step over `shards` (one per simulated
-// replica): per-shard gradients with the shared weights, averaged, one
-// update. Returns the mean per-shard loss.
+// replica). Forwards to a sequential-reference ReplicaGroup on the
+// model's device kind; results are bit-identical to the threaded
+// ReplicaGroup::TrainStep.
 template <ad::DifferentiableStruct M, typename Optimizer>
-float DataParallelTrainStep(M& model, Optimizer& optimizer,
-                            const std::vector<LabeledBatch>& shards) {
+[[deprecated(
+    "use ReplicaGroup::TrainStep (nn/replica_group.h)")]] float
+DataParallelTrainStep(M& model, Optimizer& optimizer,
+                      const std::vector<LabeledBatch>& shards) {
   S4TF_CHECK(!shards.empty());
-  typename M::TangentVector total{};
-  float loss_sum = 0.0f;
-  for (const LabeledBatch& shard : shards) {
-    auto [loss, grads] = ad::ValueWithGradient(model, [&](const M& m) {
-      return SoftmaxCrossEntropy(m(shard.images), shard.one_hot);
-    });
-    loss_sum += loss.ScalarValue();
-    total = total + grads;  // the all-reduce sum
-  }
-  // Average (each shard's loss is already a per-example mean).
-  const float inv = 1.0f / static_cast<float>(shards.size());
-  model.VisitWithTangent(total, [&](Tensor& param, Tensor& grad) {
-    (void)param;
-    if (grad.NumElements() > 0) grad = grad * inv;
-  });
-  optimizer.Update(model, total);
-  return loss_sum * inv;
+  ReplicaGroupOptions options;
+  options.device_kind = ModelDevice(model).kind();
+  options.sequential = true;
+  ReplicaGroup group(static_cast<int>(shards.size()), options);
+  return group.TrainStep(model, optimizer, shards);
 }
 
 }  // namespace s4tf::nn

@@ -1,0 +1,304 @@
+// Replica-group data-parallel training over the dist collective layer.
+//
+// The redesigned API for the paper's §5.1.1 evaluation: a ReplicaGroup
+// owns K per-replica devices (Device::ForReplica), a worker pool, a
+// RingCommunicator, and optional per-replica simulated accelerators.
+// TrainStep runs each replica's forward/backward concurrently under its
+// own DeviceScope, all-reduces the flattened gradients through the
+// bucketed ring (mean inside the collective — optimizers always see
+// correctly-scaled tangents), and applies one update to the caller's
+// model.
+//
+// Determinism: per-replica compute is bit-deterministic for any intra-op
+// thread count (PR 1), and the communicator reduces every element by a
+// canonical rank-ordered tree (dist/communicator.h). A ReplicaGroup with
+// options.sequential = true runs the identical per-replica compute on
+// the calling thread and reduces with the same OrderedTreeReduceMean —
+// TrainStep's results are bit-identical between the two modes for every
+// replica/thread-count combination (tested in tests/dist/).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ad/operators.h"
+#include "device/sim_accelerator.h"
+#include "dist/communicator.h"
+#include "nn/datasets.h"
+#include "nn/losses.h"
+#include "nn/training.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/threadpool.h"
+#include "tensor/ops.h"
+
+namespace s4tf::nn {
+
+struct ReplicaGroupOptions {
+  // Backend kind for every replica device (Device::ForReplica).
+  DeviceKind device_kind = DeviceKind::kNaive;
+  dist::CollectiveOptions collective;
+  dist::FaultPlan faults;
+  // When set, each replica gets a SimAccelerator of this spec and the
+  // communicator charges every chunk's ring cost to it.
+  std::optional<AcceleratorSpec> accelerator;
+  // Reference mode: run replicas one after another on the calling thread
+  // and reduce with OrderedTreeReduceMean directly (no communicator, no
+  // faults). Bit-identical to the threaded path by construction.
+  bool sequential = false;
+  // Communicator barrier at the end of every TrainStep, so no replica
+  // races ahead into the next step's collectives.
+  bool step_barrier = true;
+};
+
+namespace internal {
+
+inline obs::Counter& ReplicaStepCounter() {
+  static obs::Counter* counter = obs::GetCounter("nn.replica.steps");
+  return *counter;
+}
+
+// Flattens a model's tangent into one contiguous buffer in the model's
+// fixed VisitWithTangent order. Parameters whose gradient is the
+// zero-tangent placeholder (element-count mismatch) contribute explicit
+// zeros, so every rank's buffer has identical geometry.
+template <ad::DifferentiableStruct M>
+std::vector<float> FlattenTangent(M& model,
+                                  typename M::TangentVector& tangent) {
+  std::vector<float> flat;
+  model.VisitWithTangent(tangent, [&](Tensor& param, Tensor& grad) {
+    if (grad.NumElements() == param.NumElements()) {
+      const std::vector<float> values = grad.ToVector();
+      flat.insert(flat.end(), values.begin(), values.end());
+    } else {
+      flat.insert(flat.end(), static_cast<std::size_t>(param.NumElements()),
+                  0.0f);
+    }
+  });
+  return flat;
+}
+
+// Inverse of FlattenTangent: rebuilds full-shape gradient tensors on
+// `device` from the reduced buffer.
+template <ad::DifferentiableStruct M>
+void UnflattenTangent(M& model, typename M::TangentVector& tangent,
+                      const std::vector<float>& flat, const Device& device) {
+  std::size_t offset = 0;
+  model.VisitWithTangent(tangent, [&](Tensor& param, Tensor& grad) {
+    const std::size_t n = static_cast<std::size_t>(param.NumElements());
+    S4TF_CHECK_LE(offset + n, flat.size())
+        << "reduced gradient buffer shorter than the model";
+    std::vector<float> values(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                              flat.begin() +
+                                  static_cast<std::ptrdiff_t>(offset + n));
+    grad = Tensor::FromVector(param.shape(), std::move(values), device);
+    offset += n;
+  });
+  S4TF_CHECK_EQ(offset, flat.size())
+      << "reduced gradient buffer longer than the model";
+}
+
+}  // namespace internal
+
+// Splits one batch of size K*n (dim 0) into K contiguous shards of size
+// n, one per replica. The batch size must divide evenly.
+inline std::vector<LabeledBatch> ShardBatch(const LabeledBatch& batch,
+                                            int shards) {
+  S4TF_CHECK_GE(shards, 1);
+  const Shape& full = batch.images.shape();
+  const std::int64_t total = full.dim(0);
+  S4TF_CHECK_EQ(total % shards, 0)
+      << "batch size " << total << " not divisible into " << shards
+      << " shards";
+  const std::int64_t per = total / shards;
+  std::vector<LabeledBatch> result;
+  result.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    LabeledBatch shard;
+    std::vector<std::int64_t> starts(static_cast<std::size_t>(full.rank()),
+                                     0);
+    starts[0] = s * per;
+    std::vector<std::int64_t> sizes = full.dims();
+    sizes[0] = per;
+    shard.images = Slice(batch.images, std::move(starts), std::move(sizes));
+    shard.one_hot = Slice(batch.one_hot, {s * per, 0},
+                          {per, batch.one_hot.shape().dim(1)});
+    shard.labels.assign(
+        batch.labels.begin() + static_cast<std::ptrdiff_t>(s * per),
+        batch.labels.begin() + static_cast<std::ptrdiff_t>((s + 1) * per));
+    result.push_back(std::move(shard));
+  }
+  return result;
+}
+
+class ReplicaGroup {
+ public:
+  explicit ReplicaGroup(int replicas, ReplicaGroupOptions options = {})
+      : options_(std::move(options)),
+        replicas_(replicas),
+        comm_(replicas, options_.collective,
+              options_.sequential ? dist::FaultPlan{} : options_.faults) {
+    S4TF_CHECK_GE(replicas_, 1);
+    devices_.reserve(static_cast<std::size_t>(replicas_));
+    for (int r = 0; r < replicas_; ++r) {
+      devices_.push_back(Device::ForReplica(options_.device_kind, r));
+    }
+    if (options_.accelerator.has_value()) {
+      accelerators_.reserve(static_cast<std::size_t>(replicas_));
+      for (int r = 0; r < replicas_; ++r) {
+        accelerators_.push_back(
+            std::make_unique<SimAccelerator>(*options_.accelerator));
+        comm_.AttachAccelerator(r, accelerators_.back().get());
+      }
+    }
+    if (!options_.sequential && replicas_ > 1) {
+      // One worker per replica (plus the participating caller), so every
+      // concurrently-blocking collective call holds its own thread.
+      pool_ = std::make_unique<ThreadPool>(replicas_);
+    }
+    replica_seconds_.assign(static_cast<std::size_t>(replicas_), 0.0);
+  }
+
+  int replicas() const { return replicas_; }
+  const Device& device(int rank) const {
+    return devices_[static_cast<std::size_t>(rank)];
+  }
+  dist::Communicator& communicator() { return comm_; }
+  SimAccelerator* accelerator(int rank) {
+    if (accelerators_.empty()) return nullptr;
+    return accelerators_[static_cast<std::size_t>(rank)].get();
+  }
+  const ReplicaGroupOptions& options() const { return options_; }
+
+  // Wall-clock of the last TrainStep's parallel region, and per-replica
+  // worker durations inside it (compute + collectives).
+  double last_step_wall_seconds() const { return last_step_wall_seconds_; }
+  double last_step_replica_seconds(int rank) const {
+    return replica_seconds_[static_cast<std::size_t>(rank)];
+  }
+
+  // Runs fn(rank) once per replica, each under that replica's
+  // DeviceScope — WithDevice composes per worker instead of relying on
+  // one implicit global device. Threaded unless options_.sequential.
+  template <typename Fn>
+  void RunOnReplicas(Fn&& fn) {
+    if (pool_) {
+      pool_->ParallelFor(replicas_, [&](std::int64_t rank) {
+        DeviceScope scope(devices_[static_cast<std::size_t>(rank)]);
+        fn(static_cast<int>(rank));
+      });
+    } else {
+      for (int rank = 0; rank < replicas_; ++rank) {
+        DeviceScope scope(devices_[static_cast<std::size_t>(rank)]);
+        fn(rank);
+      }
+    }
+  }
+
+  // One synchronous data-parallel step: per-replica gradients of
+  // loss_fn(model, shard) with shared weights, all-reduce-mean through
+  // the communicator, one update to `model`. Returns the mean per-shard
+  // loss (itself all-reduced, so every replica agreed on it).
+  template <ad::DifferentiableStruct M, typename Optimizer, typename LossFn>
+  float TrainStep(M& model, Optimizer& optimizer,
+                  const std::vector<LabeledBatch>& shards, LossFn&& loss_fn) {
+    S4TF_CHECK_EQ(static_cast<int>(shards.size()), replicas_)
+        << "need exactly one shard per replica";
+    internal::ReplicaStepCounter().Increment();
+    obs::TraceSpan step_span("nn.replica_step", "dist", "replicas",
+                             replicas_);
+
+    // Stage per-replica model copies and shards on the calling thread:
+    // workers then touch only their own replica's backend state.
+    std::vector<M> locals;
+    locals.reserve(static_cast<std::size_t>(replicas_));
+    std::vector<LabeledBatch> local_shards;
+    local_shards.reserve(static_cast<std::size_t>(replicas_));
+    for (int r = 0; r < replicas_; ++r) {
+      const Device& dev = devices_[static_cast<std::size_t>(r)];
+      M local = model;
+      MoveModelTo(local, dev);
+      locals.push_back(std::move(local));
+      const LabeledBatch& shard = shards[static_cast<std::size_t>(r)];
+      local_shards.push_back(LabeledBatch{shard.images.To(dev),
+                                          shard.one_hot.To(dev),
+                                          shard.labels});
+    }
+
+    std::vector<std::vector<float>> flats(
+        static_cast<std::size_t>(replicas_));
+    std::vector<std::vector<float>> losses(
+        static_cast<std::size_t>(replicas_));
+
+    const auto step_start = std::chrono::steady_clock::now();
+    RunOnReplicas([&](int rank) {
+      obs::TraceSpan worker_span("nn.replica_worker", "dist", "rank", rank);
+      const auto worker_start = std::chrono::steady_clock::now();
+      const std::size_t i = static_cast<std::size_t>(rank);
+      M& local = locals[i];
+      const LabeledBatch& shard = local_shards[i];
+      auto [loss, grads] = ad::ValueWithGradient(
+          local, [&](const M& m) { return loss_fn(m, shard); });
+      flats[i] = internal::FlattenTangent(local, grads);
+      losses[i] = {loss.ScalarValue()};
+      if (!options_.sequential) {
+        comm_.AllReduce(rank, flats[i], dist::ReduceOp::kMean);
+        comm_.AllReduce(rank, losses[i], dist::ReduceOp::kMean);
+        if (options_.step_barrier) comm_.Barrier(rank);
+      }
+      replica_seconds_[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        worker_start)
+              .count();
+    });
+    last_step_wall_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      step_start)
+            .count();
+
+    std::vector<float> mean_grads;
+    float mean_loss = 0.0f;
+    if (options_.sequential) {
+      // The reference reduction: the identical canonical tree the
+      // communicator applies per chunk, over whole buffers.
+      mean_grads = dist::OrderedTreeReduceMean(std::move(flats));
+      mean_loss = dist::OrderedTreeReduceMean(std::move(losses))[0];
+    } else {
+      // Every rank holds the identical reduced buffer; take rank 0's.
+      mean_grads = std::move(flats[0]);
+      mean_loss = losses[0][0];
+    }
+
+    typename M::TangentVector mean_tangent{};
+    internal::UnflattenTangent(model, mean_tangent, mean_grads,
+                               ModelDevice(model));
+    optimizer.Update(model, mean_tangent);
+    return mean_loss;
+  }
+
+  // Classification convenience overload (the paper's Table 1 workload).
+  template <ad::DifferentiableStruct M, typename Optimizer>
+  float TrainStep(M& model, Optimizer& optimizer,
+                  const std::vector<LabeledBatch>& shards) {
+    return TrainStep(model, optimizer, shards,
+                     [](const M& m, const LabeledBatch& shard) {
+                       return SoftmaxCrossEntropy(m(shard.images),
+                                                  shard.one_hot);
+                     });
+  }
+
+ private:
+  ReplicaGroupOptions options_;
+  int replicas_;
+  dist::RingCommunicator comm_;
+  std::vector<Device> devices_;
+  std::vector<std::unique_ptr<SimAccelerator>> accelerators_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<double> replica_seconds_;
+  double last_step_wall_seconds_ = 0.0;
+};
+
+}  // namespace s4tf::nn

@@ -4,45 +4,64 @@
 // high-water usage per scope.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace s4tf {
 
-// Process-wide tracked-allocation meter. Not thread safe by design: the
-// mobile experiments that use it are single threaded, and keeping it free
-// of atomics avoids perturbing the measurements.
+// Process-wide tracked-allocation meter. Counters are relaxed atomics so
+// replica worker threads (nn::ReplicaGroup) can allocate concurrently; the
+// peak is maintained with a CAS loop. Relaxed ordering keeps the hot path
+// to plain atomic adds so the mobile measurements are not perturbed.
 class MemoryMeter {
  public:
   static MemoryMeter& Global();
 
   void Allocate(std::int64_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
-    total_allocated_ += bytes;
-    ++allocation_count_;
+    const std::int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    total_allocated_.fetch_add(bytes, std::memory_order_relaxed);
+    allocation_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  void Free(std::int64_t bytes) { current_ -= bytes; }
+  void Free(std::int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 
-  std::int64_t current_bytes() const { return current_; }
-  std::int64_t peak_bytes() const { return peak_; }
-  std::int64_t total_allocated_bytes() const { return total_allocated_; }
-  std::int64_t allocation_count() const { return allocation_count_; }
+  std::int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::int64_t total_allocated_bytes() const {
+    return total_allocated_.load(std::memory_order_relaxed);
+  }
+  std::int64_t allocation_count() const {
+    return allocation_count_.load(std::memory_order_relaxed);
+  }
 
   // Begins a measurement interval: peak is reset to the current level.
-  void ResetPeak() { peak_ = current_; }
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
   void ResetAll() {
-    current_ = 0;
-    peak_ = 0;
-    total_allocated_ = 0;
-    allocation_count_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    total_allocated_.store(0, std::memory_order_relaxed);
+    allocation_count_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::int64_t current_ = 0;
-  std::int64_t peak_ = 0;
-  std::int64_t total_allocated_ = 0;
-  std::int64_t allocation_count_ = 0;
+  std::atomic<std::int64_t> current_{0};
+  std::atomic<std::int64_t> peak_{0};
+  std::atomic<std::int64_t> total_allocated_{0};
+  std::atomic<std::int64_t> allocation_count_{0};
 };
 
 // RAII scope that measures the peak over its lifetime relative to entry.

@@ -44,6 +44,15 @@ class Device {
   // naïve CPU device when the stack is empty).
   static Device Current();
 
+  // A distinct device of `kind` for replica `ordinal` of a data-parallel
+  // group. Devices for different ordinals never compare equal, so tensors
+  // cannot silently mix across replicas. Replica selection composes with
+  // WithDevice scoping instead of relying on implicit global state: each
+  // replica worker installs its own DeviceScope. kNaive is always
+  // available; other kinds require their backend library to be linked
+  // (it registers a factory; see RegisterReplicaDeviceFactory).
+  static Device ForReplica(DeviceKind kind, int ordinal);
+
  private:
   friend class DeviceScope;
   DeviceKind kind_;
@@ -51,6 +60,13 @@ class Device {
   Backend* backend_;
   std::string name_;
 };
+
+// Backend libraries (eager, lazy) register how to mint per-replica
+// devices of their kind; the tensor layer cannot depend on them directly.
+// Called from file-scope initializers in the backend's translation unit.
+using ReplicaDeviceFactory = Device (*)(int ordinal);
+void RegisterReplicaDeviceFactory(DeviceKind kind,
+                                  ReplicaDeviceFactory factory);
 
 // RAII scope that makes `device` the default for tensor creation.
 class DeviceScope {

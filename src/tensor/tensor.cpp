@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <mutex>
 
 #include "support/threadpool.h"
 #include "tensor/kernels.h"
@@ -86,6 +87,49 @@ Device::Device(DeviceKind kind, int ordinal, Backend* backend,
 Device Device::Current() {
   if (g_default_device.active) return g_default_device.device();
   return NaiveDevice();
+}
+
+namespace {
+
+struct ReplicaFactoryRegistry {
+  std::mutex mutex;
+  ReplicaDeviceFactory factories[3] = {nullptr, nullptr, nullptr};
+};
+
+ReplicaFactoryRegistry& ReplicaFactories() {
+  static ReplicaFactoryRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterReplicaDeviceFactory(DeviceKind kind,
+                                  ReplicaDeviceFactory factory) {
+  ReplicaFactoryRegistry& registry = ReplicaFactories();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.factories[static_cast<int>(kind)] = factory;
+}
+
+Device Device::ForReplica(DeviceKind kind, int ordinal) {
+  S4TF_CHECK_GE(ordinal, 0) << "replica ordinal must be non-negative";
+  if (kind == DeviceKind::kNaive) {
+    if (ordinal == 0) return NaiveDevice();
+    // All naive replica devices share the one CPU backend; distinct
+    // ordinals keep them un-equal so cross-replica tensor mixing trips
+    // the ApplyOp device check.
+    return Device(DeviceKind::kNaive, ordinal, &NaiveBackend(),
+                  "cpu:naive:" + std::to_string(ordinal));
+  }
+  ReplicaDeviceFactory factory = nullptr;
+  {
+    ReplicaFactoryRegistry& registry = ReplicaFactories();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    factory = registry.factories[static_cast<int>(kind)];
+  }
+  S4TF_CHECK(factory != nullptr)
+      << "no replica device factory registered for " << DeviceKindName(kind)
+      << " (is the backend library linked?)";
+  return factory(ordinal);
 }
 
 DeviceScope::DeviceScope(Device device) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -117,7 +118,8 @@ class CowArray {
   };
 
   static void NoteAllocation(std::size_t count) {
-    ++CowStats::Global().buffer_allocations;
+    CowStats::Global().buffer_allocations.fetch_add(1,
+                                                    std::memory_order_relaxed);
     MemoryMeter::Global().Allocate(
         static_cast<std::int64_t>(count * sizeof(T)));
   }
@@ -132,12 +134,13 @@ class CowArray {
 
   void EnsureUnique() {
     if (buffer_.use_count() != 1) {
-      ++CowStats::Global().deep_copies;
+      CowStats::Global().deep_copies.fetch_add(1, std::memory_order_relaxed);
       auto fresh = std::make_shared<Buffer>(buffer_->data);
       NoteAllocation(fresh->data.size());
       buffer_ = std::move(fresh);
     } else {
-      ++CowStats::Global().unique_mutations;
+      CowStats::Global().unique_mutations.fetch_add(1,
+                                                    std::memory_order_relaxed);
     }
   }
 

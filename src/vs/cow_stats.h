@@ -5,34 +5,57 @@
 // tests and the ablation benches assert exactly that — e.g. that an
 // optimizer update of a whole model performs zero deep copies (§4.2), or
 // that sharing-then-mutating performs exactly one.
+//
+// Counters are relaxed atomics: replica workers (nn::ReplicaGroup) build
+// tensors concurrently, and monotonic counters need no ordering beyond
+// not being torn. Snapshots taken while other threads mutate are
+// per-field consistent, which is all the assertions require.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace s4tf::vs {
 
 struct CowStats {
-  std::int64_t buffer_allocations = 0;  // fresh buffers created
-  std::int64_t deep_copies = 0;         // copy-on-write triggered
-  std::int64_t unique_mutations = 0;    // in-place mutations (no copy)
+  std::atomic<std::int64_t> buffer_allocations{0};  // fresh buffers created
+  std::atomic<std::int64_t> deep_copies{0};         // copy-on-write triggered
+  std::atomic<std::int64_t> unique_mutations{0};    // in-place (no copy)
+
+  // Plain-value view of the counters, for arithmetic and assertions.
+  struct Snapshot {
+    std::int64_t buffer_allocations = 0;
+    std::int64_t deep_copies = 0;
+    std::int64_t unique_mutations = 0;
+  };
+  Snapshot Read() const {
+    return Snapshot{buffer_allocations.load(std::memory_order_relaxed),
+                    deep_copies.load(std::memory_order_relaxed),
+                    unique_mutations.load(std::memory_order_relaxed)};
+  }
 
   static CowStats& Global();
-  void Reset() { *this = CowStats{}; }
+  void Reset() {
+    buffer_allocations.store(0, std::memory_order_relaxed);
+    deep_copies.store(0, std::memory_order_relaxed);
+    unique_mutations.store(0, std::memory_order_relaxed);
+  }
 };
 
 // RAII scope that records counter deltas over its lifetime.
 class CowStatsScope {
  public:
-  CowStatsScope() : entry_(CowStats::Global()) {}
-  CowStats delta() const {
-    const CowStats& now = CowStats::Global();
-    return CowStats{now.buffer_allocations - entry_.buffer_allocations,
-                    now.deep_copies - entry_.deep_copies,
-                    now.unique_mutations - entry_.unique_mutations};
+  CowStatsScope() : entry_(CowStats::Global().Read()) {}
+  CowStats::Snapshot delta() const {
+    const CowStats::Snapshot now = CowStats::Global().Read();
+    return CowStats::Snapshot{
+        now.buffer_allocations - entry_.buffer_allocations,
+        now.deep_copies - entry_.deep_copies,
+        now.unique_mutations - entry_.unique_mutations};
   }
 
  private:
-  CowStats entry_;
+  CowStats::Snapshot entry_;
 };
 
 }  // namespace s4tf::vs

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace s4tf {
+namespace {
+
+TEST(ReplicaDeviceTest, NaiveOrdinalZeroIsTheDefaultDevice) {
+  const Device dev = Device::ForReplica(DeviceKind::kNaive, 0);
+  EXPECT_EQ(dev, NaiveDevice());
+  EXPECT_EQ(dev.name(), "cpu:naive");
+}
+
+TEST(ReplicaDeviceTest, DistinctOrdinalsAreDistinctDevices) {
+  const Device a = Device::ForReplica(DeviceKind::kNaive, 1);
+  const Device b = Device::ForReplica(DeviceKind::kNaive, 2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, NaiveDevice());
+  EXPECT_EQ(a.ordinal(), 1);
+  EXPECT_EQ(a.kind(), DeviceKind::kNaive);
+  EXPECT_EQ(a.name(), "cpu:naive:1");
+  // Same ordinal twice -> the same device.
+  EXPECT_EQ(a, Device::ForReplica(DeviceKind::kNaive, 1));
+}
+
+TEST(ReplicaDeviceTest, CrossReplicaTensorMixingFailsLoudly) {
+  const Device a = Device::ForReplica(DeviceKind::kNaive, 1);
+  const Device b = Device::ForReplica(DeviceKind::kNaive, 2);
+  const Tensor x = Tensor::Full(Shape({2}), 1.0f, a);
+  const Tensor y = Tensor::Full(Shape({2}), 2.0f, b);
+  EXPECT_THROW(x + y, InternalError);
+  // Moving onto a shared device makes the op legal again.
+  const Tensor sum = x + y.To(a);
+  EXPECT_EQ(sum.ToVector(), (std::vector<float>{3.0f, 3.0f}));
+}
+
+TEST(ReplicaDeviceTest, ComposesWithWithDeviceScoping) {
+  const Device replica = Device::ForReplica(DeviceKind::kNaive, 3);
+  WithDevice(replica, [&] {
+    EXPECT_EQ(Device::Current(), replica);
+    // Implicitly-placed tensors land on the scoped replica device.
+    const Tensor t = Tensor::Full(Shape({1}), 1.0f);
+    EXPECT_EQ(t.device(), replica);
+    return 0;
+  });
+  EXPECT_EQ(Device::Current(), NaiveDevice());
+}
+
+}  // namespace
+}  // namespace s4tf

@@ -1,0 +1,247 @@
+#include "dist/communicator.h"
+
+#include <atomic>
+#include <functional>
+#include <gtest/gtest.h>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "device/cost_model.h"
+#include "device/sim_accelerator.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace s4tf::dist {
+namespace {
+
+// Runs fn(rank) on one dedicated thread per rank and joins them all —
+// the collective calling convention without pulling in ReplicaGroup.
+void RunRanks(int world, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&fn, r] { fn(r); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// Deterministic per-rank input: rank-dependent, element-dependent, with
+// enough digits that reassociation would change the low bits.
+std::vector<float> RankInput(int rank, std::size_t len) {
+  std::vector<float> data(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    data[i] = 0.001f * static_cast<float>(rank + 1) *
+                  static_cast<float>((i * 2654435761u) % 1000) +
+              1.0f / static_cast<float>(rank + 2);
+  }
+  return data;
+}
+
+std::vector<std::vector<float>> AllRankInputs(int world, std::size_t len) {
+  std::vector<std::vector<float>> parts;
+  for (int r = 0; r < world; ++r) parts.push_back(RankInput(r, len));
+  return parts;
+}
+
+TEST(OrderedTreeReduceTest, MatchesManualTree) {
+  std::vector<std::vector<float>> parts = {{1.0f}, {2.0f}, {3.0f}, {4.0f},
+                                           {5.0f}};
+  // ((1+2)+(3+4)) + 5, combined exactly in that order.
+  const float expected = ((1.0f + 2.0f) + (3.0f + 4.0f)) + 5.0f;
+  const std::vector<float> reduced = OrderedTreeReduce(std::move(parts));
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], expected);
+}
+
+TEST(OrderedTreeReduceTest, MeanScalesBySize) {
+  std::vector<std::vector<float>> parts = {{2.0f, 4.0f}, {6.0f, 8.0f}};
+  const std::vector<float> mean = OrderedTreeReduceMean(std::move(parts));
+  EXPECT_EQ(mean[0], (2.0f + 6.0f) * 0.5f);
+  EXPECT_EQ(mean[1], (4.0f + 8.0f) * 0.5f);
+}
+
+TEST(RingCommunicatorTest, SumMatchesTreeReferenceBitwise) {
+  for (int world : {1, 2, 3, 4, 8}) {
+    const std::size_t len = 173;  // not divisible by any tested world
+    const std::vector<float> expected =
+        OrderedTreeReduce(AllRankInputs(world, len));
+    RingCommunicator comm(world);
+    std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+    RunRanks(world, [&](int rank) {
+      comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                     ReduceOp::kSum);
+    });
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(buffers[static_cast<std::size_t>(r)].size(), len);
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i])
+            << "world " << world << " rank " << r << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(RingCommunicatorTest, MeanMatchesTreeReferenceBitwise) {
+  const int world = 4;
+  const std::size_t len = 257;
+  const std::vector<float> expected =
+      OrderedTreeReduceMean(AllRankInputs(world, len));
+  RingCommunicator comm(world);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+  RunRanks(world, [&](int rank) {
+    comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                   ReduceOp::kMean);
+  });
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i]);
+    }
+  }
+}
+
+TEST(RingCommunicatorTest, ResultInvariantToBucketSize) {
+  // Bucket/chunk partition must not reassociate anything: every bucket
+  // size yields the same bytes.
+  const int world = 3;
+  const std::size_t len = 301;
+  const std::vector<float> expected =
+      OrderedTreeReduce(AllRankInputs(world, len));
+  for (std::int64_t bucket_bytes : {16, 256, 1 << 20}) {
+    CollectiveOptions options;
+    options.bucket_bytes = bucket_bytes;
+    RingCommunicator comm(world, options);
+    std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+    RunRanks(world, [&](int rank) {
+      comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                     ReduceOp::kSum);
+    });
+    for (int r = 0; r < world; ++r) {
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i])
+            << "bucket_bytes " << bucket_bytes;
+      }
+    }
+  }
+}
+
+TEST(RingCommunicatorTest, WorldOfOneIsIdentityForSum) {
+  RingCommunicator comm(1);
+  std::vector<float> data = RankInput(0, 57);
+  const std::vector<float> original = data;
+  comm.AllReduce(0, data, ReduceOp::kSum);
+  EXPECT_EQ(data, original);
+  comm.AllReduce(0, data, ReduceOp::kMean);  // mean over 1 scales by 1.0f
+  EXPECT_EQ(data, original);
+  comm.Barrier(0);  // trivially passes
+}
+
+TEST(RingCommunicatorTest, BarrierSynchronizesAllRanks) {
+  const int world = 4;
+  RingCommunicator comm(world);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violated{false};
+  RunRanks(world, [&](int rank) {
+    for (int iter = 0; iter < 5; ++iter) {
+      arrived.fetch_add(1);
+      comm.Barrier(rank);
+      // After the barrier, every rank of this iteration must have
+      // arrived.
+      if (arrived.load() < (iter + 1) * world) violated.store(true);
+      comm.Barrier(rank);  // second barrier so no rank laps the check
+    }
+  });
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(arrived.load(), 5 * world);
+}
+
+TEST(RingCommunicatorTest, EmptyBufferIsANoOp) {
+  const int world = 2;
+  RingCommunicator comm(world);
+  std::vector<std::vector<float>> buffers(2);
+  RunRanks(world, [&](int rank) {
+    comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                   ReduceOp::kSum);
+    comm.Barrier(rank);
+  });
+  EXPECT_TRUE(buffers[0].empty());
+  EXPECT_TRUE(buffers[1].empty());
+}
+
+TEST(RingCommunicatorTest, ChargesAttachedAcceleratorsPerChunk) {
+  const int world = 4;
+  const std::size_t len = 256;  // 1024 bytes
+  CollectiveOptions options;
+  options.bucket_bytes = 512;  // 2 buckets of 128 elems
+  RingCommunicator comm(world, options);
+  std::vector<std::unique_ptr<SimAccelerator>> accels;
+  for (int r = 0; r < world; ++r) {
+    accels.push_back(std::make_unique<SimAccelerator>(AcceleratorSpec::TpuV3Core()));
+    comm.AttachAccelerator(r, accels.back().get());
+  }
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+  RunRanks(world, [&](int rank) {
+    comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                   ReduceOp::kSum);
+  });
+  // Each bucket of 128 elems splits into 4 chunks of 32 elems = 128
+  // bytes; every rank charges each non-empty chunk of each bucket. The
+  // SimClock truncates each charge to whole nanoseconds, so the expected
+  // value applies the same per-charge truncation.
+  const double per_chunk =
+      AllReduceSeconds(AcceleratorSpec::TpuV3Core(), 128, world);
+  const double expected =
+      2 * 4 * static_cast<double>(static_cast<std::int64_t>(per_chunk * 1e9)) *
+      1e-9;
+  for (int r = 0; r < world; ++r) {
+    EXPECT_DOUBLE_EQ(accels[static_cast<std::size_t>(r)]->elapsed_seconds(),
+                     expected)
+        << "rank " << r;
+  }
+}
+
+TEST(RingCommunicatorTest, CountersAreDeterministic) {
+  const int world = 3;
+  const std::size_t len = 100;
+  CollectiveOptions options;
+  options.bucket_bytes = 160;  // 40 elems/bucket -> 3 buckets (40/40/20)
+  auto run_once = [&] {
+    RingCommunicator comm(world, options);
+    std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+    const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+    RunRanks(world, [&](int rank) {
+      comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                     ReduceOp::kSum);
+      comm.Barrier(rank);
+    });
+    const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+    return after.CounterDeltaSince(before);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.at("dist.allreduce.calls"), world);
+  EXPECT_EQ(first.at("dist.allreduce.bytes"),
+            static_cast<std::int64_t>(world * len * sizeof(float)));
+  EXPECT_EQ(first.at("dist.allreduce.buckets"), world * 3);
+  EXPECT_EQ(first.at("dist.barrier.count"), world);
+  EXPECT_GT(first.at("dist.send.messages"), 0);
+  // Fault-free run: no retries, timeouts, drops, or stragglers.
+  EXPECT_EQ(first.count("dist.retry.count"), 0u);
+  EXPECT_EQ(first.count("dist.recv.timeouts"), 0u);
+  EXPECT_EQ(first.count("dist.fault.dropped_chunks"), 0u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(MessageKeyTest, PackedIsInjectiveAcrossFields) {
+  const MessageKey a{MessagePhase::kScatter, 1, 2, 3, 4};
+  EXPECT_NE(a.Packed(), (MessageKey{MessagePhase::kGather, 1, 2, 3, 4}).Packed());
+  EXPECT_NE(a.Packed(), (MessageKey{MessagePhase::kScatter, 2, 2, 3, 4}).Packed());
+  EXPECT_NE(a.Packed(), (MessageKey{MessagePhase::kScatter, 1, 3, 3, 4}).Packed());
+  EXPECT_NE(a.Packed(), (MessageKey{MessagePhase::kScatter, 1, 2, 4, 4}).Packed());
+  EXPECT_NE(a.Packed(), (MessageKey{MessagePhase::kScatter, 1, 2, 3, 5}).Packed());
+  EXPECT_THROW((MessageKey{MessagePhase::kScatter, 1u << 25, 0, 0, 0}).Packed(),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace s4tf::dist

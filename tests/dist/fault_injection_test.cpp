@@ -1,0 +1,193 @@
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "dist/communicator.h"
+#include "dist/fault_injector.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace s4tf::dist {
+namespace {
+
+void RunRanks(int world, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&fn, r] { fn(r); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+std::vector<float> RankInput(int rank, std::size_t len) {
+  std::vector<float> data(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    data[i] = 0.25f * static_cast<float>(rank + 1) +
+              0.001f * static_cast<float>(i % 97);
+  }
+  return data;
+}
+
+std::vector<std::vector<float>> AllRankInputs(int world, std::size_t len) {
+  std::vector<std::vector<float>> parts;
+  for (int r = 0; r < world; ++r) parts.push_back(RankInput(r, len));
+  return parts;
+}
+
+TEST(FaultInjectorTest, DecisionsAreSeededAndDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_probability = 0.5;
+  plan.straggler_probability = 0.5;
+  plan.straggler_delay = std::chrono::microseconds(100);
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  plan.seed = 43;
+  const FaultInjector other(plan);
+  int drops = 0;
+  int differs = 0;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const MessageKey key{MessagePhase::kScatter, i, 0, 1, 2};
+    EXPECT_EQ(a.DropsFor(key), b.DropsFor(key));
+    EXPECT_EQ(a.DelayFor(key), b.DelayFor(key));
+    drops += a.DropsFor(key);
+    if (a.DropsFor(key) != other.DropsFor(key)) ++differs;
+  }
+  // p = 0.5 over 256 draws: both outcomes occur, and a different seed
+  // yields a different fault set.
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 256);
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjectionTest, EveryMessageDroppedOnceStillReducesExactly) {
+  const int world = 4;
+  const std::size_t len = 64;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 1.0;  // every delivery lost exactly once
+  plan.drops_per_event = 1;
+  CollectiveOptions options;
+  options.bucket_bytes = 128;  // several buckets
+  options.recv_timeout = std::chrono::milliseconds(2000);
+
+  const std::vector<float> expected =
+      OrderedTreeReduce(AllRankInputs(world, len));
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  RingCommunicator comm(world, options, plan);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+  RunRanks(world, [&](int rank) {
+    comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                   ReduceOp::kSum);
+  });
+  const auto delta = obs::MetricsRegistry::Global()
+                         .Snapshot()
+                         .CounterDeltaSince(before);
+
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i]);
+    }
+  }
+  // With p=1 and one drop per event, every sent message times out and is
+  // retried exactly once — the counters are exact, not approximate.
+  const std::int64_t sent = delta.at("dist.send.messages");
+  EXPECT_GT(sent, 0);
+  EXPECT_EQ(delta.at("dist.fault.dropped_chunks"), sent);
+  EXPECT_EQ(delta.at("dist.recv.timeouts"), sent);
+  EXPECT_EQ(delta.at("dist.retry.count"), sent);
+}
+
+TEST(FaultInjectionTest, FaultyRunIsBitIdenticalToFaultFreeRun) {
+  const int world = 3;
+  const std::size_t len = 150;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_probability = 0.3;
+  plan.straggler_probability = 0.2;
+  plan.straggler_delay = std::chrono::milliseconds(2);
+  CollectiveOptions options;
+  options.recv_timeout = std::chrono::milliseconds(2000);
+
+  auto run = [&](FaultPlan run_plan) {
+    RingCommunicator comm(world, options, run_plan);
+    std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+    RunRanks(world, [&](int rank) {
+      comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                     ReduceOp::kMean);
+    });
+    return buffers;
+  };
+  const auto faulty = run(plan);
+  const auto faulty_again = run(plan);
+  const auto clean = run(FaultPlan{});
+  EXPECT_EQ(faulty, faulty_again);  // same seed -> same run, bit for bit
+  EXPECT_EQ(faulty, clean);         // faults never change the numbers
+}
+
+TEST(FaultInjectionTest, StragglerDelaysAreRecordedAndRecovered) {
+  const int world = 2;
+  const std::size_t len = 32;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.straggler_probability = 1.0;  // every message arrives late
+  plan.straggler_delay = std::chrono::milliseconds(1);
+  CollectiveOptions options;
+  options.recv_timeout = std::chrono::milliseconds(2000);
+
+  const std::vector<float> expected =
+      OrderedTreeReduce(AllRankInputs(world, len));
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  RingCommunicator comm(world, options, plan);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+  RunRanks(world, [&](int rank) {
+    comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                   ReduceOp::kSum);
+    comm.Barrier(rank);
+  });
+  const auto delta = obs::MetricsRegistry::Global()
+                         .Snapshot()
+                         .CounterDeltaSince(before);
+
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i]);
+    }
+  }
+  // Every sent message was delayed; all were recovered (the delay is far
+  // below recv_timeout, so there is no retry-count guarantee to assert).
+  EXPECT_EQ(delta.at("dist.fault.straggler_delays"),
+            delta.at("dist.send.messages"));
+}
+
+TEST(FaultInjectionTest, ExhaustedRetryBudgetFailsLoudlyOnEveryRank) {
+  const int world = 2;
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_probability = 1.0;
+  plan.drops_per_event = 1000;  // far beyond any retry budget
+  CollectiveOptions options;
+  options.recv_timeout = std::chrono::milliseconds(5);
+  options.max_retries = 2;
+
+  RingCommunicator comm(world, options, plan);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, 16);
+  std::atomic<int> failures{0};
+  // Every rank's receive exhausts its budget and throws; no rank hangs —
+  // the bounded timeout guarantees termination.
+  RunRanks(world, [&](int rank) {
+    try {
+      comm.AllReduce(rank, buffers[static_cast<std::size_t>(rank)],
+                     ReduceOp::kSum);
+    } catch (const InternalError&) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), world);
+}
+
+}  // namespace
+}  // namespace s4tf::dist

@@ -114,5 +114,19 @@ TEST(EagerBackendTest, DeepPipelineKeepsFifoCorrectness) {
   EXPECT_EQ(x.ScalarValue(), 200.0f);
 }
 
+TEST(EagerBackendTest, ForReplicaMintsDistinctWorkingDevices) {
+  // The replica factory (registered by this library) hands out one
+  // backend per ordinal; same ordinal -> same device, different
+  // ordinals -> un-mixable devices that still compute.
+  const Device r0 = Device::ForReplica(DeviceKind::kEager, 0);
+  const Device r1 = Device::ForReplica(DeviceKind::kEager, 1);
+  EXPECT_EQ(r0, Device::ForReplica(DeviceKind::kEager, 0));
+  EXPECT_NE(r0, r1);
+  EXPECT_EQ(r0.kind(), DeviceKind::kEager);
+  EXPECT_EQ(r1.ordinal(), 1);
+  const Tensor x = Tensor::Full(Shape({3}), 2.0f, r1);
+  EXPECT_EQ((x + x).ToVector(), (std::vector<float>{4.0f, 4.0f, 4.0f}));
+}
+
 }  // namespace
 }  // namespace s4tf

@@ -1,36 +1,14 @@
-#include "nn/data_parallel.h"
+#include "nn/replica_group.h"
 
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "nn/data_parallel.h"
 #include "nn/models/lenet.h"
 #include "nn/training.h"
 
 namespace s4tf::nn {
 namespace {
-
-// Splits one batch of size K*n into K shards of size n.
-std::vector<LabeledBatch> Shard(const LabeledBatch& batch, int shards) {
-  const std::int64_t total = batch.images.shape().dim(0);
-  const std::int64_t per = total / shards;
-  std::vector<LabeledBatch> result;
-  const Shape& full = batch.images.shape();
-  for (int s = 0; s < shards; ++s) {
-    LabeledBatch shard;
-    std::vector<std::int64_t> starts(static_cast<std::size_t>(full.rank()), 0);
-    starts[0] = s * per;
-    std::vector<std::int64_t> sizes = full.dims();
-    sizes[0] = per;
-    shard.images = Slice(batch.images, starts, sizes);
-    shard.one_hot = Slice(batch.one_hot, {s * per, 0},
-                          {per, batch.one_hot.shape().dim(1)});
-    shard.labels.assign(
-        batch.labels.begin() + static_cast<std::ptrdiff_t>(s * per),
-        batch.labels.begin() + static_cast<std::ptrdiff_t>((s + 1) * per));
-    result.push_back(std::move(shard));
-  }
-  return result;
-}
 
 TEST(DataParallelTest, EquivalentToLargeBatchStep) {
   // The Table 1 claim's mathematical core: K synchronous replicas on
@@ -48,8 +26,9 @@ TEST(DataParallelTest, EquivalentToLargeBatchStep) {
   Rng rng2(3);
   LeNet parallel(rng2);
   SGD<LeNet> sgd_parallel(0.1f);
+  ReplicaGroup group(4);
   const float parallel_loss =
-      DataParallelTrainStep(parallel, sgd_parallel, Shard(big, 4));
+      group.TrainStep(parallel, sgd_parallel, ShardBatch(big, 4));
 
   EXPECT_NEAR(single_loss, parallel_loss, 1e-5f);
   // Weights agree parameter by parameter.
@@ -73,10 +52,11 @@ TEST(DataParallelTest, ShardCountDoesNotChangeTrainingTrajectory) {
     Rng rng(9);
     LeNet model(rng);
     SGD<LeNet> sgd(0.05f);
+    ReplicaGroup group(shards);
     float loss = 0.0f;
     for (int step = 0; step < 3; ++step) {
       const LabeledBatch big = dataset.Batch(step, 16, NaiveDevice());
-      loss = DataParallelTrainStep(model, sgd, Shard(big, shards));
+      loss = group.TrainStep(model, sgd, ShardBatch(big, shards));
     }
     return loss;
   };
@@ -97,8 +77,24 @@ TEST(DataParallelTest, SingleShardDegeneratesToTrainStep) {
   Rng rng2(4);
   LeNet b(rng2);
   SGD<LeNet> sgd_b(0.1f);
-  const float lb = DataParallelTrainStep(b, sgd_b, {batch});
+  ReplicaGroup group(1);
+  const float lb = group.TrainStep(b, sgd_b, {batch});
   EXPECT_FLOAT_EQ(la, lb);
+}
+
+TEST(DataParallelTest, DeprecatedFreeFunctionStillWorks) {
+  // The [[deprecated]] wrapper keeps un-migrated call sites compiling
+  // and produces the same numbers as the replica-group API.
+  const auto dataset = SyntheticImageDataset::Mnist(16, 23);
+  const LabeledBatch batch = dataset.Batch(0, 8, NaiveDevice());
+  Rng rng(4);
+  LeNet model(rng);
+  SGD<LeNet> sgd(0.1f);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const float loss = DataParallelTrainStep(model, sgd, ShardBatch(batch, 2));
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(std::isfinite(loss));
 }
 
 }  // namespace

@@ -264,5 +264,15 @@ TEST(LazyCounterTest, OpsTracedCounterMatchesBackendStat) {
   EXPECT_EQ(DeltaOf(delta, "lazy.ops_traced"), backend.ops_traced());
 }
 
+TEST(LazyReplicaDeviceTest, ForReplicaMintsWorkingLazyDevices) {
+  const Device r0 = Device::ForReplica(DeviceKind::kLazy, 0);
+  const Device r1 = Device::ForReplica(DeviceKind::kLazy, 1);
+  EXPECT_EQ(r0, Device::ForReplica(DeviceKind::kLazy, 0));
+  EXPECT_NE(r0, r1);
+  EXPECT_EQ(r0.kind(), DeviceKind::kLazy);
+  const Tensor x = Tensor::Ones(Shape({2}), r1);
+  EXPECT_EQ((x * 3.0f).ToVector(), (std::vector<float>{3.0f, 3.0f}));
+}
+
 }  // namespace
 }  // namespace s4tf
