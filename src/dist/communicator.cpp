@@ -50,6 +50,10 @@ obs::Counter* StragglerDelays() {
   static obs::Counter* c = obs::GetCounter("dist.fault.straggler_delays");
   return c;
 }
+obs::Counter* ReplicaDeaths() {
+  static obs::Counter* c = obs::GetCounter("dist.fault.replica_deaths");
+  return c;
+}
 
 }  // namespace
 
@@ -207,6 +211,13 @@ void RingCommunicator::AllReduce(int rank, std::vector<float>& data,
 
   RankState& state = states_[static_cast<std::size_t>(rank)];
   const std::uint32_t seq = state.next_seq++;
+  if (injector_.DiesAt(rank, seq)) {
+    // Permanent death: this rank never sends its chunks, so every peer's
+    // receive of them times out and fails loudly within its bounded
+    // budget — no hang, by construction.
+    ReplicaDeaths()->Increment();
+    throw ReplicaDeadError(rank, seq);
+  }
 
   const std::int64_t len = static_cast<std::int64_t>(data.size());
   const std::int64_t bucket_elems = std::max<std::int64_t>(
@@ -318,6 +329,10 @@ void RingCommunicator::Barrier(int rank) {
   BarrierCount()->Increment();
   RankState& state = states_[static_cast<std::size_t>(rank)];
   const std::uint32_t seq = state.next_seq++;
+  if (injector_.DiesAt(rank, seq)) {
+    ReplicaDeaths()->Increment();
+    throw ReplicaDeadError(rank, seq);
+  }
   if (world_ == 1) return;
 
   const int next = (rank + 1) % world_;

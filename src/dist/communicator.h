@@ -41,8 +41,29 @@
 
 #include "device/sim_accelerator.h"
 #include "dist/fault_injector.h"
+#include "support/error.h"
 
 namespace s4tf::dist {
+
+// Thrown by the *dying* rank itself when FaultPlan::death_rank kills it
+// at a collective entry. Peers observe the death indirectly — their
+// receives time out and exhaust the retry budget (a plain InternalError).
+// Subclasses InternalError so every existing fail-loudly path still
+// catches it; nn::TrainingSession treats both as a replica failure and
+// runs elastic recovery.
+class ReplicaDeadError : public InternalError {
+ public:
+  ReplicaDeadError(int rank, std::uint32_t seq)
+      : InternalError("replica " + std::to_string(rank) +
+                      " died entering collective seq " +
+                      std::to_string(seq)),
+        rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
 
 enum class ReduceOp {
   kSum = 0,

@@ -32,6 +32,11 @@ int FaultInjector::DropsFor(const MessageKey& key) const {
   return plan_.drops_per_event;
 }
 
+bool FaultInjector::DiesAt(int rank, std::uint32_t seq) const {
+  return plan_.death_rank >= 0 && rank == plan_.death_rank &&
+         seq >= plan_.death_seq;
+}
+
 std::chrono::microseconds FaultInjector::DelayFor(
     const MessageKey& key) const {
   if (plan_.straggler_probability <= 0.0 ||

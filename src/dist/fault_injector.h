@@ -52,8 +52,20 @@ struct FaultPlan {
   double straggler_probability = 0.0;
   std::chrono::microseconds straggler_delay{0};
 
+  // Permanent replica death (the fault drops and stragglers are not):
+  // rank `death_rank` aborts every collective whose per-rank sequence
+  // number is >= `death_seq` by throwing ReplicaDeadError at the
+  // collective's entry, and never sends again. Peers waiting on its
+  // messages exhaust their bounded retry budgets and fail loudly — the
+  // signal nn::TrainingSession's elastic recovery consumes. Scheduling is
+  // by (rank, seq), so the death is deterministic for any thread
+  // interleaving, like every other injected fault. -1 = nobody dies.
+  int death_rank = -1;
+  std::uint32_t death_seq = 0;
+
   bool enabled() const {
-    return drop_probability > 0.0 || straggler_probability > 0.0;
+    return drop_probability > 0.0 || straggler_probability > 0.0 ||
+           death_rank >= 0;
   }
 };
 
@@ -68,6 +80,10 @@ class FaultInjector {
 
   // Extra latency before `key` becomes readable at the destination.
   std::chrono::microseconds DelayFor(const MessageKey& key) const;
+
+  // True when `rank` is permanently dead for collective `seq` (and every
+  // later one).
+  bool DiesAt(int rank, std::uint32_t seq) const;
 
  private:
   // Uniform draw in [0, 1) determined by (seed, key, salt).

@@ -1,21 +1,52 @@
-// Model checkpointing.
+// Model and training-state checkpointing.
 //
 // The paper's mobile workflow ships a server-trained model to devices for
-// fine-tuning; that requires serializing parameters. Checkpoints here are
-// a small self-describing binary format (magic, version, per-parameter
-// shape + payload) written/read through the derived parameter traversal,
-// so any DifferentiableStruct checkpoints without per-model code.
+// fine-tuning; that requires serializing parameters. The resilient
+// training sessions of nn/session.h additionally require checkpoints that
+// (a) survive a crash at any instant and (b) capture *everything* needed
+// to resume bit-deterministically — optimizer moments, RNG engine state,
+// and step/epoch counters, not just weights.
 //
-// The format stores parameters in traversal order, with shapes; loading
-// verifies count and shapes, so architecture mismatches fail loudly
-// instead of silently scrambling weights.
+// Two artifacts:
+//   * Checkpoint — a flat, ordered parameter snapshot (weights only).
+//   * TrainingState — the full resume envelope: parameters + named
+//     optimizer state (via the optimizer VisitState traversal in
+//     nn/optimizers.h) + RNG words + step/epoch counters.
+//
+// On-disk format v2 (all integers little-endian, written on x86):
+//   "S4TFCKPT" (8) | version u32 = 2 | num_sections u32
+//   per section: kind u16 | name_len u16 | name | payload_len u64 |
+//                payload | section_crc u32
+//   footer: file_crc u32 over every preceding byte
+// Section kinds: 1 = f32 tensor (rank u32 | dims i64[rank] | f32[n]),
+// 2 = u64 array (count u64 | words), 3 = i64 scalar. Model parameters are
+// sections "param/<i>"; optimizer state lives under "opt/..."; counters
+// under "meta/...". Both CRCs are CRC32 (support/crc32.h): a flipped bit
+// anywhere — name, payload, or framing — is rejected with a clean Status,
+// as is any trailing garbage after the footer.
+//
+// Durability: SaveCheckpoint/SaveTrainingState write the encoded bytes to
+// `<path>.tmp`, fsync, then atomically rename onto `path` (and fsync the
+// parent directory). A crash at any point leaves either the previous
+// complete file or the new complete file — never a torn mix.
+//
+// Loading still reads the legacy v1 format (magic | version 1 |
+// num_entries | per entry rank/dims/payload, no checksums) so pre-v2
+// checkpoints keep working; both parsers bound every allocation by the
+// actual file size, so a crafted header with huge dims fails cleanly
+// instead of driving a multi-GB resize.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ad/operators.h"
 #include "support/error.h"
+#include "support/rng.h"
 #include "tensor/tensor.h"
 
 namespace s4tf::nn {
@@ -29,6 +60,29 @@ struct Checkpoint {
   std::vector<Entry> entries;
 
   std::int64_t TotalElements() const;
+};
+
+// Named optimizer state captured through the VisitState traversal: tensor
+// slots (moments, velocities) keyed "<field>/<index>" plus integer
+// scalars (Adam's bias-correction step count).
+struct OptimizerState {
+  struct TensorSlot {
+    std::string name;
+    Shape shape;
+    std::vector<float> values;
+  };
+  std::vector<TensorSlot> tensors;
+  std::vector<std::pair<std::string, std::int64_t>> scalars;
+};
+
+// Everything a TrainingSession needs to resume a run bit-for-bit.
+struct TrainingState {
+  std::int64_t step = 0;
+  std::int64_t epoch = 0;
+  // Rng::SaveState words; empty when no RNG was captured.
+  std::vector<std::uint64_t> rng_state;
+  Checkpoint model;
+  OptimizerState optimizer;
 };
 
 // Captures every parameter of `model` (traversal order).
@@ -70,11 +124,175 @@ Status Restore(M& model, const Checkpoint& checkpoint) {
   return Status::Ok();
 }
 
-// Binary (de)serialization. The format is:
-//   "S4TFCKPT" (8 bytes) | version u32 | num_entries u32 |
-//   per entry: rank u32 | dims i64[rank] | payload f32[n]
+// --- Optimizer state visitors (the VisitState protocol). An optimizer's
+// VisitState(v) calls v.Scalar("name", int64_ref) and
+// v.TensorSlots("name", vector<Tensor>&) for every piece of its state.
+
+// Capture side: appends the optimizer's state to an OptimizerState.
+class OptimizerStateSaver {
+ public:
+  explicit OptimizerStateSaver(OptimizerState* out) : out_(out) {}
+
+  void Scalar(const char* name, std::int64_t& value) {
+    out_->scalars.emplace_back(name, value);
+  }
+  void TensorSlots(const char* name, std::vector<Tensor>& slots) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      out_->tensors.push_back({std::string(name) + "/" + std::to_string(i),
+                               slots[i].shape(), slots[i].ToVector()});
+    }
+  }
+
+ private:
+  OptimizerState* out_;
+};
+
+// Restore side: rebuilds slots/scalars by name on `device`. Saved state
+// is matched exactly — an unknown or missing name is an error surfaced
+// through status() (the optimizer may be partially written then; callers
+// treat a failed restore as fatal for the optimizer object).
+class OptimizerStateRestorer {
+ public:
+  OptimizerStateRestorer(const OptimizerState& state, Device device)
+      : state_(state), device_(std::move(device)) {}
+
+  void Scalar(const char* name, std::int64_t& value) {
+    for (const auto& [saved_name, saved_value] : state_.scalars) {
+      if (saved_name == name) {
+        value = saved_value;
+        ++consumed_;
+        return;
+      }
+    }
+    Fail(std::string("optimizer scalar '") + name + "' missing");
+  }
+
+  void TensorSlots(const char* name, std::vector<Tensor>& slots) {
+    const std::string prefix = std::string(name) + "/";
+    std::vector<const OptimizerState::TensorSlot*> matches;
+    for (const auto& slot : state_.tensors) {
+      if (slot.name.rfind(prefix, 0) == 0) matches.push_back(&slot);
+    }
+    slots.clear();
+    slots.reserve(matches.size());
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      const std::string expected = prefix + std::to_string(i);
+      if (matches[i]->name != expected) {
+        Fail("optimizer tensor slots for '" + std::string(name) +
+             "' are not a dense index sequence");
+        return;
+      }
+      slots.push_back(Tensor::FromVector(matches[i]->shape,
+                                         matches[i]->values, device_));
+      ++consumed_;
+    }
+  }
+
+  // Ok only when every saved piece was consumed and nothing was missing.
+  Status status() const {
+    if (!error_.empty()) return Status::InvalidArgument(error_);
+    const std::size_t saved = state_.scalars.size() + state_.tensors.size();
+    if (consumed_ != saved) {
+      return Status::InvalidArgument(
+          "optimizer state mismatch: checkpoint holds " +
+          std::to_string(saved) + " pieces, optimizer consumed " +
+          std::to_string(consumed_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void Fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+  }
+
+  const OptimizerState& state_;
+  Device device_;
+  std::size_t consumed_ = 0;
+  std::string error_;
+};
+
+namespace internal {
+// Device of the model's first parameter (without pulling in training.h).
+template <ad::DifferentiableStruct M>
+Device FirstParameterDevice(const M& model) {
+  Device device = NaiveDevice();
+  bool first = true;
+  model.VisitParameters([&](const Tensor& p) {
+    if (first) {
+      device = p.device();
+      first = false;
+    }
+  });
+  return device;
+}
+}  // namespace internal
+
+// Captures the full resume envelope for (model, optimizer) at a given
+// step/epoch. Pass `rng` to include the data-pipeline RNG state.
+template <ad::DifferentiableStruct M, typename Optimizer>
+TrainingState CaptureTrainingState(const M& model, Optimizer& optimizer,
+                                   std::int64_t step, std::int64_t epoch,
+                                   const Rng* rng = nullptr) {
+  TrainingState state;
+  state.step = step;
+  state.epoch = epoch;
+  if (rng != nullptr) {
+    const auto words = rng->SaveState();
+    state.rng_state.assign(words.begin(), words.end());
+  }
+  state.model = Snapshot(model);
+  OptimizerStateSaver saver(&state.optimizer);
+  optimizer.VisitState(saver);
+  return state;
+}
+
+// Inverse of CaptureTrainingState. The model is only modified when its
+// structure matches; a failed optimizer restore leaves the optimizer
+// unusable (callers discard it).
+template <ad::DifferentiableStruct M, typename Optimizer>
+Status RestoreTrainingState(M& model, Optimizer& optimizer,
+                            const TrainingState& state, Rng* rng = nullptr) {
+  if (rng != nullptr && state.rng_state.size() != Rng::kStateWords) {
+    return Status::InvalidArgument(
+        "checkpoint carries " + std::to_string(state.rng_state.size()) +
+        " RNG words, expected " + std::to_string(Rng::kStateWords));
+  }
+  S4TF_RETURN_IF_ERROR(Restore(model, state.model));
+  OptimizerStateRestorer restorer(state.optimizer,
+                                  internal::FirstParameterDevice(model));
+  optimizer.VisitState(restorer);
+  S4TF_RETURN_IF_ERROR(restorer.status());
+  if (rng != nullptr) {
+    std::array<std::uint64_t, Rng::kStateWords> words{};
+    std::copy(state.rng_state.begin(), state.rng_state.end(), words.begin());
+    rng->LoadState(words);
+  }
+  return Status::Ok();
+}
+
+// Binary (de)serialization; see the file header for the format and the
+// durability contract. Saves write v2; loads accept v1 and v2 (including
+// extracting just the parameters from a full TrainingState file).
 Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path);
 StatusOr<Checkpoint> LoadCheckpoint(const std::string& path);
+
+Status SaveTrainingState(const TrainingState& state, const std::string& path);
+StatusOr<TrainingState> LoadTrainingState(const std::string& path);
+
+namespace internal {
+// The two halves of the atomic save, exposed so crash-simulation tests
+// can stop between them: EncodeTrainingState/EncodeCheckpoint produce the
+// v2 bytes, WriteFileDurable writes+fsyncs them to a (temp) path, and
+// CommitCheckpointFile atomically renames temp onto final and fsyncs the
+// parent directory.
+std::string EncodeCheckpoint(const Checkpoint& checkpoint);
+std::string EncodeTrainingState(const TrainingState& state);
+Status WriteFileDurable(const std::string& bytes, const std::string& path);
+Status CommitCheckpointFile(const std::string& temp_path,
+                            const std::string& final_path);
+std::string TempPathFor(const std::string& path);
+}  // namespace internal
 
 // Convenience wrappers.
 template <ad::DifferentiableStruct M>

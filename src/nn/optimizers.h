@@ -10,6 +10,15 @@
 // Optimizers are templates over any DifferentiableStruct, traversing
 // (parameter, gradient) pairs with the derived VisitWithTangent — the same
 // mechanism for LeNet, ResNet, or the spline model.
+//
+// State traversal: every stateful optimizer exposes
+// `VisitState(visitor)`, calling `visitor.Scalar(name, int64&)` for each
+// integer state word and `visitor.TensorSlots(name, vector<Tensor>&)` for
+// each per-parameter tensor slot list. Checkpointing (nn/checkpoint.h)
+// uses this to capture and restore moments/velocities and step counters,
+// which is what makes a resumed run bit-identical to an uninterrupted
+// one — resuming Adam without its moments is a silently different
+// trajectory.
 #pragma once
 
 #include <cmath>
@@ -58,6 +67,11 @@ class SGD {
     });
   }
 
+  template <typename Visitor>
+  void VisitState(Visitor&& visitor) {
+    visitor.TensorSlots("velocity", velocity_);
+  }
+
  private:
   float learning_rate_;
   float momentum_;
@@ -104,6 +118,13 @@ class Adam {
     });
   }
 
+  template <typename Visitor>
+  void VisitState(Visitor&& visitor) {
+    visitor.Scalar("step", step_);
+    visitor.TensorSlots("m", m_);
+    visitor.TensorSlots("v", v_);
+  }
+
  private:
   float learning_rate_, beta1_, beta2_, epsilon_;
   std::int64_t step_ = 0;
@@ -134,6 +155,11 @@ class RMSProp {
       param = param - g * learning_rate_ / (Sqrt(ms) + epsilon_);
       ++slot;
     });
+  }
+
+  template <typename Visitor>
+  void VisitState(Visitor&& visitor) {
+    visitor.TensorSlots("ms", ms_);
   }
 
  private:

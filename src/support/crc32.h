@@ -1,0 +1,63 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320, reflected).
+//
+// Checkpoint v2 (nn/checkpoint.cpp) guards every section and the whole
+// file with this checksum so that torn writes, bit rot, and adversarial
+// edits are rejected with a clean Status instead of being loaded as
+// weights. Header-only: the 256-entry table is built once per process on
+// first use and the per-byte loop is the classic reflected table update.
+//
+// Streaming use: start from kCrc32Init, feed chunks through Crc32Update,
+// and finalize with Crc32Final (which applies the output XOR). Crc32()
+// does all three for a contiguous buffer. The empty buffer hashes to 0,
+// and Crc32("123456789") == 0xCBF43926 (the standard check value, pinned
+// in tests/support/crc32_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace s4tf {
+
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+// Folds `len` bytes into a running (pre-finalization) CRC state.
+inline std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                                 std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = detail::Crc32Table();
+  for (std::size_t i = 0; i < len; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+inline std::uint32_t Crc32Final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+// One-shot CRC32 of a contiguous buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Final(Crc32Update(kCrc32Init, data, len));
+}
+
+}  // namespace s4tf

@@ -1,6 +1,7 @@
 #include "support/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "support/error.h"
 
@@ -80,6 +81,23 @@ double Rng::NextGaussian() {
 
 Rng Rng::Split() {
   return Rng(Next() ^ 0xabcdef0123456789ULL);
+}
+
+std::array<std::uint64_t, Rng::kStateWords> Rng::SaveState() const {
+  std::array<std::uint64_t, kStateWords> words{};
+  for (std::size_t i = 0; i < state_.size(); ++i) words[i] = state_[i];
+  words[4] = has_cached_gaussian_ ? 1 : 0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(cached_gaussian_));
+  std::memcpy(&bits, &cached_gaussian_, sizeof(bits));
+  words[5] = bits;
+  return words;
+}
+
+void Rng::LoadState(const std::array<std::uint64_t, kStateWords>& words) {
+  for (std::size_t i = 0; i < state_.size(); ++i) state_[i] = words[i];
+  has_cached_gaussian_ = words[4] != 0;
+  std::memcpy(&cached_gaussian_, &words[5], sizeof(cached_gaussian_));
 }
 
 void Rng::FillUniform(float* data, std::size_t n, float lo, float hi) {

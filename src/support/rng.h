@@ -42,6 +42,13 @@ class Rng {
   // Derives an independent stream; useful for per-replica data sharding.
   Rng Split();
 
+  // Complete engine state as raw words (4 xoshiro words + gaussian-cache
+  // flag + bit-cast cached value), for checkpointing: a restored Rng
+  // continues the exact sequence the saved one would have produced.
+  static constexpr std::size_t kStateWords = 6;
+  std::array<std::uint64_t, kStateWords> SaveState() const;
+  void LoadState(const std::array<std::uint64_t, kStateWords>& words);
+
   // Bulk fills used by tensor/dataset code.
   void FillUniform(float* data, std::size_t n, float lo, float hi);
   void FillGaussian(float* data, std::size_t n, float mean, float stddev);

@@ -1,0 +1,337 @@
+// Resilient-session acceptance tests: kill-and-resume walks the identical
+// weight trajectory as an uninterrupted run, replica death shrinks the
+// world and continues from the last durable checkpoint, and an exhausted
+// recovery budget fails loudly — never a hang.
+#include "nn/session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "eager/eager_backend.h"
+#include "lazy/lazy_tensor.h"
+#include "nn/models/lenet.h"
+#include "nn/optimizers.h"
+#include "nn/training.h"
+#include "obs/metrics.h"
+#include "support/threadpool.h"
+
+namespace s4tf::nn {
+namespace {
+
+// s4tf_eager and s4tf_lazy are static libraries whose replica-device
+// factories register from a file-scope initializer; odr-using one symbol
+// from each pulls the object file (and its registrar) into this binary.
+void TouchBackends() {
+  static EagerBackend eager;
+  static LazyBackend lazy;
+  (void)eager.device();
+  (void)lazy.device();
+}
+
+namespace fs = std::filesystem;
+
+// A fresh, empty checkpoint directory under /tmp, unique per name.
+std::string TempDir(const std::string& name) {
+  const fs::path dir = fs::path("/tmp") / ("s4tf_session_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<std::vector<float>> Parameters(const LeNet& model) {
+  std::vector<std::vector<float>> params;
+  model.VisitParameters(
+      [&](const Tensor& p) { params.push_back(p.ToVector()); });
+  return params;
+}
+
+// Batches are a pure function of the step index — the resume-determinism
+// precondition. Global batch 24 divides every world size in 1..4.
+constexpr int kGlobalBatch = 24;
+
+SessionOptions BaseOptions(int replicas, const std::string& dir,
+                           DeviceKind kind = DeviceKind::kNaive) {
+  SessionOptions options;
+  options.replicas = replicas;
+  options.replica.device_kind = kind;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_steps = 2;
+  options.recovery_backoff = std::chrono::milliseconds(1);
+  return options;
+}
+
+// Runs a full session from a fixed initialization. Each call builds a
+// fresh model/optimizer/RNG from the same seeds — exactly what re-running
+// the training program after a crash does.
+struct RunResult {
+  SessionReport report;
+  std::vector<std::vector<float>> params;
+  Status status = Status::Ok();
+};
+
+RunResult RunSession(SessionOptions options, std::int64_t total_steps) {
+  const auto dataset = SyntheticImageDataset::Mnist(48, 17);
+  Rng init_rng(5);
+  LeNet model(init_rng);
+  SGD<LeNet> sgd(0.1f, /*momentum=*/0.9f);
+  Rng data_rng(11);
+  TrainingSession<LeNet, SGD<LeNet>> session(model, sgd, std::move(options),
+                                             &data_rng);
+  auto report = session.Run(total_steps, [&](std::int64_t step) {
+    return dataset.Batch(static_cast<int>(step), kGlobalBatch,
+                         NaiveDevice());
+  });
+  RunResult result;
+  if (report.ok()) {
+    result.report = *report;
+  } else {
+    result.status = report.status();
+  }
+  result.params = Parameters(model);
+  return result;
+}
+
+class TrainingSessionTest : public ::testing::Test {
+ protected:
+  ~TrainingSessionTest() override { SetIntraOpThreads(0); }
+};
+
+TEST_F(TrainingSessionTest, KillAndResumeBitIdenticalAcrossWorldsAndThreads) {
+  // The acceptance grid: for every world size x intra-op thread count, a
+  // session aborted mid-run (simulated kill between checkpoints) and then
+  // resumed from its durable checkpoint finishes with weights bit-equal
+  // to a run that was never interrupted.
+  const std::int64_t kTotal = 6;
+  for (const int world : {1, 2, 4}) {
+    SetIntraOpThreads(1);
+    const std::string clean_dir =
+        TempDir("clean_w" + std::to_string(world));
+    const RunResult clean = RunSession(BaseOptions(world, clean_dir), kTotal);
+    ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+    EXPECT_EQ(clean.report.steps_completed, kTotal);
+
+    for (const int threads : {1, 2, 4}) {
+      SetIntraOpThreads(threads);
+      const std::string dir = TempDir("resume_w" + std::to_string(world) +
+                                      "_t" + std::to_string(threads));
+      // First process: dies before step 3 (checkpoints exist at step 2).
+      SessionOptions crashing = BaseOptions(world, dir);
+      crashing.abort_at_step = 3;
+      const RunResult aborted = RunSession(crashing, kTotal);
+      ASSERT_TRUE(aborted.status.ok()) << aborted.status.ToString();
+      EXPECT_TRUE(aborted.report.aborted);
+      EXPECT_EQ(aborted.report.steps_completed, 3);
+
+      // Second process: same program, fresh objects, resumes and finishes.
+      const RunResult resumed = RunSession(BaseOptions(world, dir), kTotal);
+      ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+      EXPECT_TRUE(resumed.report.resumed);
+      EXPECT_EQ(resumed.report.steps_completed, kTotal);
+      ASSERT_EQ(resumed.params, clean.params)
+          << "world " << world << " threads " << threads;
+      ASSERT_EQ(resumed.report.last_loss, clean.report.last_loss)
+          << "world " << world << " threads " << threads;
+    }
+  }
+}
+
+TEST_F(TrainingSessionTest, KillAndResumeBitIdenticalOnEveryBackend) {
+  // Same contract on the eager and lazy backends (naive is covered by the
+  // grid above), at a fixed world/thread point.
+  TouchBackends();
+  SetIntraOpThreads(2);
+  const std::int64_t kTotal = 5;
+  for (const DeviceKind kind : {DeviceKind::kEager, DeviceKind::kLazy}) {
+    const std::string tag = DeviceKindName(kind);
+    const std::string clean_dir = TempDir("clean_" + tag);
+    const RunResult clean =
+        RunSession(BaseOptions(2, clean_dir, kind), kTotal);
+    ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+
+    const std::string dir = TempDir("resume_" + tag);
+    SessionOptions crashing = BaseOptions(2, dir, kind);
+    crashing.abort_at_step = 3;
+    const RunResult aborted = RunSession(crashing, kTotal);
+    ASSERT_TRUE(aborted.status.ok()) << aborted.status.ToString();
+    ASSERT_TRUE(aborted.report.aborted);
+
+    const RunResult resumed = RunSession(BaseOptions(2, dir, kind), kTotal);
+    ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+    ASSERT_EQ(resumed.params, clean.params) << "backend " << tag;
+  }
+}
+
+// Short receive budgets so a replica death is detected in well under a
+// second: each peer fails after (1 + 2) * 150ms on its first missing
+// chunk.
+void UseFastFailureDetection(SessionOptions& options) {
+  options.replica.collective.recv_timeout = std::chrono::milliseconds(150);
+  options.replica.collective.max_retries = 2;
+}
+
+TEST_F(TrainingSessionTest, ReplicaDeathShrinksWorldAndResumesFromCheckpoint) {
+  SetIntraOpThreads(2);
+  const std::int64_t kTotal = 6;
+
+  // Reference: a clean world-4 run up to the last checkpoint before the
+  // death (step 2), then an explicit resume of the tail at world 3 — the
+  // exact trajectory elastic recovery is specified to reproduce.
+  const std::string ref_dir = TempDir("death_reference");
+  const RunResult head = RunSession(BaseOptions(4, ref_dir), /*total=*/2);
+  ASSERT_TRUE(head.status.ok()) << head.status.ToString();
+  const RunResult reference = RunSession(BaseOptions(3, ref_dir), kTotal);
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+  ASSERT_TRUE(reference.report.resumed);
+
+  // The real thing: world 4, rank 2 dies entering step 3; the session
+  // must shrink to 3, restore the step-2 checkpoint, and finish.
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  const std::string dir = TempDir("death_elastic");
+  SessionOptions dying = BaseOptions(4, dir);
+  UseFastFailureDetection(dying);
+  dying.kill_rank = 2;
+  dying.kill_at_step = 3;
+  const RunResult survived = RunSession(dying, kTotal);
+  ASSERT_TRUE(survived.status.ok()) << survived.status.ToString();
+  EXPECT_EQ(survived.report.recoveries, 1);
+  EXPECT_EQ(survived.report.world_size, 3);
+  EXPECT_EQ(survived.report.steps_completed, kTotal);
+  ASSERT_EQ(survived.params, reference.params);
+
+  // Run-twice determinism of the whole failure + recovery trajectory.
+  const std::string dir2 = TempDir("death_elastic_again");
+  SessionOptions dying2 = BaseOptions(4, dir2);
+  UseFastFailureDetection(dying2);
+  dying2.kill_rank = 2;
+  dying2.kill_at_step = 3;
+  const RunResult again = RunSession(dying2, kTotal);
+  ASSERT_TRUE(again.status.ok()) << again.status.ToString();
+  ASSERT_EQ(again.params, survived.params);
+
+  // The whole episode is observable.
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(delta.at("nn.session.recoveries"), 2);
+  EXPECT_EQ(delta.at("nn.session.world_shrinks"), 2);
+  EXPECT_EQ(delta.at("dist.fault.replica_deaths"), 2);
+  EXPECT_GT(delta.at("nn.session.backoff_ms"), 0);
+  EXPECT_GT(delta.at("nn.session.checkpoints_written"), 0);
+}
+
+TEST_F(TrainingSessionTest, ExhaustedRecoveryBudgetFailsLoudly) {
+  SetIntraOpThreads(2);
+  const std::string dir = TempDir("budget");
+  SessionOptions options = BaseOptions(2, dir);
+  UseFastFailureDetection(options);
+  options.kill_rank = 1;
+  options.kill_at_step = 1;
+  options.max_recoveries = 0;  // no budget: the first failure is final
+  const RunResult result = RunSession(options, /*total=*/4);
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_NE(result.status.message().find("recovery budget"),
+            std::string::npos)
+      << result.status.ToString();
+}
+
+TEST_F(TrainingSessionTest, ShrinkBelowMinReplicasFailsLoudly) {
+  SetIntraOpThreads(2);
+  const std::string dir = TempDir("min_replicas");
+  SessionOptions options = BaseOptions(2, dir);
+  UseFastFailureDetection(options);
+  options.kill_rank = 0;
+  options.kill_at_step = 1;
+  options.min_replicas = 2;  // dying would shrink below the floor
+  const RunResult result = RunSession(options, /*total=*/4);
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status.message().find("min_replicas"), std::string::npos)
+      << result.status.ToString();
+}
+
+TEST_F(TrainingSessionTest, RecoveryWithoutDurableStoreRestartsFromBaseline) {
+  // No checkpoint_dir: recovery falls back to the state captured at Run
+  // entry — still deterministic, just more recomputation.
+  SetIntraOpThreads(2);
+  SessionOptions options = BaseOptions(3, /*dir=*/"");
+  UseFastFailureDetection(options);
+  options.kill_rank = 1;
+  options.kill_at_step = 2;
+  const RunResult survived = RunSession(options, /*total=*/4);
+  ASSERT_TRUE(survived.status.ok()) << survived.status.ToString();
+  EXPECT_EQ(survived.report.recoveries, 1);
+  EXPECT_EQ(survived.report.world_size, 2);
+
+  // Reference: the full run at world 2 from the same initialization.
+  const RunResult reference = RunSession(BaseOptions(2, ""), /*total=*/4);
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+  ASSERT_EQ(survived.params, reference.params);
+}
+
+TEST_F(TrainingSessionTest, IndivisibleGlobalBatchIsACleanError) {
+  SetIntraOpThreads(1);
+  const auto dataset = SyntheticImageDataset::Mnist(48, 17);
+  Rng init_rng(5);
+  LeNet model(init_rng);
+  SGD<LeNet> sgd(0.1f);
+  TrainingSession<LeNet, SGD<LeNet>> session(model, sgd,
+                                             BaseOptions(4, ""));
+  const auto report = session.Run(2, [&](std::int64_t step) {
+    return dataset.Batch(static_cast<int>(step), 10, NaiveDevice());
+  });
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TrainingSessionTest, CheckpointStoreRotatesAndSkipsCorruptFiles) {
+  SetIntraOpThreads(1);
+  const std::string dir = TempDir("store");
+  CheckpointStore store(dir, /*keep=*/2);
+
+  Rng rng(3);
+  LeNet model(rng);
+  SGD<LeNet> sgd(0.1f, 0.9f);
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (std::int64_t step = 1; step <= 5; ++step) {
+    TrainingState state = CaptureTrainingState(model, sgd, step, 0);
+    ASSERT_TRUE(store.Save(state).ok());
+  }
+  // Rotation kept exactly the newest two.
+  EXPECT_EQ(store.ListSteps(), (std::vector<std::int64_t>{4, 5}));
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(delta.at("nn.session.checkpoints_written"), 5);
+  EXPECT_EQ(delta.at("nn.session.checkpoints_discarded"), 3);
+
+  // Corrupt the newest file: LoadLatest falls back to its predecessor.
+  {
+    const std::string newest = CheckpointStore::PathForStep(dir, 5);
+    std::string bytes;
+    {
+      std::ifstream in(newest, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto latest = store.LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->step, 4);
+
+  // Nothing valid left -> NotFound, never a throw or a hang.
+  fs::remove(CheckpointStore::PathForStep(dir, 4));
+  const auto none = store.LoadLatest();
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace s4tf::nn

@@ -1,0 +1,48 @@
+#include "support/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace s4tf {
+namespace {
+
+TEST(Crc32Test, KnownAnswerForCheckString) {
+  // The CRC-32/IEEE check value: CRC("123456789") == 0xCBF43926.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, std::strlen(check)), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, IncrementalUpdatesMatchOneShot) {
+  const std::string data = "crash-consistent checkpoints need checksums";
+  const std::uint32_t one_shot = Crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = kCrc32Init;
+    state = Crc32Update(state, data.data(), split);
+    state = Crc32Update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32Final(state), one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesTheChecksum) {
+  std::string data(256, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 37 + 11);
+  }
+  const std::uint32_t clean = Crc32(data.data(), data.size());
+  for (const std::size_t offset : {std::size_t{0}, data.size() / 2,
+                                   data.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[offset] = static_cast<char>(flipped[offset] ^ (1 << bit));
+      EXPECT_NE(Crc32(flipped.data(), flipped.size()), clean)
+          << "offset " << offset << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s4tf

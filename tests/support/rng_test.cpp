@@ -105,5 +105,32 @@ TEST(RngTest, FillGaussianHonorsMeanAndStddev) {
   EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
 }
 
+TEST(RngTest, SaveAndLoadStateResumeTheExactStream) {
+  Rng rng(101);
+  for (int i = 0; i < 37; ++i) rng.Next();
+  // An odd number of gaussians leaves the Box-Muller cache populated —
+  // the state words must carry it, or the resumed stream shifts by one.
+  for (int i = 0; i < 3; ++i) rng.NextGaussian();
+
+  const auto words = rng.SaveState();
+  Rng resumed(0);
+  resumed.LoadState(words);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(resumed.NextGaussian(), rng.NextGaussian()) << "draw " << i;
+    ASSERT_EQ(resumed.Next(), rng.Next()) << "draw " << i;
+  }
+}
+
+TEST(RngTest, LoadedStateIsIndependentOfDonorsLaterDraws) {
+  Rng donor(7);
+  donor.NextGaussian();
+  const auto words = donor.SaveState();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(donor.Next());
+
+  donor.LoadState(words);  // rewind
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(donor.Next(), expected[i]);
+}
+
 }  // namespace
 }  // namespace s4tf
