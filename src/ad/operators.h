@@ -124,6 +124,52 @@ typename M::TangentVector GradientAt(const M& model, F&& f) {
   return ValueWithGradient(model, std::forward<F>(f)).second;
 }
 
+// Streaming variant of the model-struct ValueWithGradient: `on_ready`
+// fires once per parameter (index in VisitParameters order) at the
+// deterministic point during the reverse sweep where that parameter's
+// gradient is final — `grad` is nullptr when the loss does not depend on
+// it. This is what lets nn::ReplicaGroup start all-reducing early
+// gradient buckets while the rest of the backward pass is still running.
+// Returns the loss; the gradients themselves are only surfaced through
+// the hook.
+template <DifferentiableStruct M, typename F>
+Tensor ValueWithGradientStreamed(
+    const M& model, F&& f,
+    const std::function<void(std::size_t param_index, const Tensor* grad)>&
+        on_ready) {
+  GradientTape tape;
+  M working = model;  // O(1): parameters are COW tensor handles
+  std::vector<std::int64_t> param_nodes;
+  working.VisitParameters([&](Tensor& p) {
+    tape.Watch(p);
+    param_nodes.push_back(p.grad_node());
+  });
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    loss = f(working);
+  }
+  S4TF_CHECK_EQ(loss.NumElements(), 1)
+      << "gradient requires a scalar-valued function; got shape "
+      << loss.shape();
+  // Parameters are watched first, so node id == watch index; keep the
+  // explicit map anyway in case a model ever watches lazily.
+  (void)tape.ComputeGradients(
+      loss, [&](std::int64_t node_id, const Tensor* grad) {
+        for (std::size_t i = 0; i < param_nodes.size(); ++i) {
+          if (param_nodes[i] == node_id) {
+            on_ready(i, grad);
+            return;
+          }
+        }
+        // Hook only fires for watched parameter nodes; an unknown id
+        // would mean the tape and the watch list disagree.
+        S4TF_CHECK(false) << "gradient-ready hook fired for unwatched node "
+                          << node_id;
+      });
+  return loss;
+}
+
 // Differentiates `f` (any Tensor -> Tensor callable) at x, returning the
 // value and a reusable pullback closure — the tape-backed analogue of a
 // VJP derivative function.

@@ -1,5 +1,6 @@
 #include "ad/tape.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace s4tf::ad {
@@ -344,10 +345,78 @@ void GradientTape::RecordCustomCall(const std::vector<Tensor>& inputs,
 
 std::vector<std::optional<Tensor>> GradientTape::ComputeGradients(
     const Tensor& loss) {
+  return ComputeGradients(loss, GradientReadyHook{});
+}
+
+std::vector<std::optional<Tensor>> GradientTape::ComputeGradients(
+    const Tensor& loss, const GradientReadyHook& on_final) {
   std::vector<std::optional<Tensor>> grads(nodes_.size());
   const std::int64_t loss_node = loss.grad_node();
-  if (loss_node < 0) return grads;  // loss independent of watched values
+  if (loss_node < 0) {
+    // Loss independent of watched values: every parameter's gradient is
+    // (vacuously) final right away.
+    if (on_final) {
+      for (std::size_t id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].kind == OpKind::kParameter) {
+          on_final(static_cast<std::int64_t>(id), nullptr);
+        }
+      }
+    }
+    return grads;
+  }
   S4TF_CHECK_LT(loss_node, static_cast<std::int64_t>(nodes_.size()));
+
+  // Finalization analysis for the streaming hook: a parameter's gradient
+  // slot receives its last accumulation when the reverse sweep processes
+  // the *lowest-id* node that consumes it (the sweep walks ids downward,
+  // so lower-id consumers run later). Once the sweep moves below that
+  // consumer the slot can never change again. Consumers above the loss
+  // node are never processed and do not count. The resulting schedule
+  // depends only on the recorded tape, never on kernel timing.
+  struct Ready {
+    std::int64_t min_consumer;  // fire once the sweep has passed this id
+    std::int64_t param_id;
+  };
+  std::vector<Ready> schedule;
+  std::size_t next_ready = 0;
+  if (on_final) {
+    const auto sentinel = static_cast<std::int64_t>(nodes_.size());
+    std::vector<std::int64_t> min_consumer(nodes_.size(), sentinel);
+    for (std::int64_t n = loss_node; n >= 0; --n) {
+      for (const std::int64_t in : nodes_[static_cast<std::size_t>(n)]
+                                       .input_ids) {
+        // Descending scan: the last write wins, i.e. the minimum id.
+        if (in >= 0) min_consumer[static_cast<std::size_t>(in)] = n;
+      }
+    }
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      if (nodes_[id].kind == OpKind::kParameter) {
+        schedule.push_back(
+            Ready{min_consumer[id], static_cast<std::int64_t>(id)});
+      }
+    }
+    // Highest min-consumer first (fires earliest); ties in watch order.
+    std::sort(schedule.begin(), schedule.end(),
+              [](const Ready& a, const Ready& b) {
+                if (a.min_consumer != b.min_consumer) {
+                  return a.min_consumer > b.min_consumer;
+                }
+                return a.param_id < b.param_id;
+              });
+  }
+  // Fires every scheduled parameter whose final accumulation has already
+  // happened by the time the sweep is about to process `current`.
+  const auto fire_ready = [&](std::int64_t current) {
+    while (next_ready < schedule.size() &&
+           schedule[next_ready].min_consumer > current) {
+      const auto pid =
+          static_cast<std::size_t>(schedule[next_ready].param_id);
+      const auto& slot = grads[pid];
+      on_final(schedule[next_ready].param_id,
+               slot.has_value() ? &*slot : nullptr);
+      ++next_ready;
+    }
+  };
 
   // Derivative computation must not be re-recorded onto this tape (§2.3:
   // the transformation does not transform its own output).
@@ -357,6 +426,7 @@ std::vector<std::optional<Tensor>> GradientTape::ComputeGradients(
       Tensor::Full(loss.shape(), 1.0f, loss.device());
 
   for (std::int64_t id = loss_node; id >= 0; --id) {
+    if (on_final) fire_ready(id);
     const auto sid = static_cast<std::size_t>(id);
     if (!grads[sid].has_value()) continue;  // not useful: skip
     const Node& node = nodes_[sid];
@@ -389,6 +459,7 @@ std::vector<std::optional<Tensor>> GradientTape::ComputeGradients(
     // Release saved values for this node early? Kept: Tensor copies are
     // O(1) handles, actual buffers free when the tape is destroyed.
   }
+  if (on_final) fire_ready(-1);  // drain: every remaining slot is final
   return grads;
 }
 

@@ -60,6 +60,23 @@ class GradientTape final : public OpRecorder {
   // not depend on hold nullopt ("not useful" in activity-analysis terms).
   std::vector<std::optional<Tensor>> ComputeGradients(const Tensor& loss);
 
+  // Fires while the reverse sweep is still running, the moment a watched
+  // parameter's gradient can no longer change (the sweep has passed the
+  // earliest node that consumes it). `grad` is the final accumulated
+  // gradient, or nullptr when the loss does not depend on the parameter.
+  // The firing order is a pure function of the recorded tape — never of
+  // thread scheduling — which is what lets nn::ReplicaGroup overlap
+  // gradient communication with the rest of the backward pass while
+  // keeping bucket submission deterministic.
+  using GradientReadyHook =
+      std::function<void(std::int64_t node_id, const Tensor* grad)>;
+
+  // As ComputeGradients(loss), additionally invoking `on_final` once per
+  // watched (kParameter) node at the deterministic point described above.
+  // Passing a null hook is identical to the plain overload.
+  std::vector<std::optional<Tensor>> ComputeGradients(
+      const Tensor& loss, const GradientReadyHook& on_final);
+
   // Gradient of `loss` for a watched tensor, given ComputeGradients'
   // output. Returns zeros of the parameter's shape if the loss did not
   // depend on it.

@@ -63,4 +63,25 @@ double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
   return hops * spec.allreduce_latency + volume / spec.allreduce_bandwidth;
 }
 
+double OverlappedExposedAllReduceSeconds(const AcceleratorSpec& spec,
+                                         std::int64_t bytes,
+                                         std::int64_t bucket_bytes,
+                                         int replicas,
+                                         double backward_seconds) {
+  if (replicas <= 1 || bytes <= 0) return 0.0;
+  if (bucket_bytes <= 0) bucket_bytes = bytes;
+  const std::int64_t buckets = (bytes + bucket_bytes - 1) / bucket_bytes;
+  double t = 0.0;  // when the comm stream finishes the current bucket
+  for (std::int64_t k = 0; k < buckets; ++k) {
+    const std::int64_t b_bytes =
+        std::min<std::int64_t>(bucket_bytes, bytes - k * bucket_bytes);
+    // Bucket k's tangents are final once the reverse sweep has covered
+    // (k+1)/B of the backward pass (gradients stream out roughly evenly).
+    const double ready = backward_seconds * static_cast<double>(k + 1) /
+                         static_cast<double>(buckets);
+    t = std::max(t, ready) + AllReduceSeconds(spec, b_bytes, replicas);
+  }
+  return t - backward_seconds;
+}
+
 }  // namespace s4tf

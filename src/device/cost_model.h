@@ -48,4 +48,21 @@ double KernelSeconds(const AcceleratorSpec& spec, std::int64_t flops,
 double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
                         int replicas);
 
+// Communication time *exposed* (not hidden behind compute) when the
+// bucketed all-reduce overlaps the backward pass, under the deterministic
+// pipeline model ReplicaGroup implements: the buffer splits into
+// ceil(bytes / bucket_bytes) buckets; bucket k's gradients become final a
+// fraction (k+1)/B of the way through `backward_seconds`; a single
+// communication stream serves buckets in order, so
+//     t_0 = ready_0 + comm_0,   t_k = max(t_{k-1}, ready_k) + comm_k
+// and the exposed time is t_{B-1} - backward_seconds. With one bucket (or
+// backward_seconds == 0) this degenerates to the full synchronous
+// AllReduceSeconds; with >= 2 buckets and backward_seconds > 0 it is
+// strictly smaller — early buckets hide behind compute.
+double OverlappedExposedAllReduceSeconds(const AcceleratorSpec& spec,
+                                         std::int64_t bytes,
+                                         std::int64_t bucket_bytes,
+                                         int replicas,
+                                         double backward_seconds);
+
 }  // namespace s4tf

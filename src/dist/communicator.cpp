@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,8 +56,59 @@ obs::Counter* ReplicaDeaths() {
   static obs::Counter* c = obs::GetCounter("dist.fault.replica_deaths");
   return c;
 }
+obs::Counter* OverlapAsyncCalls() {
+  static obs::Counter* c = obs::GetCounter("dist.overlap.async_calls");
+  return c;
+}
+obs::Counter* OverlapBucketsEarly() {
+  static obs::Counter* c = obs::GetCounter("dist.overlap.buckets.early");
+  return c;
+}
+obs::Counter* OverlapBucketsFlushed() {
+  static obs::Counter* c =
+      obs::GetCounter("dist.overlap.buckets.flushed_at_wait");
+  return c;
+}
+obs::Counter* OverlapWaitCalls() {
+  static obs::Counter* c = obs::GetCounter("dist.overlap.wait.calls");
+  return c;
+}
 
 }  // namespace
+
+std::unique_ptr<AsyncAllReduce> Communicator::AllReduceAsync(
+    int rank, std::vector<float>& data, ReduceOp op) {
+  // Synchronous fallback: the whole buffer is one logical bucket and the
+  // reduce runs inside Wait(). Keeps the async surface usable on any
+  // communicator while consuming the same single collective seq.
+  class SyncFallback final : public AsyncAllReduce {
+   public:
+    SyncFallback(Communicator* comm, int rank, std::vector<float>* data,
+                 ReduceOp op)
+        : comm_(comm), rank_(rank), data_(data), op_(op) {}
+
+    std::int64_t num_buckets() const override {
+      return data_->empty() ? 0 : 1;
+    }
+    void SubmitBucket(std::int64_t b) override {
+      S4TF_CHECK_GE(b, 0);
+      S4TF_CHECK_LT(b, num_buckets());
+    }
+    void Wait() override {
+      if (done_) return;
+      done_ = true;
+      comm_->AllReduce(rank_, *data_, op_);
+    }
+
+   private:
+    Communicator* comm_;
+    int rank_;
+    std::vector<float>* data_;
+    ReduceOp op_;
+    bool done_ = false;
+  };
+  return std::make_unique<SyncFallback>(this, rank, &data, op);
+}
 
 std::vector<float> OrderedTreeReduce(std::vector<std::vector<float>> parts) {
   S4TF_CHECK(!parts.empty()) << "OrderedTreeReduce needs at least one part";
@@ -89,6 +142,38 @@ std::vector<float> OrderedTreeReduceMean(
   return out;
 }
 
+// Shared state of one in-flight asynchronous all-reduce. The caller's
+// thread and the rank's comm thread synchronize exclusively through
+// `mutex`/`cv`; `completed == enqueued` with no further enqueues pending
+// means no comm-thread access to `data` can happen afterwards.
+struct RingCommunicator::AsyncOp {
+  int rank = 0;
+  std::uint32_t seq = 0;
+  std::vector<float>* data = nullptr;
+  ReduceOp op = ReduceOp::kSum;
+  std::int64_t num_buckets = 0;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::int64_t enqueued = 0;   // buckets handed to the comm thread
+  std::int64_t completed = 0;  // buckets finished (run, failed, or skipped)
+  bool abandoned = false;      // handle destroyed without Wait: stop early
+  std::exception_ptr error;    // first bucket failure
+};
+
+struct RingCommunicator::BucketJob {
+  std::shared_ptr<AsyncOp> op;
+  std::int64_t bucket = 0;
+};
+
+struct RingCommunicator::CommThread {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<BucketJob> queue;
+  bool shutdown = false;
+  std::thread thread;  // started on the rank's first AllReduceAsync
+};
+
 RingCommunicator::RingCommunicator(int world_size, CollectiveOptions options,
                                    FaultPlan faults)
     : world_(world_size),
@@ -100,12 +185,26 @@ RingCommunicator::RingCommunicator(int world_size, CollectiveOptions options,
   S4TF_CHECK_GT(options_.bucket_bytes, 0) << "bucket_bytes must be positive";
   S4TF_CHECK_GE(options_.max_retries, 0);
   mailboxes_.reserve(static_cast<std::size_t>(world_));
+  comm_threads_.reserve(static_cast<std::size_t>(world_));
   for (int i = 0; i < world_; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    comm_threads_.push_back(std::make_unique<CommThread>());
   }
 }
 
-RingCommunicator::~RingCommunicator() = default;
+RingCommunicator::~RingCommunicator() {
+  // All handles must be waited/destroyed before the communicator dies, so
+  // the queues are normally empty here; any stragglers are bounded by the
+  // per-receive retry budget and drain before the join returns.
+  for (auto& ct : comm_threads_) {
+    {
+      std::lock_guard<std::mutex> lock(ct->mutex);
+      ct->shutdown = true;
+    }
+    ct->cv.notify_all();
+    if (ct->thread.joinable()) ct->thread.join();
+  }
+}
 
 void RingCommunicator::AttachAccelerator(int rank,
                                          SimAccelerator* accelerator) {
@@ -219,18 +318,26 @@ void RingCommunicator::AllReduce(int rank, std::vector<float>& data,
     throw ReplicaDeadError(rank, seq);
   }
 
-  const std::int64_t len = static_cast<std::int64_t>(data.size());
-  const std::int64_t bucket_elems = std::max<std::int64_t>(
-      1, options_.bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
-  const std::int64_t num_buckets =
-      len == 0 ? 0 : (len + bucket_elems - 1) / bucket_elems;
+  const std::int64_t num_buckets = NumAllReduceBuckets(
+      static_cast<std::int64_t>(data.size()), options_.bucket_bytes);
   S4TF_CHECK_LT(num_buckets, 1 << 16) << "too many buckets for message key";
   AllReduceBuckets()->Add(num_buckets);
 
+  for (std::int64_t b = 0; b < num_buckets; ++b) {
+    RunBucket(rank, seq, b, data, op);
+  }
+}
+
+void RingCommunicator::RunBucket(int rank, std::uint32_t seq,
+                                 std::int64_t b, std::vector<float>& data,
+                                 ReduceOp op) {
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const std::int64_t len = static_cast<std::int64_t>(data.size());
+  const std::int64_t bucket_elems = std::max<std::int64_t>(
+      1, options_.bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
   const int next = (rank + 1) % world_;
   const int prev = (rank - 1 + world_) % world_;
-
-  for (std::int64_t b = 0; b < num_buckets; ++b) {
+  {
     const std::int64_t b_begin = b * bucket_elems;
     const std::int64_t b_len = std::min(len - b_begin, bucket_elems);
     // One chunk per rank; `per`-sized except a short (possibly empty)
@@ -320,6 +427,155 @@ void RingCommunicator::AllReduce(int rank, std::vector<float>& data,
       }
     }
   }
+}
+
+RingCommunicator::CommThread& RingCommunicator::EnsureCommThread(int rank) {
+  CommThread& ct = *comm_threads_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(ct.mutex);
+  if (!ct.thread.joinable()) {
+    ct.thread = std::thread([this, rank] { CommThreadMain(rank); });
+  }
+  return ct;
+}
+
+void RingCommunicator::CommThreadMain(int rank) {
+  CommThread& ct = *comm_threads_[static_cast<std::size_t>(rank)];
+  for (;;) {
+    BucketJob job;
+    {
+      std::unique_lock<std::mutex> lock(ct.mutex);
+      ct.cv.wait(lock, [&] { return ct.shutdown || !ct.queue.empty(); });
+      if (ct.queue.empty()) return;  // shutdown with nothing left to drain
+      job = std::move(ct.queue.front());
+      ct.queue.pop_front();
+    }
+    AsyncOp& op = *job.op;
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(op.mutex);
+      // Once a bucket fails (or the handle is abandoned), later buckets of
+      // the same op are skipped: the op is already lost, and skipping
+      // avoids paying a full retry budget per remaining bucket. The queue
+      // is FIFO and this thread is the only consumer, so which buckets
+      // get skipped is deterministic given the failure point.
+      skip = op.abandoned || op.error != nullptr;
+    }
+    if (!skip) {
+      try {
+        obs::TraceSpan span("dist.allreduce.bucket", "dist", "bucket",
+                            job.bucket);
+        RunBucket(op.rank, op.seq, job.bucket, *op.data, op.op);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(op.mutex);
+        if (op.error == nullptr) op.error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(op.mutex);
+      ++op.completed;
+    }
+    op.cv.notify_all();
+  }
+}
+
+void RingCommunicator::EnqueueBucket(const std::shared_ptr<AsyncOp>& op,
+                                     std::int64_t bucket) {
+  CommThread& ct = EnsureCommThread(op->rank);
+  {
+    std::lock_guard<std::mutex> lock(op->mutex);
+    ++op->enqueued;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ct.mutex);
+    ct.queue.push_back(BucketJob{op, bucket});
+  }
+  ct.cv.notify_all();
+}
+
+class RingCommunicator::RingAsyncAllReduce final : public AsyncAllReduce {
+ public:
+  RingAsyncAllReduce(RingCommunicator* comm, std::shared_ptr<AsyncOp> op)
+      : comm_(comm),
+        op_(std::move(op)),
+        submitted_(static_cast<std::size_t>(op_->num_buckets), 0) {}
+
+  ~RingAsyncAllReduce() override {
+    // Abandon: unsubmitted buckets are never sent (the synchronous
+    // analogue of a rank that threw mid-collective), queued ones are
+    // skipped, and we block until nothing is in flight so the comm thread
+    // cannot touch the caller's buffer after the handle is gone.
+    std::unique_lock<std::mutex> lock(op_->mutex);
+    op_->abandoned = true;
+    op_->cv.wait(lock, [&] { return op_->completed == op_->enqueued; });
+  }
+
+  std::int64_t num_buckets() const override { return op_->num_buckets; }
+
+  void SubmitBucket(std::int64_t b) override {
+    S4TF_CHECK_GE(b, 0);
+    S4TF_CHECK_LT(b, op_->num_buckets);
+    char& flag = submitted_[static_cast<std::size_t>(b)];
+    S4TF_CHECK(!flag) << "bucket " << b << " submitted twice";
+    flag = 1;
+    OverlapBucketsEarly()->Increment();
+    comm_->EnqueueBucket(op_, b);
+  }
+
+  void Wait() override {
+    obs::TraceSpan span("dist.allreduce.wait", "dist");
+    OverlapWaitCalls()->Increment();
+    for (std::int64_t b = 0; b < op_->num_buckets; ++b) {
+      char& flag = submitted_[static_cast<std::size_t>(b)];
+      if (!flag) {
+        flag = 1;
+        OverlapBucketsFlushed()->Increment();
+        comm_->EnqueueBucket(op_, b);
+      }
+    }
+    std::unique_lock<std::mutex> lock(op_->mutex);
+    op_->cv.wait(lock, [&] { return op_->completed == op_->enqueued; });
+    if (op_->error != nullptr) std::rethrow_exception(op_->error);
+  }
+
+ private:
+  RingCommunicator* comm_;
+  std::shared_ptr<AsyncOp> op_;
+  std::vector<char> submitted_;  // caller-thread only
+};
+
+std::unique_ptr<AsyncAllReduce> RingCommunicator::AllReduceAsync(
+    int rank, std::vector<float>& data, ReduceOp op) {
+  S4TF_CHECK_GE(rank, 0);
+  S4TF_CHECK_LT(rank, world_);
+  obs::TraceSpan span("dist.allreduce.async", "dist", "bytes",
+                      static_cast<std::int64_t>(data.size() * sizeof(float)));
+  AllReduceCalls()->Increment();
+  OverlapAsyncCalls()->Increment();
+  AllReduceBytes()->Add(
+      static_cast<std::int64_t>(data.size() * sizeof(float)));
+
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const std::uint32_t seq = state.next_seq++;
+  if (injector_.DiesAt(rank, seq)) {
+    // Dying at the async entry: no handle is created and nothing is ever
+    // sent for this seq, so peers time out on every bucket and fail
+    // loudly within their bounded budgets — same as the sync path.
+    ReplicaDeaths()->Increment();
+    throw ReplicaDeadError(rank, seq);
+  }
+
+  const std::int64_t num_buckets = NumAllReduceBuckets(
+      static_cast<std::int64_t>(data.size()), options_.bucket_bytes);
+  S4TF_CHECK_LT(num_buckets, 1 << 16) << "too many buckets for message key";
+  AllReduceBuckets()->Add(num_buckets);
+
+  auto async = std::make_shared<AsyncOp>();
+  async->rank = rank;
+  async->seq = seq;
+  async->data = &data;
+  async->op = op;
+  async->num_buckets = num_buckets;
+  return std::make_unique<RingAsyncAllReduce>(this, std::move(async));
 }
 
 void RingCommunicator::Barrier(int rank) {

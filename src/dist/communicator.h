@@ -93,6 +93,44 @@ std::vector<float> OrderedTreeReduce(std::vector<std::vector<float>> parts);
 std::vector<float> OrderedTreeReduceMean(
     std::vector<std::vector<float>> parts);
 
+// Number of buckets the bucketed collective splits a length-`len` float
+// buffer into. Exposed so callers (ReplicaGroup's bucket-readiness plan)
+// can derive the identical geometry the communicator will use.
+inline std::int64_t NumAllReduceBuckets(std::int64_t len,
+                                        std::int64_t bucket_bytes) {
+  const std::int64_t bucket_elems =
+      bucket_bytes / static_cast<std::int64_t>(sizeof(float)) > 0
+          ? bucket_bytes / static_cast<std::int64_t>(sizeof(float))
+          : 1;
+  return len == 0 ? 0 : (len + bucket_elems - 1) / bucket_elems;
+}
+
+// Handle to one in-flight asynchronous bucketed all-reduce (one collective
+// seq). The owning rank's thread submits buckets as their data becomes
+// final — in any order, each at most once — while the communicator reduces
+// already-submitted buckets in the background; Wait() submits whatever
+// remains, blocks until every bucket has completed, and rethrows the first
+// failure (retry-budget exhaustion, ReplicaDeadError) exactly as the
+// synchronous AllReduce would have thrown it. Destroying the handle
+// without Wait() (exception unwind) *abandons* the op: unsubmitted buckets
+// are never sent — matching the synchronous path, where a throwing rank
+// sends nothing further and peers fail loudly within their bounded retry
+// budgets — and the destructor drains in-flight buckets so no communicator
+// thread touches the gradient buffer afterwards.
+class AsyncAllReduce {
+ public:
+  virtual ~AsyncAllReduce() = default;
+
+  virtual std::int64_t num_buckets() const = 0;
+  // Hands bucket `b` (in the geometry of NumAllReduceBuckets) to the
+  // communicator. Caller thread only; at most once per bucket.
+  virtual void SubmitBucket(std::int64_t b) = 0;
+  // Submits all remaining buckets, blocks until the whole reduce is done,
+  // rethrows the first bucket failure. The buffer holds the reduced
+  // result afterwards. Call at most once.
+  virtual void Wait() = 0;
+};
+
 // The collective surface. All methods are collective calls: every rank in
 // [0, world_size) must invoke them with its own rank, in the same order.
 // Implementations are safe for one concurrent caller per rank.
@@ -107,6 +145,14 @@ class Communicator {
   // length and returns with the identical reduced contents.
   virtual void AllReduce(int rank, std::vector<float>& data,
                          ReduceOp op) = 0;
+
+  // Starts an asynchronous all-reduce of `data` (which must stay alive
+  // and untouched-by-the-caller per bucket until the handle completes
+  // it). Counts as exactly one collective call in the per-rank sequence —
+  // a peer may serve it with a plain AllReduce. The base implementation
+  // is a synchronous fallback that runs AllReduce inside Wait().
+  virtual std::unique_ptr<AsyncAllReduce> AllReduceAsync(
+      int rank, std::vector<float>& data, ReduceOp op);
 
   // Blocks until every rank has arrived.
   virtual void Barrier(int rank) = 0;
@@ -124,6 +170,13 @@ class RingCommunicator final : public Communicator {
   const char* name() const override { return "ring"; }
 
   void AllReduce(int rank, std::vector<float>& data, ReduceOp op) override;
+  // True async implementation: buckets run on a dedicated per-rank comm
+  // thread with a condition-variable-driven job queue (no polling), so
+  // submitted buckets reduce while the caller keeps computing. Counters,
+  // accelerator charges, and results are identical to AllReduce.
+  std::unique_ptr<AsyncAllReduce> AllReduceAsync(int rank,
+                                                 std::vector<float>& data,
+                                                 ReduceOp op) override;
   void Barrier(int rank) override;
 
   // Attaches a simulated accelerator for `rank`; every non-empty chunk the
@@ -154,18 +207,34 @@ class RingCommunicator final : public Communicator {
     SimAccelerator* accelerator = nullptr;
   };
 
+  // Shared state of one asynchronous all-reduce; defined in the .cpp.
+  struct AsyncOp;
+  struct BucketJob;
+  // Per-rank background communication thread (lazily started) with a
+  // cv-driven FIFO bucket-job queue; defined in the .cpp.
+  struct CommThread;
+  class RingAsyncAllReduce;
+
   // Asynchronous deposit into dst's mailbox (never blocks).
   void Send(int dst, const MessageKey& key, std::vector<float> payload);
   // Blocking receive with timeout + bounded retry; CHECK-fails (throws
   // InternalError) once the retry budget is exhausted.
   std::vector<float> Recv(int rank, const MessageKey& key,
                           std::size_t expected_len);
+  // Scatter/reduce/all-gather of one bucket — the shared per-bucket body
+  // of both the synchronous and the asynchronous all-reduce paths.
+  void RunBucket(int rank, std::uint32_t seq, std::int64_t bucket,
+                 std::vector<float>& data, ReduceOp op);
+  CommThread& EnsureCommThread(int rank);
+  void CommThreadMain(int rank);
+  void EnqueueBucket(const std::shared_ptr<AsyncOp>& op, std::int64_t bucket);
 
   int world_;
   CollectiveOptions options_;
   FaultInjector injector_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<RankState> states_;
+  std::vector<std::unique_ptr<CommThread>> comm_threads_;
 };
 
 }  // namespace s4tf::dist

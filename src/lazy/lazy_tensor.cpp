@@ -69,15 +69,6 @@ std::shared_ptr<TensorImpl> LazyBackend::Execute(
   host_clock_.AdvanceSeconds(options_.trace_overhead_seconds_per_op);
   ++ops_traced_;
   OpsTracedCounter().Increment();
-  // §3.4 future work: cut the trace automatically once it grows past the
-  // configured threshold, so runaway unrolled loops stay compilable.
-  if (options_.auto_flush_threshold > 0 &&
-      ++ops_since_flush_ >= options_.auto_flush_threshold) {
-    ops_since_flush_ = 0;
-    ++auto_flushes_;
-    AutoFlushCounter().Increment();
-    Barrier();
-  }
 
   auto node = std::make_shared<LazyNode>();
   node->uid = next_uid_++;
@@ -93,6 +84,19 @@ std::shared_ptr<TensorImpl> LazyBackend::Execute(
   auto impl = std::make_shared<LazyImpl>(std::move(out_shape), device,
                                          std::move(node), this);
   pending_.push_back(impl);
+  // §3.4 future work: cut the trace automatically once it grows past the
+  // configured threshold. Checked *after* recording, so an
+  // exactly-threshold trace flushes all N ops as one program instead of
+  // leaving the Nth to start the next trace (off-by-one), and counted
+  // from the last cut of *any* kind — Barrier() resets the counter — so
+  // an explicit LazyTensorBarrier() landing on the same op can never be
+  // followed by a second, premature auto-flush.
+  if (options_.auto_flush_threshold > 0 &&
+      ++ops_since_flush_ >= options_.auto_flush_threshold) {
+    ++auto_flushes_;
+    AutoFlushCounter().Increment();
+    Barrier();
+  }
   return impl;
 }
 
@@ -106,6 +110,9 @@ void LazyBackend::Barrier() {
   // tracks trace *cut points*, which is what the cache-regression tests
   // assert on, not whether a cut happened to have live work behind it.
   BarrierCutCounter().Increment();
+  // Every cut restarts the auto-flush window: ops flushed by an explicit
+  // barrier must not also count toward the next automatic one.
+  ops_since_flush_ = 0;
   obs::TraceSpan span("lazy.barrier", "lazy");
   std::vector<std::shared_ptr<LazyNode>> roots;
   for (auto& weak : pending_) {

@@ -49,6 +49,14 @@ struct ReplicaGroupOptions {
   // and reduce with OrderedTreeReduceMean directly (no communicator, no
   // faults). Bit-identical to the threaded path by construction.
   bool sequential = false;
+  // Overlap gradient communication with backward compute (threaded mode
+  // only): each gradient bucket is handed to the communicator the moment
+  // the reverse sweep finalizes its last parameter, so early buckets
+  // reduce while later gradients are still being computed. The reduction
+  // tree, bucket geometry, and collective sequence are unchanged, so
+  // results are bit-identical to overlap = false and to the sequential
+  // reference for every world size, bucket size, and schedule.
+  bool overlap = true;
   // Communicator barrier at the end of every TrainStep, so no replica
   // races ahead into the next step's collectives.
   bool step_barrier = true;
@@ -99,6 +107,49 @@ void UnflattenTangent(M& model, typename M::TangentVector& tangent,
   });
   S4TF_CHECK_EQ(offset, flat.size())
       << "reduced gradient buffer longer than the model";
+}
+
+// Deterministic bucket-readiness plan for the overlapped TrainStep: where
+// each parameter lives in the flattened gradient buffer (VisitParameters
+// order — identical to FlattenTangent's layout) and how many parameters
+// overlap each communicator bucket. A bucket is handed to the
+// communicator the moment its countdown reaches zero during the streaming
+// reverse sweep; since the sweep's finalization order is a pure function
+// of the recorded tape, submission order is too.
+struct GradientBucketPlan {
+  std::vector<std::int64_t> offsets;  // per-parameter element offset
+  std::vector<std::int64_t> sizes;    // per-parameter element count
+  std::int64_t total = 0;
+  std::int64_t bucket_elems = 1;
+  std::int64_t num_buckets = 0;
+  std::vector<std::int64_t> params_in_bucket;  // countdown template
+};
+
+template <ad::DifferentiableStruct M>
+GradientBucketPlan MakeBucketPlan(const M& model,
+                                  std::int64_t bucket_bytes) {
+  GradientBucketPlan plan;
+  M copy = model;  // O(1): parameters are COW tensor handles
+  copy.VisitParameters([&](Tensor& p) {
+    plan.offsets.push_back(plan.total);
+    plan.sizes.push_back(p.NumElements());
+    plan.total += p.NumElements();
+  });
+  plan.bucket_elems = std::max<std::int64_t>(
+      1, bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
+  plan.num_buckets = dist::NumAllReduceBuckets(plan.total, bucket_bytes);
+  plan.params_in_bucket.assign(
+      static_cast<std::size_t>(plan.num_buckets), 0);
+  for (std::size_t p = 0; p < plan.sizes.size(); ++p) {
+    if (plan.sizes[p] == 0) continue;
+    const std::int64_t first = plan.offsets[p] / plan.bucket_elems;
+    const std::int64_t last =
+        (plan.offsets[p] + plan.sizes[p] - 1) / plan.bucket_elems;
+    for (std::int64_t b = first; b <= last; ++b) {
+      ++plan.params_in_bucket[static_cast<std::size_t>(b)];
+    }
+  }
+  return plan;
 }
 
 }  // namespace internal
@@ -233,6 +284,14 @@ class ReplicaGroup {
     std::vector<std::vector<float>> losses(
         static_cast<std::size_t>(replicas_));
 
+    // Overlapped mode: precompute the (replica-independent) bucket plan
+    // once on the calling thread.
+    const bool overlap = options_.overlap && !options_.sequential;
+    internal::GradientBucketPlan plan;
+    if (overlap) {
+      plan = internal::MakeBucketPlan(model, options_.collective.bucket_bytes);
+    }
+
     const auto step_start = std::chrono::steady_clock::now();
     RunOnReplicas([&](int rank) {
       obs::TraceSpan worker_span("nn.replica_worker", "dist", "rank", rank);
@@ -240,14 +299,61 @@ class ReplicaGroup {
       const std::size_t i = static_cast<std::size_t>(rank);
       M& local = locals[i];
       const LabeledBatch& shard = local_shards[i];
-      auto [loss, grads] = ad::ValueWithGradient(
-          local, [&](const M& m) { return loss_fn(m, shard); });
-      flats[i] = internal::FlattenTangent(local, grads);
-      losses[i] = {loss.ScalarValue()};
-      if (!options_.sequential) {
-        comm_.AllReduce(rank, flats[i], dist::ReduceOp::kMean);
+      if (overlap) {
+        // Start the gradient all-reduce *before* the backward pass (it
+        // consumes the same single collective seq as the synchronous
+        // call) and feed it buckets as the streaming reverse sweep
+        // finalizes their last parameter. The communicator's per-rank
+        // comm thread reduces early buckets while later gradients are
+        // still being computed; Wait() drains the tail and rethrows any
+        // collective failure exactly where the sync AllReduce would
+        // have thrown.
+        flats[i].assign(static_cast<std::size_t>(plan.total), 0.0f);
+        auto handle =
+            comm_.AllReduceAsync(rank, flats[i], dist::ReduceOp::kMean);
+        S4TF_CHECK_EQ(handle->num_buckets(), plan.num_buckets)
+            << "bucket plan disagrees with the communicator's geometry";
+        std::vector<std::int64_t> remaining = plan.params_in_bucket;
+        Tensor loss;
+        {
+          obs::TraceSpan backward_span("nn.replica_backward", "dist",
+                                       "rank", rank);
+          loss = ad::ValueWithGradientStreamed(
+              local, [&](const M& m) { return loss_fn(m, shard); },
+              [&](std::size_t p, const Tensor* grad) {
+                const std::int64_t off = plan.offsets[p];
+                const std::int64_t n = plan.sizes[p];
+                if (grad != nullptr && grad->NumElements() == n) {
+                  const std::vector<float> values = grad->ToVector();
+                  std::copy(values.begin(), values.end(),
+                            flats[i].begin() +
+                                static_cast<std::ptrdiff_t>(off));
+                }  // else: keep the explicit zeros (FlattenTangent's
+                   // zero-tangent convention)
+                if (n == 0) return;
+                const std::int64_t first = off / plan.bucket_elems;
+                const std::int64_t last = (off + n - 1) / plan.bucket_elems;
+                for (std::int64_t b = first; b <= last; ++b) {
+                  if (--remaining[static_cast<std::size_t>(b)] == 0) {
+                    handle->SubmitBucket(b);
+                  }
+                }
+              });
+        }
+        handle->Wait();
+        losses[i] = {loss.ScalarValue()};
         comm_.AllReduce(rank, losses[i], dist::ReduceOp::kMean);
         if (options_.step_barrier) comm_.Barrier(rank);
+      } else {
+        auto [loss, grads] = ad::ValueWithGradient(
+            local, [&](const M& m) { return loss_fn(m, shard); });
+        flats[i] = internal::FlattenTangent(local, grads);
+        losses[i] = {loss.ScalarValue()};
+        if (!options_.sequential) {
+          comm_.AllReduce(rank, flats[i], dist::ReduceOp::kMean);
+          comm_.AllReduce(rank, losses[i], dist::ReduceOp::kMean);
+          if (options_.step_barrier) comm_.Barrier(rank);
+        }
       }
       replica_seconds_[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -129,6 +129,10 @@ class CompileCache {
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
   }
+  // Resets the cache to its freshly-constructed state: compiled programs
+  // are dropped AND the hit/miss/compile-time statistics are zeroed, so
+  // back-to-back ablation runs that Clear() between them start from
+  // identical counters instead of leaking the previous run's totals.
   void Clear();
 
  private:

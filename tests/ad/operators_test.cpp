@@ -130,6 +130,39 @@ TEST(OperatorsTest, ModelGradientMatchesFiniteDifferences) {
   }
 }
 
+TEST(OperatorsTest, StreamedGradientsMatchValueWithGradientBitwise) {
+  // ValueWithGradientStreamed is the same reverse sweep as
+  // ValueWithGradient with per-parameter delivery; every streamed
+  // gradient equals the TangentVector entry bit for bit, each parameter
+  // is delivered exactly once, and the delivery order is the reverse of
+  // the parameters' first use in the forward pass (dense2.bias's
+  // gradient is final first, dense1.weight's last).
+  const TinyModel model = MakeModel();
+  Rng rng(7);
+  const Tensor x = Tensor::RandomUniform(Shape({2, 2, 2}), rng, -1.0f, 1.0f);
+  auto loss_fn = [&x](const TinyModel& m) { return ReduceSum(Square(m(x))); };
+
+  const auto [loss, tangent] = ValueWithGradient(model, loss_fn);
+  std::vector<std::size_t> order;
+  std::vector<std::vector<float>> streamed(4);
+  const Tensor streamed_loss = ValueWithGradientStreamed(
+      model, loss_fn, [&](std::size_t p, const Tensor* g) {
+        order.push_back(p);
+        ASSERT_LT(p, streamed.size());
+        ASSERT_NE(g, nullptr);
+        streamed[p] = g->ToVector();
+      });
+  EXPECT_EQ(streamed_loss.ScalarValue(), loss.ScalarValue());
+  // VisitParameters order: dense1.weight, dense1.bias, dense2.weight,
+  // dense2.bias. The reverse sweep finalizes the later-consumed ones
+  // first.
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 2, 1, 0}));
+  EXPECT_EQ(streamed[0], tangent.dense1.weight.ToVector());
+  EXPECT_EQ(streamed[1], tangent.dense1.bias.ToVector());
+  EXPECT_EQ(streamed[2], tangent.dense2.weight.ToVector());
+  EXPECT_EQ(streamed[3], tangent.dense2.bias.ToVector());
+}
+
 TEST(OperatorsTest, GradientLeavesCallerModelUntouched) {
   const TinyModel model = MakeModel();
   const auto before = model.dense1.weight.ToVector();

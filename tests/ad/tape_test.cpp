@@ -59,6 +59,69 @@ TEST(TapeTest, LossIndependentOfParameterGivesZeros) {
   EXPECT_EQ(grad.ToVector(), (std::vector<float>{0, 0}));
 }
 
+TEST(TapeTest, StreamingHookFiresOncePerParamInTapeOrder) {
+  // The gradient-ready hook fires exactly once per watched parameter,
+  // with the final accumulated gradient, as soon as the reverse sweep
+  // passes the parameter's lowest-id consumer. `b` is consumed later in
+  // the tape than `a`, so its gradient is final earlier in the sweep and
+  // its hook fires first — a pure function of the recorded tape.
+  GradientTape tape;
+  Tensor a = Tensor::FromVector(Shape({2}), {1, 2});
+  Tensor b = Tensor::FromVector(Shape({2}), {3, 4});
+  tape.Watch(a);
+  tape.Watch(b);
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    const Tensor first = a * 2.0f;   // a's only consumer (early node)
+    const Tensor second = first + b;  // b's only consumer (later node)
+    loss = ReduceSum(second);
+  }
+  const auto reference = tape.ComputeGradients(loss);
+  std::vector<std::int64_t> order;
+  std::vector<std::vector<float>> streamed;
+  (void)tape.ComputeGradients(loss,
+                              [&](std::int64_t node_id, const Tensor* g) {
+                                order.push_back(node_id);
+                                ASSERT_NE(g, nullptr);
+                                streamed.push_back(g->ToVector());
+                              });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], b.grad_node());
+  EXPECT_EQ(order[1], a.grad_node());
+  EXPECT_EQ(streamed[0], tape.GradientFor(reference, b).ToVector());
+  EXPECT_EQ(streamed[1], tape.GradientFor(reference, a).ToVector());
+}
+
+TEST(TapeTest, StreamingHookPassesNullForLossIndependentParam) {
+  // A watched parameter the loss never consumed has no gradient slot;
+  // the hook still fires for it (immediately — nothing can change it),
+  // with a null gradient, so streaming callers can keep their explicit
+  // zero convention.
+  GradientTape tape;
+  Tensor used = Tensor::FromVector(Shape({2}), {1, 2});
+  Tensor unused = Tensor::FromVector(Shape({2}), {7, 7});
+  tape.Watch(used);
+  tape.Watch(unused);
+  Tensor loss;
+  {
+    RecorderScope scope(&tape);
+    loss = ReduceSum(Square(used));
+  }
+  std::vector<std::int64_t> order;
+  std::vector<bool> has_grad;
+  (void)tape.ComputeGradients(loss,
+                              [&](std::int64_t node_id, const Tensor* g) {
+                                order.push_back(node_id);
+                                has_grad.push_back(g != nullptr);
+                              });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], unused.grad_node());  // final before the sweep starts
+  EXPECT_FALSE(has_grad[0]);
+  EXPECT_EQ(order[1], used.grad_node());
+  EXPECT_TRUE(has_grad[1]);
+}
+
 TEST(TapeTest, FanOutAccumulatesGradients) {
   // f(x) = sum(x * x) where x is used twice through separate paths.
   const Tensor x = Tensor::FromVector(Shape({2}), {3, 4});

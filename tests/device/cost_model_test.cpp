@@ -1,5 +1,6 @@
 #include "device/cost_model.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "device/sim_accelerator.h"
@@ -35,6 +36,39 @@ TEST(CostModelTest, AllReduceScalesWithReplicas) {
   // Ring algorithm: volume term saturates at 2x bytes/bandwidth, so the
   // 128-replica time is far less than 8x the 16-replica time.
   EXPECT_LT(t128, 2.0 * t16);
+}
+
+TEST(CostModelTest, OverlappedExposedCommunicationPipelineModel) {
+  const AcceleratorSpec spec = AcceleratorSpec::TpuV3Core();
+  const std::int64_t bytes = 8 << 20;
+  const std::int64_t bucket = 1 << 20;  // 8 buckets
+  // One replica communicates nothing.
+  EXPECT_DOUBLE_EQ(
+      OverlappedExposedAllReduceSeconds(spec, bytes, bucket, 1, 1.0), 0.0);
+  // A single bucket (bucket >= bytes) degenerates to the synchronous
+  // time: the whole transfer starts only after the backward pass ends.
+  // (NEAR, not DOUBLE_EQ: computing (backward + comm) - backward loses a
+  // few low bits of comm when backward dominates.)
+  EXPECT_NEAR(OverlappedExposedAllReduceSeconds(spec, bytes, bytes, 16, 1.0),
+              AllReduceSeconds(spec, bytes, 16), 1e-12);
+  // Zero backward time: nothing to hide behind — exposed time is the
+  // per-bucket synchronous sum.
+  double sync_sum = 0.0;
+  for (std::int64_t off = 0; off < bytes; off += bucket) {
+    sync_sum += AllReduceSeconds(
+        spec, std::min<std::int64_t>(bucket, bytes - off), 16);
+  }
+  EXPECT_DOUBLE_EQ(
+      OverlappedExposedAllReduceSeconds(spec, bytes, bucket, 16, 0.0),
+      sync_sum);
+  // With >= 2 buckets and real backward time, early buckets hide behind
+  // compute: strictly less exposed than the synchronous schedule, but
+  // the last bucket can never be hidden, so it stays positive.
+  const double backward = sync_sum;  // comparable magnitudes
+  const double exposed =
+      OverlappedExposedAllReduceSeconds(spec, bytes, bucket, 16, backward);
+  EXPECT_LT(exposed, sync_sum);
+  EXPECT_GT(exposed, 0.0);
 }
 
 TEST(CostModelTest, HardwareSpecsAreOrdered) {

@@ -232,6 +232,230 @@ TEST(RingCommunicatorTest, CountersAreDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+TEST(AsyncAllReduceTest, MatchesTreeReferenceBitwiseAnySubmissionOrder) {
+  // The overlapped collective must be byte-for-byte the synchronous one:
+  // same geometry, same canonical tree, regardless of the order the
+  // caller hands buckets over (here: reverse).
+  for (int world : {1, 2, 4}) {
+    const std::size_t len = 173;
+    CollectiveOptions options;
+    options.bucket_bytes = 64;  // 16 elems/bucket -> 11 buckets
+    const std::vector<float> expected =
+        OrderedTreeReduce(AllRankInputs(world, len));
+    RingCommunicator comm(world, options);
+    std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+    RunRanks(world, [&](int rank) {
+      auto handle = comm.AllReduceAsync(
+          rank, buffers[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+      ASSERT_EQ(handle->num_buckets(),
+                NumAllReduceBuckets(static_cast<std::int64_t>(len),
+                                    options.bucket_bytes));
+      for (std::int64_t b = handle->num_buckets() - 1; b >= 0; --b) {
+        handle->SubmitBucket(b);
+      }
+      handle->Wait();
+    });
+    for (int r = 0; r < world; ++r) {
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i])
+            << "world " << world << " rank " << r << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(AsyncAllReduceTest, WaitAloneFlushesEveryBucket) {
+  // A caller that never submits anything still gets the full reduce:
+  // Wait() flushes the unsubmitted tail (and says so in the counters).
+  const int world = 3;
+  const std::size_t len = 100;
+  CollectiveOptions options;
+  options.bucket_bytes = 160;  // 40 elems/bucket -> 3 buckets
+  const std::vector<float> expected =
+      OrderedTreeReduce(AllRankInputs(world, len));
+  RingCommunicator comm(world, options);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  RunRanks(world, [&](int rank) {
+    auto handle = comm.AllReduceAsync(
+        rank, buffers[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+    handle->Wait();
+  });
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(buffers[static_cast<std::size_t>(r)][i], expected[i]);
+    }
+  }
+  EXPECT_EQ(delta.at("dist.overlap.async_calls"), world);
+  EXPECT_EQ(delta.at("dist.overlap.wait.calls"), world);
+  EXPECT_EQ(delta.at("dist.overlap.buckets.flushed_at_wait"), world * 3);
+  EXPECT_EQ(delta.count("dist.overlap.buckets.early"), 0u);
+}
+
+TEST(AsyncAllReduceTest, ConsumesOneSeqAndInteroperatesWithSync) {
+  // AllReduceAsync occupies exactly one slot in the per-rank collective
+  // sequence, so a following synchronous AllReduce on the same
+  // communicator still lines up across ranks.
+  const int world = 2;
+  const std::size_t len = 50;
+  const std::vector<float> expected =
+      OrderedTreeReduce(AllRankInputs(world, len));
+  RingCommunicator comm(world);
+  std::vector<std::vector<float>> first = AllRankInputs(world, len);
+  std::vector<std::vector<float>> second = AllRankInputs(world, len);
+  RunRanks(world, [&](int rank) {
+    const std::size_t i = static_cast<std::size_t>(rank);
+    auto handle = comm.AllReduceAsync(rank, first[i], ReduceOp::kSum);
+    handle->Wait();
+    comm.AllReduce(rank, second[i], ReduceOp::kSum);
+  });
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(first[static_cast<std::size_t>(r)], expected);
+    EXPECT_EQ(second[static_cast<std::size_t>(r)], expected);
+  }
+}
+
+TEST(AsyncAllReduceTest, RecoversFromInjectedDropsBitwise) {
+  // Dropped deliveries under the async path retry exactly like the sync
+  // path and never change the numbers.
+  const int world = 2;
+  const std::size_t len = 64;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 1.0;
+  plan.drops_per_event = 1;
+  CollectiveOptions options;
+  options.bucket_bytes = 128;
+  options.recv_timeout = std::chrono::milliseconds(2000);
+  const std::vector<float> expected =
+      OrderedTreeReduce(AllRankInputs(world, len));
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  RingCommunicator comm(world, options, plan);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, len);
+  RunRanks(world, [&](int rank) {
+    auto handle = comm.AllReduceAsync(
+        rank, buffers[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+    for (std::int64_t b = 0; b < handle->num_buckets(); ++b) {
+      handle->SubmitBucket(b);
+    }
+    handle->Wait();
+  });
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(buffers[static_cast<std::size_t>(r)], expected);
+  }
+  EXPECT_GT(delta.at("dist.fault.dropped_chunks"), 0);
+  EXPECT_EQ(delta.at("dist.retry.count"),
+            delta.at("dist.fault.dropped_chunks"));
+}
+
+TEST(AsyncAllReduceTest, AbandonedHandleFailsPeersLoudlyWithoutHanging) {
+  // Destroying the handle without Wait() (the exception-unwind path)
+  // never submits the remaining buckets — exactly like a rank that threw
+  // out of the synchronous AllReduce — so the peer exhausts its bounded
+  // retry budget and throws instead of hanging.
+  const int world = 2;
+  CollectiveOptions options;
+  options.recv_timeout = std::chrono::milliseconds(5);
+  options.max_retries = 2;
+  RingCommunicator comm(world, options);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, 16);
+  std::atomic<int> peer_failures{0};
+  RunRanks(world, [&](int rank) {
+    const std::size_t i = static_cast<std::size_t>(rank);
+    if (rank == 0) {
+      auto handle = comm.AllReduceAsync(rank, buffers[i], ReduceOp::kSum);
+      // Dropped on the floor: simulates the backward pass throwing
+      // before any bucket was ready.
+    } else {
+      try {
+        comm.AllReduce(rank, buffers[i], ReduceOp::kSum);
+      } catch (const InternalError&) {
+        peer_failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(peer_failures.load(), 1);
+}
+
+TEST(AsyncAllReduceTest, DyingRankThrowsAtEntryAndPendingWaitFailsLoudly) {
+  // Seeded replica death under the async path: the dying rank throws
+  // ReplicaDeadError from AllReduceAsync itself (before a handle ever
+  // exists, so nothing is ever sent), and the surviving rank's Wait()
+  // surfaces the retry-budget failure the sync path would have thrown.
+  const int world = 2;
+  FaultPlan plan;
+  plan.death_rank = 1;
+  plan.death_seq = 0;
+  CollectiveOptions options;
+  options.recv_timeout = std::chrono::milliseconds(5);
+  options.max_retries = 2;
+  RingCommunicator comm(world, options, plan);
+  std::vector<std::vector<float>> buffers = AllRankInputs(world, 32);
+  std::atomic<int> dead{0};
+  std::atomic<int> survivor_failures{0};
+  RunRanks(world, [&](int rank) {
+    const std::size_t i = static_cast<std::size_t>(rank);
+    if (rank == 1) {
+      try {
+        auto handle = comm.AllReduceAsync(rank, buffers[i], ReduceOp::kSum);
+        handle->Wait();
+      } catch (const ReplicaDeadError&) {
+        dead.fetch_add(1);
+      }
+    } else {
+      auto handle = comm.AllReduceAsync(rank, buffers[i], ReduceOp::kSum);
+      for (std::int64_t b = 0; b < handle->num_buckets(); ++b) {
+        handle->SubmitBucket(b);
+      }
+      try {
+        handle->Wait();
+      } catch (const InternalError&) {
+        survivor_failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(dead.load(), 1);
+  EXPECT_EQ(survivor_failures.load(), 1);
+}
+
+TEST(AsyncAllReduceTest, BaseClassFallbackRunsSynchronouslyInWait) {
+  // A Communicator that doesn't override AllReduceAsync still serves the
+  // handle API: one logical bucket, reduced by the plain AllReduce when
+  // Wait() runs.
+  class CountingIdentity final : public Communicator {
+   public:
+    int world_size() const override { return 1; }
+    const char* name() const override { return "counting-identity"; }
+    void AllReduce(int, std::vector<float>&, ReduceOp) override {
+      ++calls;
+    }
+    void Barrier(int) override {}
+    int calls = 0;
+  };
+  CountingIdentity comm;
+  std::vector<float> data = RankInput(0, 8);
+  auto handle = comm.AllReduceAsync(0, data, ReduceOp::kSum);
+  EXPECT_EQ(handle->num_buckets(), 1);
+  handle->SubmitBucket(0);  // accepted; the work still happens in Wait()
+  EXPECT_EQ(comm.calls, 0);
+  handle->Wait();
+  EXPECT_EQ(comm.calls, 1);
+
+  std::vector<float> empty;
+  auto empty_handle = comm.AllReduceAsync(0, empty, ReduceOp::kSum);
+  EXPECT_EQ(empty_handle->num_buckets(), 0);
+  empty_handle->Wait();
+  // An empty buffer has no buckets to submit, but the collective call
+  // still happens — it occupies a seq slot peers line up against.
+  EXPECT_EQ(comm.calls, 2);
+}
+
 TEST(MessageKeyTest, PackedIsInjectiveAcrossFields) {
   const MessageKey a{MessagePhase::kScatter, 1, 2, 3, 4};
   EXPECT_NE(a.Packed(), (MessageKey{MessagePhase::kGather, 1, 2, 3, 4}).Packed());

@@ -1,5 +1,6 @@
 #include "nn/replica_group.h"
 
+#include <cmath>
 #include <gtest/gtest.h>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "nn/optimizers.h"
 #include "nn/training.h"
 #include "obs/metrics.h"
+#include "support/error.h"
 #include "support/threadpool.h"
 
 namespace s4tf::nn {
@@ -50,8 +52,8 @@ class ReplicaGroupTest : public ::testing::Test {
 
 TEST_F(ReplicaGroupTest, ThreadedMatchesSequentialReferenceBitwise) {
   // The acceptance criterion: for every replica count x intra-op thread
-  // count, the threaded collective produces bit-identical weights and
-  // loss to the sequential reference.
+  // count x overlap mode, the threaded collective produces bit-identical
+  // weights and loss to the sequential reference.
   for (const int replicas : {1, 2, 4, 8}) {
     ReplicaGroupOptions reference;
     reference.sequential = true;
@@ -59,12 +61,17 @@ TEST_F(ReplicaGroupTest, ThreadedMatchesSequentialReferenceBitwise) {
     const StepResult expected = RunStep(replicas, reference);
     for (const int threads : {1, 2, 4}) {
       SetIntraOpThreads(threads);
-      ReplicaGroupOptions threaded;  // default: worker pool + communicator
-      const StepResult got = RunStep(replicas, threaded);
-      ASSERT_EQ(got.loss, expected.loss)
-          << "replicas " << replicas << " threads " << threads;
-      ASSERT_EQ(got.params, expected.params)
-          << "replicas " << replicas << " threads " << threads;
+      for (const bool overlap : {false, true}) {
+        ReplicaGroupOptions threaded;  // worker pool + communicator
+        threaded.overlap = overlap;
+        const StepResult got = RunStep(replicas, threaded);
+        ASSERT_EQ(got.loss, expected.loss)
+            << "replicas " << replicas << " threads " << threads
+            << " overlap " << overlap;
+        ASSERT_EQ(got.params, expected.params)
+            << "replicas " << replicas << " threads " << threads
+            << " overlap " << overlap;
+      }
     }
   }
 }
@@ -112,6 +119,106 @@ TEST_F(ReplicaGroupTest, FaultInjectedTrainingIsBitIdenticalAndCounted) {
   EXPECT_GT(delta.at("dist.retry.count"), 0);
   EXPECT_GT(delta.at("dist.fault.straggler_delays"), 0);
   EXPECT_EQ(delta.at("nn.replica.steps"), 2);
+}
+
+TEST_F(ReplicaGroupTest, OverlapMatchesSequentialReferenceAcrossBucketSizes) {
+  // The tentpole acceptance check: overlapping the bucketed all-reduce
+  // with the backward pass changes only the schedule, never the numbers.
+  // For every bucket granularity, overlap on == overlap off == the
+  // sequential reference, bit for bit.
+  const int replicas = 4;
+  SetIntraOpThreads(2);
+  ReplicaGroupOptions reference;
+  reference.sequential = true;
+  const StepResult expected = RunStep(replicas, reference);
+  for (const std::int64_t bucket_bytes : {256, 65536, 1 << 24}) {
+    for (const bool overlap : {false, true}) {
+      ReplicaGroupOptions options;
+      options.collective.bucket_bytes = bucket_bytes;
+      options.overlap = overlap;
+      const StepResult got = RunStep(replicas, options);
+      ASSERT_EQ(got.loss, expected.loss)
+          << "bucket_bytes " << bucket_bytes << " overlap " << overlap;
+      ASSERT_EQ(got.params, expected.params)
+          << "bucket_bytes " << bucket_bytes << " overlap " << overlap;
+    }
+  }
+}
+
+TEST_F(ReplicaGroupTest, OverlapStreamsEveryBucketEarly) {
+  // In the overlapped step every parameter's gradient-ready hook fires,
+  // so every bucket is submitted during the backward pass — Wait() never
+  // has to flush a leftover. These are logical-event counters, so the
+  // values are exact, not timing-dependent.
+  const int replicas = 2;
+  SetIntraOpThreads(1);
+  ReplicaGroupOptions options;  // overlap defaults to on
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  const StepResult got = RunStep(replicas, options);
+  const auto delta = obs::MetricsRegistry::Global()
+                         .Snapshot()
+                         .CounterDeltaSince(before);
+  EXPECT_TRUE(std::isfinite(got.loss));
+  EXPECT_EQ(delta.at("dist.overlap.async_calls"), replicas);
+  EXPECT_EQ(delta.at("dist.overlap.wait.calls"), replicas);
+  EXPECT_EQ(delta.at("dist.overlap.buckets.early"),
+            delta.at("dist.allreduce.buckets") -
+                // The scalar loss all-reduce is synchronous: one bucket
+                // per rank that never goes through the async path.
+                replicas);
+  EXPECT_EQ(delta.count("dist.overlap.buckets.flushed_at_wait"), 0u);
+}
+
+TEST_F(ReplicaGroupTest, OverlapUnderFaultInjectionStaysBitIdentical) {
+  // Satellite: drops and stragglers while buckets are in flight on the
+  // comm threads recover to the same weights as the clean run, in both
+  // overlap modes.
+  const int replicas = 2;
+  SetIntraOpThreads(2);
+  ReplicaGroupOptions faulty;
+  faulty.faults.seed = 31;
+  faulty.faults.drop_probability = 0.25;
+  faulty.faults.straggler_probability = 0.1;
+  faulty.faults.straggler_delay = std::chrono::milliseconds(1);
+  faulty.collective.recv_timeout = std::chrono::milliseconds(2000);
+
+  const StepResult clean = RunStep(replicas, {}, /*steps=*/2);
+  for (const bool overlap : {false, true}) {
+    ReplicaGroupOptions options = faulty;
+    options.overlap = overlap;
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
+    const StepResult got = RunStep(replicas, options, /*steps=*/2);
+    const auto delta = obs::MetricsRegistry::Global()
+                           .Snapshot()
+                           .CounterDeltaSince(before);
+    EXPECT_EQ(got.loss, clean.loss) << "overlap " << overlap;
+    EXPECT_EQ(got.params, clean.params) << "overlap " << overlap;
+    EXPECT_GT(delta.at("dist.fault.dropped_chunks"), 0)
+        << "overlap " << overlap;
+    if (overlap) {
+      EXPECT_GT(delta.at("dist.overlap.buckets.early"), 0);
+    }
+  }
+}
+
+TEST_F(ReplicaGroupTest, ReplicaDeathFailsLoudlyInBothOverlapModes) {
+  // A replica seeded to die at the gradient collective surfaces a clean
+  // InternalError out of TrainStep (the dying rank's ReplicaDeadError or
+  // a survivor's exhausted retry budget, whichever ParallelFor rethrows)
+  // — identically whether the collective is overlapped or synchronous.
+  const int replicas = 2;
+  SetIntraOpThreads(2);
+  for (const bool overlap : {false, true}) {
+    ReplicaGroupOptions options;
+    options.overlap = overlap;
+    options.faults.death_rank = 1;
+    options.faults.death_seq = 0;
+    options.collective.recv_timeout = std::chrono::milliseconds(20);
+    options.collective.max_retries = 2;
+    EXPECT_THROW(RunStep(replicas, options), InternalError)
+        << "overlap " << overlap;
+  }
 }
 
 TEST_F(ReplicaGroupTest, WithDeviceScopingComposesWithReplicaWorkers) {

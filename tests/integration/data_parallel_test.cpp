@@ -82,18 +82,21 @@ TEST(DataParallelTest, SingleShardDegeneratesToTrainStep) {
   EXPECT_FLOAT_EQ(la, lb);
 }
 
-TEST(DataParallelTest, DeprecatedFreeFunctionStillWorks) {
-  // The [[deprecated]] wrapper keeps un-migrated call sites compiling
-  // and produces the same numbers as the replica-group API.
+TEST(DataParallelTest, SequentialReferenceGroupTrains) {
+  // Migrated off the [[deprecated]] DataParallelTrainStep wrapper (the
+  // one remaining — deliberately suppressed — wrapper test lives in
+  // tests/dist/replica_group_test.cpp): the sequential-reference
+  // ReplicaGroup is the wrapper's implementation, so this pins the same
+  // behaviour through the supported API.
   const auto dataset = SyntheticImageDataset::Mnist(16, 23);
   const LabeledBatch batch = dataset.Batch(0, 8, NaiveDevice());
   Rng rng(4);
   LeNet model(rng);
   SGD<LeNet> sgd(0.1f);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const float loss = DataParallelTrainStep(model, sgd, ShardBatch(batch, 2));
-#pragma GCC diagnostic pop
+  ReplicaGroupOptions options;
+  options.sequential = true;
+  ReplicaGroup group(2, options);
+  const float loss = group.TrainStep(model, sgd, ShardBatch(batch, 2));
   EXPECT_TRUE(std::isfinite(loss));
 }
 

@@ -161,6 +161,33 @@ TEST(CompileCacheTest, ShapeChangeMisses) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+// Regression test for the documented Clear() semantics: dropping the
+// compiled programs must also zero the hit/miss/compile-time statistics,
+// so counter-based ablations that Clear() between runs start from a clean
+// slate instead of inheriting the previous run's totals.
+TEST(CompileCacheTest, ClearResetsStatisticsWithPrograms) {
+  CompileCache cache;
+  cache.GetOrCompile(ElementwiseChain());
+  cache.GetOrCompile(ElementwiseChain());
+  ASSERT_EQ(cache.misses(), 1);
+  ASSERT_EQ(cache.hits(), 1);
+  ASSERT_GT(cache.total_compile_seconds(), 0.0);
+  ASSERT_EQ(cache.size(), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.total_compile_seconds(), 0.0);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A post-Clear run observes exactly its own traffic: the same program
+  // is a fresh miss (it was evicted), then a hit.
+  cache.GetOrCompile(ElementwiseChain());
+  cache.GetOrCompile(ElementwiseChain());
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
 TEST(ExecutableTest, ParameterCountChecked) {
   const auto compiled = Compile(ElementwiseChain());
   EXPECT_THROW(compiled.executable->Run({Literal::Full(Shape({64}), 1.f)}),

@@ -136,10 +136,53 @@ TEST(AutoFlushTest, CutsRunawayTraces) {
   const Device lazy = backend.device();
   Tensor x = Tensor::Ones(Shape({8}), lazy);
   for (int i = 0; i < 100; ++i) x = x * 1.001f;  // never observed
-  EXPECT_GE(backend.auto_flushes(), 3);
+  // The window closes as the Nth op is recorded (not one op late), so
+  // 100 ops at threshold 25 is exactly 4 flushes.
+  EXPECT_EQ(backend.auto_flushes(), 4);
   EXPECT_GT(backend.kernels_launched(), 0);  // chunks really executed
   // And the value is still right once observed.
   EXPECT_NEAR(x.At({0}), std::pow(1.001f, 100.0f), 1e-3f);
+}
+
+TEST(AutoFlushTest, FlushesOnExactlyTheThresholdOp) {
+  // Regression: the threshold check used to run *before* recording, so a
+  // trace of exactly `threshold` ops never flushed (off by one), and the
+  // op that finally tripped it was left out of the flushed program.
+  LazyOptions options;
+  options.auto_flush_threshold = 5;
+  LazyBackend backend(options);
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), lazy);
+  for (int i = 0; i < 4; ++i) x = x + 1.0f;
+  EXPECT_EQ(backend.auto_flushes(), 0);  // 4 ops: window still open
+  x = x + 1.0f;                          // 5th op trips the threshold...
+  EXPECT_EQ(backend.auto_flushes(), 1);
+  // ...and is part of the flushed program: observing x afterwards reads
+  // the materialized literal without launching anything new.
+  const std::int64_t launched = backend.kernels_launched();
+  EXPECT_GT(launched, 0);
+  EXPECT_EQ(x.At({0}), 6.0f);
+  EXPECT_EQ(backend.kernels_launched(), launched);
+}
+
+TEST(AutoFlushTest, ExplicitBarrierRestartsTheWindow) {
+  // Regression: LazyTensorBarrier() used to leave ops_since_flush_
+  // counting, so the next few recorded ops triggered a redundant second
+  // flush of an almost-empty trace. Any cut restarts the window.
+  LazyOptions options;
+  options.auto_flush_threshold = 5;
+  LazyBackend backend(options);
+  const Device lazy = backend.device();
+  Tensor x = Tensor::Ones(Shape({4}), lazy);
+  for (int i = 0; i < 3; ++i) x = x + 1.0f;
+  backend.Barrier();  // explicit cut at 3 ops
+  EXPECT_EQ(backend.auto_flushes(), 0);
+  for (int i = 0; i < 4; ++i) x = x + 1.0f;
+  // 4 ops since the barrier: a full fresh window, no double flush.
+  EXPECT_EQ(backend.auto_flushes(), 0);
+  x = x + 1.0f;  // 5th op since the barrier
+  EXPECT_EQ(backend.auto_flushes(), 1);
+  EXPECT_EQ(x.At({0}), 9.0f);
 }
 
 TEST(AutoFlushTest, DisabledByDefault) {
