@@ -10,8 +10,8 @@
 // trace whose (re)compilation cost grows with the number of steps.
 #include <cstdio>
 
-#include "bench_utils.h"
 #include "nn/datasets.h"
+#include "report.h"
 #include "nn/models/lenet.h"
 #include "nn/training.h"
 
@@ -23,6 +23,10 @@ int main() {
               "device) ==\n\n");
 
   const auto dataset = nn::SyntheticImageDataset::Mnist(64, 9);
+
+  BenchReport report("ablation_trace_cache");
+  report.SetConfig("model", std::string("lenet5"));
+  report.SetConfig("dataset", std::string("synthetic_mnist_64"));
 
   // --- Part 1: cache behaviour across steps and shape changes.
   {
@@ -46,6 +50,11 @@ int main() {
                   static_cast<long long>(backend.cache_misses()),
                   static_cast<long long>(backend.cache_hits()),
                   backend.compile_seconds() * 1e3);
+      BenchRow& row = report.AddRow("cache/step=" + FormatInt(step + 1));
+      row.SetCounter("batch", batches[step]);
+      row.SetCounter("compiles_cum", backend.cache_misses());
+      row.SetCounter("cache_hits_cum", backend.cache_hits());
+      row.SetValue("cost.compile_ms_cum", backend.compile_seconds() * 1e3);
     }
     std::printf("\n-> steps 2-3 hit the cache; the batch-8 shape at step 4 "
                 "compiles a new program (shape-keyed cache), after which "
@@ -97,10 +106,13 @@ int main() {
     std::printf("%21d | %18lld | %12lld (bounded)\n", steps,
                 static_cast<long long>(unbounded_ops),
                 static_cast<long long>(per_step_ops));
+    BenchRow& row = report.AddRow("barrier/steps=" + FormatInt(steps));
+    row.SetCounter("ops_without_barrier", unbounded_ops);
+    row.SetCounter("ops_per_step_with_barrier", per_step_ops);
   }
   std::printf("\n-> without the training-loop library's automatic "
               "LazyTensorBarrier(), the trace grows linearly with the "
               "number of steps (unbounded JIT input); with it, every step "
               "compiles the same fixed-size program.\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

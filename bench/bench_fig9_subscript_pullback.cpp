@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ad/subscript_pullback.h"
+#include "gbench_main.h"
 
 namespace s4tf::ad {
 namespace {
@@ -58,7 +59,48 @@ void BM_PrimalOp(benchmark::State& state) {
 }
 BENCHMARK(BM_PrimalOp)->RangeMultiplier(4)->Range(64, 1 << 18);
 
+// Deterministic artifact: both pullback formulations must compute the SAME
+// gradient at every swept n; the wall_ms section records the measured
+// growth (functional grows ~linearly, mutable stays flat — warn-only).
+bool EmitArtifact() {
+  using namespace s4tf::bench;
+  BenchReport report("fig9_subscript_pullback");
+  report.SetConfig("indices", std::string("n/4,n/2"));
+
+  for (const std::size_t n : {std::size_t(64), std::size_t(4096),
+                              std::size_t(1) << 18}) {
+    const FloatArray values = MakeValues(n);
+    auto functional = MyOpWithFunctionalPullback(values, n / 4, n / 2);
+    const FloatArray functional_grad = functional.pullback(1.0f);
+    auto mutable_op = MyOpWithMutablePullback(values, n / 4, n / 2);
+    FloatArray mutable_grad(n, 0.0f);
+    mutable_op.pullback(1.0f, mutable_grad);
+    bool grads_match = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (functional_grad.data()[i] != mutable_grad.data()[i]) {
+        grads_match = false;
+        break;
+      }
+    }
+    BenchRow& row = report.AddRow("n=" + FormatInt(static_cast<long long>(n)));
+    row.SetValue("primal_value", static_cast<double>(MyOp(values, n / 4, n / 2)));
+    row.SetValue("grad_at_n_over_4",
+                 static_cast<double>(mutable_grad.data()[n / 4]));
+    row.SetText("pullbacks_agree", grads_match ? "YES" : "NO");
+    row.SetWall("functional_pullback", MeasureWall(3, [&] {
+                  FloatArray g = functional.pullback(1.0f);
+                  benchmark::DoNotOptimize(g.data());
+                }));
+    row.SetWall("mutable_pullback", MeasureWall(3, [&] {
+                  mutable_op.pullback(1.0f, mutable_grad);
+                  benchmark::DoNotOptimize(mutable_grad.data());
+                }));
+  }
+
+  return report.Write();
+}
+
 }  // namespace
 }  // namespace s4tf::ad
 
-BENCHMARK_MAIN();
+S4TF_BENCH_MAIN_WITH_ARTIFACT(s4tf::ad::EmitArtifact)

@@ -7,6 +7,7 @@
 // roughly constant while wall time shrinks.
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
 #include "support/rng.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
@@ -19,6 +20,64 @@ Literal RandomLiteral(const Shape& shape, std::uint64_t seed) {
   std::vector<float> values(static_cast<std::size_t>(shape.NumElements()));
   rng.FillUniform(values.data(), values.size(), -1.0f, 1.0f);
   return Literal::FromVector(shape, std::move(values));
+}
+
+// Deterministic artifact: one fixed evaluation per hot kernel, recording
+// counter deltas (dispatches, bytes moved) plus a checksum of the output —
+// any change to kernel numerics or bookkeeping shows as an exact diff.
+bool EmitArtifact() {
+  using namespace s4tf::bench;
+  BenchReport report("micro_kernels");
+
+  struct Case {
+    const char* label;
+    OpKind kind;
+    std::vector<Literal> inputs;
+    OpAttrs attrs;
+  };
+  OpAttrs conv_attrs;
+  conv_attrs.padding = Padding::kSame;
+  OpAttrs reduce_attrs;
+  reduce_attrs.axes = {0};
+  OpAttrs pool_attrs;
+  pool_attrs.window_h = pool_attrs.window_w = 2;
+  pool_attrs.stride_h = pool_attrs.stride_w = 2;
+  std::vector<Case> cases;
+  cases.push_back({"matmul_128", OpKind::kMatMul,
+                   {RandomLiteral(Shape({128, 128}), 1),
+                    RandomLiteral(Shape({128, 128}), 2)},
+                   {}});
+  cases.push_back({"conv2d_16x16", OpKind::kConv2D,
+                   {RandomLiteral(Shape({1, 16, 16, 8}), 3),
+                    RandomLiteral(Shape({3, 3, 8, 8}), 4)},
+                   conv_attrs});
+  cases.push_back({"softmax_8x1000", OpKind::kSoftmax,
+                   {RandomLiteral(Shape({8, 1000}), 5)},
+                   {}});
+  cases.push_back({"broadcast_add_64x256", OpKind::kAdd,
+                   {RandomLiteral(Shape({64, 256}), 6),
+                    RandomLiteral(Shape({256}), 7)},
+                   {}});
+  cases.push_back({"reduce_sum_64x256", OpKind::kReduceSum,
+                   {RandomLiteral(Shape({64, 256}), 8)},
+                   reduce_attrs});
+  cases.push_back({"maxpool_16x16", OpKind::kMaxPool2D,
+                   {RandomLiteral(Shape({4, 16, 16, 16}), 9)},
+                   pool_attrs});
+
+  for (const Case& c : cases) {
+    bench::MetricsDelta counters;
+    const Literal out = EvalOpLiteral(c.kind, c.inputs, c.attrs);
+    counters.Capture();
+    double checksum = 0.0;
+    for (float v : out.data) checksum += static_cast<double>(v);
+    BenchRow& row = report.AddRow(std::string("kernel/") + c.label);
+    row.SetCounters(counters);
+    row.SetCounter("out_elements", out.shape.NumElements());
+    row.SetValue("out_checksum", checksum);
+  }
+
+  return report.Write();
 }
 
 void BM_MatMul(benchmark::State& state) {
@@ -119,4 +178,4 @@ BENCHMARK(BM_MaxPool)->Arg(16)->Arg(32);
 }  // namespace
 }  // namespace s4tf
 
-BENCHMARK_MAIN();
+S4TF_BENCH_MAIN_WITH_ARTIFACT(s4tf::EmitArtifact)

@@ -6,6 +6,7 @@
 
 #include "ad/dual.h"
 #include "ad/operators.h"
+#include "gbench_main.h"
 #include "sil/autodiff.h"
 #include "sil/interpreter.h"
 
@@ -89,7 +90,57 @@ void BM_DualNumberChain(benchmark::State& state) {
 }
 BENCHMARK(BM_DualNumberChain)->Arg(16)->Arg(128);
 
+// Deterministic artifact: dispatch counts for primal vs gradient of the
+// fixed-depth tensor chain (the tape-overhead factor as an exact integer
+// ratio), plus the synthesized-VJP vs interpreter agreement on the SIL
+// chain. Wall-clock sweeps stay in the google-benchmark suite.
+bool EmitArtifact() {
+  using namespace s4tf::bench;
+  constexpr int kDepth = 16;
+  BenchReport report("micro_tape");
+  report.SetConfig("chain_depth", static_cast<std::int64_t>(kDepth));
+  report.SetConfig("elements", static_cast<std::int64_t>(1024));
+
+  {
+    const Tensor x = Tensor::Full(Shape({1024}), 0.5f);
+    MetricsDelta primal;
+    const double primal_value =
+        static_cast<double>(ChainForward(x, kDepth).ScalarValue());
+    primal.Capture();
+    MetricsDelta gradient;
+    const auto [value, grad] = ad::ValueWithGradient(
+        x, [](const Tensor& t) { return ChainForward(t, kDepth); });
+    gradient.Capture();
+    BenchRow& row = report.AddRow("tensor_chain");
+    row.SetCounter("dispatches_primal", primal.KernelDispatches());
+    row.SetCounter("dispatches_gradient", gradient.KernelDispatches());
+    row.SetCounter("bytes_primal", primal.KernelBytes());
+    row.SetCounter("bytes_gradient", gradient.KernelBytes());
+    row.SetValue("primal_value", primal_value);
+    row.SetValue("gradient_value", static_cast<double>(value.ScalarValue()));
+    row.SetValue("tape_dispatch_factor",
+                 static_cast<double>(gradient.KernelDispatches()) /
+                     static_cast<double>(primal.KernelDispatches()));
+    (void)grad;
+  }
+
+  {
+    const sil::Module m = MakeSilChain(kDepth);
+    const double interpreted = sil::Interpret(m, "chain", {0.5}).value();
+    const auto vjp = sil::SynthesizeVJP(m, "chain").value();
+    const auto result = vjp.Run({0.5}).value();
+    BenchRow& row = report.AddRow("sil_chain");
+    row.SetValue("interpreted_value", interpreted);
+    row.SetValue("vjp_value", result.value);
+    row.SetValue("vjp_gradient", result.pullback(1.0)[0]);
+    row.SetText("vjp_matches_interpreter",
+                interpreted == result.value ? "YES" : "NO");
+  }
+
+  return report.Write();
+}
+
 }  // namespace
 }  // namespace s4tf
 
-BENCHMARK_MAIN();
+S4TF_BENCH_MAIN_WITH_ARTIFACT(s4tf::EmitArtifact)

@@ -17,8 +17,8 @@
 // math, which is why the paper's accuracies match across cluster sizes).
 #include <cstdio>
 
-#include "bench_utils.h"
 #include "device/sim_accelerator.h"
+#include "report.h"
 #include "frameworks/profiles.h"
 #include "nn/models/lenet.h"
 #include "nn/models/resnet.h"
@@ -58,6 +58,10 @@ int main() {
       "== Table 1: S4TF ResNet-50-class training on simulated TPUv3 "
       "clusters ==\n\n");
 
+  BenchReport report("table1_tpu_scaling");
+  report.SetConfig("per_core_batch", kPerCoreBatch);
+  report.SetConfig("model", std::string("resnet50_imagenet_scaled"));
+
   Rng rng(3);
   const nn::ResNet model(nn::ResNetConfig::ImageNetScaled(2, 16, 100), rng);
   const StepProgram program =
@@ -77,9 +81,24 @@ int main() {
   WallTimer acc_timer;
   MetricsDelta counters;
   const float accuracy = MeasureAccuracy();
+  counters.Capture();  // freeze the window before reading it out
   std::printf("measured accuracy: %.1f%%  (in %.1f s wall)\n%s\n\n",
               100.0f * accuracy, acc_timer.Seconds(),
               counters.Summary().c_str());
+  {
+    BenchRow& row = report.AddRow("accuracy_run");
+    row.SetCounters(counters);
+    row.SetValue("accuracy_top1", static_cast<double>(accuracy));
+    WallStats acc_wall;
+    acc_wall.AddSample(acc_timer.Milliseconds());
+    row.SetWall("train_4_epochs", acc_wall);
+    row.SetValue("step_program.trace_ops",
+                 static_cast<double>(program.trace_ops));
+    row.SetValue("step_program.parameter_bytes",
+                 static_cast<double>(program.parameter_bytes));
+    row.SetValue("cost.device_step_seconds", device_seconds);
+    row.SetValue("cost.host_trace_seconds", host_seconds);
+  }
 
   TablePrinter table({"# Cores", "Accuracy (top-1)", "Training time",
                       "Throughput (ex/s)", "Per-core (ex/s/core)"},
@@ -105,6 +124,13 @@ int main() {
                     FormatF(100.0f * accuracy, 1) + "%",
                     FormatF(minutes, 0) + " minutes",
                     FormatF(throughput, 0), FormatF(per_core, 2)});
+    // Everything here is cost-model arithmetic: fully deterministic.
+    BenchRow& row = report.AddRow("scaling/cores=" + FormatInt(cores));
+    row.SetValue("cost.allreduce_seconds", allreduce);
+    row.SetValue("cost.step_seconds", step_seconds);
+    row.SetValue("throughput_ex_per_s", throughput);
+    row.SetValue("per_core_ex_per_s", per_core);
+    row.SetValue("training_minutes", minutes);
   }
   table.PrintRule();
 
@@ -127,6 +153,7 @@ int main() {
       "\n== Exposed gradient-communication time: synchronous vs overlapped "
       "(simulated TPUv3) ==\n\n");
   const std::int64_t bucket_bytes = dist::CollectiveOptions{}.bucket_bytes;
+  report.SetConfig("bucket_bytes", bucket_bytes);
   const double backward_seconds = device_seconds * 2.0 / 3.0;
   TablePrinter overlap_table({"# Cores", "Sync comm (ms)",
                               "Overlap exposed (ms)", "Hidden (%)",
@@ -153,6 +180,10 @@ int main() {
          FormatF(exposed * 1e3, 3),
          FormatF(100.0 * (1.0 - exposed / sync_comm), 1),
          lower ? "YES" : "NO"});
+    BenchRow& row = report.AddRow("overlap/cores=" + FormatInt(cores));
+    row.SetValue("cost.sync_comm_seconds", sync_comm);
+    row.SetValue("cost.overlap_exposed_seconds", exposed);
+    row.SetText("exposed_strictly_lower", lower ? "YES" : "NO");
   }
   overlap_table.PrintRule();
   std::printf("overlap exposed < sync comm for every world size >= 2: %s\n",
@@ -187,17 +218,20 @@ int main() {
       nn::SGD<nn::LeNet> lenet_sgd(0.1f);
       MetricsDelta dist_counters;
       float loss = 0.0f;
-      double wall_ms = 0.0, replica0_ms = 0.0;
+      WallStats step_wall, replica0_wall;
       constexpr int kMeasuredSteps = 3;
       for (int step = 0; step < kMeasuredSteps; ++step) {
         const nn::LabeledBatch batch =
             dataset.Batch(step, 32, NaiveDevice());
         loss = group.TrainStep(lenet, lenet_sgd,
                                nn::ShardBatch(batch, replicas));
-        wall_ms += group.last_step_wall_seconds() * 1e3;
-        replica0_ms += group.last_step_replica_seconds(0) * 1e3;
+        step_wall.AddSample(group.last_step_wall_seconds() * 1e3);
+        replica0_wall.AddSample(group.last_step_replica_seconds(0) * 1e3);
       }
+      dist_counters.Capture();
       mode_loss[mode] = loss;
+      const double wall_ms = step_wall.mean_ms * kMeasuredSteps;
+      const double replica0_ms = replica0_wall.mean_ms * kMeasuredSteps;
       replica_table.PrintRow(
           {FormatInt(replicas), overlap_on ? "on" : "off",
            FormatF(loss, 4), FormatF(wall_ms / kMeasuredSteps, 1),
@@ -209,11 +243,26 @@ int main() {
            FormatInt(dist_counters.Counter("dist.allreduce.chunks")),
            FormatInt(dist_counters.Counter("dist.overlap.buckets.early")),
            FormatF(group.accelerator(0)->elapsed_seconds() * 1e3, 3)});
+      BenchRow& row =
+          report.AddRow("replica/world=" + FormatInt(replicas) +
+                        "/overlap=" + (overlap_on ? "on" : "off"));
+      row.SetCounters(dist_counters);
+      row.SetValue("loss", static_cast<double>(loss));
+      row.SetValue("cost.sim_collective_seconds",
+                   group.accelerator(0)->elapsed_seconds());
+      row.SetWall("train_step", step_wall);
+      row.SetWall("replica0_step", replica0_wall);
     }
     modes_match = modes_match && mode_loss[0] == mode_loss[1];
   }
   replica_table.PrintRule();
   std::printf("overlap on/off losses bit-identical at every world size: %s\n",
               modes_match ? "YES" : "NO");
-  return (shape_holds && overlap_wins && modes_match) ? 0 : 1;
+
+  BenchRow& verdicts = report.AddRow("verdicts");
+  verdicts.SetText("shape_holds", shape_holds ? "YES" : "NO");
+  verdicts.SetText("overlap_wins", overlap_wins ? "YES" : "NO");
+  verdicts.SetText("modes_match", modes_match ? "YES" : "NO");
+  const bool artifact_ok = report.Write();
+  return (shape_holds && overlap_wins && modes_match && artifact_ok) ? 0 : 1;
 }

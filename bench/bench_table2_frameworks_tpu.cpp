@@ -17,8 +17,8 @@
 // and documented in EXPERIMENTS.md.
 #include <cstdio>
 
-#include "bench_utils.h"
 #include "device/sim_accelerator.h"
+#include "report.h"
 #include "frameworks/profiles.h"
 #include "nn/models/resnet.h"
 #include "step_program.h"
@@ -79,11 +79,17 @@ int main() {
       "== Table 2: ResNet-50-class training on a (simulated) TPUv3-32 "
       "cluster ==\n\n");
 
+  BenchReport report("table2_frameworks_tpu");
+  report.SetConfig("cores", static_cast<std::int64_t>(kCores));
+  report.SetConfig("per_core_batch", kPerCoreBatch);
+  report.SetConfig("model", std::string("resnet50_imagenet_scaled"));
+
   Rng rng(2);
   const nn::ResNet model(nn::ResNetConfig::ImageNetScaled(2, 16, 100), rng);
   MetricsDelta counters;
   const StepProgram program =
       BuildStepProgram(model, Shape({kPerCoreBatch, 32, 32, 3}), 100, 0.1f);
+  counters.Capture();
   std::printf(
       "per-core step: %lld traced ops, %lld HLO instructions, %lld fused "
       "kernels, %lld parameters\n%s\n\n",
@@ -92,6 +98,19 @@ int main() {
       static_cast<long long>(program.fused->kernel_count()),
       static_cast<long long>(program.parameter_count),
       counters.Summary().c_str());
+  {
+    BenchRow& row = report.AddRow("step_program");
+    row.SetCounters(counters);
+    row.SetCounter("step.trace_ops", program.trace_ops);
+    row.SetCounter("step.hlo_instructions", program.program_instructions);
+    row.SetCounter("step.fused_kernels", program.fused->kernel_count());
+    row.SetCounter("step.parameters", program.parameter_count);
+    row.SetValue("cost.compile_seconds", program.compile_seconds);
+    row.SetWall("build_step_program", MeasureWall(3, [&] {
+                  BuildStepProgram(model, Shape({kPerCoreBatch, 32, 32, 3}),
+                                   100, 0.1f);
+                }));
+  }
 
   TablePrinter table(
       {"Framework", "Throughput (examples/s)", "Training time (90 epochs)"},
@@ -105,6 +124,9 @@ int main() {
   for (const Row& row : rows) {
     table.PrintRow({row.framework, FormatF(row.throughput, 0),
                     FormatF(row.training_minutes, 0) + " minutes"});
+    BenchRow& artifact_row = report.AddRow("framework/" + row.framework);
+    artifact_row.SetValue("throughput_ex_per_s", row.throughput);
+    artifact_row.SetValue("training_minutes", row.training_minutes);
   }
   table.PrintRule();
 
@@ -118,5 +140,7 @@ int main() {
   const bool shape_holds = tf > 1.2 * jax && tf > 1.2 * s4tf_rate &&
                            std::abs(jax - s4tf_rate) < 0.2 * jax;
   std::printf("shape holds:     %s\n", shape_holds ? "YES" : "NO");
-  return shape_holds ? 0 : 1;
+  report.AddRow("verdicts").SetText("shape_holds", shape_holds ? "YES" : "NO");
+  const bool artifact_ok = report.Write();
+  return (shape_holds && artifact_ok) ? 0 : 1;
 }

@@ -15,8 +15,8 @@
 // strategies is covered by the test suite at small shapes.
 #include <cstdio>
 
-#include "bench_utils.h"
 #include "device/sim_accelerator.h"
+#include "report.h"
 #include "frameworks/profiles.h"
 #include "nn/models/resnet.h"
 #include "step_program.h"
@@ -94,10 +94,16 @@ int main() {
   std::printf("model: ResNet-56, %lld parameters\n",
               static_cast<long long>(model.ParameterCount()));
 
+  BenchReport report("table3_gpu_resnet56");
+  report.SetConfig("batch", batch);
+  report.SetConfig("model", std::string("resnet56_cifar10"));
+  report.SetConfig("accelerator", std::string("gtx1080_sim"));
+
   WallTimer build_timer;
   MetricsDelta counters;
   const StepProgram program = BuildStepProgram(
       model, Shape({batch, 32, 32, 3}), 10, /*learning_rate=*/0.1f);
+  counters.Capture();
   std::printf(
       "traced SGD step at batch %lld: %lld ops -> %lld HLO instructions "
       "-> %lld fused kernels (built in %.1f ms)\n%s\n\n",
@@ -106,6 +112,19 @@ int main() {
       static_cast<long long>(program.program_instructions),
       static_cast<long long>(program.fused->kernel_count()),
       build_timer.Milliseconds(), counters.Summary().c_str());
+  {
+    BenchRow& row = report.AddRow("step_program");
+    row.SetCounters(counters);
+    row.SetCounter("step.trace_ops", program.trace_ops);
+    row.SetCounter("step.hlo_instructions", program.program_instructions);
+    row.SetCounter("step.fused_kernels", program.fused->kernel_count());
+    row.SetCounter("step.parameters", program.parameter_count);
+    row.SetValue("cost.compile_seconds", program.compile_seconds);
+    row.SetWall("build_step_program", MeasureWall(3, [&] {
+                  BuildStepProgram(model, Shape({batch, 32, 32, 3}), 10,
+                                   /*learning_rate=*/0.1f);
+                }));
+  }
 
   TablePrinter table({"Framework", "Throughput (examples/s)"}, {34, 24});
   table.PrintHeader();
@@ -119,6 +138,8 @@ int main() {
   };
   for (const Row& row : rows) {
     table.PrintRow({row.framework, FormatF(row.throughput, 0)});
+    report.AddRow("framework/" + row.framework)
+        .SetValue("throughput_ex_per_s", row.throughput);
   }
   table.PrintRule();
 
@@ -132,5 +153,7 @@ int main() {
                            rows[1].throughput > rows[3].throughput &&
                            rows[3].throughput > rows[2].throughput;
   std::printf("shape holds:      %s\n", shape_holds ? "YES" : "NO");
-  return shape_holds ? 0 : 1;
+  report.AddRow("verdicts").SetText("shape_holds", shape_holds ? "YES" : "NO");
+  const bool artifact_ok = report.Write();
+  return (shape_holds && artifact_ok) ? 0 : 1;
 }

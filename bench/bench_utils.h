@@ -1,135 +1,7 @@
-// Shared helpers for the table-reproduction harnesses.
+// Compatibility shim: the shared harness helpers (TablePrinter,
+// WallTimer, MetricsDelta, Format*) grew into the bench-reporting library
+// in report.h/.cpp, which also emits the machine-readable BENCH_*.json
+// artifacts. Existing harness includes keep working through this header.
 #pragma once
 
-#include <chrono>
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "obs/metrics.h"
-
-namespace s4tf::bench {
-
-// Fixed-width table printer so every harness emits rows shaped like the
-// paper's tables.
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers,
-                        std::vector<int> widths)
-      : headers_(std::move(headers)), widths_(std::move(widths)) {}
-
-  void PrintHeader() const {
-    PrintRule();
-    for (std::size_t i = 0; i < headers_.size(); ++i) {
-      std::printf("| %-*s ", widths_[i], headers_[i].c_str());
-    }
-    std::printf("|\n");
-    PrintRule();
-  }
-
-  void PrintRow(const std::vector<std::string>& cells) const {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      std::printf("| %-*s ", widths_[i], cells[i].c_str());
-    }
-    std::printf("|\n");
-  }
-
-  void PrintRule() const {
-    for (int w : widths_) {
-      std::printf("+");
-      for (int i = 0; i < w + 2; ++i) std::printf("-");
-    }
-    std::printf("+\n");
-  }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<int> widths_;
-};
-
-inline std::string FormatF(double value, int decimals = 2) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
-  return buf;
-}
-
-inline std::string FormatInt(long long value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%lld", value);
-  return buf;
-}
-
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-  double Milliseconds() const { return Seconds() * 1e3; }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-// Counter columns for the table harnesses: take a snapshot before the
-// measured region and read the deltas after. Unlike wall-clock columns,
-// these are deterministic — identical on any machine and thread count —
-// so regressions show up as an exact diff, not a noisy percentage (see
-// EXPERIMENTS.md, "Counter columns").
-class MetricsDelta {
- public:
-  MetricsDelta() : before_(obs::MetricsRegistry::Global().Snapshot()) {}
-
-  // Cumulative delta of `name` since construction.
-  std::int64_t Counter(const std::string& name) const {
-    return obs::MetricsRegistry::Global().Snapshot().counter(name) -
-           before_.counter(name);
-  }
-
-  std::int64_t KernelDispatches() const {
-    return Counter("tensor.kernel.dispatches");
-  }
-  std::int64_t KernelBytes() const { return Counter("tensor.kernel.bytes"); }
-  std::int64_t CacheHits() const { return Counter("xla.cache.hits"); }
-  std::int64_t CacheMisses() const { return Counter("xla.cache.misses"); }
-
-  // Restarts the window (e.g. after a warm-up phase).
-  void Reset() { before_ = obs::MetricsRegistry::Global().Snapshot(); }
-
-  // The standard counter columns every table harness prints alongside its
-  // wall-clock numbers, e.g.
-  //   counters: ops=1.2K  bytes=38.1M  cache=3 hit / 1 miss
-  std::string Summary() const;
-
- private:
-  obs::MetricsSnapshot before_;
-};
-
-inline std::string FormatCount(long long value);
-
-inline std::string MetricsDelta::Summary() const {
-  std::string out = "counters: ops=" + FormatCount(KernelDispatches()) +
-                    "  bytes=" + FormatCount(KernelBytes()) +
-                    "  cache=" + FormatCount(CacheHits()) + " hit / " +
-                    FormatCount(CacheMisses()) + " miss";
-  return out;
-}
-
-// "1.2M"-style rendering so counter columns stay narrow. Exact below 10K.
-inline std::string FormatCount(long long value) {
-  char buf[64];
-  if (value < 10'000) {
-    std::snprintf(buf, sizeof(buf), "%lld", value);
-  } else if (value < 10'000'000) {
-    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(value) / 1e3);
-  } else if (value < 10'000'000'000LL) {
-    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(value) / 1e6);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(value) / 1e9);
-  }
-  return buf;
-}
-
-}  // namespace s4tf::bench
+#include "report.h"

@@ -1,0 +1,220 @@
+#include "compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace s4tf::bench {
+
+namespace {
+
+using json::JsonObject;
+using json::JsonValue;
+
+std::string BenchName(const JsonValue& doc) {
+  return doc.has("bench") && doc.at("bench").is_string()
+             ? doc.at("bench").str()
+             : "<unnamed>";
+}
+
+// Renders a leaf value for diff messages (numbers exactly, strings quoted).
+std::string Render(const JsonValue& v) {
+  if (v.is_string()) return "\"" + v.str() + "\"";
+  if (v.is_number()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.number());
+    return buf;
+  }
+  if (std::holds_alternative<bool>(v.value)) {
+    return std::get<bool>(v.value) ? "true" : "false";
+  }
+  return "<non-scalar>";
+}
+
+bool LeafEqual(const JsonValue& a, const JsonValue& b) {
+  if (a.is_number() && b.is_number()) return a.number() == b.number();
+  if (a.is_string() && b.is_string()) return a.str() == b.str();
+  if (std::holds_alternative<bool>(a.value) &&
+      std::holds_alternative<bool>(b.value)) {
+    return std::get<bool>(a.value) == std::get<bool>(b.value);
+  }
+  return false;
+}
+
+// Exact comparison of one flat deterministic object ("config", a row's
+// "counters"/"values"/"text"). Keys missing on either side are diffs: a
+// silently dropped counter is as much a regression as a changed one.
+void DiffExactObject(const std::string& where, const JsonObject& base,
+                     const JsonObject& fresh,
+                     std::vector<std::string>* regressions) {
+  for (const auto& [key, base_value] : base) {
+    auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      regressions->push_back(where + "." + key + ": missing in fresh run (baseline " +
+                             Render(base_value) + ")");
+      continue;
+    }
+    if (!LeafEqual(base_value, it->second)) {
+      regressions->push_back(where + "." + key + ": baseline " +
+                             Render(base_value) + " -> fresh " +
+                             Render(it->second));
+    }
+  }
+  for (const auto& [key, fresh_value] : fresh) {
+    if (base.find(key) == base.end()) {
+      regressions->push_back(where + "." + key + ": new in fresh run (" +
+                             Render(fresh_value) +
+                             "); refresh the committed artifact");
+    }
+  }
+}
+
+void DiffSection(const std::string& where, const JsonValue& base_row,
+                 const JsonValue& fresh_row, const char* section,
+                 std::vector<std::string>* regressions) {
+  const bool in_base = base_row.has(section);
+  const bool in_fresh = fresh_row.has(section);
+  if (!in_base && !in_fresh) return;
+  const JsonObject empty;
+  DiffExactObject(where + "." + section,
+                  in_base ? base_row.at(section).object() : empty,
+                  in_fresh ? fresh_row.at(section).object() : empty,
+                  regressions);
+}
+
+double RelativeDrift(double base, double fresh) {
+  const double denom = std::max(std::abs(base), 1e-9);
+  return std::abs(fresh - base) / denom;
+}
+
+void WarnOnDrift(const std::string& where, const JsonValue& base_row,
+                 const JsonValue& fresh_row, const CompareOptions& options,
+                 std::vector<std::string>* warnings) {
+  // wall_ms: compare means when both sides have the metric.
+  if (base_row.has("wall_ms") && fresh_row.has("wall_ms")) {
+    const JsonObject& base = base_row.at("wall_ms").object();
+    const JsonObject& fresh = fresh_row.at("wall_ms").object();
+    for (const auto& [name, base_stats] : base) {
+      auto it = fresh.find(name);
+      if (it == fresh.end() || !base_stats.has("mean") ||
+          !it->second.has("mean")) {
+        continue;
+      }
+      const double base_mean = base_stats.at("mean").number();
+      const double fresh_mean = it->second.at("mean").number();
+      if (std::max(base_mean, fresh_mean) < options.wall_floor_ms) continue;
+      const double drift = RelativeDrift(base_mean, fresh_mean);
+      if (drift > options.wall_tolerance) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s.wall_ms.%s: mean %.3f ms -> %.3f ms (%+.0f%%, "
+                      "noise bound %.0f%%)",
+                      where.c_str(), name.c_str(), base_mean, fresh_mean,
+                      100.0 * (fresh_mean / std::max(base_mean, 1e-9) - 1.0),
+                      100.0 * options.wall_tolerance);
+        warnings->push_back(buf);
+      }
+    }
+  }
+  if (base_row.has("noisy") && fresh_row.has("noisy")) {
+    const JsonObject& base = base_row.at("noisy").object();
+    const JsonObject& fresh = fresh_row.at("noisy").object();
+    for (const auto& [name, base_value] : base) {
+      auto it = fresh.find(name);
+      if (it == fresh.end()) continue;
+      const double drift =
+          RelativeDrift(base_value.number(), it->second.number());
+      if (drift > options.wall_tolerance) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s.noisy.%s: %.6g -> %.6g (drift beyond %.0f%%)",
+                      where.c_str(), name.c_str(), base_value.number(),
+                      it->second.number(), 100.0 * options.wall_tolerance);
+        warnings->push_back(buf);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CompareResult CompareReports(const JsonValue& baseline,
+                             const JsonValue& fresh,
+                             const CompareOptions& options) {
+  CompareResult result;
+  const std::string name = BenchName(baseline);
+
+  if (BenchName(fresh) != name) {
+    result.regressions.push_back(name + ": fresh artifact is for bench \"" +
+                                 BenchName(fresh) + "\"");
+    return result;
+  }
+  const double base_schema =
+      baseline.has("schema_version") ? baseline.at("schema_version").number()
+                                     : 0;
+  const double fresh_schema =
+      fresh.has("schema_version") ? fresh.at("schema_version").number() : 0;
+  if (base_schema != fresh_schema) {
+    result.regressions.push_back(
+        name + ": schema_version mismatch; regenerate the baseline");
+    return result;
+  }
+
+  const JsonObject empty;
+  DiffExactObject(name + ".config",
+                  baseline.has("config") ? baseline.at("config").object()
+                                         : empty,
+                  fresh.has("config") ? fresh.at("config").object() : empty,
+                  &result.regressions);
+
+  const json::JsonArray no_rows;
+  const json::JsonArray& base_rows =
+      baseline.has("rows") ? baseline.at("rows").array() : no_rows;
+  const json::JsonArray& fresh_rows =
+      fresh.has("rows") ? fresh.at("rows").array() : no_rows;
+  if (base_rows.size() != fresh_rows.size()) {
+    result.regressions.push_back(
+        name + ": row count " + std::to_string(base_rows.size()) + " -> " +
+        std::to_string(fresh_rows.size()));
+  }
+  const std::size_t n = std::min(base_rows.size(), fresh_rows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const JsonValue& base_row = base_rows[i];
+    const JsonValue& fresh_row = fresh_rows[i];
+    const std::string base_label =
+        base_row.has("label") ? base_row.at("label").str() : "";
+    const std::string fresh_label =
+        fresh_row.has("label") ? fresh_row.at("label").str() : "";
+    const std::string where = name + ".rows[" + base_label + "]";
+    if (base_label != fresh_label) {
+      result.regressions.push_back(where + ": row relabeled to \"" +
+                                   fresh_label + "\"");
+      continue;
+    }
+    DiffSection(where, base_row, fresh_row, "counters", &result.regressions);
+    DiffSection(where, base_row, fresh_row, "values", &result.regressions);
+    DiffSection(where, base_row, fresh_row, "text", &result.regressions);
+    WarnOnDrift(where, base_row, fresh_row, options, &result.warnings);
+  }
+  return result;
+}
+
+bool LoadArtifact(const std::string& path, json::JsonValue* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string parse_error;
+  if (!json::ParseJson(text.str(), out, &parse_error)) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace s4tf::bench

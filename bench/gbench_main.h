@@ -1,0 +1,38 @@
+// Replacement for BENCHMARK_MAIN() in harnesses that also emit a
+// machine-readable BENCH_*.json artifact.
+//
+// The artifact emitter runs FIRST and on a fixed, seeded workload — its
+// deterministic sections (counter deltas, modeled costs) must not depend
+// on google-benchmark's adaptive iteration counts. The full benchmark
+// suite then runs as before, unless S4TF_BENCH_ARTIFACT_ONLY is set to a
+// non-zero value (how CI and tools/refresh_bench_artifacts.sh regenerate
+// artifacts without paying for the full timing sweeps).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "report.h"
+
+namespace s4tf::bench {
+
+inline bool ArtifactOnlyRun() {
+  const char* value = std::getenv("S4TF_BENCH_ARTIFACT_ONLY");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+}  // namespace s4tf::bench
+
+// `emit_artifact` is a callable returning bool (false = artifact write
+// failed, propagated as a non-zero exit so CI notices).
+#define S4TF_BENCH_MAIN_WITH_ARTIFACT(emit_artifact)                       \
+  int main(int argc, char** argv) {                                        \
+    const bool artifact_ok = (emit_artifact)();                            \
+    if (!s4tf::bench::ArtifactOnlyRun()) {                                 \
+      ::benchmark::Initialize(&argc, argv);                                \
+      if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+      ::benchmark::RunSpecifiedBenchmarks();                               \
+    }                                                                      \
+    return artifact_ok ? 0 : 1;                                            \
+  }

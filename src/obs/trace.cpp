@@ -1,15 +1,27 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <sys/stat.h>
+
+#include "obs/metrics.h"
 
 namespace s4tf::obs {
 
 namespace {
+
+// Counts failed trace writes (unwritable path, disk full). Tests assert
+// on the delta; CI scripts can gate uploads on it staying zero.
+Counter& WriteErrorCounter() {
+  static Counter* counter = GetCounter("obs.trace.write_errors");
+  return *counter;
+}
 
 // Per-thread event buffer. Owned via shared_ptr from both the thread
 // (thread_local) and the tracer's registry, so events survive thread exit
@@ -147,7 +159,7 @@ std::int64_t Tracer::Stop() {
   return total;
 }
 
-void Tracer::WriteFile() {
+bool Tracer::WriteFile() {
   Impl& i = impl();
   std::vector<TraceEvent> events;
   std::string path;
@@ -160,7 +172,7 @@ void Tracer::WriteFile() {
                     buffer->events.end());
     }
   }
-  if (path.empty()) return;
+  if (path.empty()) return true;
   // Monotonic output: ordered by start time (ties broken by longer span
   // first so parents precede their children).
   std::stable_sort(events.begin(), events.end(),
@@ -171,29 +183,53 @@ void Tracer::WriteFile() {
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "s4tf obs: cannot write trace to %s\n",
-                 path.c_str());
-    return;
+    std::fprintf(stderr, "s4tf obs: cannot write trace to %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    WriteErrorCounter().Increment();
+    return false;
   }
-  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+  bool write_ok =
+      std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out) >= 0;
   bool first = true;
   for (const TraceEvent& e : events) {
-    if (!first) std::fputs(",\n", out);
+    if (!write_ok) break;  // the stream is already in error; stop early
+    if (!first) write_ok = std::fputs(",\n", out) >= 0 && write_ok;
     first = false;
-    std::fprintf(out,
-                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
-                 "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
-                 JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
-                 e.tid, e.ts_us, e.dur_us);
+    write_ok =
+        std::fprintf(out,
+                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                     "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+                     JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+                     e.tid, e.ts_us, e.dur_us) >= 0 &&
+        write_ok;
     if (!e.arg_name.empty()) {
-      std::fprintf(out, ",\"args\":{\"%s\":%lld}",
-                   JsonEscape(e.arg_name).c_str(),
-                   static_cast<long long>(e.arg_value));
+      write_ok = std::fprintf(out, ",\"args\":{\"%s\":%lld}",
+                              JsonEscape(e.arg_name).c_str(),
+                              static_cast<long long>(e.arg_value)) >= 0 &&
+                 write_ok;
     }
-    std::fputs("}", out);
+    write_ok = std::fputs("}", out) >= 0 && write_ok;
   }
-  std::fputs("\n]}\n", out);
-  std::fclose(out);
+  write_ok = std::fputs("\n]}\n", out) >= 0 && write_ok;
+  // fclose flushes the stdio buffer, so a disk-full error often only
+  // surfaces here; it must run regardless of write_ok.
+  const bool close_ok = std::fclose(out) == 0;
+  if (write_ok && close_ok) return true;
+
+  std::fprintf(stderr,
+               "s4tf obs: error writing trace to %s: %s — a truncated "
+               "Chrome trace is unparseable, so the partial file is being "
+               "removed\n",
+               path.c_str(), std::strerror(errno));
+  // Only unlink regular files: the unwritable target may be something
+  // like /dev/full in tests (or a directory), which is not ours to
+  // delete.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+    std::remove(path.c_str());
+  }
+  WriteErrorCounter().Increment();
+  return false;
 }
 
 void TraceSpan::Begin(const char* name, const char* category) {

@@ -70,7 +70,12 @@ class Tracer {
 
  private:
   Tracer() = default;
-  void WriteFile();
+  // Writes the collected events to the configured path. Every write is
+  // checked: on I/O failure (unwritable path, disk full) the error goes
+  // to stderr, any partial regular file is deleted so CI never uploads a
+  // truncated-but-plausible trace, the "obs.trace.write_errors" counter
+  // increments, and false is returned.
+  bool WriteFile();
 
   std::atomic<bool> enabled_{false};
   struct Impl;

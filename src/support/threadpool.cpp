@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -230,14 +233,32 @@ std::shared_ptr<ThreadPool>& PoolSlot() {
   return pool;
 }
 
-int ResolveThreadsLocked() {
-  if (RequestedThreads() > 0) return RequestedThreads();
-  if (const char* env = std::getenv("S4TF_NUM_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed >= 1) return parsed;
-  }
+int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreadsLocked() {
+  if (RequestedThreads() > 0) return RequestedThreads();
+  if (const char* env = std::getenv("S4TF_NUM_THREADS");
+      env != nullptr && env[0] != '\0') {
+    int parsed = 0;
+    if (internal::ParseThreadCount(env, &parsed)) return parsed;
+    // S4TF_NUM_THREADS is a tuned knob (the autotuner sweeps it): a
+    // silently misparsed value would corrupt a whole sweep, so complain
+    // loudly — but only once per distinct bad value, since this runs on
+    // every pool acquisition. Guarded by PoolMutex().
+    static std::string warned;
+    if (warned != env) {
+      warned = env;
+      std::fprintf(stderr,
+                   "s4tf: ignoring malformed S4TF_NUM_THREADS=\"%s\" "
+                   "(want an integer in [1, 4096]); using hardware "
+                   "default of %d threads\n",
+                   env, HardwareThreads());
+    }
+  }
+  return HardwareThreads();
 }
 
 // Returns the pool to run on, or null to run inline (single-threaded).
@@ -267,6 +288,25 @@ void SetIntraOpThreads(int num_threads) {
   // next AcquirePool rebuilds at the new size.
   PoolSlot().reset();
 }
+
+namespace internal {
+
+bool ParseThreadCount(const char* text, int* count) {
+  if (text == nullptr || text[0] == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  // Full-string validation: strtol stopping short of the terminator means
+  // trailing garbage ("4x"), and end == text means no digits at all
+  // ("x4", " "). std::atoi would have returned 0 for all of these and
+  // silently fallen through to the hardware default.
+  if (end == text || *end != '\0') return false;
+  if (errno == ERANGE || parsed < 1 || parsed > 4096) return false;
+  *count = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace internal
 
 void ParallelForRange(
     std::int64_t n, std::int64_t grain,

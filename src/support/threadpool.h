@@ -114,4 +114,16 @@ void ParallelForRange(
     std::int64_t n, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body);
 
+namespace internal {
+
+// Strict parser for thread-count strings (the S4TF_NUM_THREADS value).
+// Returns true and sets *count only for a fully valid positive integer in
+// [1, 4096] (leading whitespace tolerated, as with strtol). Malformed
+// input ("x4", "4x", ""), non-positive, or out-of-range values return
+// false — the resolver then warns and falls back to the hardware default
+// instead of silently misreading a tuned knob. Exposed for tests.
+bool ParseThreadCount(const char* text, int* count);
+
+}  // namespace internal
+
 }  // namespace s4tf

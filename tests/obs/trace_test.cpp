@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tests/obs/json_mini.h"
 
 namespace s4tf::obs {
@@ -184,6 +186,43 @@ TEST(TraceTest, NameEscapingProducesParseableJson) {
   EXPECT_EQ(root.at("traceEvents").array()[0].at("name").str(),
             "quote\" backslash\\ newline\n");
   std::remove(path.c_str());
+}
+
+// Regression: WriteFile used to ignore every fprintf/fputs/fclose result,
+// silently producing empty or truncated traces on unwritable paths or
+// full disks. It must now report on stderr, bump the
+// "obs.trace.write_errors" counter, and never leave a partial file.
+TEST(TraceWriteErrorTest, UnwritableDirectoryCountsErrorAndLeavesNoFile) {
+  Counter* errors = GetCounter("obs.trace.write_errors");
+  const std::int64_t before = errors->value();
+  const std::string path =
+      ::testing::TempDir() + "s4tf_no_such_dir/trace.json";
+  Tracer::Global().Start(path);
+  { TraceSpan span("doomed", "test"); }
+  Tracer::Global().Stop();
+  EXPECT_EQ(errors->value(), before + 1);
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), 0) << "no file may be created";
+}
+
+TEST(TraceWriteErrorTest, DeviceFullSurfacesFlushErrorAndKeepsNode) {
+  // /dev/full: fopen succeeds, the buffered writes appear to succeed, and
+  // only the fclose() flush fails with ENOSPC — the disk-full shape the
+  // old void WriteFile() swallowed entirely.
+  struct stat st;
+  if (::stat("/dev/full", &st) != 0 || !S_ISCHR(st.st_mode)) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  Counter* errors = GetCounter("obs.trace.write_errors");
+  const std::int64_t before = errors->value();
+  Tracer::Global().Start("/dev/full");
+  { TraceSpan span("doomed", "test"); }
+  Tracer::Global().Stop();
+  EXPECT_EQ(errors->value(), before + 1);
+  // The partial-file cleanup must only unlink regular files, never the
+  // device node it was pointed at.
+  ASSERT_EQ(::stat("/dev/full", &st), 0);
+  EXPECT_TRUE(S_ISCHR(st.st_mode));
 }
 
 // --- Acceptance criterion: S4TF_TRACE=<path> against the real LeNet

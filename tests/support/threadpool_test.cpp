@@ -49,6 +49,46 @@ TEST(DispatchQueueTest, SubmitReturnsBeforeTaskRuns) {
   EXPECT_TRUE(ran.load());
 }
 
+// Regression: the resolver used atoi(), which silently read "4x" as 4 and
+// "x4"/garbage as 0 (falling through to a bogus pool size). The strict
+// parser accepts only a complete integer in [1, 4096].
+TEST(ParseThreadCountTest, AcceptsCompletePositiveIntegers) {
+  int count = 0;
+  EXPECT_TRUE(internal::ParseThreadCount("1", &count));
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(internal::ParseThreadCount("8", &count));
+  EXPECT_EQ(count, 8);
+  EXPECT_TRUE(internal::ParseThreadCount("4096", &count));
+  EXPECT_EQ(count, 4096);
+  // strtol semantics: leading whitespace is tolerated.
+  EXPECT_TRUE(internal::ParseThreadCount("  16", &count));
+  EXPECT_EQ(count, 16);
+}
+
+TEST(ParseThreadCountTest, RejectsTrailingGarbage) {
+  int count = -1;
+  EXPECT_FALSE(internal::ParseThreadCount("4x", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("4 ", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("4.5", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("0x4", &count));
+}
+
+TEST(ParseThreadCountTest, RejectsNonNumbersAndEmpty) {
+  int count = -1;
+  EXPECT_FALSE(internal::ParseThreadCount("", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("x4", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("threads", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("   ", &count));
+}
+
+TEST(ParseThreadCountTest, RejectsNonPositiveAndOutOfRange) {
+  int count = -1;
+  EXPECT_FALSE(internal::ParseThreadCount("0", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("-2", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("4097", &count));
+  EXPECT_FALSE(internal::ParseThreadCount("99999999999999999999", &count));
+}
+
 TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(100);

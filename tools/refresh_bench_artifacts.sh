@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_*.json baselines at the repo root.
+#
+# Usage: tools/refresh_bench_artifacts.sh [build-dir]
+#
+# Runs every bench harness in artifact-only mode (S4TF_BENCH_ARTIFACT_ONLY=1
+# skips the google-benchmark timing sweeps; the deterministic artifact
+# workload still runs) and writes the artifacts into the repo root via
+# S4TF_BENCH_OUT_DIR. The deterministic sections (config/counters/values/
+# text) are thread-count and machine independent, so the gate in CI
+# exact-diffs them; wall_ms/noisy sections are refreshed too but only
+# warn on drift. Commit the resulting BENCH_*.json files together with the
+# change that moved them. See EXPERIMENTS.md ("Bench artifacts").
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+benches=(
+  bench_table1_tpu_scaling
+  bench_table2_frameworks_tpu
+  bench_table3_gpu_resnet56
+  bench_table4_mobile_spline
+  bench_fig4_lenet_trace
+  bench_fig9_subscript_pullback
+  bench_micro_kernels
+  bench_micro_tape
+  bench_ablation_fusion
+  bench_ablation_trace_cache
+  bench_ablation_passes
+  bench_ablation_cow
+  bench_autotune
+)
+
+for bench in "${benches[@]}"; do
+  binary="$build_dir/bench/$bench"
+  if [[ ! -x "$binary" ]]; then
+    echo "missing bench binary: $binary (build the 'bench' targets first)" >&2
+    exit 1
+  fi
+  echo "== $bench"
+  S4TF_BENCH_ARTIFACT_ONLY=1 S4TF_BENCH_OUT_DIR="$repo_root" \
+    "$binary" > /dev/null
+done
+
+echo "refreshed $(ls "$repo_root"/BENCH_*.json | wc -l) artifacts in $repo_root"
