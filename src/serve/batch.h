@@ -1,0 +1,55 @@
+// Batch assembly for the serving runtime.
+//
+// The dynamic batcher coalesces single-sample requests into one batched
+// literal [P, ...sample dims] before handing it to a Servable. Compiled
+// executables want *padded* batch sizes drawn from a small fixed set
+// ({1, 2, 4, ..., max_batch}) so steady-state traffic reuses at most
+// log2(max_batch)+1 executables through the XLA compile cache — the
+// paper's compile-once/run-many claim (Table 3) applied across requests
+// instead of across training steps. Interpreter-style servables run exact
+// batch sizes and skip padding entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/literal.h"
+
+namespace s4tf::serve {
+
+// Knobs shared by the threaded Server and the open-loop Simulator.
+struct BatchingOptions {
+  // Largest number of requests coalesced into one executable invocation.
+  int max_batch = 8;
+  // Coalescing window: a partially-filled batch is flushed once the oldest
+  // member has waited this long. Wall-clock nanoseconds in the threaded
+  // Server; *logical* nanoseconds in the Simulator (no wall clock touches
+  // the simulated path).
+  std::int64_t batch_timeout_ns = 200'000;
+  // Bound on WAITING requests (requests in service do not count). An
+  // arrival that would exceed it is shed with Status::Unavailable.
+  int max_queue = 256;
+  // Batch workers draining the queue.
+  int num_workers = 2;
+};
+
+// Smallest power of two >= batch, clamped to max_batch. Requires
+// 1 <= batch <= max_batch.
+int PaddedBatchSize(int batch, int max_batch);
+
+// [batch, ...sample dims].
+Shape BatchShape(const Shape& sample_shape, int batch);
+
+// Stacks `samples` (each exactly `sample_shape`) into one literal of shape
+// BatchShape(sample_shape, padded_batch); rows beyond samples.size() are
+// zero. Zero padding is safe because served models are required to be
+// row-independent (see servable.h), so padding rows can never perturb real
+// rows.
+Literal AssembleBatch(const std::vector<const Literal*>& samples,
+                      const Shape& sample_shape, int padded_batch);
+
+// Row `index` of a batched tensor [P, ...dims] as its own literal of shape
+// [...dims].
+Literal SliceSample(const Literal& batch, int index);
+
+}  // namespace s4tf::serve

@@ -1,0 +1,49 @@
+#include "serve/mlp.h"
+
+#include "tensor/ops.h"
+
+namespace s4tf::serve {
+
+MlpModel MlpModel::Create(int input_size, int hidden_size, int output_size,
+                          Rng& rng) {
+  MlpModel model;
+  model.input_size = input_size;
+  model.hidden_size = hidden_size;
+  model.output_size = output_size;
+  auto init = [&rng](const Shape& shape) {
+    std::vector<float> data(static_cast<std::size_t>(shape.NumElements()));
+    rng.FillUniform(data.data(), data.size(), -0.5f, 0.5f);
+    return Literal::FromVector(shape, std::move(data));
+  };
+  model.w1 = init(Shape({input_size, hidden_size}));
+  model.b1 = init(Shape({hidden_size}));
+  model.w2 = init(Shape({hidden_size, output_size}));
+  model.b2 = init(Shape({output_size}));
+  return model;
+}
+
+ModelFn MlpModel::Fn() const {
+  // Captures the weights by value (O(1) CoW literals); materializes them
+  // on the input's device so the same fn traces lazily and runs eagerly.
+  const MlpModel model = *this;
+  return [model](const Tensor& x) {
+    const Device& device = x.device();
+    const Tensor w1 = Tensor::FromLiteral(model.w1, device);
+    const Tensor b1 = Tensor::FromLiteral(model.b1, device);
+    const Tensor w2 = Tensor::FromLiteral(model.w2, device);
+    const Tensor b2 = Tensor::FromLiteral(model.b2, device);
+    const Tensor hidden = Relu(MatMul(x, w1) + b1);
+    return Softmax(MatMul(hidden, w2) + b2);
+  };
+}
+
+Literal MlpModel::ReferenceForward(const Literal& sample) const {
+  S4TF_CHECK(sample.shape == sample_shape());
+  const Device naive = NaiveDevice();
+  const Tensor input = Tensor::FromLiteral(
+      Literal(Shape({1, input_size}), sample.data), naive);
+  const Literal out = Fn()(input).ToLiteral();
+  return Literal(Shape({output_size}), out.data);
+}
+
+}  // namespace s4tf::serve

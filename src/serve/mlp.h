@@ -1,0 +1,40 @@
+// A small, seeded, row-independent MLP classifier used as the serving
+// workload by tests, the bench harness, and the demo example.
+//
+// y = Softmax(Relu(x W1 + b1) W2 + b2)
+//
+// Every op is row-independent (MatMul rows, broadcast bias add, Relu,
+// per-row Softmax), so batched evaluation is bit-identical to
+// single-sample evaluation — the property the serving determinism suite
+// pins. Weights are plain Literals: the ModelFn materializes them on the
+// input's device per call, which the lazy tracer captures as program
+// parameters and the naive/eager devices evaluate directly.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/servable.h"
+#include "support/rng.h"
+
+namespace s4tf::serve {
+
+struct MlpModel {
+  int input_size = 0;
+  int hidden_size = 0;
+  int output_size = 0;
+  Literal w1, b1, w2, b2;
+
+  static MlpModel Create(int input_size, int hidden_size, int output_size,
+                         Rng& rng);
+
+  // The batched forward pass, runnable on any device.
+  ModelFn Fn() const;
+
+  // Reference path: evaluates one sample [input_size] on the naive device
+  // as a batch of one and returns the output row [output_size].
+  Literal ReferenceForward(const Literal& sample) const;
+
+  Shape sample_shape() const { return Shape({input_size}); }
+};
+
+}  // namespace s4tf::serve

@@ -1,0 +1,116 @@
+// The multi-tenant threaded serving runtime: a thread-safe bounded request
+// queue feeding a dynamic batcher drained by worker loops on a (private)
+// PR-1 ThreadPool.
+//
+// Life of a request:
+//   Submit(sample) -> admission control: if the waiting queue is at
+//   max_queue the request is SHED immediately with Status::Unavailable
+//   (never enqueued, never blocks); otherwise it joins the FIFO queue.
+//   A batch worker coalesces up to max_batch waiting requests, holding a
+//   partially-filled batch open for at most batch_timeout_ns, pads the
+//   batch to the servable's preferred size, runs it, and fulfills each
+//   request's future with its own output row. A batch either completes for
+//   every member or fails for every member (one Status::Internal per
+//   request on a servable exception) — there are no torn batches, and a
+//   future ALWAYS completes: served, shed, or failed.
+//
+// Metrics (src/obs): serve.requests / serve.accepted / serve.shed /
+// serve.batches / serve.batch.samples / serve.batch.padding /
+// serve.responses / serve.errors counters, the serve.queue_depth
+// high-water gauge, and serve.latency / serve.batch.exec wall-clock
+// histograms (p50/p99 via the registry's power-of-two buckets).
+// Wall-clock timing makes THREADED batch composition schedule-dependent;
+// the bit-reproducible overload numbers come from the open-loop simulator
+// (simulator.h), which shares this file's admission/batching policy but
+// runs it on a logical clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/servable.h"
+#include "support/threadpool.h"
+
+namespace s4tf::serve {
+
+// Completion handle for one request. Fulfilled exactly once.
+class ServeFuture {
+ public:
+  // Blocks until the request is served, shed, or failed.
+  const Status& Wait() const;
+  bool done() const;
+  // Valid only after Wait() returned an ok status.
+  const Literal& output() const;
+
+ private:
+  friend class Server;
+  void Fulfill(Status status, Literal output);
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+  Literal output_;
+};
+
+class Server {
+ public:
+  // The servable must outlive the server. Workers start immediately.
+  Server(Servable& servable, BatchingOptions options);
+  // Shutdown(): drains, then joins.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Thread-safe. Returns a future that always completes (see above).
+  std::shared_ptr<ServeFuture> Submit(Literal sample);
+
+  // Stops admission (subsequent Submits shed with FailedPrecondition),
+  // drains every accepted request, joins the workers. Idempotent.
+  void Shutdown();
+
+  // Per-server totals (the process-wide serve.* counters aggregate across
+  // servers; tests with several servers read these instead).
+  struct Stats {
+    std::int64_t submitted = 0;
+    std::int64_t accepted = 0;
+    std::int64_t shed = 0;
+    std::int64_t responses = 0;
+    std::int64_t failed = 0;
+    std::int64_t batches = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    Literal sample;
+    std::shared_ptr<ServeFuture> future;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+
+  Servable& servable_;
+  const BatchingOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool accepting_ = true;
+  bool shutdown_ = false;
+  Stats stats_;
+
+  // Worker substrate: a private PR-1 pool; the coordinator thread hosts
+  // the blocking ParallelFor whose long-running bodies are the worker
+  // loops (and claims one loop itself).
+  ThreadPool pool_;
+  std::thread coordinator_;
+};
+
+}  // namespace s4tf::serve

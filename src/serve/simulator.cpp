@@ -1,0 +1,238 @@
+#include "serve/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "support/logging.h"
+
+namespace s4tf::serve {
+namespace {
+
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+// One dispatched batch executing on a (simulated) worker.
+struct BatchInFlight {
+  std::int64_t done_at = 0;
+  std::vector<int> indices;  // request indices, batch row order
+  Literal outputs;           // populated iff execute_numerics
+  bool has_outputs = false;
+};
+
+struct LaterDone {
+  bool operator()(const BatchInFlight& a, const BatchInFlight& b) const {
+    // Tie-break on the first request index so heap pop order is a pure
+    // function of the schedule, not of heap internals.
+    if (a.done_at != b.done_at) return a.done_at > b.done_at;
+    return a.indices.front() > b.indices.front();
+  }
+};
+
+struct Waiting {
+  int index = 0;
+  std::int64_t arrival_ns = 0;
+  std::int64_t deadline_ns = 0;  // arrival + batch_timeout
+};
+
+std::int64_t CostNs(Servable& servable, int padded_batch) {
+  const double seconds = servable.CostSeconds(padded_batch);
+  S4TF_CHECK(seconds >= 0.0);
+  return static_cast<std::int64_t>(seconds * 1e9);
+}
+
+double Percentile(const std::vector<std::int64_t>& sorted_ns, int pct) {
+  if (sorted_ns.empty()) return 0.0;
+  const std::size_t index =
+      (sorted_ns.size() - 1) * static_cast<std::size_t>(pct) / 100;
+  return static_cast<double>(sorted_ns[index]) / 1e6;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> GenerateArrivals(const ArrivalProcess& process) {
+  S4TF_CHECK_GE(process.num_requests, 0);
+  std::vector<std::int64_t> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(process.num_requests));
+  Rng rng(process.seed);
+  std::int64_t t = 0;
+  for (int i = 0; i < process.num_requests; ++i) {
+    arrivals.push_back(t);
+    if (process.fixed_interarrival_ns >= 0) {
+      t += process.fixed_interarrival_ns;
+    } else {
+      // Exponential gap, truncated to whole nanoseconds. The truncation
+      // absorbs any last-ulp std::log variation across libms, so the
+      // committed bench baseline diffs clean on every host.
+      const double u = rng.NextDouble();
+      const std::int64_t gap = static_cast<std::int64_t>(
+          -std::log(1.0 - u) * process.mean_interarrival_ns);
+      t += gap;
+    }
+  }
+  return arrivals;
+}
+
+SimResult SimulateServing(Servable& servable,
+                          const std::vector<std::int64_t>& arrivals_ns,
+                          const SimOptions& options) {
+  // The same instruments the threaded Server drives: counter-delta tests
+  // pin exact equalities against simulated traffic, and a process serving
+  // real + simulated load aggregates both (cumulative counters, compared
+  // as before/after deltas, never absolutes).
+  static obs::Counter* sim_requests = obs::GetCounter("serve.requests");
+  static obs::Counter* sim_shed = obs::GetCounter("serve.shed");
+  static obs::Counter* sim_accepted = obs::GetCounter("serve.accepted");
+  static obs::Counter* sim_responses = obs::GetCounter("serve.responses");
+  static obs::Counter* sim_batches = obs::GetCounter("serve.batches");
+  static obs::Counter* sim_samples = obs::GetCounter("serve.batch.samples");
+  static obs::Counter* sim_padding = obs::GetCounter("serve.batch.padding");
+  static obs::Gauge* sim_depth = obs::GetGauge("serve.queue_depth");
+  static obs::Histogram* latency = obs::GetHistogram("serve.latency");
+
+  const BatchingOptions& batching = options.batching;
+  S4TF_CHECK_GE(batching.max_batch, 1);
+  S4TF_CHECK_GE(batching.max_queue, 1);
+  const int num_workers = std::max(1, batching.num_workers);
+  if (options.execute_numerics) {
+    S4TF_CHECK(options.make_sample != nullptr)
+        << "execute_numerics requires make_sample";
+  }
+
+  SimResult result;
+  result.requests.resize(arrivals_ns.size());
+
+  std::deque<Waiting> queue;
+  std::priority_queue<BatchInFlight, std::vector<BatchInFlight>, LaterDone>
+      in_flight;
+  int idle_workers = num_workers;
+  std::size_t next_arrival = 0;
+  std::vector<std::int64_t> latencies_ns;
+
+  auto record_completion = [&](const BatchInFlight& batch) {
+    for (std::size_t row = 0; row < batch.indices.size(); ++row) {
+      const int index = batch.indices[row];
+      SimRequestResult& rr =
+          result.requests[static_cast<std::size_t>(index)];
+      rr.completion_ns = batch.done_at;
+      rr.status = Status::Ok();
+      if (batch.has_outputs) {
+        rr.output = SliceSample(batch.outputs, static_cast<int>(row));
+      }
+      const std::int64_t lat = batch.done_at - rr.arrival_ns;
+      latencies_ns.push_back(lat);
+      latency->Record(static_cast<double>(lat) / 1e9);
+      sim_responses->Increment();
+      result.completed++;
+      result.makespan_ns = std::max(result.makespan_ns, batch.done_at);
+    }
+  };
+
+  // Dispatches every batch that is due at logical time `now`.
+  auto try_dispatch = [&](std::int64_t now) {
+    while (idle_workers > 0 && !queue.empty() &&
+           (static_cast<int>(queue.size()) >= batching.max_batch ||
+            queue.front().deadline_ns <= now)) {
+      const int take = std::min(static_cast<int>(queue.size()),
+                                batching.max_batch);
+      BatchInFlight batch;
+      batch.indices.reserve(static_cast<std::size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.indices.push_back(queue.front().index);
+        queue.pop_front();
+      }
+      const int padded = servable.PaddedBatch(take);
+      batch.done_at = now + CostNs(servable, padded);
+      result.batches++;
+      result.batch_samples += take;
+      result.padded_samples += padded - take;
+      sim_batches->Increment();
+      sim_samples->Add(take);
+      sim_padding->Add(padded - take);
+      if (options.execute_numerics) {
+        std::vector<Literal> samples;
+        samples.reserve(batch.indices.size());
+        for (int index : batch.indices) {
+          samples.push_back(options.make_sample(index));
+        }
+        std::vector<const Literal*> sample_ptrs;
+        sample_ptrs.reserve(samples.size());
+        for (const Literal& s : samples) sample_ptrs.push_back(&s);
+        batch.outputs = servable.RunBatch(
+            AssembleBatch(sample_ptrs, servable.sample_shape(), padded));
+        batch.has_outputs = true;
+      }
+      idle_workers--;
+      in_flight.push(std::move(batch));
+    }
+  };
+
+  while (next_arrival < arrivals_ns.size() || !in_flight.empty() ||
+         !queue.empty()) {
+    // Next event time: completion, arrival, or a timeout firing while a
+    // worker is idle (a timeout with no idle worker is not an event — the
+    // batch dispatches at the completion that frees one).
+    std::int64_t t = kNever;
+    if (!in_flight.empty()) t = std::min(t, in_flight.top().done_at);
+    if (next_arrival < arrivals_ns.size()) {
+      t = std::min(t, arrivals_ns[next_arrival]);
+    }
+    if (idle_workers > 0 && !queue.empty()) {
+      t = std::min(t, queue.front().deadline_ns);
+    }
+    S4TF_CHECK(t != kNever) << "simulator deadlock: no runnable event";
+
+    // 1. Completions at t free workers (and record results).
+    while (!in_flight.empty() && in_flight.top().done_at == t) {
+      record_completion(in_flight.top());
+      in_flight.pop();
+      idle_workers++;
+    }
+    // 2. Dispatch anything already due (timeouts, or backlog a freed
+    //    worker can drain) before this instant's arrivals join.
+    try_dispatch(t);
+    // 3. Arrivals at t: admission control against the bounded queue.
+    while (next_arrival < arrivals_ns.size() &&
+           arrivals_ns[next_arrival] == t) {
+      const int index = static_cast<int>(next_arrival);
+      SimRequestResult& rr = result.requests[static_cast<std::size_t>(index)];
+      rr.arrival_ns = t;
+      sim_requests->Increment();
+      if (static_cast<int>(queue.size()) >= batching.max_queue) {
+        rr.status = Status::Unavailable("serving queue full: load shed");
+        result.shed++;
+        sim_shed->Increment();
+      } else {
+        sim_accepted->Increment();
+        queue.push_back(Waiting{index, t, t + batching.batch_timeout_ns});
+        result.max_queue_depth = std::max(
+            result.max_queue_depth, static_cast<std::int64_t>(queue.size()));
+        sim_depth->SetMax(static_cast<std::int64_t>(queue.size()));
+      }
+      next_arrival++;
+    }
+    // 4. A full batch may have formed from this instant's arrivals.
+    try_dispatch(t);
+  }
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  result.p50_ms = Percentile(latencies_ns, 50);
+  result.p99_ms = Percentile(latencies_ns, 99);
+  if (!latencies_ns.empty()) {
+    std::int64_t total = 0;
+    for (std::int64_t lat : latencies_ns) total += lat;
+    result.mean_ms =
+        static_cast<double>(total) / static_cast<double>(latencies_ns.size()) /
+        1e6;
+  }
+  if (result.makespan_ns > 0) {
+    result.throughput_rps = static_cast<double>(result.completed) /
+                            (static_cast<double>(result.makespan_ns) / 1e9);
+  }
+  return result;
+}
+
+}  // namespace s4tf::serve

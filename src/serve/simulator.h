@@ -1,0 +1,96 @@
+// Deterministic open-loop serving simulation: the bit-reproducible half of
+// the serving runtime.
+//
+// The threaded Server (server.h) proves liveness and output correctness,
+// but its batch composition depends on OS scheduling, so its counters are
+// only bounded, not pinned. This discrete-event simulator runs the SAME
+// admission / coalescing / shedding policy on a logical int64 nanosecond
+// clock with modeled service times (Servable::CostSeconds — pure
+// arithmetic, no wall clock anywhere in the logical path), so every
+// number it produces — shed counts, batch compositions, queue high-water,
+// p50/p99 latency, throughput — is bit-identical across reruns, thread
+// counts, and machines. Overload tests pin exact counter equalities
+// against it; BENCH_serve.json commits its output as a CI-diffed
+// artifact.
+//
+// Arrival model: open loop (arrivals don't react to completions — the
+// overload regime closed-loop clients can't express). Interarrival gaps
+// are either exponential draws from a seeded Rng truncated to integer
+// nanoseconds (truncation absorbs any 1-ulp libm variation across hosts)
+// or a fixed gap for hand-checkable pinned tests.
+//
+// Event ordering at equal timestamps is fixed: completions, then a
+// dispatch attempt, then arrivals, then a second dispatch attempt. A
+// batch dispatches when a worker is idle and the queue either holds
+// max_batch requests or its oldest request has aged past batch_timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve/servable.h"
+#include "support/rng.h"
+
+namespace s4tf::serve {
+
+struct ArrivalProcess {
+  std::uint64_t seed = 0;
+  int num_requests = 0;
+  // Mean of the exponential interarrival distribution.
+  double mean_interarrival_ns = 1e6;
+  // When >= 0, overrides the exponential draws with a constant gap
+  // (requests at 0, g, 2g, ...): hand-checkable overload tests.
+  std::int64_t fixed_interarrival_ns = -1;
+};
+
+// Arrival timestamps (ns, non-decreasing, first at 0).
+std::vector<std::int64_t> GenerateArrivals(const ArrivalProcess& process);
+
+struct SimOptions {
+  BatchingOptions batching;
+  // When true, each dispatched batch actually runs through the servable
+  // and per-request outputs are recorded (numerics + scheduling in one
+  // run). When false only the schedule is simulated: cost-model-fast,
+  // used for pinned-counter sweeps and the bench frontier.
+  bool execute_numerics = false;
+  // Required iff execute_numerics: builds request i's input sample.
+  std::function<Literal(int request_index)> make_sample;
+};
+
+struct SimRequestResult {
+  std::int64_t arrival_ns = 0;
+  // Completion on the logical clock; -1 for shed requests.
+  std::int64_t completion_ns = -1;
+  Status status;
+  Literal output;  // set only when execute_numerics and status.ok()
+};
+
+struct SimResult {
+  std::vector<SimRequestResult> requests;  // indexed by request
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t batches = 0;
+  // Real samples batched / zero-padding rows added across all batches.
+  std::int64_t batch_samples = 0;
+  std::int64_t padded_samples = 0;
+  std::int64_t max_queue_depth = 0;
+  // Last completion timestamp (0 if nothing completed).
+  std::int64_t makespan_ns = 0;
+  // Latency percentiles over completed requests, logical milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  // completed / makespan.
+  double throughput_rps = 0.0;
+};
+
+// Runs the full open-loop simulation. Drives the same process-wide
+// serve.* obs counters as the threaded Server (deterministic deltas when
+// only simulated traffic runs between snapshots) and the serve.latency
+// histogram (logical-time valued here, so deterministic too).
+SimResult SimulateServing(Servable& servable,
+                          const std::vector<std::int64_t>& arrivals_ns,
+                          const SimOptions& options);
+
+}  // namespace s4tf::serve

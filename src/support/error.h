@@ -76,6 +76,9 @@ enum class StatusCode {
   kUnimplemented,
   kOutOfRange,
   kInternal,
+  // The caller should retry later: the service is temporarily over
+  // capacity (e.g. a serving queue sheds load under overload, §src/serve).
+  kUnavailable,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -105,6 +108,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

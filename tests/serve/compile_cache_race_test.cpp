@@ -1,0 +1,95 @@
+// Concurrency audit for xla::CompileCache::GetOrCompile under a serving
+// worker pool: N workers racing on a cold cache must compile exactly once
+// per distinct program (counter-backed; the serve suite runs under TSAN
+// in CI, so the lock discipline is checked too).
+#include "xla/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "lazy/lazy_tensor.h"
+#include "serve/mlp.h"
+#include "support/rng.h"
+#include "support/threadpool.h"
+
+namespace s4tf::serve {
+namespace {
+
+// Traces the test MLP at one batch size and returns the lowered module.
+xla::HloModule TraceMlp(const MlpModel& model, int batch) {
+  LazyBackend backend;
+  const Tensor input =
+      Tensor::Zeros(Shape({batch, model.input_size}), backend.device());
+  const Tensor output = model.Fn()(input);
+  auto* impl = dynamic_cast<LazyImpl*>(output.impl().get());
+  std::vector<std::shared_ptr<LazyNode>> leaves;
+  return LowerTrace({impl->node()}, &leaves);
+}
+
+TEST(CompileCacheRaceTest, RacingWorkersCompileExactlyOnce) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Create(6, 10, 4, rng);
+  const xla::HloModule module = TraceMlp(model, 8);
+
+  xla::CompileCache cache;
+  constexpr int kCalls = 32;
+  std::vector<std::shared_ptr<xla::Executable>> executables(kCalls);
+  ThreadPool pool(8);
+  pool.ParallelFor(kCalls, [&](std::int64_t i) {
+    executables[static_cast<std::size_t>(i)] = cache.GetOrCompile(module);
+  });
+
+  // Exactly one compile; every other call was a hit on the same object.
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), kCalls - 1);
+  EXPECT_EQ(cache.size(), 1u);
+  for (int i = 1; i < kCalls; ++i) {
+    EXPECT_EQ(executables[static_cast<std::size_t>(i)], executables[0]);
+  }
+}
+
+TEST(CompileCacheRaceTest, DistinctShapesCompileIndependentlyUnderRace) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Create(6, 10, 4, rng);
+  const xla::HloModule batch1 = TraceMlp(model, 1);
+  const xla::HloModule batch8 = TraceMlp(model, 8);
+
+  xla::CompileCache cache;
+  constexpr int kCalls = 32;
+  std::vector<std::shared_ptr<xla::Executable>> executables(kCalls);
+  ThreadPool pool(8);
+  pool.ParallelFor(kCalls, [&](std::int64_t i) {
+    const xla::HloModule& module = (i % 2 == 0) ? batch1 : batch8;
+    executables[static_cast<std::size_t>(i)] = cache.GetOrCompile(module);
+  });
+
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), kCalls - 2);
+  EXPECT_EQ(cache.size(), 2u);
+  // Each parity class resolved to one executable, and they differ.
+  for (int i = 2; i < kCalls; ++i) {
+    EXPECT_EQ(executables[static_cast<std::size_t>(i)],
+              executables[static_cast<std::size_t>(i % 2)]);
+  }
+  EXPECT_NE(executables[0], executables[1]);
+}
+
+// Re-tracing the same model at the same shape with fresh literal data must
+// fingerprint-hit (constants are excluded from the fingerprint): this is
+// what makes per-request re-traces free in steady state.
+TEST(CompileCacheRaceTest, RetracedModuleHitsCache) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Create(6, 10, 4, rng);
+  xla::CompileCache cache;
+  const auto first = cache.GetOrCompile(TraceMlp(model, 4));
+  const auto second = cache.GetOrCompile(TraceMlp(model, 4));
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace s4tf::serve

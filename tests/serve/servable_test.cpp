@@ -1,0 +1,291 @@
+// Servable-layer determinism suite: batched serving must be bit-identical
+// to sequential single-sample inference, across batch sizes, intra-op
+// thread counts, and execution backends; and the XLA serving path must be
+// compile-once/run-many (counter-pinned).
+#include "serve/servable.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "eager/eager_backend.h"
+#include "nn/datasets.h"
+#include "nn/models/spline.h"
+#include "obs/metrics.h"
+#include "serve/batch.h"
+#include "serve/mlp.h"
+#include "support/rng.h"
+#include "support/threadpool.h"
+
+namespace s4tf::serve {
+namespace {
+
+constexpr int kIn = 6;
+constexpr int kHidden = 10;
+constexpr int kOut = 4;
+
+MlpModel TestModel(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return MlpModel::Create(kIn, kHidden, kOut, rng);
+}
+
+std::vector<Literal> TestSamples(const MlpModel& model, int n,
+                                 std::uint64_t seed = 11) {
+  Rng rng(seed);
+  std::vector<Literal> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> data(static_cast<std::size_t>(model.input_size));
+    rng.FillUniform(data.data(), data.size(), -1.0f, 1.0f);
+    samples.push_back(Literal::FromVector(model.sample_shape(),
+                                          std::move(data)));
+  }
+  return samples;
+}
+
+bool BitIdentical(const Literal& a, const Literal& b) {
+  if (!(a.shape == b.shape)) return false;
+  return std::memcmp(a.data.data(), b.data.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// Restores the default intra-op pool size when a sweep finishes.
+struct IntraOpGuard {
+  ~IntraOpGuard() { SetIntraOpThreads(0); }
+};
+
+// Runs `samples` through the servable in batches of `batch` and asserts
+// every output row is bit-identical to the model's single-sample
+// reference path.
+void ExpectBatchedMatchesReference(Servable& servable, const MlpModel& model,
+                                   const std::vector<Literal>& samples,
+                                   int batch) {
+  for (std::size_t start = 0; start < samples.size();
+       start += static_cast<std::size_t>(batch)) {
+    std::vector<const Literal*> window;
+    for (std::size_t i = start;
+         i < samples.size() && i < start + static_cast<std::size_t>(batch);
+         ++i) {
+      window.push_back(&samples[i]);
+    }
+    const int padded = servable.PaddedBatch(static_cast<int>(window.size()));
+    const Literal out = servable.RunBatch(
+        AssembleBatch(window, servable.sample_shape(), padded));
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const Literal expected = model.ReferenceForward(*window[i]);
+      const Literal got = SliceSample(out, static_cast<int>(i));
+      EXPECT_TRUE(BitIdentical(expected, got))
+          << "batch=" << batch << " sample=" << start + i;
+    }
+  }
+}
+
+TEST(BatchTest, PaddedBatchSizePowersOfTwo) {
+  EXPECT_EQ(PaddedBatchSize(1, 8), 1);
+  EXPECT_EQ(PaddedBatchSize(2, 8), 2);
+  EXPECT_EQ(PaddedBatchSize(3, 8), 4);
+  EXPECT_EQ(PaddedBatchSize(4, 8), 4);
+  EXPECT_EQ(PaddedBatchSize(5, 8), 8);
+  EXPECT_EQ(PaddedBatchSize(8, 8), 8);
+  EXPECT_EQ(PaddedBatchSize(1, 1), 1);
+  EXPECT_EQ(PaddedBatchSize(3, 4), 4);
+}
+
+TEST(BatchTest, AssembleAndSliceRoundTrip) {
+  const Shape sample_shape({3});
+  const Literal a = Literal::FromVector(sample_shape, {1, 2, 3});
+  const Literal b = Literal::FromVector(sample_shape, {4, 5, 6});
+  const Literal batch = AssembleBatch({&a, &b}, sample_shape, 4);
+  EXPECT_EQ(batch.shape, Shape({4, 3}));
+  EXPECT_TRUE(BitIdentical(SliceSample(batch, 0), a));
+  EXPECT_TRUE(BitIdentical(SliceSample(batch, 1), b));
+  // Padding rows are zero.
+  EXPECT_TRUE(BitIdentical(SliceSample(batch, 2), Literal::Zeros(sample_shape)));
+  EXPECT_TRUE(BitIdentical(SliceSample(batch, 3), Literal::Zeros(sample_shape)));
+}
+
+// The tentpole property: the compiled (lazy-traced, XLA-cached) serving
+// path produces bit-identical outputs for every batch size x intra-op
+// thread count combination.
+TEST(ServableDeterminismTest, XlaBatchedBitIdenticalAcrossBatchAndThreads) {
+  const MlpModel model = TestModel();
+  const std::vector<Literal> samples = TestSamples(model, 16);
+  XlaServable servable("mlp", model.Fn(), model.sample_shape());
+  IntraOpGuard guard;
+  for (int threads : {1, 2, 4}) {
+    SetIntraOpThreads(threads);
+    for (int batch : {1, 2, 4, 8}) {
+      ExpectBatchedMatchesReference(servable, model, samples, batch);
+    }
+  }
+}
+
+TEST(ServableDeterminismTest, EagerServableBitIdentical) {
+  const MlpModel model = TestModel();
+  const std::vector<Literal> samples = TestSamples(model, 8);
+  EagerBackend backend;
+  TensorFnServable servable("mlp-eager", model.Fn(), model.sample_shape(),
+                            backend.device());
+  IntraOpGuard guard;
+  for (int threads : {1, 2, 4}) {
+    SetIntraOpThreads(threads);
+    for (int batch : {1, 2, 4, 8}) {
+      ExpectBatchedMatchesReference(servable, model, samples, batch);
+    }
+  }
+}
+
+TEST(ServableDeterminismTest, NaiveServableBitIdentical) {
+  const MlpModel model = TestModel();
+  const std::vector<Literal> samples = TestSamples(model, 8);
+  TensorFnServable servable("mlp-naive", model.Fn(), model.sample_shape(),
+                            NaiveDevice());
+  for (int batch : {1, 3, 8}) {
+    ExpectBatchedMatchesReference(servable, model, samples, batch);
+  }
+}
+
+// The paper's amortize-the-JIT claim applied across requests: after
+// Warmup, steady-state traffic records exactly 0 new compiles while every
+// batch invocation is a cache hit.
+TEST(XlaServableTest, SteadyStateZeroNewCompiles) {
+  const MlpModel model = TestModel();
+  const std::vector<Literal> samples = TestSamples(model, 8);
+  XlaServable servable("mlp", model.Fn(), model.sample_shape());
+  servable.Warmup();
+  // Cold start: one compile per padded batch shape {1, 2, 4, 8}.
+  EXPECT_EQ(servable.compiles(), 4);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  const std::int64_t hits_before = servable.executable_hits();
+  int batches = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int batch : {1, 2, 4, 8, 3, 5}) {
+      std::vector<const Literal*> window;
+      for (int i = 0; i < batch; ++i) {
+        window.push_back(&samples[static_cast<std::size_t>(i)]);
+      }
+      const int padded = servable.PaddedBatch(batch);
+      servable.RunBatch(
+          AssembleBatch(window, servable.sample_shape(), padded));
+      batches++;
+    }
+  }
+  const auto delta = obs::MetricsRegistry::Global().Snapshot()
+                         .CounterDeltaSince(before);
+  const auto misses = delta.find("xla.cache.misses");
+  EXPECT_EQ(servable.compiles(), 4) << "steady state must not compile";
+  EXPECT_EQ(misses == delta.end() ? 0 : misses->second, 0);
+  // Every batch went through the cache and hit.
+  EXPECT_EQ(servable.executable_hits() - hits_before, batches);
+}
+
+TEST(XlaServableTest, ColdCompilesOncePerPaddedShape) {
+  const MlpModel model = TestModel();
+  const std::vector<Literal> samples = TestSamples(model, 8);
+  XlaServable servable("mlp", model.Fn(), model.sample_shape());
+  for (int batch : {1, 8, 8, 2, 8}) {
+    std::vector<const Literal*> window;
+    for (int i = 0; i < batch; ++i) {
+      window.push_back(&samples[static_cast<std::size_t>(i)]);
+    }
+    servable.RunBatch(AssembleBatch(window, servable.sample_shape(),
+                                    servable.PaddedBatch(batch)));
+  }
+  // Three distinct padded shapes were served: {1, 8, 2}.
+  EXPECT_EQ(servable.compiles(), 3);
+}
+
+// --- The mobile interpreter as a served executable (paper Table 4's
+// deployment format behind the request API). ---
+
+struct SplineSetup {
+  Literal basis;
+  std::vector<float> targets;
+  int knots = 12;
+};
+
+SplineSetup MakeSplineSetup() {
+  const nn::SplineData data = nn::MakeGlobalSplineData(96, 321);
+  SplineSetup s;
+  s.basis = nn::BuildSplineBasis(data.xs, s.knots).ToLiteral();
+  s.targets = data.targets.ToVector();
+  return s;
+}
+
+std::vector<std::vector<float>> ControlVectors(int n, int knots) {
+  Rng rng(99);
+  std::vector<std::vector<float>> vs(static_cast<std::size_t>(n));
+  for (auto& v : vs) {
+    v.resize(static_cast<std::size_t>(knots));
+    rng.FillUniform(v.data(), v.size(), -1.0f, 1.0f);
+  }
+  return vs;
+}
+
+TEST(SplineServableTest, LossBitwiseMatchesDirectInterpreter) {
+  const SplineSetup setup = MakeSplineSetup();
+  auto served_runtime = frameworks::MakeS4tfMobileRuntime();
+  served_runtime->Initialize(setup.basis, setup.targets);
+  SplineServable servable("spline-loss", std::move(served_runtime),
+                          setup.knots, SplineSignal::kLoss);
+
+  auto direct = frameworks::MakeS4tfMobileRuntime();
+  direct->Initialize(setup.basis, setup.targets);
+
+  const auto controls = ControlVectors(6, setup.knots);
+  std::vector<Literal> samples;
+  for (const auto& c : controls) {
+    samples.push_back(Literal::FromVector(Shape({setup.knots}),
+                                          std::vector<float>(c)));
+  }
+  std::vector<const Literal*> ptrs;
+  for (const Literal& s : samples) ptrs.push_back(&s);
+  const Literal out = servable.RunBatch(
+      AssembleBatch(ptrs, servable.sample_shape(),
+                    servable.PaddedBatch(static_cast<int>(ptrs.size()))));
+  ASSERT_EQ(out.shape, Shape({6, 1}));
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    const float direct_loss = direct->Loss(controls[i]);
+    EXPECT_EQ(std::memcmp(&direct_loss, out.data.data() + i, sizeof(float)),
+              0)
+        << "row " << i;
+  }
+}
+
+TEST(SplineServableTest, GradientBitwiseMatchesDirectInterpreter) {
+  const SplineSetup setup = MakeSplineSetup();
+  auto served_runtime = frameworks::MakeS4tfMobileRuntime();
+  served_runtime->Initialize(setup.basis, setup.targets);
+  SplineServable servable("spline-grad", std::move(served_runtime),
+                          setup.knots, SplineSignal::kGradient);
+
+  auto direct = frameworks::MakeS4tfMobileRuntime();
+  direct->Initialize(setup.basis, setup.targets);
+
+  const auto controls = ControlVectors(4, setup.knots);
+  std::vector<Literal> samples;
+  for (const auto& c : controls) {
+    samples.push_back(Literal::FromVector(Shape({setup.knots}),
+                                          std::vector<float>(c)));
+  }
+  std::vector<const Literal*> ptrs;
+  for (const Literal& s : samples) ptrs.push_back(&s);
+  const Literal out = servable.RunBatch(
+      AssembleBatch(ptrs, servable.sample_shape(),
+                    servable.PaddedBatch(static_cast<int>(ptrs.size()))));
+  ASSERT_EQ(out.shape, Shape({4, setup.knots}));
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    const std::vector<float> grad = direct->Gradient(controls[i]);
+    const Literal row = SliceSample(out, static_cast<int>(i));
+    ASSERT_EQ(static_cast<std::size_t>(row.size()), grad.size());
+    EXPECT_EQ(std::memcmp(grad.data(), row.data.data(),
+                          grad.size() * sizeof(float)),
+              0)
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace s4tf::serve

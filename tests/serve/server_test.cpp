@@ -1,0 +1,251 @@
+// Threaded serving runtime tests: liveness, output correctness, admission
+// control, and clean failure semantics under real concurrency (these run
+// under TSAN in CI via the `serve` ctest label).
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/mlp.h"
+#include "support/rng.h"
+#include "tests/serve/test_servables.h"
+
+namespace s4tf::serve {
+namespace {
+
+Literal ScalarSample(float value) {
+  return Literal::FromVector(Shape({1}), {value});
+}
+
+TEST(ServerTest, ServesAllRequestsBitIdenticalToReference) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Create(6, 10, 4, rng);
+  XlaServable servable("mlp", model.Fn(), model.sample_shape());
+  servable.Warmup();
+
+  BatchingOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.batch_timeout_ns = 100'000;
+  Server server(servable, options);
+
+  std::vector<Literal> samples;
+  std::vector<std::shared_ptr<ServeFuture>> futures;
+  Rng sample_rng(11);
+  for (int i = 0; i < 32; ++i) {
+    std::vector<float> data(6);
+    sample_rng.FillUniform(data.data(), data.size(), -1.0f, 1.0f);
+    samples.push_back(
+        Literal::FromVector(model.sample_shape(), std::move(data)));
+    futures.push_back(server.Submit(samples.back()));
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(futures[static_cast<std::size_t>(i)]->Wait().ok())
+        << "request " << i;
+    const Literal expected =
+        model.ReferenceForward(samples[static_cast<std::size_t>(i)]);
+    const Literal& got = futures[static_cast<std::size_t>(i)]->output();
+    ASSERT_EQ(expected.shape, got.shape);
+    EXPECT_EQ(std::memcmp(expected.data.data(), got.data.data(),
+                          static_cast<std::size_t>(expected.size()) *
+                              sizeof(float)),
+              0)
+        << "request " << i;
+  }
+  server.Shutdown();
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 32);
+  EXPECT_EQ(stats.accepted, 32);
+  EXPECT_EQ(stats.responses, 32);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(ServerTest, ConcurrentClientsAllServed) {
+  FixedCostServable servable(1e-6);
+  BatchingOptions options;
+  options.num_workers = 4;
+  options.max_batch = 8;
+  options.max_queue = 4096;
+  Server server(servable, options);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 32;
+  std::vector<std::thread> clients;
+  std::mutex results_mutex;
+  int wrong = 0;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::shared_ptr<ServeFuture>> futures;
+      for (int i = 0; i < kPerClient; ++i) {
+        futures.push_back(
+            server.Submit(ScalarSample(static_cast<float>(c * 1000 + i))));
+      }
+      int bad = 0;
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto& f = futures[static_cast<std::size_t>(i)];
+        if (!f->Wait().ok()) {
+          bad++;
+          continue;
+        }
+        // FixedCostServable computes in + 1.
+        const float expected = static_cast<float>(c * 1000 + i) + 1.0f;
+        if (f->output().data.data()[0] != expected) bad++;
+      }
+      std::lock_guard<std::mutex> lock(results_mutex);
+      wrong += bad;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong, 0);
+  server.Shutdown();
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.accepted, kClients * kPerClient);
+  EXPECT_EQ(stats.responses, kClients * kPerClient);
+}
+
+TEST(ServerTest, SheddingBoundedQueueCleanStatuses) {
+  BlockingServable servable;
+  BatchingOptions options;
+  options.num_workers = 1;
+  options.max_batch = 1;
+  options.batch_timeout_ns = 0;  // dispatch immediately
+  options.max_queue = 2;
+  Server server(servable, options);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  // First request occupies the single worker inside RunBatch...
+  auto in_service = server.Submit(ScalarSample(0));
+  servable.WaitForEntered(1);
+  // ...two more fill the bounded queue...
+  auto queued1 = server.Submit(ScalarSample(1));
+  auto queued2 = server.Submit(ScalarSample(2));
+  // ...and everything beyond sheds instantly with a clean status (no
+  // hanging, no torn batches: the shed futures are already done).
+  std::vector<std::shared_ptr<ServeFuture>> shed;
+  for (int i = 0; i < 5; ++i) {
+    shed.push_back(server.Submit(ScalarSample(static_cast<float>(3 + i))));
+  }
+  for (const auto& f : shed) {
+    EXPECT_TRUE(f->done());
+    const Status& status = f->Wait();
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+  }
+
+  servable.Release();
+  EXPECT_TRUE(in_service->Wait().ok());
+  EXPECT_TRUE(queued1->Wait().ok());
+  EXPECT_TRUE(queued2->Wait().ok());
+  server.Shutdown();
+
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 8);
+  EXPECT_EQ(stats.accepted, 3);
+  EXPECT_EQ(stats.shed, 5);
+  EXPECT_EQ(stats.responses, 3);
+  EXPECT_EQ(stats.accepted + stats.shed, stats.submitted);
+
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(delta.at("serve.requests"), 8);
+  EXPECT_EQ(delta.at("serve.shed"), 5);
+  EXPECT_EQ(delta.at("serve.responses"), 3);
+}
+
+TEST(ServerTest, SubmitAfterShutdownRejectsCleanly) {
+  FixedCostServable servable(1e-6);
+  Server server(servable, BatchingOptions{});
+  server.Shutdown();
+  auto future = server.Submit(ScalarSample(1));
+  EXPECT_TRUE(future->done());
+  EXPECT_EQ(future->Wait().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerTest, ShutdownDrainsAcceptedRequests) {
+  FixedCostServable servable(1e-6);
+  BatchingOptions options;
+  options.num_workers = 2;
+  options.max_batch = 8;
+  // A long coalescing window: shutdown must flush partial batches instead
+  // of waiting it out (and must never drop an accepted request).
+  options.batch_timeout_ns = 2'000'000'000;
+  options.max_queue = 64;
+  Server server(servable, options);
+
+  std::vector<std::shared_ptr<ServeFuture>> futures;
+  for (int i = 0; i < 11; ++i) {
+    futures.push_back(server.Submit(ScalarSample(static_cast<float>(i))));
+  }
+  server.Shutdown();
+  for (int i = 0; i < 11; ++i) {
+    const auto& f = futures[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(f->Wait().ok()) << "request " << i;
+    EXPECT_EQ(f->output().data.data()[0], static_cast<float>(i) + 1.0f);
+  }
+  EXPECT_EQ(server.stats().responses, 11);
+}
+
+TEST(ServerTest, FailedBatchFailsEveryMemberCleanly) {
+  ThrowingServable servable;
+  BatchingOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.batch_timeout_ns = 50'000;
+  Server server(servable, options);
+
+  std::vector<std::shared_ptr<ServeFuture>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(ScalarSample(static_cast<float>(i))));
+  }
+  for (const auto& f : futures) {
+    const Status& status = f->Wait();
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  }
+  server.Shutdown();
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 8);
+  EXPECT_EQ(stats.failed, 8);
+  EXPECT_EQ(stats.responses, 0);
+}
+
+// Racing cold-start: many workers hammering an unwarmed XlaServable must
+// compile each padded shape exactly once (the serving-pool version of the
+// CompileCache race audit in compile_cache_race_test.cpp).
+TEST(ServerTest, WorkerPoolColdCacheCompilesOncePerShape) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Create(6, 10, 4, rng);
+  XlaServable servable("mlp", model.Fn(), model.sample_shape());
+
+  BatchingOptions options;
+  options.num_workers = 4;
+  options.max_batch = 4;
+  options.batch_timeout_ns = 20'000;
+  options.max_queue = 256;
+  Server server(servable, options);
+
+  std::vector<std::shared_ptr<ServeFuture>> futures;
+  Rng sample_rng(13);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<float> data(6);
+    sample_rng.FillUniform(data.data(), data.size(), -1.0f, 1.0f);
+    futures.push_back(server.Submit(
+        Literal::FromVector(model.sample_shape(), std::move(data))));
+  }
+  for (const auto& f : futures) ASSERT_TRUE(f->Wait().ok());
+  server.Shutdown();
+
+  // Batch composition is schedule-dependent, but padded sizes are drawn
+  // from {1, 2, 4}: at most 3 compiles, never one per batch.
+  EXPECT_GE(servable.compiles(), 1);
+  EXPECT_LE(servable.compiles(), 3);
+  EXPECT_EQ(server.stats().responses, 64);
+}
+
+}  // namespace
+}  // namespace s4tf::serve

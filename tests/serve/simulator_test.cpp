@@ -1,0 +1,282 @@
+// Deterministic overload suite: the open-loop serving simulation must be
+// bit-reproducible — exact counter equalities for shed/batch/queue-depth
+// under seeded bursts above capacity, pinned hand-computed schedules for
+// fixed arrival processes, and (with numerics on) outputs bit-identical
+// to the single-sample reference.
+#include "serve/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/mlp.h"
+#include "support/rng.h"
+#include "tests/serve/test_servables.h"
+
+namespace s4tf::serve {
+namespace {
+
+TEST(ArrivalsTest, FixedGapArrivals) {
+  ArrivalProcess process;
+  process.num_requests = 4;
+  process.fixed_interarrival_ns = 1000;
+  const std::vector<std::int64_t> arrivals = GenerateArrivals(process);
+  EXPECT_EQ(arrivals, (std::vector<std::int64_t>{0, 1000, 2000, 3000}));
+}
+
+TEST(ArrivalsTest, SeededExponentialArrivalsReproducible) {
+  ArrivalProcess process;
+  process.seed = 42;
+  process.num_requests = 256;
+  process.mean_interarrival_ns = 50'000;
+  const auto a = GenerateArrivals(process);
+  const auto b = GenerateArrivals(process);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 256u);
+  EXPECT_EQ(a.front(), 0);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+
+  ArrivalProcess other = process;
+  other.seed = 43;
+  EXPECT_NE(GenerateArrivals(other), a);
+}
+
+// Overload run reused by several tests: service is 10x slower than
+// arrivals with a queue of 2, so most of the burst must shed.
+//
+// Hand-computed schedule (1 worker, max_batch 1, timeout 0, cost 10us,
+// gap 1us, 20 requests):
+//   r0 dispatches at 0 (done 10us); r1, r2 queue; r3..r9 shed.
+//   10us: r1 dispatches (done 20us), r10 arrives into the queue;
+//         r11..r19 shed. 20us: r2 (done 30us). 30us: r10 (done 40us).
+// => completed {r0, r1, r2, r10}, shed 16, batches 4, makespan 40us,
+//    latencies {10, 19, 28, 30}us.
+SimResult RunPinnedOverload(Servable& servable) {
+  ArrivalProcess process;
+  process.num_requests = 20;
+  process.fixed_interarrival_ns = 1000;
+  SimOptions options;
+  options.batching.max_batch = 1;
+  options.batching.batch_timeout_ns = 0;
+  options.batching.max_queue = 2;
+  options.batching.num_workers = 1;
+  return SimulateServing(servable, GenerateArrivals(process), options);
+}
+
+TEST(SimulatorTest, OverloadShedsDeterministicallyPinnedSchedule) {
+  FixedCostServable servable(10e-6);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  const SimResult result = RunPinnedOverload(servable);
+
+  EXPECT_EQ(result.completed, 4);
+  EXPECT_EQ(result.shed, 16);
+  EXPECT_EQ(result.batches, 4);
+  EXPECT_EQ(result.batch_samples, 4);
+  EXPECT_EQ(result.padded_samples, 0);
+  EXPECT_EQ(result.max_queue_depth, 2);
+  EXPECT_EQ(result.makespan_ns, 40'000);
+  // Sorted latencies {10, 19, 28, 30}us: p50 = index 1, p99 = index 2.
+  EXPECT_EQ(result.p50_ms, 0.019);
+  EXPECT_EQ(result.p99_ms, 0.028);
+  EXPECT_EQ(result.throughput_rps, 4.0 / 40e-6);
+
+  // The exact counter equalities the overload contract promises.
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(delta.at("serve.requests"), 20);
+  EXPECT_EQ(delta.at("serve.shed"), 16);
+  EXPECT_EQ(delta.at("serve.accepted"), 4);
+  EXPECT_EQ(delta.at("serve.responses"), 4);
+  EXPECT_EQ(delta.at("serve.batches"), 4);
+}
+
+TEST(SimulatorTest, ShedRequestsGetCleanUnavailableStatus) {
+  FixedCostServable servable(10e-6);
+  const SimResult result = RunPinnedOverload(servable);
+  int ok = 0, unavailable = 0;
+  for (const SimRequestResult& rr : result.requests) {
+    if (rr.status.ok()) {
+      ok++;
+      EXPECT_GE(rr.completion_ns, 0);
+    } else {
+      // Every shed request carries exactly Status::Unavailable — never a
+      // hang (all 20 have a terminal status) and never a torn batch.
+      EXPECT_EQ(rr.status.code(), StatusCode::kUnavailable)
+          << rr.status.ToString();
+      unavailable++;
+      EXPECT_EQ(rr.completion_ns, -1);
+    }
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(unavailable, 16);
+}
+
+TEST(SimulatorTest, RerunBitStableUnderSeededBurstyOverload) {
+  // Poisson-like bursts at 2x the service rate with a bounded queue: the
+  // regime where threaded timing would scatter — the simulation must not.
+  auto run = [] {
+    FixedCostServable servable(40e-6, /*pad_max=*/8);
+    ArrivalProcess process;
+    process.seed = 1234;
+    process.num_requests = 512;
+    process.mean_interarrival_ns = 1'250;
+    SimOptions options;
+    options.batching.max_batch = 8;
+    options.batching.batch_timeout_ns = 10'000;
+    options.batching.max_queue = 16;
+    options.batching.num_workers = 2;
+    return SimulateServing(servable, GenerateArrivals(process), options);
+  };
+  const SimResult a = run();
+  const SimResult b = run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.batch_samples, b.batch_samples);
+  EXPECT_EQ(a.padded_samples, b.padded_samples);
+  EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  // Bit equality, not near-equality: these are doubles derived from
+  // integer nanoseconds.
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].arrival_ns, b.requests[i].arrival_ns);
+    EXPECT_EQ(a.requests[i].completion_ns, b.requests[i].completion_ns);
+    EXPECT_EQ(a.requests[i].status.code(), b.requests[i].status.code());
+  }
+  // Overload actually happened (otherwise this pins nothing).
+  EXPECT_GT(a.shed, 0);
+  EXPECT_LT(a.completed, 512);
+  EXPECT_EQ(a.completed + a.shed, 512);
+}
+
+TEST(SimulatorTest, BurstCoalescesIntoFullBatches) {
+  FixedCostServable servable(10e-6);
+  ArrivalProcess process;
+  process.num_requests = 32;
+  process.fixed_interarrival_ns = 0;  // one instantaneous burst
+  SimOptions options;
+  options.batching.max_batch = 8;
+  options.batching.batch_timeout_ns = 100'000;
+  options.batching.max_queue = 64;
+  options.batching.num_workers = 1;
+  const SimResult result =
+      SimulateServing(servable, GenerateArrivals(process), options);
+  EXPECT_EQ(result.completed, 32);
+  EXPECT_EQ(result.batches, 4);  // 32 requests / max_batch 8
+  EXPECT_EQ(result.batch_samples, 32);
+  EXPECT_EQ(result.padded_samples, 0);
+  EXPECT_EQ(result.max_queue_depth, 32);
+  EXPECT_EQ(result.makespan_ns, 40'000);  // 4 sequential batches x 10us
+}
+
+TEST(SimulatorTest, TimeoutFlushesPartialPaddedBatch) {
+  FixedCostServable servable(10e-6, /*pad_max=*/8);
+  ArrivalProcess process;
+  process.num_requests = 3;
+  process.fixed_interarrival_ns = 0;
+  SimOptions options;
+  options.batching.max_batch = 8;
+  options.batching.batch_timeout_ns = 5'000;
+  options.batching.num_workers = 1;
+  const SimResult result =
+      SimulateServing(servable, GenerateArrivals(process), options);
+  // 3 requests never fill the batch; the timeout flushes them at 5us as
+  // one batch of 3 padded to 4.
+  EXPECT_EQ(result.batches, 1);
+  EXPECT_EQ(result.batch_samples, 3);
+  EXPECT_EQ(result.padded_samples, 1);
+  EXPECT_EQ(result.completed, 3);
+  EXPECT_EQ(result.makespan_ns, 15'000);  // 5us timeout + 10us service
+  for (const SimRequestResult& rr : result.requests) {
+    EXPECT_EQ(rr.completion_ns, 15'000);
+  }
+}
+
+TEST(SimulatorTest, NumericsBitIdenticalToReferenceAcrossBatchSizes) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Create(6, 10, 4, rng);
+
+  // Fixed request samples shared by every configuration.
+  constexpr int kRequests = 24;
+  std::vector<Literal> samples;
+  Rng sample_rng(21);
+  for (int i = 0; i < kRequests; ++i) {
+    std::vector<float> data(6);
+    sample_rng.FillUniform(data.data(), data.size(), -1.0f, 1.0f);
+    samples.push_back(
+        Literal::FromVector(model.sample_shape(), std::move(data)));
+  }
+
+  for (int max_batch : {1, 4, 8}) {
+    XlaServableOptions xla_options;
+    xla_options.max_batch = max_batch;
+    XlaServable servable("mlp", model.Fn(), model.sample_shape(),
+                         xla_options);
+    ArrivalProcess process;
+    process.seed = 5;
+    process.num_requests = kRequests;
+    process.mean_interarrival_ns = 30'000;
+    SimOptions options;
+    options.batching.max_batch = max_batch;
+    options.batching.batch_timeout_ns = 50'000;
+    options.batching.max_queue = kRequests;  // nothing sheds
+    options.batching.num_workers = 2;
+    options.execute_numerics = true;
+    options.make_sample = [&samples](int index) {
+      return samples[static_cast<std::size_t>(index)];
+    };
+    const SimResult result =
+        SimulateServing(servable, GenerateArrivals(process), options);
+    ASSERT_EQ(result.completed, kRequests) << "max_batch=" << max_batch;
+    for (int i = 0; i < kRequests; ++i) {
+      const SimRequestResult& rr =
+          result.requests[static_cast<std::size_t>(i)];
+      ASSERT_TRUE(rr.status.ok());
+      const Literal expected =
+          model.ReferenceForward(samples[static_cast<std::size_t>(i)]);
+      ASSERT_EQ(expected.shape, rr.output.shape);
+      EXPECT_EQ(std::memcmp(expected.data.data(), rr.output.data.data(),
+                            static_cast<std::size_t>(expected.size()) *
+                                sizeof(float)),
+                0)
+          << "max_batch=" << max_batch << " request=" << i;
+    }
+  }
+}
+
+TEST(SimulatorTest, QueueDepthHighWaterPinned) {
+  FixedCostServable servable(100e-6);
+  ArrivalProcess process;
+  process.num_requests = 10;
+  process.fixed_interarrival_ns = 1000;
+  SimOptions options;
+  options.batching.max_batch = 1;
+  options.batching.batch_timeout_ns = 0;
+  options.batching.max_queue = 6;
+  options.batching.num_workers = 1;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  const std::int64_t gauge_before =
+      before.gauges.count("serve.queue_depth")
+          ? before.gauges.at("serve.queue_depth")
+          : 0;
+  const SimResult result =
+      SimulateServing(servable, GenerateArrivals(process), options);
+  // r0 in service at t=0; r1..r6 fill the queue to its bound of 6; the
+  // 100us service time means no completion frees space before r7..r9
+  // arrive, so all three shed.
+  EXPECT_EQ(result.max_queue_depth, 6);
+  EXPECT_EQ(result.shed, 3);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.gauges.at("serve.queue_depth"), 6);
+  EXPECT_GE(after.gauges.at("serve.queue_depth"), gauge_before);
+}
+
+}  // namespace
+}  // namespace s4tf::serve

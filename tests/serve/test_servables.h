@@ -1,0 +1,120 @@
+// Instrumented stub servables for server/simulator tests: fully
+// deterministic cost models and controllable execution so tests can pin
+// exact schedules (simulator) or force specific runtime states
+// (threaded server: a worker parked inside RunBatch, a batch that
+// throws).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/servable.h"
+
+namespace s4tf::serve {
+
+// Scalar-sample servable: out[i] = in[i] + 1. Constant modeled cost per
+// batch regardless of size (the pure "one launch per batch" regime where
+// batching pays maximally). Pads to powers of two when pad_max > 0.
+class FixedCostServable final : public Servable {
+ public:
+  explicit FixedCostServable(double batch_cost_seconds, int pad_max = 0)
+      : sample_shape_({1}),
+        batch_cost_seconds_(batch_cost_seconds),
+        pad_max_(pad_max) {}
+
+  const char* name() const override { return "fixed-cost"; }
+  const Shape& sample_shape() const override { return sample_shape_; }
+  int PaddedBatch(int batch) const override {
+    return pad_max_ > 0 ? PaddedBatchSize(batch, pad_max_) : batch;
+  }
+  Literal RunBatch(const Literal& batch) override {
+    run_batches_.fetch_add(1);
+    std::vector<float> out(batch.data.data(),
+                           batch.data.data() + batch.size());
+    for (float& v : out) v += 1.0f;
+    return Literal::FromVector(batch.shape, std::move(out));
+  }
+  double CostSeconds(int padded_batch) override {
+    (void)padded_batch;
+    return batch_cost_seconds_;
+  }
+
+  std::int64_t run_batches() const { return run_batches_.load(); }
+
+ private:
+  Shape sample_shape_;
+  double batch_cost_seconds_;
+  int pad_max_;
+  std::atomic<std::int64_t> run_batches_{0};
+};
+
+// Parks every RunBatch call on a condition variable until Release(): lets
+// a test hold a worker busy while it fills (and overflows) the queue.
+class BlockingServable final : public Servable {
+ public:
+  BlockingServable() : sample_shape_({1}) {}
+
+  const char* name() const override { return "blocking"; }
+  const Shape& sample_shape() const override { return sample_shape_; }
+  int PaddedBatch(int batch) const override { return batch; }
+  Literal RunBatch(const Literal& batch) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      entered_++;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    return batch;
+  }
+  double CostSeconds(int padded_batch) override {
+    (void)padded_batch;
+    return 1e-6;
+  }
+
+  // Blocks until `n` RunBatch calls are parked inside the servable.
+  void WaitForEntered(int n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  Shape sample_shape_;
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+// Every batch fails. The server must fail every member with a clean
+// Status::Internal and keep running.
+class ThrowingServable final : public Servable {
+ public:
+  ThrowingServable() : sample_shape_({1}) {}
+
+  const char* name() const override { return "throwing"; }
+  const Shape& sample_shape() const override { return sample_shape_; }
+  int PaddedBatch(int batch) const override { return batch; }
+  Literal RunBatch(const Literal& batch) override {
+    (void)batch;
+    throw std::runtime_error("injected servable failure");
+  }
+  double CostSeconds(int padded_batch) override {
+    (void)padded_batch;
+    return 1e-6;
+  }
+
+ private:
+  Shape sample_shape_;
+};
+
+}  // namespace s4tf::serve

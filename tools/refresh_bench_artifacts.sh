@@ -30,6 +30,7 @@ benches=(
   bench_ablation_passes
   bench_ablation_cow
   bench_autotune
+  bench_serve
 )
 
 for bench in "${benches[@]}"; do
