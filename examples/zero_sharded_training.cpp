@@ -1,0 +1,114 @@
+// ZeRO-style sharded optimizer state on a replica group.
+//
+// Runs the same LeNet + Adam training twice — replicated (every rank
+// holds the full optimizer state, gradients all-reduce) and sharded
+// (gradients reduce-scatter, each rank updates only its slot shard,
+// parameters all-gather back) — then verifies the trained weights are
+// bit-identical and prints how the collective traffic changed shape
+// and how much optimizer state each rank actually holds. Run with
+// S4TF_METRICS=1 to see the full dist.reduce_scatter.* /
+// dist.all_gather.* / nn.zero.* counter dump at exit.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "nn/models/lenet.h"
+#include "nn/optimizers.h"
+#include "nn/replica_group.h"
+#include "obs/metrics.h"
+
+using namespace s4tf;
+using namespace s4tf::nn;
+
+namespace {
+
+std::vector<std::vector<float>> Parameters(const LeNet& model) {
+  std::vector<std::vector<float>> params;
+  model.VisitParameters(
+      [&](const Tensor& p) { params.push_back(p.ToVector()); });
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kReplicas = 4;
+  constexpr int kSteps = 4;
+  constexpr int kGlobalBatch = 32;
+
+  const auto dataset = SyntheticImageDataset::Mnist(128, 7);
+
+  struct Run {
+    std::vector<std::vector<float>> params;
+    float loss = 0.0f;
+    std::int64_t max_state_bytes_per_rank = 0;
+    std::map<std::string, std::int64_t> traffic;
+  };
+
+  auto train = [&](bool sharded) {
+    ReplicaGroupOptions options;
+    options.sharded = sharded;
+    options.accelerator = AcceleratorSpec::TpuV3Core();
+    ReplicaGroup group(kReplicas, options);
+
+    Rng rng(12);
+    LeNet model(rng);
+    Adam<LeNet> adam(0.01f);
+
+    Run run;
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
+    for (int step = 0; step < kSteps; ++step) {
+      const LabeledBatch batch =
+          dataset.Batch(step, kGlobalBatch, NaiveDevice());
+      run.loss = group.TrainStep(model, adam, ShardBatch(batch, kReplicas));
+    }
+    run.traffic =
+        obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+    run.params = Parameters(model);
+    if (sharded) {
+      for (int r = 0; r < kReplicas; ++r) {
+        run.max_state_bytes_per_rank =
+            std::max(run.max_state_bytes_per_rank,
+                     group.zero_opt_state_bytes(r));
+      }
+    } else {
+      run.max_state_bytes_per_rank = OptimizerStateBytes(adam);
+    }
+    return run;
+  };
+
+  std::printf("ZeRO sharding demo: LeNet + Adam, %d replicas, %d steps\n\n",
+              kReplicas, kSteps);
+  const Run replicated = train(/*sharded=*/false);
+  const Run sharded = train(/*sharded=*/true);
+
+  const bool identical = sharded.params == replicated.params &&
+                         sharded.loss == replicated.loss;
+  std::printf("final loss    replicated %.6f  sharded %.6f\n",
+              replicated.loss, sharded.loss);
+  std::printf("trained weights bit-identical: %s\n\n",
+              identical ? "YES" : "NO");
+
+  std::printf("%-28s %12s %12s\n", "collective traffic", "replicated",
+              "sharded");
+  for (const char* name :
+       {"dist.allreduce.bytes", "dist.reduce_scatter.bytes",
+        "dist.all_gather.bytes", "dist.send.messages",
+        "nn.zero.sharded_steps"}) {
+    auto lookup = [&](const Run& run) {
+      const auto it = run.traffic.find(name);
+      return static_cast<long long>(
+          it == run.traffic.end() ? 0 : it->second);
+    };
+    std::printf("  %-26s %12lld %12lld\n", name, lookup(replicated),
+                lookup(sharded));
+  }
+  std::printf("\noptimizer state held per rank:\n");
+  std::printf("  replicated: %lld bytes (full state on every rank)\n",
+              static_cast<long long>(replicated.max_state_bytes_per_rank));
+  std::printf("  sharded:    %lld bytes (largest shard; slot-aligned cuts)\n",
+              static_cast<long long>(sharded.max_state_bytes_per_rank));
+  return identical ? 0 : 1;
+}

@@ -12,6 +12,8 @@ AcceleratorSpec AcceleratorSpec::TpuV3Core() {
   spec.kernel_launch_overhead = 2e-6;
   spec.allreduce_latency = 3e-6;    // dedicated ICI links
   spec.allreduce_bandwidth = 70e9;
+  spec.intra_host_latency = 1e-6;   // on-board ICI between local cores
+  spec.intra_host_bandwidth = 300e9;
   return spec;
 }
 
@@ -23,6 +25,8 @@ AcceleratorSpec AcceleratorSpec::Gtx1080() {
   spec.kernel_launch_overhead = 6e-6;  // CUDA launch latency
   spec.allreduce_latency = 20e-6;
   spec.allreduce_bandwidth = 10e9;  // PCIe
+  spec.intra_host_latency = 5e-6;   // NVLink-class local links
+  spec.intra_host_bandwidth = 50e9;
   return spec;
 }
 
@@ -34,6 +38,8 @@ AcceleratorSpec AcceleratorSpec::MobileCpu() {
   spec.kernel_launch_overhead = 0;  // plain function calls
   spec.allreduce_latency = 0;
   spec.allreduce_bandwidth = 1;
+  spec.intra_host_latency = 0;
+  spec.intra_host_bandwidth = 1;
   return spec;
 }
 
@@ -61,6 +67,44 @@ double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
   const double volume =
       2.0 * (n - 1.0) / n * static_cast<double>(bytes);
   return hops * spec.allreduce_latency + volume / spec.allreduce_bandwidth;
+}
+
+double ReduceScatterSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
+                            int replicas) {
+  if (replicas <= 1) return 0.0;
+  // One phase of the ring: (N-1) hops, each byte crossing (N-1)/N links.
+  const double n = static_cast<double>(replicas);
+  const double hops = n - 1.0;
+  const double volume = (n - 1.0) / n * static_cast<double>(bytes);
+  return hops * spec.allreduce_latency + volume / spec.allreduce_bandwidth;
+}
+
+double AllGatherSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
+                        int replicas) {
+  // Identical link traffic to the reduce-scatter phase, minus the
+  // (un-modeled) local reduction work.
+  return ReduceScatterSeconds(spec, bytes, replicas);
+}
+
+double HierarchicalAllReduceSeconds(const AcceleratorSpec& spec,
+                                    std::int64_t bytes, int replicas,
+                                    const CommTopology& topology) {
+  if (replicas <= 1) return 0.0;
+  const int per_host = topology.replicas_per_host;
+  if (per_host <= 1) return AllReduceSeconds(spec, bytes, replicas);
+  // Intra-host tree: ceil(log2(local)) rounds each way (reduce down,
+  // broadcast back up), full payload per round on the fast local fabric.
+  const int local = std::min(per_host, replicas);
+  int rounds = 0;
+  for (int span = 1; span < local; span <<= 1) ++rounds;
+  const double intra =
+      static_cast<double>(rounds) *
+      (spec.intra_host_latency +
+       static_cast<double>(bytes) / spec.intra_host_bandwidth);
+  // Inter-host: the classic flat ring, but over hosts instead of every
+  // replica — the latency term shrinks from 2(N-1) to 2(N/per_host - 1).
+  const int hosts = (replicas + per_host - 1) / per_host;
+  return 2.0 * intra + AllReduceSeconds(spec, bytes, hosts);
 }
 
 double OverlappedExposedAllReduceSeconds(const AcceleratorSpec& spec,

@@ -27,6 +27,11 @@ struct AcceleratorSpec {
   // Cross-replica ring all-reduce parameters (clusters).
   double allreduce_latency = 5e-6;    // per hop
   double allreduce_bandwidth = 1e10;  // bytes/s per link
+  // Intra-host fabric (NVLink / on-chip ICI between cores sharing a
+  // host): much lower latency and higher bandwidth than the inter-host
+  // links above. Used by the hierarchical all-reduce model.
+  double intra_host_latency = 1e-6;     // per tree round
+  double intra_host_bandwidth = 2e11;   // bytes/s
 
   // One TPUv3 core: ~61 TFLOP/s per chip / 2 cores, HBM ~450 GB/s shared.
   static AcceleratorSpec TpuV3Core();
@@ -34,6 +39,20 @@ struct AcceleratorSpec {
   static AcceleratorSpec Gtx1080();
   // A mobile-class CPU core (Pixel-3-era big core, scalar fp32).
   static AcceleratorSpec MobileCpu();
+};
+
+// Communication topology for collectives. The flat default models one
+// single-level ring over all replicas; setting replicas_per_host > 1
+// switches the all-reduce cost to the hierarchical model: an intra-host
+// reduce tree, an inter-host ring over ceil(replicas / replicas_per_host)
+// hosts, then an intra-host broadcast tree. That is what keeps Table-1
+// scaling curves credible at world 64-256, where a flat ring's 2(N-1)
+// latency hops dominate.
+struct CommTopology {
+  // Replicas sharing one host's fast intra-host fabric; <= 1 means flat.
+  int replicas_per_host = 0;
+
+  bool hierarchical() const { return replicas_per_host > 1; }
 };
 
 // Bytes moved by one op execution (inputs read + output written).
@@ -47,6 +66,24 @@ double KernelSeconds(const AcceleratorSpec& spec, std::int64_t flops,
 // Ring all-reduce time for `bytes` over `replicas` participants.
 double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
                         int replicas);
+
+// One phase of the ring all-reduce on its own: (N-1) hops of latency and
+// each byte crossing each link (N-1)/N times. An all-reduce is exactly
+// ReduceScatterSeconds + AllGatherSeconds.
+double ReduceScatterSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
+                            int replicas);
+double AllGatherSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
+                        int replicas);
+
+// Hierarchical all-reduce under `topology`: an intra-host reduce tree of
+// ceil(log2(replicas_per_host)) rounds, a flat inter-host ring over
+// ceil(replicas / replicas_per_host) hosts, and an intra-host broadcast
+// tree. A flat topology (replicas_per_host <= 1) degenerates to
+// AllReduceSeconds exactly, so charging through this function is
+// backward-compatible with the single-level model.
+double HierarchicalAllReduceSeconds(const AcceleratorSpec& spec,
+                                    std::int64_t bytes, int replicas,
+                                    const CommTopology& topology);
 
 // Communication time *exposed* (not hidden behind compute) when the
 // bucketed all-reduce overlaps the backward pass, under the deterministic

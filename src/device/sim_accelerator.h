@@ -40,6 +40,23 @@ class SimAccelerator {
     clock_.AdvanceSeconds(AllReduceSeconds(spec_, bytes, replicas));
   }
 
+  // Topology-aware variant: a flat topology charges exactly the classic
+  // ring (bit-identical to the overload above); a hierarchical one
+  // charges the intra-host-tree + inter-host-ring model.
+  void ChargeAllReduce(std::int64_t bytes, int replicas,
+                       const CommTopology& topology) {
+    clock_.AdvanceSeconds(
+        HierarchicalAllReduceSeconds(spec_, bytes, replicas, topology));
+  }
+
+  // Charges one phase of the ring on its own — the sharded collectives.
+  void ChargeReduceScatter(std::int64_t bytes, int replicas) {
+    clock_.AdvanceSeconds(ReduceScatterSeconds(spec_, bytes, replicas));
+  }
+  void ChargeAllGather(std::int64_t bytes, int replicas) {
+    clock_.AdvanceSeconds(AllGatherSeconds(spec_, bytes, replicas));
+  }
+
   // Host-side time that cannot overlap with device execution (e.g. a JIT
   // compilation the device must wait for).
   void ChargeStall(double seconds) { clock_.AdvanceSeconds(seconds); }

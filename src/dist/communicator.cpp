@@ -73,19 +73,70 @@ obs::Counter* OverlapWaitCalls() {
   static obs::Counter* c = obs::GetCounter("dist.overlap.wait.calls");
   return c;
 }
+obs::Counter* ReduceScatterCalls() {
+  static obs::Counter* c = obs::GetCounter("dist.reduce_scatter.calls");
+  return c;
+}
+obs::Counter* ReduceScatterBytes() {
+  static obs::Counter* c = obs::GetCounter("dist.reduce_scatter.bytes");
+  return c;
+}
+obs::Counter* ReduceScatterChunks() {
+  static obs::Counter* c = obs::GetCounter("dist.reduce_scatter.chunks");
+  return c;
+}
+obs::Counter* AllGatherCalls() {
+  static obs::Counter* c = obs::GetCounter("dist.all_gather.calls");
+  return c;
+}
+obs::Counter* AllGatherBytes() {
+  static obs::Counter* c = obs::GetCounter("dist.all_gather.bytes");
+  return c;
+}
+obs::Counter* AllGatherChunks() {
+  static obs::Counter* c = obs::GetCounter("dist.all_gather.chunks");
+  return c;
+}
+
+// A shard partition must be world+1 ascending offsets spanning exactly
+// [0, len] — the shape ShardOffsets produces. Shared by every sharded
+// collective entry (sync and async).
+void ValidateShardOffsets(const std::vector<std::int64_t>& offsets,
+                          std::int64_t len, int world) {
+  S4TF_CHECK_EQ(offsets.size(), static_cast<std::size_t>(world) + 1)
+      << "shard_offsets must have world+1 entries";
+  S4TF_CHECK_EQ(offsets.front(), 0) << "shard_offsets must start at 0";
+  S4TF_CHECK_EQ(offsets.back(), len)
+      << "shard_offsets must end at the buffer length";
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    S4TF_CHECK_LE(offsets[i - 1], offsets[i])
+        << "shard_offsets must be ascending";
+  }
+}
 
 }  // namespace
 
-std::unique_ptr<AsyncAllReduce> Communicator::AllReduceAsync(
-    int rank, std::vector<float>& data, ReduceOp op) {
+std::vector<std::int64_t> ShardOffsets(std::int64_t len, int world) {
+  S4TF_CHECK_GE(world, 1);
+  S4TF_CHECK_GE(len, 0);
+  const std::int64_t per = world > 0 ? (len + world - 1) / world : len;
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(world) + 1);
+  for (int r = 0; r <= world; ++r) {
+    offsets[static_cast<std::size_t>(r)] = std::min<std::int64_t>(len, r * per);
+  }
+  return offsets;
+}
+
+std::unique_ptr<AsyncCollective> Communicator::RunAsync(
+    int rank, const CollectiveSpec& spec, std::vector<float>& data) {
   // Synchronous fallback: the whole buffer is one logical bucket and the
-  // reduce runs inside Wait(). Keeps the async surface usable on any
+  // collective runs inside Wait(). Keeps the async surface usable on any
   // communicator while consuming the same single collective seq.
-  class SyncFallback final : public AsyncAllReduce {
+  class SyncFallback final : public AsyncCollective {
    public:
-    SyncFallback(Communicator* comm, int rank, std::vector<float>* data,
-                 ReduceOp op)
-        : comm_(comm), rank_(rank), data_(data), op_(op) {}
+    SyncFallback(Communicator* comm, int rank, CollectiveSpec spec,
+                 std::vector<float>* data)
+        : comm_(comm), rank_(rank), spec_(std::move(spec)), data_(data) {}
 
     std::int64_t num_buckets() const override {
       return data_->empty() ? 0 : 1;
@@ -97,17 +148,17 @@ std::unique_ptr<AsyncAllReduce> Communicator::AllReduceAsync(
     void Wait() override {
       if (done_) return;
       done_ = true;
-      comm_->AllReduce(rank_, *data_, op_);
+      comm_->Run(rank_, spec_, *data_);
     }
 
    private:
     Communicator* comm_;
     int rank_;
+    CollectiveSpec spec_;
     std::vector<float>* data_;
-    ReduceOp op_;
     bool done_ = false;
   };
-  return std::make_unique<SyncFallback>(this, rank, &data, op);
+  return std::make_unique<SyncFallback>(this, rank, spec, &data);
 }
 
 std::vector<float> OrderedTreeReduce(std::vector<std::vector<float>> parts) {
@@ -142,7 +193,7 @@ std::vector<float> OrderedTreeReduceMean(
   return out;
 }
 
-// Shared state of one in-flight asynchronous all-reduce. The caller's
+// Shared state of one in-flight asynchronous collective. The caller's
 // thread and the rank's comm thread synchronize exclusively through
 // `mutex`/`cv`; `completed == enqueued` with no further enqueues pending
 // means no comm-thread access to `data` can happen afterwards.
@@ -150,7 +201,10 @@ struct RingCommunicator::AsyncOp {
   int rank = 0;
   std::uint32_t seq = 0;
   std::vector<float>* data = nullptr;
+  CollectiveKind kind = CollectiveKind::kAllReduce;
   ReduceOp op = ReduceOp::kSum;
+  // Resolved shard partition (kReduceScatter/kAllGather only).
+  std::vector<std::int64_t> shard_offsets;
   std::int64_t num_buckets = 0;
 
   std::mutex mutex;
@@ -299,14 +353,32 @@ std::vector<float> RingCommunicator::Recv(int rank, const MessageKey& key,
   return {};  // unreachable; S4TF_CHECK throws
 }
 
-void RingCommunicator::AllReduce(int rank, std::vector<float>& data,
-                                 ReduceOp op) {
+CollectiveResult RingCommunicator::Run(int rank, const CollectiveSpec& spec,
+                                       std::vector<float>& data) {
   S4TF_CHECK_GE(rank, 0);
   S4TF_CHECK_LT(rank, world_);
-  obs::TraceSpan span("dist.allreduce", "dist", "bytes",
-                      static_cast<std::int64_t>(data.size() * sizeof(float)));
-  AllReduceCalls()->Increment();
-  AllReduceBytes()->Add(static_cast<std::int64_t>(data.size() * sizeof(float)));
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(data.size() * sizeof(float));
+  obs::TraceSpan span(spec.kind == CollectiveKind::kAllReduce
+                          ? "dist.allreduce"
+                          : (spec.kind == CollectiveKind::kReduceScatter
+                                 ? "dist.reduce_scatter"
+                                 : "dist.all_gather"),
+                      "dist", "bytes", bytes);
+  switch (spec.kind) {
+    case CollectiveKind::kAllReduce:
+      AllReduceCalls()->Increment();
+      AllReduceBytes()->Add(bytes);
+      break;
+    case CollectiveKind::kReduceScatter:
+      ReduceScatterCalls()->Increment();
+      ReduceScatterBytes()->Add(bytes);
+      break;
+    case CollectiveKind::kAllGather:
+      AllGatherCalls()->Increment();
+      AllGatherBytes()->Add(bytes);
+      break;
+  }
 
   RankState& state = states_[static_cast<std::size_t>(rank)];
   const std::uint32_t seq = state.next_seq++;
@@ -321,111 +393,183 @@ void RingCommunicator::AllReduce(int rank, std::vector<float>& data,
   const std::int64_t num_buckets = NumAllReduceBuckets(
       static_cast<std::int64_t>(data.size()), options_.bucket_bytes);
   S4TF_CHECK_LT(num_buckets, 1 << 16) << "too many buckets for message key";
-  AllReduceBuckets()->Add(num_buckets);
 
-  for (std::int64_t b = 0; b < num_buckets; ++b) {
-    RunBucket(rank, seq, b, data, op);
+  if (spec.kind == CollectiveKind::kAllReduce) {
+    AllReduceBuckets()->Add(num_buckets);
+    for (std::int64_t b = 0; b < num_buckets; ++b) {
+      RunBucket(rank, seq, b, data, spec.reduce);
+    }
+  } else {
+    const std::vector<std::int64_t> offsets =
+        spec.shard_offsets.empty()
+            ? ShardOffsets(static_cast<std::int64_t>(data.size()), world_)
+            : spec.shard_offsets;
+    ValidateShardOffsets(offsets, static_cast<std::int64_t>(data.size()),
+                         world_);
+    for (std::int64_t b = 0; b < num_buckets; ++b) {
+      RunShardBucket(spec.kind, rank, seq, b, data, spec.reduce, offsets);
+    }
+  }
+  CollectiveResult result;
+  result.bytes = bytes;
+  result.buckets = num_buckets;
+  return result;
+}
+
+void RingCommunicator::ScatterReducePhase(CollectiveKind kind, int rank,
+                                          std::uint32_t seq, std::int64_t b,
+                                          std::vector<float>& data,
+                                          ReduceOp op,
+                                          const std::int64_t* off) {
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const auto chunk_begin = [&](int c) { return off[c]; };
+  const auto chunk_len = [&](int c) { return off[c + 1] - off[c]; };
+
+  // Scatter: every raw chunk goes straight to its owner rank.
+  for (int c = 0; c < world_; ++c) {
+    const std::int64_t clen = chunk_len(c);
+    if (clen == 0) continue;
+    const std::int64_t cbytes =
+        clen * static_cast<std::int64_t>(sizeof(float));
+    if (kind == CollectiveKind::kAllReduce) {
+      AllReduceChunks()->Increment();
+      if (state.accelerator != nullptr) {
+        state.accelerator->ChargeAllReduce(cbytes, world_,
+                                           options_.topology);
+      }
+    } else {
+      ReduceScatterChunks()->Increment();
+      if (state.accelerator != nullptr) {
+        state.accelerator->ChargeReduceScatter(cbytes, world_);
+      }
+    }
+    if (c == rank) continue;  // own chunk stays local
+    MessageKey key{MessagePhase::kScatter, seq,
+                   static_cast<std::uint32_t>(b),
+                   static_cast<std::uint16_t>(rank),
+                   static_cast<std::uint16_t>(c)};
+    Send(c, key,
+         std::vector<float>(data.begin() + chunk_begin(c),
+                            data.begin() + chunk_begin(c) + clen));
+  }
+
+  // Owner-side reduce of this rank's chunk: parts gathered in rank
+  // order 0..world-1 and combined by the canonical tree, so the result
+  // is independent of arrival order, chunking, and threading.
+  const std::int64_t own_len = chunk_len(rank);
+  if (own_len > 0) {
+    std::vector<std::vector<float>> parts;
+    parts.reserve(static_cast<std::size_t>(world_));
+    for (int src = 0; src < world_; ++src) {
+      if (src == rank) {
+        parts.emplace_back(data.begin() + chunk_begin(rank),
+                           data.begin() + chunk_begin(rank) + own_len);
+      } else {
+        MessageKey key{MessagePhase::kScatter, seq,
+                       static_cast<std::uint32_t>(b),
+                       static_cast<std::uint16_t>(src),
+                       static_cast<std::uint16_t>(rank)};
+        parts.push_back(Recv(rank, key, static_cast<std::size_t>(own_len)));
+      }
+    }
+    std::vector<float> reduced = op == ReduceOp::kMean
+                                     ? OrderedTreeReduceMean(std::move(parts))
+                                     : OrderedTreeReduce(std::move(parts));
+    std::copy(reduced.begin(), reduced.end(),
+              data.begin() + chunk_begin(rank));
+  }
+}
+
+void RingCommunicator::GatherPhase(CollectiveKind kind, int rank,
+                                   std::uint32_t seq, std::int64_t b,
+                                   std::vector<float>& data,
+                                   const std::int64_t* off) {
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const int next = (rank + 1) % world_;
+  const int prev = (rank - 1 + world_) % world_;
+  const auto chunk_begin = [&](int c) { return off[c]; };
+  const auto chunk_len = [&](int c) { return off[c + 1] - off[c]; };
+
+  // All-gather ring: at step s, send the chunk received at step s-1
+  // (own chunk at s=0) to the next rank.
+  for (int s = 0; s < world_ - 1; ++s) {
+    const int send_chunk = (rank - s + world_) % world_;
+    const std::int64_t slen = chunk_len(send_chunk);
+    if (slen > 0) {
+      if (kind == CollectiveKind::kAllGather) {
+        AllGatherChunks()->Increment();
+        if (state.accelerator != nullptr) {
+          state.accelerator->ChargeAllGather(
+              slen * static_cast<std::int64_t>(sizeof(float)), world_);
+        }
+      }
+      MessageKey key{MessagePhase::kGather, seq,
+                     static_cast<std::uint32_t>(b),
+                     static_cast<std::uint16_t>(rank),
+                     static_cast<std::uint16_t>(send_chunk)};
+      Send(next, key,
+           std::vector<float>(
+               data.begin() + chunk_begin(send_chunk),
+               data.begin() + chunk_begin(send_chunk) + slen));
+    }
+    const int recv_chunk = (rank - 1 - s + world_) % world_;
+    const std::int64_t rlen = chunk_len(recv_chunk);
+    if (rlen > 0) {
+      MessageKey key{MessagePhase::kGather, seq,
+                     static_cast<std::uint32_t>(b),
+                     static_cast<std::uint16_t>(prev),
+                     static_cast<std::uint16_t>(recv_chunk)};
+      std::vector<float> payload =
+          Recv(rank, key, static_cast<std::size_t>(rlen));
+      std::copy(payload.begin(), payload.end(),
+                data.begin() + chunk_begin(recv_chunk));
+    }
   }
 }
 
 void RingCommunicator::RunBucket(int rank, std::uint32_t seq,
                                  std::int64_t b, std::vector<float>& data,
                                  ReduceOp op) {
-  RankState& state = states_[static_cast<std::size_t>(rank)];
   const std::int64_t len = static_cast<std::int64_t>(data.size());
   const std::int64_t bucket_elems = std::max<std::int64_t>(
       1, options_.bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
-  const int next = (rank + 1) % world_;
-  const int prev = (rank - 1 + world_) % world_;
-  {
-    const std::int64_t b_begin = b * bucket_elems;
-    const std::int64_t b_len = std::min(len - b_begin, bucket_elems);
-    // One chunk per rank; `per`-sized except a short (possibly empty)
-    // tail. Every rank derives the same geometry from b_len alone, so
-    // empty chunks are skipped consistently on both sides of every send.
-    const std::int64_t per = (b_len + world_ - 1) / world_;
-    const auto chunk_begin = [&](int c) {
-      return b_begin + std::min<std::int64_t>(b_len, c * per);
-    };
-    const auto chunk_len = [&](int c) {
-      return std::min<std::int64_t>(b_len, (c + 1) * per) -
-             std::min<std::int64_t>(b_len, c * per);
-    };
+  const std::int64_t b_begin = b * bucket_elems;
+  const std::int64_t b_len = std::min(len - b_begin, bucket_elems);
+  // One chunk per rank; `per`-sized except a short (possibly empty)
+  // tail. Every rank derives the same geometry from b_len alone, so
+  // empty chunks are skipped consistently on both sides of every send.
+  const std::int64_t per = (b_len + world_ - 1) / world_;
+  std::vector<std::int64_t> off(static_cast<std::size_t>(world_) + 1);
+  for (int c = 0; c <= world_; ++c) {
+    off[static_cast<std::size_t>(c)] =
+        b_begin + std::min<std::int64_t>(b_len, c * per);
+  }
+  ScatterReducePhase(CollectiveKind::kAllReduce, rank, seq, b, data, op,
+                     off.data());
+  GatherPhase(CollectiveKind::kAllReduce, rank, seq, b, data, off.data());
+}
 
-    // Scatter: every raw chunk goes straight to its owner rank.
-    for (int c = 0; c < world_; ++c) {
-      const std::int64_t clen = chunk_len(c);
-      if (clen == 0) continue;
-      AllReduceChunks()->Increment();
-      if (state.accelerator != nullptr) {
-        state.accelerator->ChargeAllReduce(
-            clen * static_cast<std::int64_t>(sizeof(float)), world_);
-      }
-      if (c == rank) continue;  // own chunk stays local
-      MessageKey key{MessagePhase::kScatter, seq,
-                     static_cast<std::uint32_t>(b),
-                     static_cast<std::uint16_t>(rank),
-                     static_cast<std::uint16_t>(c)};
-      Send(c, key,
-           std::vector<float>(data.begin() + chunk_begin(c),
-                              data.begin() + chunk_begin(c) + clen));
-    }
-
-    // Owner-side reduce of this rank's chunk: parts gathered in rank
-    // order 0..world-1 and combined by the canonical tree, so the result
-    // is independent of arrival order, chunking, and threading.
-    const std::int64_t own_len = chunk_len(rank);
-    if (own_len > 0) {
-      std::vector<std::vector<float>> parts;
-      parts.reserve(static_cast<std::size_t>(world_));
-      for (int src = 0; src < world_; ++src) {
-        if (src == rank) {
-          parts.emplace_back(data.begin() + chunk_begin(rank),
-                             data.begin() + chunk_begin(rank) + own_len);
-        } else {
-          MessageKey key{MessagePhase::kScatter, seq,
-                         static_cast<std::uint32_t>(b),
-                         static_cast<std::uint16_t>(src),
-                         static_cast<std::uint16_t>(rank)};
-          parts.push_back(
-              Recv(rank, key, static_cast<std::size_t>(own_len)));
-        }
-      }
-      std::vector<float> reduced = op == ReduceOp::kMean
-                                       ? OrderedTreeReduceMean(std::move(parts))
-                                       : OrderedTreeReduce(std::move(parts));
-      std::copy(reduced.begin(), reduced.end(),
-                data.begin() + chunk_begin(rank));
-    }
-
-    // All-gather ring: at step s, send the chunk received at step s-1
-    // (own reduced chunk at s=0) to the next rank.
-    for (int s = 0; s < world_ - 1; ++s) {
-      const int send_chunk = (rank - s + world_) % world_;
-      const std::int64_t slen = chunk_len(send_chunk);
-      if (slen > 0) {
-        MessageKey key{MessagePhase::kGather, seq,
-                       static_cast<std::uint32_t>(b),
-                       static_cast<std::uint16_t>(rank),
-                       static_cast<std::uint16_t>(send_chunk)};
-        Send(next, key,
-             std::vector<float>(
-                 data.begin() + chunk_begin(send_chunk),
-                 data.begin() + chunk_begin(send_chunk) + slen));
-      }
-      const int recv_chunk = (rank - 1 - s + world_) % world_;
-      const std::int64_t rlen = chunk_len(recv_chunk);
-      if (rlen > 0) {
-        MessageKey key{MessagePhase::kGather, seq,
-                       static_cast<std::uint32_t>(b),
-                       static_cast<std::uint16_t>(prev),
-                       static_cast<std::uint16_t>(recv_chunk)};
-        std::vector<float> payload =
-            Recv(rank, key, static_cast<std::size_t>(rlen));
-        std::copy(payload.begin(), payload.end(),
-                  data.begin() + chunk_begin(recv_chunk));
-      }
-    }
+void RingCommunicator::RunShardBucket(
+    CollectiveKind kind, int rank, std::uint32_t seq, std::int64_t b,
+    std::vector<float>& data, ReduceOp op,
+    const std::vector<std::int64_t>& shard_offsets) {
+  const std::int64_t len = static_cast<std::int64_t>(data.size());
+  const std::int64_t bucket_elems = std::max<std::int64_t>(
+      1, options_.bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
+  const std::int64_t b_begin = b * bucket_elems;
+  const std::int64_t b_end = std::min(len, b_begin + bucket_elems);
+  // Chunk c = shard c clipped to this bucket's element range; every rank
+  // derives the identical partition, so empty chunks are skipped
+  // consistently on both sides of every send.
+  std::vector<std::int64_t> off(static_cast<std::size_t>(world_) + 1);
+  for (int c = 0; c <= world_; ++c) {
+    off[static_cast<std::size_t>(c)] = std::min(
+        b_end, std::max(b_begin, shard_offsets[static_cast<std::size_t>(c)]));
+  }
+  if (kind == CollectiveKind::kReduceScatter) {
+    ScatterReducePhase(kind, rank, seq, b, data, op, off.data());
+  } else {
+    GatherPhase(kind, rank, seq, b, data, off.data());
   }
 }
 
@@ -464,7 +608,12 @@ void RingCommunicator::CommThreadMain(int rank) {
       try {
         obs::TraceSpan span("dist.allreduce.bucket", "dist", "bucket",
                             job.bucket);
-        RunBucket(op.rank, op.seq, job.bucket, *op.data, op.op);
+        if (op.kind == CollectiveKind::kAllReduce) {
+          RunBucket(op.rank, op.seq, job.bucket, *op.data, op.op);
+        } else {
+          RunShardBucket(op.kind, op.rank, op.seq, job.bucket, *op.data,
+                         op.op, op.shard_offsets);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(op.mutex);
         if (op.error == nullptr) op.error = std::current_exception();
@@ -492,14 +641,14 @@ void RingCommunicator::EnqueueBucket(const std::shared_ptr<AsyncOp>& op,
   ct.cv.notify_all();
 }
 
-class RingCommunicator::RingAsyncAllReduce final : public AsyncAllReduce {
+class RingCommunicator::RingAsyncCollective final : public AsyncCollective {
  public:
-  RingAsyncAllReduce(RingCommunicator* comm, std::shared_ptr<AsyncOp> op)
+  RingAsyncCollective(RingCommunicator* comm, std::shared_ptr<AsyncOp> op)
       : comm_(comm),
         op_(std::move(op)),
         submitted_(static_cast<std::size_t>(op_->num_buckets), 0) {}
 
-  ~RingAsyncAllReduce() override {
+  ~RingAsyncCollective() override {
     // Abandon: unsubmitted buckets are never sent (the synchronous
     // analogue of a rank that threw mid-collective), queued ones are
     // skipped, and we block until nothing is in flight so the comm thread
@@ -543,16 +692,33 @@ class RingCommunicator::RingAsyncAllReduce final : public AsyncAllReduce {
   std::vector<char> submitted_;  // caller-thread only
 };
 
-std::unique_ptr<AsyncAllReduce> RingCommunicator::AllReduceAsync(
-    int rank, std::vector<float>& data, ReduceOp op) {
+std::unique_ptr<AsyncCollective> RingCommunicator::RunAsync(
+    int rank, const CollectiveSpec& spec, std::vector<float>& data) {
   S4TF_CHECK_GE(rank, 0);
   S4TF_CHECK_LT(rank, world_);
-  obs::TraceSpan span("dist.allreduce.async", "dist", "bytes",
-                      static_cast<std::int64_t>(data.size() * sizeof(float)));
-  AllReduceCalls()->Increment();
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(data.size() * sizeof(float));
+  obs::TraceSpan span(spec.kind == CollectiveKind::kAllReduce
+                          ? "dist.allreduce.async"
+                          : (spec.kind == CollectiveKind::kReduceScatter
+                                 ? "dist.reduce_scatter.async"
+                                 : "dist.all_gather.async"),
+                      "dist", "bytes", bytes);
   OverlapAsyncCalls()->Increment();
-  AllReduceBytes()->Add(
-      static_cast<std::int64_t>(data.size() * sizeof(float)));
+  switch (spec.kind) {
+    case CollectiveKind::kAllReduce:
+      AllReduceCalls()->Increment();
+      AllReduceBytes()->Add(bytes);
+      break;
+    case CollectiveKind::kReduceScatter:
+      ReduceScatterCalls()->Increment();
+      ReduceScatterBytes()->Add(bytes);
+      break;
+    case CollectiveKind::kAllGather:
+      AllGatherCalls()->Increment();
+      AllGatherBytes()->Add(bytes);
+      break;
+  }
 
   RankState& state = states_[static_cast<std::size_t>(rank)];
   const std::uint32_t seq = state.next_seq++;
@@ -567,15 +733,25 @@ std::unique_ptr<AsyncAllReduce> RingCommunicator::AllReduceAsync(
   const std::int64_t num_buckets = NumAllReduceBuckets(
       static_cast<std::int64_t>(data.size()), options_.bucket_bytes);
   S4TF_CHECK_LT(num_buckets, 1 << 16) << "too many buckets for message key";
-  AllReduceBuckets()->Add(num_buckets);
 
   auto async = std::make_shared<AsyncOp>();
   async->rank = rank;
   async->seq = seq;
   async->data = &data;
-  async->op = op;
+  async->kind = spec.kind;
+  async->op = spec.reduce;
   async->num_buckets = num_buckets;
-  return std::make_unique<RingAsyncAllReduce>(this, std::move(async));
+  if (spec.kind == CollectiveKind::kAllReduce) {
+    AllReduceBuckets()->Add(num_buckets);
+  } else {
+    async->shard_offsets =
+        spec.shard_offsets.empty()
+            ? ShardOffsets(static_cast<std::int64_t>(data.size()), world_)
+            : spec.shard_offsets;
+    ValidateShardOffsets(async->shard_offsets,
+                         static_cast<std::int64_t>(data.size()), world_);
+  }
+  return std::make_unique<RingAsyncCollective>(this, std::move(async));
 }
 
 void RingCommunicator::Barrier(int rank) {

@@ -5,15 +5,32 @@
 // all-reduce them every step. This header is the redesigned collective
 // API behind ReplicaGroup::TrainStep (nn/replica_group.h):
 //
-//   * Communicator — the abstract collective surface. Every rank calls the
-//     same collectives in the same order from its own worker thread.
+//   * CollectiveSpec / CollectiveResult — the single options/result
+//     vocabulary shared by every collective, sync and async: which
+//     collective (all-reduce, reduce-scatter, all-gather), which
+//     reduction, and which per-rank shard geometry.
+//   * Communicator — the abstract collective surface. Every rank calls
+//     Run/RunAsync with the same specs in the same order from its own
+//     worker thread. The historical AllReduce/AllReduceAsync signatures
+//     remain as thin non-virtual forwarding wrappers.
 //   * RingCommunicator — the in-process implementation: gradient buffers
 //     are split into configurable-size buckets, each bucket into one chunk
 //     per rank; raw chunks are scattered to their owner rank, reduced
 //     there in a *canonical* rank-ordered tree (OrderedTreeReduce), and
 //     the reduced chunks travel a classic all-gather ring. A per-replica
 //     SimAccelerator can be attached to charge the ring's simulated cost
-//     per chunk (cost_model.h's AllReduceSeconds).
+//     per chunk (cost_model.h's AllReduceSeconds, topology-aware via
+//     CollectiveOptions::topology).
+//
+// ReduceScatter and AllGather are the all-reduce's own two phases made
+// public (ZeRO-style sharded optimizers consume them): ReduceScatter
+// leaves each rank holding the fully-reduced values of *its own shard*
+// (the rest of the buffer is unspecified), and AllGather broadcasts each
+// rank's shard until every rank holds the full buffer. Composing them
+// over the same shard geometry is the all-reduce — and because every
+// element reduces through the canonical rank-ordered tree regardless of
+// how the buffer is partitioned, the composition is bit-identical to the
+// monolithic all-reduce and to the sequential reference.
 //
 // Determinism contract: the tree reduction order per element depends only
 // on the world size — not on thread scheduling, message arrival order, or
@@ -78,6 +95,65 @@ struct CollectiveOptions {
   std::chrono::milliseconds recv_timeout{250};
   // Receive attempts beyond the first before the collective fails loudly.
   int max_retries = 8;
+  // Communication topology attached accelerators are charged under. The
+  // default (flat) charges the classic single-level ring, identical to
+  // the pre-topology cost model.
+  CommTopology topology;
+};
+
+// Which collective a CollectiveSpec requests.
+enum class CollectiveKind : std::uint8_t {
+  kAllReduce = 0,      // every rank ends with the full reduced buffer
+  kReduceScatter = 1,  // every rank ends with its own reduced shard
+  kAllGather = 2,      // every rank contributes its shard, ends with all
+};
+
+// Default contiguous shard partition of a length-`len` buffer across
+// `world` ranks: world+1 ascending element offsets, shard r spanning
+// [offsets[r], offsets[r+1]). Ceil-divided, so trailing shards may be
+// empty when world > len.
+std::vector<std::int64_t> ShardOffsets(std::int64_t len, int world);
+
+// The one options vocabulary every collective entry point shares. A spec
+// names the collective kind, the reduction (ignored by all-gather), and —
+// for the sharded collectives — the per-rank shard geometry.
+struct CollectiveSpec {
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  ReduceOp reduce = ReduceOp::kSum;
+  // Shard geometry for kReduceScatter/kAllGather: world+1 ascending
+  // element offsets with front() == 0 and back() == buffer length (the
+  // shape ShardOffsets produces). Empty = the ShardOffsets default.
+  // Ignored by kAllReduce, whose bucket-internal chunking is an
+  // implementation detail of the communicator.
+  std::vector<std::int64_t> shard_offsets;
+
+  static CollectiveSpec AllReduce(ReduceOp op) {
+    CollectiveSpec spec;
+    spec.kind = CollectiveKind::kAllReduce;
+    spec.reduce = op;
+    return spec;
+  }
+  static CollectiveSpec ReduceScatter(ReduceOp op,
+                                      std::vector<std::int64_t> offsets = {}) {
+    CollectiveSpec spec;
+    spec.kind = CollectiveKind::kReduceScatter;
+    spec.reduce = op;
+    spec.shard_offsets = std::move(offsets);
+    return spec;
+  }
+  static CollectiveSpec AllGather(std::vector<std::int64_t> offsets = {}) {
+    CollectiveSpec spec;
+    spec.kind = CollectiveKind::kAllGather;
+    spec.shard_offsets = std::move(offsets);
+    return spec;
+  }
+};
+
+// What one collective moved, in the communicator's own accounting — the
+// same numbers the dist.* counters record.
+struct CollectiveResult {
+  std::int64_t bytes = 0;    // caller buffer bytes entering the collective
+  std::int64_t buckets = 0;  // buckets the buffer split into
 };
 
 // Rank-ordered pairwise tree reduction: parts[0..n) combine as
@@ -105,35 +181,39 @@ inline std::int64_t NumAllReduceBuckets(std::int64_t len,
   return len == 0 ? 0 : (len + bucket_elems - 1) / bucket_elems;
 }
 
-// Handle to one in-flight asynchronous bucketed all-reduce (one collective
+// Handle to one in-flight asynchronous bucketed collective (one collective
 // seq). The owning rank's thread submits buckets as their data becomes
-// final — in any order, each at most once — while the communicator reduces
+// final — in any order, each at most once — while the communicator runs
 // already-submitted buckets in the background; Wait() submits whatever
 // remains, blocks until every bucket has completed, and rethrows the first
 // failure (retry-budget exhaustion, ReplicaDeadError) exactly as the
-// synchronous AllReduce would have thrown it. Destroying the handle
-// without Wait() (exception unwind) *abandons* the op: unsubmitted buckets
-// are never sent — matching the synchronous path, where a throwing rank
-// sends nothing further and peers fail loudly within their bounded retry
+// synchronous Run would have thrown it. Destroying the handle without
+// Wait() (exception unwind) *abandons* the op: unsubmitted buckets are
+// never sent — matching the synchronous path, where a throwing rank sends
+// nothing further and peers fail loudly within their bounded retry
 // budgets — and the destructor drains in-flight buckets so no communicator
 // thread touches the gradient buffer afterwards.
-class AsyncAllReduce {
+class AsyncCollective {
  public:
-  virtual ~AsyncAllReduce() = default;
+  virtual ~AsyncCollective() = default;
 
   virtual std::int64_t num_buckets() const = 0;
   // Hands bucket `b` (in the geometry of NumAllReduceBuckets) to the
   // communicator. Caller thread only; at most once per bucket.
   virtual void SubmitBucket(std::int64_t b) = 0;
-  // Submits all remaining buckets, blocks until the whole reduce is done,
-  // rethrows the first bucket failure. The buffer holds the reduced
-  // result afterwards. Call at most once.
+  // Submits all remaining buckets, blocks until the whole collective is
+  // done, rethrows the first bucket failure. The buffer holds the result
+  // afterwards. Call at most once.
   virtual void Wait() = 0;
 };
 
+// Historical name from when the only async collective was the all-reduce.
+using AsyncAllReduce = AsyncCollective;
+
 // The collective surface. All methods are collective calls: every rank in
-// [0, world_size) must invoke them with its own rank, in the same order.
-// Implementations are safe for one concurrent caller per rank.
+// [0, world_size) must invoke them with the same spec, in the same order,
+// each with its own rank. Implementations are safe for one concurrent
+// caller per rank.
 class Communicator {
  public:
   virtual ~Communicator() = default;
@@ -141,21 +221,57 @@ class Communicator {
   virtual int world_size() const = 0;
   virtual const char* name() const = 0;
 
-  // In-place all-reduce of `data`; every rank passes a buffer of the same
-  // length and returns with the identical reduced contents.
-  virtual void AllReduce(int rank, std::vector<float>& data,
-                         ReduceOp op) = 0;
+  // Runs one synchronous collective in place over `data`:
+  //   kAllReduce     — every rank passes same-length buffers and returns
+  //                    with the identical fully-reduced contents.
+  //   kReduceScatter — on return the caller's *own shard* region holds
+  //                    the reduced values; the rest of the buffer is
+  //                    unspecified.
+  //   kAllGather     — on entry the caller's own shard region is valid;
+  //                    on return the whole buffer is.
+  virtual CollectiveResult Run(int rank, const CollectiveSpec& spec,
+                               std::vector<float>& data) = 0;
 
-  // Starts an asynchronous all-reduce of `data` (which must stay alive
+  // Starts an asynchronous collective over `data` (which must stay alive
   // and untouched-by-the-caller per bucket until the handle completes
   // it). Counts as exactly one collective call in the per-rank sequence —
-  // a peer may serve it with a plain AllReduce. The base implementation
-  // is a synchronous fallback that runs AllReduce inside Wait().
-  virtual std::unique_ptr<AsyncAllReduce> AllReduceAsync(
-      int rank, std::vector<float>& data, ReduceOp op);
+  // a peer may serve it with the synchronous Run. The base implementation
+  // is a synchronous fallback that runs Run inside Wait().
+  virtual std::unique_ptr<AsyncCollective> RunAsync(
+      int rank, const CollectiveSpec& spec, std::vector<float>& data);
 
   // Blocks until every rank has arrived.
   virtual void Barrier(int rank) = 0;
+
+  // --- Thin forwarding wrappers (the pre-redesign signatures). --------
+
+  void AllReduce(int rank, std::vector<float>& data, ReduceOp op) {
+    Run(rank, CollectiveSpec::AllReduce(op), data);
+  }
+  void ReduceScatter(int rank, std::vector<float>& data, ReduceOp op,
+                     std::vector<std::int64_t> offsets = {}) {
+    Run(rank, CollectiveSpec::ReduceScatter(op, std::move(offsets)), data);
+  }
+  void AllGather(int rank, std::vector<float>& data,
+                 std::vector<std::int64_t> offsets = {}) {
+    Run(rank, CollectiveSpec::AllGather(std::move(offsets)), data);
+  }
+  std::unique_ptr<AsyncCollective> AllReduceAsync(int rank,
+                                                  std::vector<float>& data,
+                                                  ReduceOp op) {
+    return RunAsync(rank, CollectiveSpec::AllReduce(op), data);
+  }
+  std::unique_ptr<AsyncCollective> ReduceScatterAsync(
+      int rank, std::vector<float>& data, ReduceOp op,
+      std::vector<std::int64_t> offsets = {}) {
+    return RunAsync(rank, CollectiveSpec::ReduceScatter(op, std::move(offsets)),
+                    data);
+  }
+  std::unique_ptr<AsyncCollective> AllGatherAsync(
+      int rank, std::vector<float>& data,
+      std::vector<std::int64_t> offsets = {}) {
+    return RunAsync(rank, CollectiveSpec::AllGather(std::move(offsets)), data);
+  }
 };
 
 // In-process communicator over per-rank mailboxes (see file header for
@@ -169,14 +285,15 @@ class RingCommunicator final : public Communicator {
   int world_size() const override { return world_; }
   const char* name() const override { return "ring"; }
 
-  void AllReduce(int rank, std::vector<float>& data, ReduceOp op) override;
+  CollectiveResult Run(int rank, const CollectiveSpec& spec,
+                       std::vector<float>& data) override;
   // True async implementation: buckets run on a dedicated per-rank comm
   // thread with a condition-variable-driven job queue (no polling), so
-  // submitted buckets reduce while the caller keeps computing. Counters,
-  // accelerator charges, and results are identical to AllReduce.
-  std::unique_ptr<AsyncAllReduce> AllReduceAsync(int rank,
-                                                 std::vector<float>& data,
-                                                 ReduceOp op) override;
+  // submitted buckets run while the caller keeps computing. Counters,
+  // accelerator charges, and results are identical to the synchronous Run.
+  std::unique_ptr<AsyncCollective> RunAsync(int rank,
+                                            const CollectiveSpec& spec,
+                                            std::vector<float>& data) override;
   void Barrier(int rank) override;
 
   // Attaches a simulated accelerator for `rank`; every non-empty chunk the
@@ -207,13 +324,13 @@ class RingCommunicator final : public Communicator {
     SimAccelerator* accelerator = nullptr;
   };
 
-  // Shared state of one asynchronous all-reduce; defined in the .cpp.
+  // Shared state of one asynchronous collective; defined in the .cpp.
   struct AsyncOp;
   struct BucketJob;
   // Per-rank background communication thread (lazily started) with a
   // cv-driven FIFO bucket-job queue; defined in the .cpp.
   struct CommThread;
-  class RingAsyncAllReduce;
+  class RingAsyncCollective;
 
   // Asynchronous deposit into dst's mailbox (never blocks).
   void Send(int dst, const MessageKey& key, std::vector<float> payload);
@@ -221,10 +338,29 @@ class RingCommunicator final : public Communicator {
   // InternalError) once the retry budget is exhausted.
   std::vector<float> Recv(int rank, const MessageKey& key,
                           std::size_t expected_len);
+
+  // The all-reduce's two phases over an explicit chunk partition
+  // (`chunk_offsets`: world+1 ascending element offsets into `data`).
+  // `kind` only selects which counters/charges each phase records — the
+  // message keys and transported bytes are a pure function of the
+  // partition, which is how the standalone ReduceScatter/AllGather and
+  // the composed all-reduce stay one algorithm.
+  void ScatterReducePhase(CollectiveKind kind, int rank, std::uint32_t seq,
+                          std::int64_t bucket, std::vector<float>& data,
+                          ReduceOp op, const std::int64_t* chunk_offsets);
+  void GatherPhase(CollectiveKind kind, int rank, std::uint32_t seq,
+                   std::int64_t bucket, std::vector<float>& data,
+                   const std::int64_t* chunk_offsets);
   // Scatter/reduce/all-gather of one bucket — the shared per-bucket body
   // of both the synchronous and the asynchronous all-reduce paths.
   void RunBucket(int rank, std::uint32_t seq, std::int64_t bucket,
                  std::vector<float>& data, ReduceOp op);
+  // One bucket of a standalone ReduceScatter/AllGather: the global shard
+  // partition clipped to the bucket's element range.
+  void RunShardBucket(CollectiveKind kind, int rank, std::uint32_t seq,
+                      std::int64_t bucket, std::vector<float>& data,
+                      ReduceOp op,
+                      const std::vector<std::int64_t>& shard_offsets);
   CommThread& EnsureCommThread(int rank);
   void CommThreadMain(int rank);
   void EnqueueBucket(const std::shared_ptr<AsyncOp>& op, std::int64_t bucket);

@@ -22,7 +22,11 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ad/operators.h"
@@ -41,14 +45,27 @@ class SGD {
 
   // Borrows `model` uniquely and applies one descent step in place.
   void Update(M& model, typename M::TangentVector& gradients) {
-    std::size_t slot = 0;
+    UpdateSlots(model, gradients, 0,
+                std::numeric_limits<std::int64_t>::max());
+  }
+
+  // ZeRO-sharded variant: updates only parameters whose traversal slot
+  // lies in [begin_slot, end_slot); every other slot's parameter and
+  // optimizer state are left untouched. The per-slot math is the exact
+  // Update body, so updating disjoint ranges with per-rank optimizer
+  // copies composes bitwise to one full Update.
+  void UpdateSlots(M& model, typename M::TangentVector& gradients,
+                   std::int64_t begin_slot, std::int64_t end_slot) {
+    std::int64_t slot = 0;
     model.VisitWithTangent(gradients, [&](Tensor& param, Tensor& grad) {
+      const std::int64_t s = slot++;
+      if (s < begin_slot || s >= end_slot) return;
       Tensor step = grad;
       if (momentum_ != 0.0f) {
-        if (slot >= velocity_.size()) {
-          velocity_.resize(slot + 1);
+        if (static_cast<std::size_t>(s) >= velocity_.size()) {
+          velocity_.resize(static_cast<std::size_t>(s) + 1);
         }
-        Tensor& velocity = velocity_[slot];
+        Tensor& velocity = velocity_[static_cast<std::size_t>(s)];
         if (velocity.shape() == grad.shape() &&
             velocity.device() == grad.device()) {
           velocity = velocity * momentum_ + grad;
@@ -57,7 +74,6 @@ class SGD {
         }
         step = velocity;
       }
-      ++slot;
       if (step.shape() == param.shape()) {
         param.InPlaceAxpy(-learning_rate_, step);  // the inout fast path
       } else {
@@ -91,22 +107,33 @@ class Adam {
         epsilon_(epsilon) {}
 
   void Update(M& model, typename M::TangentVector& gradients) {
+    UpdateSlots(model, gradients, 0,
+                std::numeric_limits<std::int64_t>::max());
+  }
+
+  // ZeRO-sharded variant (see SGD::UpdateSlots). The step counter always
+  // advances — every rank's shard optimizer ticks once per step, empty
+  // shards included, so bias correction agrees with the replicated path.
+  void UpdateSlots(M& model, typename M::TangentVector& gradients,
+                   std::int64_t begin_slot, std::int64_t end_slot) {
     ++step_;
     const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
     const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
     const float alpha = learning_rate_ * std::sqrt(bias2) / bias1;
-    std::size_t slot = 0;
+    std::int64_t slot = 0;
     model.VisitWithTangent(gradients, [&](Tensor& param, Tensor& grad) {
-      if (slot >= m_.size()) {
-        m_.resize(slot + 1);
-        v_.resize(slot + 1);
+      const std::int64_t s = slot++;
+      if (s < begin_slot || s >= end_slot) return;
+      if (static_cast<std::size_t>(s) >= m_.size()) {
+        m_.resize(static_cast<std::size_t>(s) + 1);
+        v_.resize(static_cast<std::size_t>(s) + 1);
       }
       Tensor g = grad;
       if (g.shape() != param.shape()) {
         g = Tensor::Zeros(param.shape(), param.device());
       }
-      Tensor& m = m_[slot];
-      Tensor& v = v_[slot];
+      Tensor& m = m_[static_cast<std::size_t>(s)];
+      Tensor& v = v_[static_cast<std::size_t>(s)];
       if (m.shape() != param.shape() || m.device() != param.device()) {
         m = Tensor::Zeros(param.shape(), param.device());
         v = Tensor::Zeros(param.shape(), param.device());
@@ -114,7 +141,6 @@ class Adam {
       m = m * beta1_ + g * (1.0f - beta1_);
       v = v * beta2_ + Square(g) * (1.0f - beta2_);
       param = param - m * alpha / (Sqrt(v) + epsilon_);
-      ++slot;
     });
   }
 
@@ -140,20 +166,30 @@ class RMSProp {
       : learning_rate_(learning_rate), rho_(rho), epsilon_(epsilon) {}
 
   void Update(M& model, typename M::TangentVector& gradients) {
-    std::size_t slot = 0;
+    UpdateSlots(model, gradients, 0,
+                std::numeric_limits<std::int64_t>::max());
+  }
+
+  // ZeRO-sharded variant (see SGD::UpdateSlots).
+  void UpdateSlots(M& model, typename M::TangentVector& gradients,
+                   std::int64_t begin_slot, std::int64_t end_slot) {
+    std::int64_t slot = 0;
     model.VisitWithTangent(gradients, [&](Tensor& param, Tensor& grad) {
-      if (slot >= ms_.size()) ms_.resize(slot + 1);
+      const std::int64_t s = slot++;
+      if (s < begin_slot || s >= end_slot) return;
+      if (static_cast<std::size_t>(s) >= ms_.size()) {
+        ms_.resize(static_cast<std::size_t>(s) + 1);
+      }
       Tensor g = grad;
       if (g.shape() != param.shape()) {
         g = Tensor::Zeros(param.shape(), param.device());
       }
-      Tensor& ms = ms_[slot];
+      Tensor& ms = ms_[static_cast<std::size_t>(s)];
       if (ms.shape() != param.shape() || ms.device() != param.device()) {
         ms = Tensor::Zeros(param.shape(), param.device());
       }
       ms = ms * rho_ + Square(g) * (1.0f - rho_);
       param = param - g * learning_rate_ / (Sqrt(ms) + epsilon_);
-      ++slot;
     });
   }
 
@@ -166,6 +202,100 @@ class RMSProp {
   float learning_rate_, rho_, epsilon_;
   std::vector<Tensor> ms_;
 };
+
+// --- Optimizer state introspection (ZeRO sharding + metrics).
+
+// VisitState visitor that records references to every state field, so
+// generic code can trim/copy/measure state without knowing the concrete
+// optimizer. Field order is the optimizer's VisitState order, which is
+// identical across instances of the same optimizer type.
+struct OptimizerStateRefs {
+  std::vector<std::pair<std::string, std::int64_t*>> scalars;
+  std::vector<std::pair<std::string, std::vector<Tensor>*>> tensor_slots;
+
+  void Scalar(const char* name, std::int64_t& value) {
+    scalars.emplace_back(name, &value);
+  }
+  void TensorSlots(const char* name, std::vector<Tensor>& slots) {
+    tensor_slots.emplace_back(name, &slots);
+  }
+
+  template <typename Optimizer>
+  static OptimizerStateRefs Of(Optimizer& optimizer) {
+    OptimizerStateRefs refs;
+    optimizer.VisitState(refs);
+    return refs;
+  }
+};
+
+// Bytes a rank actually holds for this optimizer's state: 4 per tensor
+// element plus 8 per scalar word. Empty (trimmed-away) slots cost zero —
+// the number the ZeRO memory claim is gated on.
+template <typename Optimizer>
+std::int64_t OptimizerStateBytes(Optimizer& optimizer) {
+  OptimizerStateRefs refs = OptimizerStateRefs::Of(optimizer);
+  std::int64_t bytes = 0;
+  for (const auto& [name, value] : refs.scalars) {
+    (void)name;
+    (void)value;
+    bytes += 8;
+  }
+  for (const auto& [name, slots] : refs.tensor_slots) {
+    (void)name;
+    for (const Tensor& t : *slots) {
+      bytes += t.NumElements() * static_cast<std::int64_t>(sizeof(float));
+    }
+  }
+  return bytes;
+}
+
+// Drops every tensor state slot outside [begin_slot, end_slot) — what a
+// ZeRO rank does after copying the full optimizer, so it pays memory for
+// its own shard only. Scalar state (e.g. Adam's step) stays: it is a few
+// words and every rank needs it.
+template <typename Optimizer>
+void TrimOptimizerStateToSlots(Optimizer& optimizer, std::int64_t begin_slot,
+                               std::int64_t end_slot) {
+  OptimizerStateRefs refs = OptimizerStateRefs::Of(optimizer);
+  for (const auto& [name, slots] : refs.tensor_slots) {
+    (void)name;
+    for (std::size_t s = 0; s < slots->size(); ++s) {
+      const std::int64_t slot = static_cast<std::int64_t>(s);
+      if (slot < begin_slot || slot >= end_slot) {
+        (*slots)[s] = Tensor();
+      }
+    }
+  }
+}
+
+// Copies slots [begin_slot, end_slot) of every tensor state field (plus
+// all scalar state) from `src` into `dst`. Both must be the same
+// optimizer type, so their VisitState orders line up. O(1) per slot:
+// tensors are COW handles. This is the gather-on-step that keeps a
+// sharded run's checkpoint byte-identical to a replicated one.
+template <typename Optimizer>
+void CopyOptimizerStateSlots(Optimizer& src, Optimizer& dst,
+                             std::int64_t begin_slot, std::int64_t end_slot) {
+  OptimizerStateRefs from = OptimizerStateRefs::Of(src);
+  OptimizerStateRefs to = OptimizerStateRefs::Of(dst);
+  S4TF_CHECK_EQ(from.scalars.size(), to.scalars.size());
+  S4TF_CHECK_EQ(from.tensor_slots.size(), to.tensor_slots.size());
+  for (std::size_t i = 0; i < from.scalars.size(); ++i) {
+    *to.scalars[i].second = *from.scalars[i].second;
+  }
+  for (std::size_t i = 0; i < from.tensor_slots.size(); ++i) {
+    const std::vector<Tensor>& s = *from.tensor_slots[i].second;
+    std::vector<Tensor>& d = *to.tensor_slots[i].second;
+    const std::int64_t end = std::min<std::int64_t>(
+        end_slot, static_cast<std::int64_t>(s.size()));
+    for (std::int64_t slot = begin_slot; slot < end; ++slot) {
+      if (static_cast<std::size_t>(slot) >= d.size()) {
+        d.resize(static_cast<std::size_t>(slot) + 1);
+      }
+      d[static_cast<std::size_t>(slot)] = s[static_cast<std::size_t>(slot)];
+    }
+  }
+}
 
 // --- Gradient utilities.
 

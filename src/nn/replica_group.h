@@ -18,9 +18,11 @@
 // replica/thread-count combination (tested in tests/dist/).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -60,6 +62,19 @@ struct ReplicaGroupOptions {
   // Communicator barrier at the end of every TrainStep, so no replica
   // races ahead into the next step's collectives.
   bool step_barrier = true;
+  // ZeRO-style sharded optimizer state (threaded mode only; the
+  // sequential reference ignores it — it *is* the replicated baseline).
+  // Each rank owns a contiguous range of optimizer slots: gradients are
+  // reduce-scattered so only the owned shard is reduced in full, the
+  // rank's optimizer copy updates only its shard's parameters and state
+  // (per-rank state bytes shrink ~1/world), and updated parameters are
+  // all-gathered. Bit-identical to the replicated path — the collectives
+  // reduce every element through the same canonical tree, and the
+  // per-slot update math is the exact Update body (UpdateSlots).
+  // Checkpoints stay byte-compatible: owned state slots are gathered
+  // back into the caller's optimizer every step (gather-on-step), so
+  // CaptureTrainingState sees the full replicated state.
+  bool sharded = false;
 };
 
 namespace internal {
@@ -150,6 +165,137 @@ GradientBucketPlan MakeBucketPlan(const M& model,
     }
   }
   return plan;
+}
+
+inline obs::Counter& ZeroStepCounter() {
+  static obs::Counter* counter = obs::GetCounter("nn.zero.sharded_steps");
+  return *counter;
+}
+
+inline obs::Gauge& ZeroStateBytesGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("nn.zero.opt_state_bytes");
+  return *gauge;
+}
+
+// ZeRO shard partition over a model's optimizer slots (VisitParameters
+// order — the same traversal FlattenTangent, MakeBucketPlan, and the
+// optimizers' UpdateSlots walk). Shards are contiguous *slot* ranges, so
+// a rank's elements form one contiguous span of the flattened gradient
+// buffer and its optimizer state slots are whole tensors — no tensor is
+// ever split across ranks. Cuts land on the slot boundary nearest each
+// rank's even element share, which handles worlds that don't divide the
+// element count, ranks with empty shards (world > #slots), and
+// zero-length tensors without special cases.
+struct ZeroShardPlan {
+  std::vector<std::int64_t> slot_offsets;  // per-slot element offset
+  std::vector<std::int64_t> slot_sizes;    // per-slot element count
+  std::vector<std::int64_t> cuts;          // world+1 slot-index cuts
+  std::vector<std::int64_t> elem_offsets;  // world+1 element offsets
+  std::int64_t total = 0;
+  int world = 1;
+
+  std::int64_t shard_begin_slot(int rank) const {
+    return cuts[static_cast<std::size_t>(rank)];
+  }
+  std::int64_t shard_end_slot(int rank) const {
+    return cuts[static_cast<std::size_t>(rank) + 1];
+  }
+  std::int64_t shard_elems(int rank) const {
+    return elem_offsets[static_cast<std::size_t>(rank) + 1] -
+           elem_offsets[static_cast<std::size_t>(rank)];
+  }
+};
+
+template <ad::DifferentiableStruct M>
+ZeroShardPlan MakeZeroShardPlan(const M& model, int world) {
+  S4TF_CHECK_GE(world, 1);
+  ZeroShardPlan plan;
+  plan.world = world;
+  M copy = model;  // O(1): parameters are COW tensor handles
+  copy.VisitParameters([&](Tensor& p) {
+    plan.slot_offsets.push_back(plan.total);
+    plan.slot_sizes.push_back(p.NumElements());
+    plan.total += p.NumElements();
+  });
+  const std::int64_t slots =
+      static_cast<std::int64_t>(plan.slot_offsets.size());
+  plan.cuts.resize(static_cast<std::size_t>(world) + 1);
+  plan.elem_offsets.resize(static_cast<std::size_t>(world) + 1);
+  for (int r = 0; r <= world; ++r) {
+    if (r == world) {
+      plan.cuts[static_cast<std::size_t>(r)] = slots;
+    } else {
+      // First slot at or past this rank's even element share. Targets
+      // are nondecreasing in r, so cuts are too.
+      const std::int64_t target = plan.total * r / world;
+      plan.cuts[static_cast<std::size_t>(r)] =
+          std::lower_bound(plan.slot_offsets.begin(), plan.slot_offsets.end(),
+                           target) -
+          plan.slot_offsets.begin();
+    }
+    const std::int64_t cut = plan.cuts[static_cast<std::size_t>(r)];
+    plan.elem_offsets[static_cast<std::size_t>(r)] =
+        cut < slots ? plan.slot_offsets[static_cast<std::size_t>(cut)]
+                    : plan.total;
+  }
+  return plan;
+}
+
+// Flattens the model's parameters into one contiguous buffer in
+// VisitParameters order — the parameter-space analogue of FlattenTangent.
+template <ad::DifferentiableStruct M>
+std::vector<float> FlattenParams(const M& model) {
+  std::vector<float> flat;
+  M copy = model;  // O(1) COW snapshot; ToVector never mutates
+  copy.VisitParameters([&](Tensor& p) {
+    const std::vector<float> values = p.ToVector();
+    flat.insert(flat.end(), values.begin(), values.end());
+  });
+  return flat;
+}
+
+// Inverse of FlattenParams: rebinds every parameter from the buffer.
+template <ad::DifferentiableStruct M>
+void WriteParams(M& model, const std::vector<float>& flat,
+                 const Device& device) {
+  std::size_t offset = 0;
+  model.VisitParameters([&](Tensor& param) {
+    const std::size_t n = static_cast<std::size_t>(param.NumElements());
+    S4TF_CHECK_LE(offset + n, flat.size())
+        << "parameter buffer shorter than the model";
+    std::vector<float> values(
+        flat.begin() + static_cast<std::ptrdiff_t>(offset),
+        flat.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    param = Tensor::FromVector(param.shape(), std::move(values), device);
+    offset += n;
+  });
+  S4TF_CHECK_EQ(offset, flat.size())
+      << "parameter buffer longer than the model";
+}
+
+// UnflattenTangent restricted to slots [begin_slot, end_slot): only the
+// owned slots materialize gradient tensors; the rest keep the
+// zero-tangent placeholder, which UpdateSlots never reads.
+template <ad::DifferentiableStruct M>
+void UnflattenTangentSlots(M& model, typename M::TangentVector& tangent,
+                           const std::vector<float>& flat,
+                           const Device& device, std::int64_t begin_slot,
+                           std::int64_t end_slot) {
+  std::size_t offset = 0;
+  std::int64_t slot = 0;
+  model.VisitWithTangent(tangent, [&](Tensor& param, Tensor& grad) {
+    const std::size_t n = static_cast<std::size_t>(param.NumElements());
+    const std::int64_t s = slot++;
+    if (s >= begin_slot && s < end_slot) {
+      S4TF_CHECK_LE(offset + n, flat.size())
+          << "reduced gradient buffer shorter than the model";
+      std::vector<float> values(
+          flat.begin() + static_cast<std::ptrdiff_t>(offset),
+          flat.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      grad = Tensor::FromVector(param.shape(), std::move(values), device);
+    }
+    offset += n;
+  });
 }
 
 }  // namespace internal
@@ -258,6 +404,10 @@ class ReplicaGroup {
                   const std::vector<LabeledBatch>& shards, LossFn&& loss_fn) {
     S4TF_CHECK_EQ(static_cast<int>(shards.size()), replicas_)
         << "need exactly one shard per replica";
+    if (options_.sharded && !options_.sequential) {
+      return TrainStepSharded(model, optimizer, shards,
+                              std::forward<LossFn>(loss_fn));
+    }
     internal::ReplicaStepCounter().Increment();
     obs::TraceSpan step_span("nn.replica_step", "dist", "replicas",
                              replicas_);
@@ -309,8 +459,9 @@ class ReplicaGroup {
         // collective failure exactly where the sync AllReduce would
         // have thrown.
         flats[i].assign(static_cast<std::size_t>(plan.total), 0.0f);
-        auto handle =
-            comm_.AllReduceAsync(rank, flats[i], dist::ReduceOp::kMean);
+        auto handle = comm_.RunAsync(
+            rank, dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
+            flats[i]);
         S4TF_CHECK_EQ(handle->num_buckets(), plan.num_buckets)
             << "bucket plan disagrees with the communicator's geometry";
         std::vector<std::int64_t> remaining = plan.params_in_bucket;
@@ -342,7 +493,8 @@ class ReplicaGroup {
         }
         handle->Wait();
         losses[i] = {loss.ScalarValue()};
-        comm_.AllReduce(rank, losses[i], dist::ReduceOp::kMean);
+        comm_.Run(rank, dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
+                  losses[i]);
         if (options_.step_barrier) comm_.Barrier(rank);
       } else {
         auto [loss, grads] = ad::ValueWithGradient(
@@ -350,8 +502,12 @@ class ReplicaGroup {
         flats[i] = internal::FlattenTangent(local, grads);
         losses[i] = {loss.ScalarValue()};
         if (!options_.sequential) {
-          comm_.AllReduce(rank, flats[i], dist::ReduceOp::kMean);
-          comm_.AllReduce(rank, losses[i], dist::ReduceOp::kMean);
+          comm_.Run(rank,
+                    dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
+                    flats[i]);
+          comm_.Run(rank,
+                    dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
+                    losses[i]);
           if (options_.step_barrier) comm_.Barrier(rank);
         }
       }
@@ -396,7 +552,208 @@ class ReplicaGroup {
                      });
   }
 
+  // Optimizer-state bytes rank `rank` held after the last sharded step —
+  // the ZeRO memory claim (≈ replicated bytes / world + scalars). 0
+  // before the first sharded step.
+  std::int64_t zero_opt_state_bytes(int rank) const {
+    if (static_cast<std::size_t>(rank) >= zero_state_bytes_.size()) return 0;
+    return zero_state_bytes_[static_cast<std::size_t>(rank)];
+  }
+
  private:
+  // The ZeRO-sharded TrainStep. Collective sequence per rank per step:
+  // reduce-scatter(grads), all-reduce(loss), all-gather(params), then the
+  // optional barrier — internal::CollectivesPerStep (session.cpp) must
+  // match, since it converts kill_at_step into a death seq.
+  template <ad::DifferentiableStruct M, typename Optimizer, typename LossFn>
+  float TrainStepSharded(M& model, Optimizer& optimizer,
+                         const std::vector<LabeledBatch>& shards,
+                         LossFn&& loss_fn) {
+    internal::ReplicaStepCounter().Increment();
+    internal::ZeroStepCounter().Increment();
+    obs::TraceSpan step_span("nn.replica_step.sharded", "dist", "replicas",
+                             replicas_);
+
+    // Stage per-replica model copies and shards on the calling thread.
+    std::vector<M> locals;
+    locals.reserve(static_cast<std::size_t>(replicas_));
+    std::vector<LabeledBatch> local_shards;
+    local_shards.reserve(static_cast<std::size_t>(replicas_));
+    for (int r = 0; r < replicas_; ++r) {
+      const Device& dev = devices_[static_cast<std::size_t>(r)];
+      M local = model;
+      MoveModelTo(local, dev);
+      locals.push_back(std::move(local));
+      const LabeledBatch& shard = shards[static_cast<std::size_t>(r)];
+      local_shards.push_back(LabeledBatch{shard.images.To(dev),
+                                          shard.one_hot.To(dev),
+                                          shard.labels});
+    }
+
+    const internal::ZeroShardPlan zplan =
+        internal::MakeZeroShardPlan(model, replicas_);
+    const dist::CollectiveSpec rs_spec = dist::CollectiveSpec::ReduceScatter(
+        dist::ReduceOp::kMean, zplan.elem_offsets);
+
+    std::vector<std::vector<float>> flats(
+        static_cast<std::size_t>(replicas_));
+    std::vector<std::vector<float>> losses(
+        static_cast<std::size_t>(replicas_));
+
+    const bool overlap = options_.overlap;
+    internal::GradientBucketPlan plan;
+    if (overlap) {
+      plan = internal::MakeBucketPlan(model, options_.collective.bucket_bytes);
+    }
+
+    // Region 1: per-replica forward/backward, gradient reduce-scatter
+    // (overlapped with the backward sweep when enabled — the bucket
+    // geometry is the all-reduce's, so the streaming submission plan
+    // carries over unchanged), and the loss all-reduce.
+    const auto step_start = std::chrono::steady_clock::now();
+    RunOnReplicas([&](int rank) {
+      obs::TraceSpan worker_span("nn.replica_worker", "dist", "rank", rank);
+      const auto worker_start = std::chrono::steady_clock::now();
+      const std::size_t i = static_cast<std::size_t>(rank);
+      M& local = locals[i];
+      const LabeledBatch& shard = local_shards[i];
+      if (overlap) {
+        flats[i].assign(static_cast<std::size_t>(plan.total), 0.0f);
+        auto handle = comm_.RunAsync(rank, rs_spec, flats[i]);
+        S4TF_CHECK_EQ(handle->num_buckets(), plan.num_buckets)
+            << "bucket plan disagrees with the communicator's geometry";
+        std::vector<std::int64_t> remaining = plan.params_in_bucket;
+        Tensor loss;
+        {
+          obs::TraceSpan backward_span("nn.replica_backward", "dist",
+                                       "rank", rank);
+          loss = ad::ValueWithGradientStreamed(
+              local, [&](const M& m) { return loss_fn(m, shard); },
+              [&](std::size_t p, const Tensor* grad) {
+                const std::int64_t off = plan.offsets[p];
+                const std::int64_t n = plan.sizes[p];
+                if (grad != nullptr && grad->NumElements() == n) {
+                  const std::vector<float> values = grad->ToVector();
+                  std::copy(values.begin(), values.end(),
+                            flats[i].begin() +
+                                static_cast<std::ptrdiff_t>(off));
+                }
+                if (n == 0) return;
+                const std::int64_t first = off / plan.bucket_elems;
+                const std::int64_t last = (off + n - 1) / plan.bucket_elems;
+                for (std::int64_t b = first; b <= last; ++b) {
+                  if (--remaining[static_cast<std::size_t>(b)] == 0) {
+                    handle->SubmitBucket(b);
+                  }
+                }
+              });
+        }
+        handle->Wait();
+        losses[i] = {loss.ScalarValue()};
+      } else {
+        auto [loss, grads] = ad::ValueWithGradient(
+            local, [&](const M& m) { return loss_fn(m, shard); });
+        flats[i] = internal::FlattenTangent(local, grads);
+        losses[i] = {loss.ScalarValue()};
+        comm_.Run(rank, rs_spec, flats[i]);
+      }
+      comm_.Run(rank, dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
+                losses[i]);
+      replica_seconds_[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        worker_start)
+              .count();
+    });
+
+    // Caller thread: each rank's shard optimizer updates its own slice
+    // of the caller's model, in rank order — the same device and the
+    // same per-slot math as the replicated single Update, so parameters
+    // and optimizer state evolve bitwise-identically.
+    EnsureZeroOptimizers(optimizer, zplan);
+    for (int r = 0; r < replicas_; ++r) {
+      Optimizer& opt =
+          *std::static_pointer_cast<Optimizer>(
+              zero_opts_[static_cast<std::size_t>(r)]);
+      typename M::TangentVector tangent{};
+      internal::UnflattenTangentSlots(
+          model, tangent, flats[static_cast<std::size_t>(r)],
+          ModelDevice(model), zplan.shard_begin_slot(r),
+          zplan.shard_end_slot(r));
+      opt.UpdateSlots(model, tangent, zplan.shard_begin_slot(r),
+                      zplan.shard_end_slot(r));
+    }
+
+    // Gather-on-step: the caller's optimizer regains every rank's owned
+    // state slots (O(1) COW handle copies), so checkpoints taken from it
+    // are byte-identical to replicated-mode checkpoints.
+    zero_state_bytes_.assign(static_cast<std::size_t>(replicas_), 0);
+    for (int r = 0; r < replicas_; ++r) {
+      Optimizer& opt =
+          *std::static_pointer_cast<Optimizer>(
+              zero_opts_[static_cast<std::size_t>(r)]);
+      CopyOptimizerStateSlots(opt, optimizer, zplan.shard_begin_slot(r),
+                              zplan.shard_end_slot(r));
+      zero_state_bytes_[static_cast<std::size_t>(r)] =
+          OptimizerStateBytes(opt);
+      internal::ZeroStateBytesGauge().SetMax(
+          zero_state_bytes_[static_cast<std::size_t>(r)]);
+    }
+
+    // Region 2: all-gather the updated parameters. Each rank contributes
+    // only its own shard (the rest of its buffer starts zeroed), so the
+    // gather transports every byte for real; the caller's parameters are
+    // then rebound from rank 0's gathered buffer.
+    const std::vector<float> updated = internal::FlattenParams(model);
+    std::vector<std::vector<float>> bufs(
+        static_cast<std::size_t>(replicas_));
+    for (int r = 0; r < replicas_; ++r) {
+      std::vector<float>& buf = bufs[static_cast<std::size_t>(r)];
+      buf.assign(static_cast<std::size_t>(zplan.total), 0.0f);
+      const std::int64_t begin =
+          zplan.elem_offsets[static_cast<std::size_t>(r)];
+      const std::int64_t end =
+          zplan.elem_offsets[static_cast<std::size_t>(r) + 1];
+      std::copy(updated.begin() + static_cast<std::ptrdiff_t>(begin),
+                updated.begin() + static_cast<std::ptrdiff_t>(end),
+                buf.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+    const dist::CollectiveSpec ag_spec =
+        dist::CollectiveSpec::AllGather(zplan.elem_offsets);
+    RunOnReplicas([&](int rank) {
+      comm_.Run(rank, ag_spec, bufs[static_cast<std::size_t>(rank)]);
+      if (options_.step_barrier) comm_.Barrier(rank);
+    });
+    internal::WriteParams(model, bufs[0], ModelDevice(model));
+
+    last_step_wall_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      step_start)
+            .count();
+    return losses[0][0];
+  }
+
+  // Lazily builds the per-rank shard optimizers by copying the caller's
+  // optimizer (O(1): state tensors are COW handles) and trimming each
+  // copy to its owned slots. Rebuilt whenever the optimizer type changes;
+  // a session that restores a checkpoint rebuilds the whole group, which
+  // re-seeds these from the restored state.
+  template <typename Optimizer>
+  void EnsureZeroOptimizers(Optimizer& optimizer,
+                            const internal::ZeroShardPlan& plan) {
+    if (zero_opt_type_ == nullptr || *zero_opt_type_ != typeid(Optimizer)) {
+      zero_opts_.clear();
+      zero_opt_type_ = &typeid(Optimizer);
+    }
+    if (!zero_opts_.empty()) return;
+    zero_opts_.reserve(static_cast<std::size_t>(replicas_));
+    for (int r = 0; r < replicas_; ++r) {
+      auto copy = std::make_shared<Optimizer>(optimizer);
+      TrimOptimizerStateToSlots(*copy, plan.shard_begin_slot(r),
+                                plan.shard_end_slot(r));
+      zero_opts_.push_back(std::move(copy));
+    }
+  }
+
   ReplicaGroupOptions options_;
   int replicas_;
   dist::RingCommunicator comm_;
@@ -405,6 +762,12 @@ class ReplicaGroup {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<double> replica_seconds_;
   double last_step_wall_seconds_ = 0.0;
+  // ZeRO sharding state: one trimmed optimizer copy per rank (type-erased
+  // so the group stays optimizer-agnostic) plus the last step's per-rank
+  // state footprint.
+  std::vector<std::shared_ptr<void>> zero_opts_;
+  const std::type_info* zero_opt_type_ = nullptr;
+  std::vector<std::int64_t> zero_state_bytes_;
 };
 
 }  // namespace s4tf::nn

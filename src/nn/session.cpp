@@ -37,11 +37,14 @@ std::chrono::milliseconds BackoffDelay(std::chrono::milliseconds base,
 }
 
 int CollectivesPerStep(const ReplicaGroupOptions& options) {
-  // Gradient all-reduce + loss all-reduce, then the optional step barrier
-  // (see ReplicaGroup::TrainStep). Every rank consumes exactly this many
-  // sequence numbers per step, which is what makes the step -> death_seq
+  // Replicated: gradient all-reduce + loss all-reduce. Sharded: gradient
+  // reduce-scatter + loss all-reduce + parameter all-gather. Then the
+  // optional step barrier (see ReplicaGroup::TrainStep /
+  // TrainStepSharded). Every rank consumes exactly this many sequence
+  // numbers per step, which is what makes the step -> death_seq
   // translation exact.
-  return 2 + (options.step_barrier ? 1 : 0);
+  const int collectives = options.sharded && !options.sequential ? 3 : 2;
+  return collectives + (options.step_barrier ? 1 : 0);
 }
 
 }  // namespace internal

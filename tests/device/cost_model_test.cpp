@@ -71,6 +71,67 @@ TEST(CostModelTest, OverlappedExposedCommunicationPipelineModel) {
   EXPECT_GT(exposed, 0.0);
 }
 
+TEST(CostModelTest, AllReduceIsExactlyReduceScatterPlusAllGather) {
+  // The collective identity the ZeRO step leans on: the all-reduce's two
+  // phases, priced separately, sum back to the whole — exactly, at every
+  // scale.
+  for (const AcceleratorSpec& spec :
+       {AcceleratorSpec::TpuV3Core(), AcceleratorSpec::Gtx1080()}) {
+    for (const std::int64_t bytes : {std::int64_t{1} << 10,
+                                     std::int64_t{100} << 20}) {
+      for (const int replicas : {1, 2, 8, 64, 256}) {
+        EXPECT_DOUBLE_EQ(ReduceScatterSeconds(spec, bytes, replicas) +
+                             AllGatherSeconds(spec, bytes, replicas),
+                         AllReduceSeconds(spec, bytes, replicas))
+            << spec.name << " bytes " << bytes << " replicas " << replicas;
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, HierarchicalFlatTopologyIsBitIdenticalToRing) {
+  // replicas_per_host <= 1 must charge exactly the classic flat ring —
+  // this is what keeps every pre-topology bench artifact byte-stable.
+  const AcceleratorSpec spec = AcceleratorSpec::TpuV3Core();
+  const std::int64_t bytes = 100 << 20;
+  for (const int rph : {0, 1}) {
+    const CommTopology topology{rph};
+    for (const int replicas : {1, 2, 16, 64, 256}) {
+      EXPECT_EQ(HierarchicalAllReduceSeconds(spec, bytes, replicas, topology),
+                AllReduceSeconds(spec, bytes, replicas))
+          << "rph " << rph << " replicas " << replicas;
+    }
+  }
+}
+
+TEST(CostModelTest, HierarchicalBeatsFlatRingAtScale) {
+  // At world 64-256 the flat ring's 2(N-1) latency hops dominate; the
+  // intra-host tree + inter-host ring wins, and the gap widens with N.
+  const AcceleratorSpec spec = AcceleratorSpec::TpuV3Core();
+  const std::int64_t bytes = 4 << 20;  // LeNet-scale gradients
+  const CommTopology topology{/*replicas_per_host=*/8};
+  double prev_ratio = 1.0;
+  for (const int replicas : {64, 128, 256}) {
+    const double flat = AllReduceSeconds(spec, bytes, replicas);
+    const double hier =
+        HierarchicalAllReduceSeconds(spec, bytes, replicas, topology);
+    EXPECT_GT(hier, 0.0);
+    EXPECT_LT(hier, flat) << "replicas " << replicas;
+    const double ratio = flat / hier;
+    EXPECT_GE(ratio, prev_ratio) << "replicas " << replicas;
+    prev_ratio = ratio;
+  }
+  // Everything on one host: no inter-host ring at all, just the local
+  // tree twice (AllReduceSeconds over 1 host is 0).
+  const CommTopology one_host{/*replicas_per_host=*/8};
+  const int rounds = 3;  // ceil(log2(8))
+  const double intra = rounds * (spec.intra_host_latency +
+                                 static_cast<double>(bytes) /
+                                     spec.intra_host_bandwidth);
+  EXPECT_DOUBLE_EQ(HierarchicalAllReduceSeconds(spec, bytes, 8, one_host),
+                   2.0 * intra);
+}
+
 TEST(CostModelTest, HardwareSpecsAreOrdered) {
   // TPU core beats GTX 1080 beats mobile CPU on peak compute.
   EXPECT_GT(AcceleratorSpec::TpuV3Core().peak_flops,
@@ -102,6 +163,28 @@ TEST(SimAcceleratorTest, FusionSavesLaunchesAndTraffic) {
   for (int i = 0; i < 10; ++i) unfused.ChargeKernel(0, 2 << 20);
   fused.ChargeFusedKernel(0, 2 << 20);
   EXPECT_GT(unfused.elapsed_seconds(), 5.0 * fused.elapsed_seconds());
+}
+
+TEST(SimAcceleratorTest, ShardedChargesComposeToTheAllReduceCharge) {
+  SimAccelerator sharded(AcceleratorSpec::TpuV3Core());
+  sharded.ChargeReduceScatter(1 << 20, 8);
+  sharded.ChargeAllGather(1 << 20, 8);
+  SimAccelerator monolithic(AcceleratorSpec::TpuV3Core());
+  monolithic.ChargeAllReduce(1 << 20, 8);
+  EXPECT_DOUBLE_EQ(sharded.elapsed_seconds(), monolithic.elapsed_seconds());
+
+  // The topology-aware overload with a flat topology charges the same
+  // clock as the classic overload; a hierarchical one charges less at
+  // world 64.
+  SimAccelerator flat(AcceleratorSpec::TpuV3Core());
+  flat.ChargeAllReduce(1 << 20, 64);
+  SimAccelerator flat_topo(AcceleratorSpec::TpuV3Core());
+  flat_topo.ChargeAllReduce(1 << 20, 64, CommTopology{});
+  EXPECT_DOUBLE_EQ(flat_topo.elapsed_seconds(), flat.elapsed_seconds());
+  SimAccelerator hier(AcceleratorSpec::TpuV3Core());
+  hier.ChargeAllReduce(1 << 20, 64, CommTopology{/*replicas_per_host=*/8});
+  EXPECT_LT(hier.elapsed_seconds(), flat.elapsed_seconds());
+  EXPECT_GT(hier.elapsed_seconds(), 0.0);
 }
 
 TEST(SimAcceleratorTest, ResetClearsClockAndCounters) {

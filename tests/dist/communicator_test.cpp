@@ -425,15 +425,18 @@ TEST(AsyncAllReduceTest, DyingRankThrowsAtEntryAndPendingWaitFailsLoudly) {
 }
 
 TEST(AsyncAllReduceTest, BaseClassFallbackRunsSynchronouslyInWait) {
-  // A Communicator that doesn't override AllReduceAsync still serves the
-  // handle API: one logical bucket, reduced by the plain AllReduce when
+  // A Communicator that doesn't override RunAsync still serves the
+  // handle API: one logical bucket, reduced by the synchronous Run when
   // Wait() runs.
   class CountingIdentity final : public Communicator {
    public:
     int world_size() const override { return 1; }
     const char* name() const override { return "counting-identity"; }
-    void AllReduce(int, std::vector<float>&, ReduceOp) override {
+    CollectiveResult Run(int, const CollectiveSpec&,
+                         std::vector<float>& data) override {
       ++calls;
+      return CollectiveResult{
+          static_cast<std::int64_t>(data.size() * sizeof(float)), 1};
     }
     void Barrier(int) override {}
     int calls = 0;
