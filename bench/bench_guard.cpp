@@ -1,0 +1,200 @@
+// Training-guard bench -> BENCH_guard.json.
+//
+// Pins the guard layer's contract as exact CI gates (bench_compare diffs
+// every deterministic section bit-for-bit):
+//
+//   * collectives/*: the collective-sequence cost of enabling the guard
+//     (one extra AllGather per replicated step, two per sharded step) —
+//     any accidental change to the per-step collective count is a
+//     schema-level regression, not noise.
+//   * clean/guard_on: a healthy guarded run is bitwise-identical to the
+//     guard-off run (text verdict), with the exact nn.guard.* counter
+//     deltas (scans per step follow the bucket geometry; zero trips).
+//   * recover/<kind>: a seeded NaN / Inf / bit flip at step 3 of 6 is
+//     detected, rolled back, and skipped, and the recovered weights are
+//     bitwise-equal to the clean detour that never saw batch 3 (text
+//     verdict + exact trip/rollback/skip counter equalities).
+//
+// Everything compared derives from logical counters and bit-exact float
+// comparisons — no wall clock, no thread-count dependence. The wall_ms
+// section (warn-only) records the guard's real overhead per step.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "nn/models/lenet.h"
+#include "nn/optimizers.h"
+#include "nn/session.h"
+#include "nn/training.h"
+#include "report.h"
+
+namespace s4tf::bench {
+namespace {
+
+constexpr int kWorld = 2;
+constexpr int kGlobalBatch = 24;
+constexpr std::int64_t kTotalSteps = 6;
+constexpr std::int64_t kCorruptStep = 3;
+
+struct GuardRunResult {
+  nn::SessionReport report;
+  std::vector<std::vector<float>> params;
+  bool ok = false;
+};
+
+// One full in-memory session (no checkpoint directory: recovery falls
+// back to the Run-entry baseline, which keeps the bench filesystem-free)
+// from the fixed initialization. `skip_batch` >= 0 builds the clean
+// detour reference a recovered run must reproduce bitwise.
+GuardRunResult RunGuarded(nn::SessionOptions options,
+                          std::int64_t total_steps,
+                          std::int64_t skip_batch = -1) {
+  const auto dataset = nn::SyntheticImageDataset::Mnist(48, 17);
+  Rng init_rng(5);
+  nn::LeNet model(init_rng);
+  nn::SGD<nn::LeNet> sgd(0.1f, /*momentum=*/0.9f);
+  Rng data_rng(11);
+  nn::TrainingSession<nn::LeNet, nn::SGD<nn::LeNet>> session(
+      model, sgd, std::move(options), &data_rng);
+  auto report = session.Run(total_steps, [&](std::int64_t step) {
+    const std::int64_t batch_index =
+        (skip_batch >= 0 && step >= skip_batch) ? step + 1 : step;
+    return dataset.Batch(static_cast<int>(batch_index), kGlobalBatch,
+                         NaiveDevice());
+  });
+  GuardRunResult result;
+  result.ok = report.ok();
+  if (report.ok()) result.report = *report;
+  model.VisitParameters(
+      [&](const Tensor& p) { result.params.push_back(p.ToVector()); });
+  return result;
+}
+
+nn::SessionOptions BaseOptions(bool guard) {
+  nn::SessionOptions options;
+  options.replicas = kWorld;
+  options.recovery_backoff = std::chrono::milliseconds(1);
+  options.sleep_fn = [](std::chrono::milliseconds) {};  // no real sleeps
+  options.replica.guard.enabled = guard;
+  return options;
+}
+
+const char* Verdict(bool pass) { return pass ? "pass" : "fail"; }
+
+bool EmitArtifact() {
+  std::printf("== Guard: numerical fault tolerance gates ==\n\n");
+  BenchReport report("guard");
+  report.SetConfig("model", std::string("lenet"));
+  report.SetConfig("world", static_cast<std::int64_t>(kWorld));
+  report.SetConfig("global_batch", static_cast<std::int64_t>(kGlobalBatch));
+  report.SetConfig("total_steps", kTotalSteps);
+  report.SetConfig("corrupt_step", kCorruptStep);
+
+  // --- Collective-sequence cost of the guard. ---------------------------
+  for (const bool sharded : {false, true}) {
+    nn::ReplicaGroupOptions off;
+    off.sharded = sharded;
+    nn::ReplicaGroupOptions on = off;
+    on.guard.enabled = true;
+    BenchRow& row =
+        report.AddRow(std::string("collectives/") +
+                      (sharded ? "sharded" : "replicated"));
+    row.SetCounter("per_step_guard_off",
+                   nn::internal::CollectivesPerStep(off));
+    row.SetCounter("per_step_guard_on",
+                   nn::internal::CollectivesPerStep(on));
+    std::printf("collectives per %s step: %d -> %d with guard\n",
+                sharded ? "sharded" : "replicated",
+                nn::internal::CollectivesPerStep(off),
+                nn::internal::CollectivesPerStep(on));
+  }
+
+  // --- Clean guarded run == guard-off run, bitwise. ---------------------
+  const GuardRunResult guard_off = RunGuarded(BaseOptions(false), kTotalSteps);
+  if (!guard_off.ok) return false;
+  {
+    MetricsDelta delta;
+    const GuardRunResult guard_on =
+        RunGuarded(BaseOptions(true), kTotalSteps);
+    delta.Capture();
+    if (!guard_on.ok) return false;
+    const bool match = guard_on.params == guard_off.params &&
+                       guard_on.report.last_loss ==
+                           guard_off.report.last_loss;
+    BenchRow& row = report.AddRow("clean/guard_on");
+    row.SetCounter("nn.guard.scans", delta.Counter("nn.guard.scans"));
+    row.SetCounter("nn.guard.trips", delta.Counter("nn.guard.trips"));
+    row.SetText("bitwise_equal_to_guard_off", Verdict(match));
+    std::printf("clean guarded run vs guard-off: %s (%lld scans)\n",
+                Verdict(match),
+                static_cast<long long>(delta.Counter("nn.guard.scans")));
+  }
+
+  // --- Detection + rollback-and-skip per corruption kind. ---------------
+  // The detour reference: 5 clean steps over batches {0,1,2,4,5} — with
+  // no durable store the rollback restores the Run-entry baseline and
+  // re-walks from step 0, so the poisoned batch simply never trains.
+  const GuardRunResult detour =
+      RunGuarded(BaseOptions(false), kTotalSteps - 1,
+                 /*skip_batch=*/kCorruptStep);
+  if (!detour.ok) return false;
+  struct Kind {
+    const char* label;
+    dist::CorruptKind kind;
+  };
+  const Kind kinds[] = {
+      {"nan", dist::CorruptKind::kNaN},
+      {"inf", dist::CorruptKind::kInf},
+      {"bitflip", dist::CorruptKind::kBitflip},
+  };
+  for (const Kind& kind : kinds) {
+    for (const bool sharded : {false, true}) {
+      MetricsDelta delta;
+      nn::SessionOptions options = BaseOptions(true);
+      options.replica.sharded = sharded;
+      options.corrupt_rank = 1;
+      options.corrupt_at_step = kCorruptStep;
+      options.corrupt_kind = kind.kind;
+      const GuardRunResult recovered = RunGuarded(options, kTotalSteps);
+      delta.Capture();
+      if (!recovered.ok) return false;
+      const bool match = recovered.params == detour.params;
+      BenchRow& row = report.AddRow(
+          std::string("recover/") + kind.label +
+          (sharded ? "_sharded" : "_replicated"));
+      row.SetCounter("nn.guard.trips", delta.Counter("nn.guard.trips"));
+      row.SetCounter("nn.guard.rollbacks",
+                     delta.Counter("nn.guard.rollbacks"));
+      row.SetCounter("nn.guard.skipped_steps",
+                     delta.Counter("nn.guard.skipped_steps"));
+      row.SetCounter("nn.guard.corrupt_votes",
+                     delta.Counter("nn.guard.corrupt_votes"));
+      row.SetCounter("dist.fault.corruptions",
+                     delta.Counter("dist.fault.corruptions"));
+      row.SetCounter("steps_skipped", recovered.report.steps_skipped);
+      row.SetText("bitwise_equal_to_detour", Verdict(match));
+      std::printf("recover %s (%s): %s\n", kind.label,
+                  sharded ? "sharded" : "replicated", Verdict(match));
+    }
+  }
+
+  // --- Real guard overhead (warn-only wall clock). ----------------------
+  if (std::getenv("S4TF_BENCH_ARTIFACT_ONLY") == nullptr) {
+    BenchRow& row = report.AddRow("wall/step_overhead");
+    row.SetWall("guard_off_run_ms", MeasureWall(3, [&] {
+                  RunGuarded(BaseOptions(false), kTotalSteps);
+                }));
+    row.SetWall("guard_on_run_ms", MeasureWall(3, [&] {
+                  RunGuarded(BaseOptions(true), kTotalSteps);
+                }));
+  }
+
+  std::printf("\n");
+  return report.Write();
+}
+
+}  // namespace
+}  // namespace s4tf::bench
+
+int main() { return s4tf::bench::EmitArtifact() ? 0 : 1; }

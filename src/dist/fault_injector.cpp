@@ -1,9 +1,23 @@
 #include "dist/fault_injector.h"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "obs/metrics.h"
 #include "support/error.h"
 #include "support/hashing.h"
 
 namespace s4tf::dist {
+
+namespace {
+
+obs::Counter* CorruptionCounter() {
+  static obs::Counter* counter = obs::GetCounter("dist.fault.corruptions");
+  return counter;
+}
+
+}  // namespace
 
 std::uint64_t MessageKey::Packed() const {
   S4TF_CHECK_LT(seq, 1u << 25) << "collective sequence number overflow";
@@ -35,6 +49,50 @@ int FaultInjector::DropsFor(const MessageKey& key) const {
 bool FaultInjector::DiesAt(int rank, std::uint32_t seq) const {
   return plan_.death_rank >= 0 && rank == plan_.death_rank &&
          seq >= plan_.death_seq;
+}
+
+bool ApplyCorruption(const FaultPlan& plan, CorruptPhase phase, int rank,
+                     std::int64_t step, float* data, std::int64_t total,
+                     std::int64_t begin, std::int64_t end) {
+  if (plan.corrupt_kind == CorruptKind::kNone) return false;
+  if (rank != plan.corrupt_rank || step != plan.corrupt_seq) return false;
+  // kNaN/kInf poison the local gradients; kBitflip poisons the agreement
+  // buffer. A site owning the other phase is a no-op.
+  const CorruptPhase target = plan.corrupt_kind == CorruptKind::kBitflip
+                                  ? CorruptPhase::kAgreement
+                                  : CorruptPhase::kLocal;
+  if (phase != target) return false;
+  if (total <= 0) return false;
+  // Struck element: a pure function of (seed, step), independent of how
+  // the buffer is sliced across injection calls.
+  std::uint64_t h = HashValue(static_cast<std::uint64_t>(step),
+                              kFnvOffset ^ plan.seed);
+  h = HashCombine(h, /*salt=*/0xc0de);
+  const std::int64_t p =
+      static_cast<std::int64_t>(h % static_cast<std::uint64_t>(total));
+  if (p < begin || p >= end) return false;
+  float& slot = data[static_cast<std::size_t>(p)];
+  switch (plan.corrupt_kind) {
+    case CorruptKind::kNaN:
+      slot = std::numeric_limits<float>::quiet_NaN();
+      break;
+    case CorruptKind::kInf:
+      slot = std::numeric_limits<float>::infinity();
+      break;
+    case CorruptKind::kBitflip: {
+      // XOR with a seeded single bit: always changes the stored pattern,
+      // and a one-bit difference is always visible to CRC32.
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &slot, sizeof(bits));
+      bits ^= 1u << (HashCombine(h, /*salt=*/0xb17f) % 32);
+      std::memcpy(&slot, &bits, sizeof(bits));
+      break;
+    }
+    case CorruptKind::kNone:
+      return false;
+  }
+  CorruptionCounter()->Increment();
+  return true;
 }
 
 std::chrono::microseconds FaultInjector::DelayFor(

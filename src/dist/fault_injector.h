@@ -39,6 +39,17 @@ struct MessageKey {
   std::uint64_t Packed() const;
 };
 
+// Numeric corruption kinds for FaultPlan::corrupt_kind. kNaN/kInf model a
+// numerical blowup inside one replica's backward pass; kBitflip models
+// silent data corruption (a radiation/DRAM-style single-bit flip) in a
+// buffer that every rank is supposed to agree on.
+enum class CorruptKind : std::uint8_t {
+  kNone = 0,
+  kNaN = 1,
+  kInf = 2,
+  kBitflip = 3,
+};
+
 // What to inject. Probabilities are evaluated per message against a
 // seeded hash, so "probability 1" means "every message" deterministically.
 struct FaultPlan {
@@ -63,11 +74,45 @@ struct FaultPlan {
   int death_rank = -1;
   std::uint32_t death_seq = 0;
 
+  // Seeded numeric corruption (the test vector for the nn/guard.h
+  // training guard): rank `corrupt_rank` has one gradient element struck
+  // at training step `corrupt_seq`. Unlike death_seq, corrupt_seq is the
+  // *group-local training-step index* counted by ReplicaGroup, not a
+  // collective sequence number — a corruption poisons buffers, not
+  // messages, so it is scheduled per step. The struck element index (and
+  // the flipped bit, for kBitflip) are pure functions of (seed, step), so
+  // a corrupt run is bit-reproducible for any thread interleaving and the
+  // sync/overlap paths corrupt the identical element. kNaN/kInf strike
+  // the rank's *local* gradient buffer before reduction (caught by the
+  // guard's per-rank finite scan); kBitflip strikes the rank's
+  // *post-collective agreement buffer* — the silent-data-corruption case
+  // only the cross-replica digest vote can see. -1 = no corruption.
+  int corrupt_rank = -1;
+  std::int64_t corrupt_seq = -1;
+  CorruptKind corrupt_kind = CorruptKind::kNone;
+
   bool enabled() const {
     return drop_probability > 0.0 || straggler_probability > 0.0 ||
            death_rank >= 0;
   }
 };
+
+// Which buffer a corruption strikes. The injection site passes the phase
+// it owns; ApplyCorruption only fires when the planned kind targets it.
+enum class CorruptPhase : std::uint8_t {
+  kLocal = 0,      // local per-rank gradient buffer, before reduction
+  kAgreement = 1,  // post-collective buffer every rank must agree on
+};
+
+// Applies the planned corruption to the [begin, end) slice of a buffer of
+// `total` elements owned by `rank` at training step `step`. The struck
+// index p is seeded in [0, total); the write happens only when p lands in
+// [begin, end), so overlapped (per-bucket) and synchronous (whole-buffer)
+// injection produce the identical final buffer. Returns true when an
+// element was actually struck (counted in dist.fault.corruptions).
+bool ApplyCorruption(const FaultPlan& plan, CorruptPhase phase, int rank,
+                     std::int64_t step, float* data, std::int64_t total,
+                     std::int64_t begin, std::int64_t end);
 
 class FaultInjector {
  public:

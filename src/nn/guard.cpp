@@ -1,0 +1,243 @@
+#include "nn/guard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/crc32.h"
+#include "tensor/kernels.h"
+
+namespace s4tf::nn::internal {
+
+const char* GuardTripReasonName(GuardTripReason reason) {
+  switch (reason) {
+    case GuardTripReason::kNone:
+      return "none";
+    case GuardTripReason::kNonFinite:
+      return "non-finite";
+    case GuardTripReason::kChecksumVote:
+      return "checksum-vote";
+    case GuardTripReason::kSpike:
+      return "spike";
+  }
+  return "unknown";
+}
+
+GuardMetrics& GuardMetrics::Get() {
+  static GuardMetrics metrics{
+      obs::GetCounter("nn.guard.trips"),
+      obs::GetCounter("nn.guard.rollbacks"),
+      obs::GetCounter("nn.guard.skipped_steps"),
+      obs::GetCounter("nn.guard.clip_events"),
+      obs::GetCounter("nn.guard.corrupt_votes"),
+      obs::GetCounter("nn.guard.scans"),
+  };
+  return metrics;
+}
+
+std::vector<std::int64_t> GuardShardOffsets(int world) {
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(world) + 1);
+  for (int r = 0; r <= world; ++r) {
+    offsets[static_cast<std::size_t>(r)] =
+        static_cast<std::int64_t>(r) * kGuardSlots;
+  }
+  return offsets;
+}
+
+std::uint32_t GuardDigest(const float* data, std::int64_t n) {
+  return Crc32(data, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+void EncodeGuardDigest(std::uint32_t digest, float* hi_lo) {
+  hi_lo[0] = static_cast<float>(digest >> 16);
+  hi_lo[1] = static_cast<float>(digest & 0xffffu);
+}
+
+std::uint32_t DecodeGuardDigest(const float* hi_lo) {
+  return (static_cast<std::uint32_t>(hi_lo[0]) << 16) |
+         static_cast<std::uint32_t>(hi_lo[1]);
+}
+
+void FillGuardSlots(float* slots, bool finite, std::uint32_t pre_digest,
+                    std::uint32_t post_digest) {
+  slots[0] = finite ? 1.0f : 0.0f;
+  EncodeGuardDigest(pre_digest, slots + 1);
+  EncodeGuardDigest(post_digest, slots + 3);
+}
+
+LocalGuardScan::LocalGuardScan(std::int64_t total, std::int64_t bucket_elems,
+                               bool check_finite)
+    : total_(total),
+      bucket_elems_(std::max<std::int64_t>(bucket_elems, 1)),
+      check_finite_(check_finite) {
+  const std::int64_t buckets =
+      total_ <= 0 ? 0 : (total_ + bucket_elems_ - 1) / bucket_elems_;
+  crcs_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void LocalGuardScan::ScanBucket(const float* base, std::int64_t bucket) {
+  S4TF_CHECK_GE(bucket, 0);
+  S4TF_CHECK_LT(bucket, num_buckets());
+  const std::int64_t begin = bucket * bucket_elems_;
+  const std::int64_t end = std::min(begin + bucket_elems_, total_);
+  const float* slice = base + begin;
+  crcs_[static_cast<std::size_t>(bucket)] =
+      Crc32(slice, static_cast<std::size_t>(end - begin) * sizeof(float));
+  if (check_finite_) {
+    GuardMetrics::Get().scans->Increment();
+    if (!kernels::AllFiniteSpan(slice, end - begin)) finite_ = false;
+  }
+}
+
+void LocalGuardScan::NoteScalar(float value) {
+  if (check_finite_ && !std::isfinite(value)) finite_ = false;
+}
+
+std::uint32_t LocalGuardScan::Digest() const {
+  std::uint32_t state = kCrc32Init;
+  for (std::uint32_t crc : crcs_) {
+    state = Crc32Update(state, &crc, sizeof(crc));
+  }
+  return Crc32Final(state);
+}
+
+std::uint32_t GuardDigestBuckets(const float* data, std::int64_t total,
+                                 std::int64_t bucket_elems) {
+  LocalGuardScan scan(total, bucket_elems, /*check_finite=*/false);
+  for (std::int64_t b = 0; b < scan.num_buckets(); ++b) {
+    scan.ScanBucket(data, b);
+  }
+  return scan.Digest();
+}
+
+GuardVerdict JudgeGuard(const std::vector<float>& gathered, int world,
+                        bool vote) {
+  S4TF_CHECK_EQ(static_cast<std::int64_t>(gathered.size()),
+                static_cast<std::int64_t>(world) * kGuardSlots)
+      << "guard exchange buffer has the wrong geometry";
+  GuardVerdict verdict;
+
+  // Finite sentinels first: a cleared flag is already attributed, no vote
+  // needed. Lowest rank wins so the verdict is deterministic even if
+  // several ranks blew up the same step.
+  for (int r = 0; r < world; ++r) {
+    const float* slots = gathered.data() +
+                         static_cast<std::size_t>(r) * kGuardSlots;
+    if (slots[0] == 0.0f) {
+      verdict.reason = GuardTripReason::kNonFinite;
+      verdict.rank = r;
+      return verdict;
+    }
+  }
+  if (!vote) return verdict;
+
+  if (world == 1) {
+    // No quorum of one: self-check. Valid because every world-1
+    // collective is a bitwise identity (the reduce tree has one leaf and
+    // the gather ring makes zero hops), so an honest post buffer digests
+    // equal to the pre buffer.
+    const float* slots = gathered.data();
+    if (DecodeGuardDigest(slots + 1) != DecodeGuardDigest(slots + 3)) {
+      verdict.reason = GuardTripReason::kChecksumVote;
+      verdict.rank = 0;
+      GuardMetrics::Get().corrupt_votes->Increment();
+    }
+    return verdict;
+  }
+
+  // Majority vote on the post-collective agreement digest: every honest
+  // rank holds the identical buffer, so the digest with a strict majority
+  // is the truth and any dissenting rank is corrupt. The lowest
+  // dissenting rank is attributed (the injector corrupts one rank; a
+  // multi-rank corruption still trips, attributed to its lowest rank).
+  std::vector<std::uint32_t> digests(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    digests[static_cast<std::size_t>(r)] = DecodeGuardDigest(
+        gathered.data() + static_cast<std::size_t>(r) * kGuardSlots + 3);
+  }
+  bool disagree = false;
+  for (int r = 1; r < world; ++r) {
+    if (digests[static_cast<std::size_t>(r)] != digests[0]) disagree = true;
+  }
+  if (!disagree) return verdict;
+
+  verdict.reason = GuardTripReason::kChecksumVote;
+  int best_count = 0;
+  std::uint32_t majority = 0;
+  for (int r = 0; r < world; ++r) {
+    int count = 0;
+    for (int s = 0; s < world; ++s) {
+      if (digests[static_cast<std::size_t>(s)] ==
+          digests[static_cast<std::size_t>(r)]) {
+        ++count;
+      }
+    }
+    if (count > best_count) {
+      best_count = count;
+      majority = digests[static_cast<std::size_t>(r)];
+    }
+  }
+  if (best_count * 2 > world) {
+    for (int r = 0; r < world; ++r) {
+      if (digests[static_cast<std::size_t>(r)] != majority) {
+        verdict.rank = r;
+        break;
+      }
+    }
+    GuardMetrics::Get().corrupt_votes->Increment();
+  }
+  // else: no strict majority — detected (the step cannot be trusted) but
+  // unattributed, rank stays -1.
+  return verdict;
+}
+
+void ThrowOnGuardTrip(const GuardVerdict& verdict) {
+  if (!verdict.tripped()) return;
+  GuardMetrics::Get().trips->Increment();
+  throw GradientCorruptionError(
+      verdict.reason, verdict.rank,
+      verdict.reason == GuardTripReason::kNonFinite
+          ? "non-finite loss or gradient before reduction"
+          : (verdict.reason == GuardTripReason::kChecksumVote
+                 ? "post-collective buffers disagree across replicas"
+                 : "loss/gradient-norm spike vs EMA baseline"));
+}
+
+double GuardSqNormAccumulate(const float* data, std::int64_t begin,
+                             std::int64_t end, double acc) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    const double v = static_cast<double>(data[static_cast<std::size_t>(i)]);
+    acc += v * v;
+  }
+  return acc;
+}
+
+float GuardClipScale(double norm, float clip_global_norm) {
+  if (clip_global_norm <= 0.0f) return 1.0f;
+  if (!(norm > static_cast<double>(clip_global_norm))) return 1.0f;
+  GuardMetrics::Get().clip_events->Increment();
+  return static_cast<float>(static_cast<double>(clip_global_norm) / norm);
+}
+
+bool GuardSpikeCheck(GuardEmaState& state, const GuardOptions& options,
+                     double loss, double norm) {
+  if (options.spike_factor <= 0.0f) return false;
+  const bool warm = state.observed >= options.spike_warmup_steps;
+  if (warm) {
+    const double factor = static_cast<double>(options.spike_factor);
+    if (loss > factor * state.loss_ema || norm > factor * state.norm_ema) {
+      return true;  // EMAs untouched: the spike must not become baseline
+    }
+  }
+  if (state.observed == 0) {
+    state.loss_ema = loss;
+    state.norm_ema = norm;
+  } else {
+    const double a = options.ema_alpha;
+    state.loss_ema = a * loss + (1.0 - a) * state.loss_ema;
+    state.norm_ema = a * norm + (1.0 - a) * state.norm_ema;
+  }
+  ++state.observed;
+  return false;
+}
+
+}  // namespace s4tf::nn::internal

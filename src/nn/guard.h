@@ -1,0 +1,241 @@
+// Training guard layer: numerical fault tolerance for distributed steps.
+//
+// The dist/session layers (PRs 3-5, 8) survive dropped packets, corrupt
+// checkpoints, and permanent replica death — but a single NaN gradient or
+// a silent bit flip poisons *every* replica through the all-reduce and
+// walks the run off a cliff with no error at all. The guard turns those
+// numerical failure modes into loud, attributed, recoverable errors:
+//
+//   * Finite sentinels: every rank scans its loss and local gradient
+//     buckets with the parallel bit-deterministic kernels::AllFiniteSpan
+//     before the reduction consumes them.
+//   * Checksum voting: every rank CRC32s (support/crc32.h) its local
+//     pre-reduction contribution and the post-collective "agreement
+//     buffer" — the reduced gradients (replicated) or the gathered
+//     parameters (ZeRO-sharded), which every rank must hold bitwise
+//     identically. The 5-slot guard vectors (finite flag + two digests)
+//     are exchanged through one extra AllGather collective; post-digest
+//     disagreement identifies the corrupt minority rank by strict
+//     majority vote. A world of 1 has no quorum, so it self-checks its
+//     pre-digest against its post-digest instead (valid because every
+//     world-1 collective is a bitwise identity).
+//   * Anomaly thresholds: optional global-norm gradient clipping (norm
+//     accumulated sequentially in double over the canonical flattened
+//     element order — bitwise-identical for replicated and sharded
+//     layouts) and a loss/grad-norm spike detector against a windowed
+//     EMA.
+//
+// A trip throws GradientCorruptionError (an InternalError subclass that
+// nn::TrainingSession catches *before* its generic replica-failure
+// handler) carrying the attributed rank; the session then rolls back to
+// the newest durable checkpoint, marks the offending step skipped, and
+// resumes — bitwise-equal to a clean run that never saw the fault (see
+// session.h and DESIGN.md decision 12).
+//
+// Guard digests are encoded into the float guard vector as two exact
+// uint16 halves per CRC32 (every integer < 2^24 is exactly representable
+// in a float, and AllGather only copies — it never does arithmetic on
+// the payload), so the exchange rides the existing float collective
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace s4tf::nn {
+
+// Guard configuration, carried by ReplicaGroupOptions::guard. Off by
+// default: a guard-off step issues exactly the PR-8 collective sequence
+// and byte-identical results.
+struct GuardOptions {
+  bool enabled = false;
+  // Scan loss + local gradient buckets for NaN/Inf before reduction.
+  bool check_finite = true;
+  // CRC32 digest exchange + majority vote on the agreement buffer.
+  bool vote_checksums = true;
+  // Scale gradients so their global L2 norm never exceeds this (0 = no
+  // clipping). Applied after reduction, before the optimizer update.
+  float clip_global_norm = 0.0f;
+  // Trip when the loss or gradient norm exceeds spike_factor * its EMA
+  // (0 = spike detection off). The EMA warms up for spike_warmup_steps
+  // before it can trip, and lives in the ReplicaGroup — a session that
+  // rebuilds the group after recovery restarts the warmup (conservative:
+  // a fresh segment re-learns its baseline instead of trusting state
+  // from before the fault).
+  float spike_factor = 0.0f;
+  int spike_warmup_steps = 5;
+  double ema_alpha = 0.1;
+};
+
+namespace internal {
+
+// Why a guard tripped. kNonFinite and kChecksumVote attribute a rank;
+// kSpike is a global-statistic trip and is never attributed.
+enum class GuardTripReason : std::uint8_t {
+  kNone = 0,
+  kNonFinite = 1,
+  kChecksumVote = 2,
+  kSpike = 3,
+};
+
+const char* GuardTripReasonName(GuardTripReason reason);
+
+}  // namespace internal
+
+// A numerical corruption the guard detected. Subclasses InternalError so
+// the whole dist retry/recovery machinery treats it as a step failure,
+// but TrainingSession catches it first and runs rollback-and-skip
+// (restore + skip the poisoned batch) instead of the elastic world
+// shrink a replica death triggers. rank() is the attributed culprit, or
+// -1 when detection succeeded but attribution did not (no strict
+// majority, or a spike trip).
+class GradientCorruptionError : public InternalError {
+ public:
+  GradientCorruptionError(internal::GuardTripReason reason, int rank,
+                          const std::string& detail)
+      : InternalError(std::string("gradient corruption (") +
+                      internal::GuardTripReasonName(reason) +
+                      ") attributed to rank " + std::to_string(rank) +
+                      ": " + detail),
+        reason_(reason),
+        rank_(rank) {}
+
+  internal::GuardTripReason reason() const { return reason_; }
+  int rank() const { return rank_; }
+
+ private:
+  internal::GuardTripReason reason_;
+  int rank_;
+};
+
+namespace internal {
+
+// nn.guard.* counters. All logical events (identical for any intra-op
+// thread count): trips = guard verdicts that threw, rollbacks = session
+// rollback-and-skip recoveries, skipped_steps = batches skipped on
+// resume, clip_events = steps whose gradients were rescaled,
+// corrupt_votes = checksum votes that reached an attributed majority,
+// scans = finite scans executed.
+struct GuardMetrics {
+  obs::Counter* trips;
+  obs::Counter* rollbacks;
+  obs::Counter* skipped_steps;
+  obs::Counter* clip_events;
+  obs::Counter* corrupt_votes;
+  obs::Counter* scans;
+
+  static GuardMetrics& Get();
+};
+
+// Slots per rank in the guard exchange: finite flag, pre-reduction
+// digest (hi/lo uint16 halves), post-collective digest (hi/lo).
+inline constexpr int kGuardSlots = 5;
+
+// Shard offsets for the guard AllGather: rank r owns
+// [r*kGuardSlots, (r+1)*kGuardSlots).
+std::vector<std::int64_t> GuardShardOffsets(int world);
+
+// CRC32 (IEEE) over the span's raw bytes.
+std::uint32_t GuardDigest(const float* data, std::int64_t n);
+
+// Digest <-> float encoding. Each uint16 half is exact in a float, and
+// the guard collective only copies payloads, so the round trip is exact.
+void EncodeGuardDigest(std::uint32_t digest, float* hi_lo);
+std::uint32_t DecodeGuardDigest(const float* hi_lo);
+
+// Writes one rank's kGuardSlots guard contribution.
+void FillGuardSlots(float* slots, bool finite, std::uint32_t pre_digest,
+                    std::uint32_t post_digest);
+
+// Per-rank local-gradient scanner over the communicator's bucket
+// geometry. Buckets may be fed in ANY order (the overlapped path scans
+// each bucket the moment the backward sweep completes it, the sync path
+// scans them ascending): per-bucket CRCs are stored by bucket index and
+// Digest() folds them in ascending order, so both paths produce the
+// identical digest for the identical buffer. Finite verdicts combine
+// with AND, which is order-independent too.
+class LocalGuardScan {
+ public:
+  // `total` elements split into ceil(total / bucket_elems) buckets.
+  LocalGuardScan(std::int64_t total, std::int64_t bucket_elems,
+                 bool check_finite);
+
+  // Scans bucket `bucket` of the full buffer based at `base` (CRC +
+  // optional finite scan; counts nn.guard.scans).
+  void ScanBucket(const float* base, std::int64_t bucket);
+
+  // Folds a scalar (the local loss) into the finite verdict only.
+  void NoteScalar(float value);
+
+  bool finite() const { return finite_; }
+  std::int64_t num_buckets() const {
+    return static_cast<std::int64_t>(crcs_.size());
+  }
+  // Bucket-ordered fold of the per-bucket CRCs.
+  std::uint32_t Digest() const;
+
+ private:
+  std::int64_t total_;
+  std::int64_t bucket_elems_;
+  bool check_finite_;
+  bool finite_ = true;
+  std::vector<std::uint32_t> crcs_;
+};
+
+// Digest of a complete buffer through the same per-bucket fold
+// LocalGuardScan applies — the post-collective ("agreement buffer")
+// counterpart, guaranteed to equal a LocalGuardScan digest of a
+// bitwise-equal buffer.
+std::uint32_t GuardDigestBuckets(const float* data, std::int64_t total,
+                                 std::int64_t bucket_elems);
+
+// The verdict over the gathered world*kGuardSlots guard vectors.
+struct GuardVerdict {
+  GuardTripReason reason = GuardTripReason::kNone;
+  int rank = -1;  // attributed culprit; -1 = detected but unattributed
+  bool tripped() const { return reason != GuardTripReason::kNone; }
+};
+
+// Judges the gathered guard vectors: any cleared finite flag wins (lowest
+// rank attributed); otherwise post-digest disagreement is put to a strict
+// majority vote (minority ranks attributed; counted in
+// nn.guard.corrupt_votes). world == 1 falls back to the pre-vs-post
+// self-check. `vote` mirrors GuardOptions::vote_checksums.
+GuardVerdict JudgeGuard(const std::vector<float>& gathered, int world,
+                        bool vote);
+
+// Throws GradientCorruptionError (counting nn.guard.trips) when tripped.
+void ThrowOnGuardTrip(const GuardVerdict& verdict);
+
+// Global L2 norm of the flattened gradient buffer, accumulated
+// sequentially in double over [begin, end) in ascending element order.
+// Callers sum disjoint regions in ascending order (replicated: one full
+// region; sharded: per-rank owned regions in rank order) so both layouts
+// accumulate in the identical element order and agree bitwise.
+double GuardSqNormAccumulate(const float* data, std::int64_t begin,
+                             std::int64_t end, double acc);
+
+// Scale that caps the norm at clip_global_norm (1.0f = no clipping).
+// Counts nn.guard.clip_events when it actually rescales.
+float GuardClipScale(double norm, float clip_global_norm);
+
+// Loss/grad-norm spike detector state (per ReplicaGroup segment).
+struct GuardEmaState {
+  double loss_ema = 0.0;
+  double norm_ema = 0.0;
+  std::int64_t observed = 0;
+};
+
+// Updates the EMAs with this step's (loss, norm) and returns true when
+// either statistic exceeds spike_factor * its pre-update EMA after the
+// warmup. A tripped step does not update the EMAs (the poisoned sample
+// must not drag the baseline toward itself).
+bool GuardSpikeCheck(GuardEmaState& state, const GuardOptions& options,
+                     double loss, double norm);
+
+}  // namespace internal
+}  // namespace s4tf::nn

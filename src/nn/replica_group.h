@@ -20,6 +20,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <typeinfo>
@@ -30,6 +32,7 @@
 #include "device/sim_accelerator.h"
 #include "dist/communicator.h"
 #include "nn/datasets.h"
+#include "nn/guard.h"
 #include "nn/losses.h"
 #include "nn/training.h"
 #include "obs/metrics.h"
@@ -75,6 +78,15 @@ struct ReplicaGroupOptions {
   // back into the caller's optimizer every step (gather-on-step), so
   // CaptureTrainingState sees the full replicated state.
   bool sharded = false;
+  // Numerical fault tolerance (nn/guard.h). Off by default: a guard-off
+  // step issues exactly the pre-guard collective sequence and
+  // byte-identical results. When enabled, every step appends one guard
+  // AllGather (replicated) or two (sharded) to the collective sequence —
+  // internal::CollectivesPerStep (session.cpp) accounts for them. The
+  // threaded paths run the full sentinel/digest-vote protocol; the
+  // sequential reference (no communicator, no faults) applies only the
+  // caller-side clip/spike math, which is bitwise-identical across modes.
+  GuardOptions guard;
 };
 
 namespace internal {
@@ -411,6 +423,13 @@ class ReplicaGroup {
     internal::ReplicaStepCounter().Increment();
     obs::TraceSpan step_span("nn.replica_step", "dist", "replicas",
                              replicas_);
+    // Group-local step index: the corruption schedule key
+    // (FaultPlan::corrupt_seq) and the guard EMA clock.
+    const std::int64_t step = group_step_++;
+    const bool guard = options_.guard.enabled && !options_.sequential;
+    const bool inject =
+        !options_.sequential &&
+        options_.faults.corrupt_kind != dist::CorruptKind::kNone;
 
     // Stage per-replica model copies and shards on the calling thread:
     // workers then touch only their own replica's backend state.
@@ -442,6 +461,19 @@ class ReplicaGroup {
       plan = internal::MakeBucketPlan(model, options_.collective.bucket_bytes);
     }
 
+    // Guard/injection bucket geometry: the communicator's (and the
+    // overlap plan's), so the sync and overlapped paths scan and corrupt
+    // the identical slices and fold the identical digests.
+    const std::int64_t guard_bucket_elems = std::max<std::int64_t>(
+        1, options_.collective.bucket_bytes /
+               static_cast<std::int64_t>(sizeof(float)));
+    std::vector<std::int64_t> guard_offsets;
+    std::vector<std::vector<float>> guard_bufs;
+    if (guard) {
+      guard_offsets = internal::GuardShardOffsets(replicas_);
+      guard_bufs.resize(static_cast<std::size_t>(replicas_));
+    }
+
     const auto step_start = std::chrono::steady_clock::now();
     RunOnReplicas([&](int rank) {
       obs::TraceSpan worker_span("nn.replica_worker", "dist", "rank", rank);
@@ -449,6 +481,8 @@ class ReplicaGroup {
       const std::size_t i = static_cast<std::size_t>(rank);
       M& local = locals[i];
       const LabeledBatch& shard = local_shards[i];
+      std::optional<internal::LocalGuardScan> scan;
+      std::uint32_t post_digest = 0;
       if (overlap) {
         // Start the gradient all-reduce *before* the backward pass (it
         // consumes the same single collective seq as the synchronous
@@ -457,8 +491,15 @@ class ReplicaGroup {
         // comm thread reduces early buckets while later gradients are
         // still being computed; Wait() drains the tail and rethrows any
         // collective failure exactly where the sync AllReduce would
-        // have thrown.
+        // have thrown. Corruption injection and the guard's local scan
+        // run per bucket at submission time — after that the
+        // communicator reduces the bucket in place, destroying the
+        // local values.
         flats[i].assign(static_cast<std::size_t>(plan.total), 0.0f);
+        if (guard) {
+          scan.emplace(plan.total, plan.bucket_elems,
+                       options_.guard.check_finite);
+        }
         auto handle = comm_.RunAsync(
             rank, dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
             flats[i]);
@@ -486,30 +527,89 @@ class ReplicaGroup {
                 const std::int64_t last = (off + n - 1) / plan.bucket_elems;
                 for (std::int64_t b = first; b <= last; ++b) {
                   if (--remaining[static_cast<std::size_t>(b)] == 0) {
+                    if (inject) {
+                      dist::ApplyCorruption(
+                          options_.faults, dist::CorruptPhase::kLocal, rank,
+                          step, flats[i].data(), plan.total,
+                          b * plan.bucket_elems,
+                          std::min((b + 1) * plan.bucket_elems, plan.total));
+                    }
+                    if (scan) scan->ScanBucket(flats[i].data(), b);
                     handle->SubmitBucket(b);
                   }
                 }
               });
         }
         handle->Wait();
-        losses[i] = {loss.ScalarValue()};
+        const float local_loss = loss.ScalarValue();
+        if (inject) {
+          dist::ApplyCorruption(options_.faults,
+                                dist::CorruptPhase::kAgreement, rank, step,
+                                flats[i].data(), plan.total, 0, plan.total);
+        }
+        if (guard) {
+          scan->NoteScalar(local_loss);
+          post_digest = internal::GuardDigestBuckets(
+              flats[i].data(), plan.total, plan.bucket_elems);
+        }
+        losses[i] = {local_loss};
         comm_.Run(rank, dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
                   losses[i]);
-        if (options_.step_barrier) comm_.Barrier(rank);
       } else {
         auto [loss, grads] = ad::ValueWithGradient(
             local, [&](const M& m) { return loss_fn(m, shard); });
         flats[i] = internal::FlattenTangent(local, grads);
         losses[i] = {loss.ScalarValue()};
         if (!options_.sequential) {
+          const std::int64_t total =
+              static_cast<std::int64_t>(flats[i].size());
+          if (inject) {
+            dist::ApplyCorruption(options_.faults, dist::CorruptPhase::kLocal,
+                                  rank, step, flats[i].data(), total, 0,
+                                  total);
+          }
+          if (guard) {
+            scan.emplace(total, guard_bucket_elems,
+                         options_.guard.check_finite);
+            for (std::int64_t b = 0; b < scan->num_buckets(); ++b) {
+              scan->ScanBucket(flats[i].data(), b);
+            }
+            scan->NoteScalar(losses[i][0]);
+          }
           comm_.Run(rank,
                     dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
                     flats[i]);
+          if (inject) {
+            dist::ApplyCorruption(options_.faults,
+                                  dist::CorruptPhase::kAgreement, rank, step,
+                                  flats[i].data(), total, 0, total);
+          }
+          if (guard) {
+            post_digest = internal::GuardDigestBuckets(
+                flats[i].data(), total, guard_bucket_elems);
+          }
           comm_.Run(rank,
                     dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
                     losses[i]);
-          if (options_.step_barrier) comm_.Barrier(rank);
         }
+      }
+      if (!options_.sequential) {
+        if (guard) {
+          // Exchange the 5-slot guard vector (finite flag + local/post
+          // digests) through one AllGather; every rank then holds the
+          // full world's verdicts and the caller judges rank 0's copy.
+          std::vector<float>& gbuf = guard_bufs[i];
+          gbuf.assign(
+              static_cast<std::size_t>(replicas_) * internal::kGuardSlots,
+              0.0f);
+          internal::FillGuardSlots(
+              gbuf.data() +
+                  static_cast<std::size_t>(rank) * internal::kGuardSlots,
+              scan->finite(), scan->Digest(), post_digest);
+          comm_.Run(rank, dist::CollectiveSpec::AllGather(guard_offsets),
+                    gbuf);
+        }
+        if (options_.step_barrier) comm_.Barrier(rank);
       }
       replica_seconds_[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -520,6 +620,13 @@ class ReplicaGroup {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       step_start)
             .count();
+
+    // Judge the exchanged guard vectors before any model/optimizer state
+    // is touched: a trip aborts the step with zero side effects here.
+    if (guard) {
+      internal::ThrowOnGuardTrip(internal::JudgeGuard(
+          guard_bufs[0], replicas_, options_.guard.vote_checksums));
+    }
 
     std::vector<float> mean_grads;
     float mean_loss = 0.0f;
@@ -533,6 +640,10 @@ class ReplicaGroup {
       mean_grads = std::move(flats[0]);
       mean_loss = losses[0][0];
     }
+
+    GuardClipAndSpike(
+        {{mean_grads.data(), 0, static_cast<std::int64_t>(mean_grads.size())}},
+        mean_loss);
 
     typename M::TangentVector mean_tangent{};
     internal::UnflattenTangent(model, mean_tangent, mean_grads,
@@ -573,6 +684,10 @@ class ReplicaGroup {
     internal::ZeroStepCounter().Increment();
     obs::TraceSpan step_span("nn.replica_step.sharded", "dist", "replicas",
                              replicas_);
+    const std::int64_t step = group_step_++;
+    const bool guard = options_.guard.enabled;
+    const bool inject =
+        options_.faults.corrupt_kind != dist::CorruptKind::kNone;
 
     // Stage per-replica model copies and shards on the calling thread.
     std::vector<M> locals;
@@ -606,6 +721,16 @@ class ReplicaGroup {
       plan = internal::MakeBucketPlan(model, options_.collective.bucket_bytes);
     }
 
+    const std::int64_t guard_bucket_elems = std::max<std::int64_t>(
+        1, options_.collective.bucket_bytes /
+               static_cast<std::int64_t>(sizeof(float)));
+    std::vector<std::int64_t> guard_offsets;
+    std::vector<std::vector<float>> guard_bufs;
+    if (guard) {
+      guard_offsets = internal::GuardShardOffsets(replicas_);
+      guard_bufs.resize(static_cast<std::size_t>(replicas_));
+    }
+
     // Region 1: per-replica forward/backward, gradient reduce-scatter
     // (overlapped with the backward sweep when enabled — the bucket
     // geometry is the all-reduce's, so the streaming submission plan
@@ -617,8 +742,13 @@ class ReplicaGroup {
       const std::size_t i = static_cast<std::size_t>(rank);
       M& local = locals[i];
       const LabeledBatch& shard = local_shards[i];
+      std::optional<internal::LocalGuardScan> scan;
       if (overlap) {
         flats[i].assign(static_cast<std::size_t>(plan.total), 0.0f);
+        if (guard) {
+          scan.emplace(plan.total, plan.bucket_elems,
+                       options_.guard.check_finite);
+        }
         auto handle = comm_.RunAsync(rank, rs_spec, flats[i]);
         S4TF_CHECK_EQ(handle->num_buckets(), plan.num_buckets)
             << "bucket plan disagrees with the communicator's geometry";
@@ -643,6 +773,14 @@ class ReplicaGroup {
                 const std::int64_t last = (off + n - 1) / plan.bucket_elems;
                 for (std::int64_t b = first; b <= last; ++b) {
                   if (--remaining[static_cast<std::size_t>(b)] == 0) {
+                    if (inject) {
+                      dist::ApplyCorruption(
+                          options_.faults, dist::CorruptPhase::kLocal, rank,
+                          step, flats[i].data(), plan.total,
+                          b * plan.bucket_elems,
+                          std::min((b + 1) * plan.bucket_elems, plan.total));
+                    }
+                    if (scan) scan->ScanBucket(flats[i].data(), b);
                     handle->SubmitBucket(b);
                   }
                 }
@@ -655,15 +793,66 @@ class ReplicaGroup {
             local, [&](const M& m) { return loss_fn(m, shard); });
         flats[i] = internal::FlattenTangent(local, grads);
         losses[i] = {loss.ScalarValue()};
+        const std::int64_t total = static_cast<std::int64_t>(flats[i].size());
+        if (inject) {
+          dist::ApplyCorruption(options_.faults, dist::CorruptPhase::kLocal,
+                                rank, step, flats[i].data(), total, 0, total);
+        }
+        if (guard) {
+          scan.emplace(total, guard_bucket_elems, options_.guard.check_finite);
+          for (std::int64_t b = 0; b < scan->num_buckets(); ++b) {
+            scan->ScanBucket(flats[i].data(), b);
+          }
+        }
         comm_.Run(rank, rs_spec, flats[i]);
       }
+      if (guard) scan->NoteScalar(losses[i][0]);
       comm_.Run(rank, dist::CollectiveSpec::AllReduce(dist::ReduceOp::kMean),
                 losses[i]);
+      if (guard) {
+        // First guard exchange: finite sentinels + local gradient digest.
+        // Local gradients legitimately differ across ranks, so nothing
+        // here is voted on — the caller judges finite flags only (the
+        // digest is carried for diagnostics and the world-1 self-check
+        // of the *parameter* exchange below covers silent corruption).
+        std::vector<float>& gbuf = guard_bufs[i];
+        gbuf.assign(
+            static_cast<std::size_t>(replicas_) * internal::kGuardSlots,
+            0.0f);
+        internal::FillGuardSlots(
+            gbuf.data() +
+                static_cast<std::size_t>(rank) * internal::kGuardSlots,
+            scan->finite(), scan->Digest(), /*post_digest=*/0);
+        comm_.Run(rank, dist::CollectiveSpec::AllGather(guard_offsets),
+                  gbuf);
+      }
       replica_seconds_[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         worker_start)
               .count();
     });
+
+    // Judge the finite sentinels before any optimizer state is touched.
+    if (guard) {
+      internal::ThrowOnGuardTrip(
+          internal::JudgeGuard(guard_bufs[0], replicas_, /*vote=*/false));
+    }
+
+    // Clip/spike over the per-rank owned regions in rank order — the
+    // identical element order as the replicated full-buffer pass, so the
+    // double-accumulated norm (and therefore the clip scale) agrees
+    // bitwise with the replicated path.
+    {
+      std::vector<GuardRegion> regions;
+      regions.reserve(static_cast<std::size_t>(replicas_));
+      for (int r = 0; r < replicas_; ++r) {
+        regions.push_back(GuardRegion{
+            flats[static_cast<std::size_t>(r)].data(),
+            zplan.elem_offsets[static_cast<std::size_t>(r)],
+            zplan.elem_offsets[static_cast<std::size_t>(r) + 1]});
+      }
+      GuardClipAndSpike(regions, losses[0][0]);
+    }
 
     // Caller thread: each rank's shard optimizer updates its own slice
     // of the caller's model, in rank order — the same device and the
@@ -720,9 +909,47 @@ class ReplicaGroup {
     const dist::CollectiveSpec ag_spec =
         dist::CollectiveSpec::AllGather(zplan.elem_offsets);
     RunOnReplicas([&](int rank) {
-      comm_.Run(rank, ag_spec, bufs[static_cast<std::size_t>(rank)]);
+      const std::size_t i = static_cast<std::size_t>(rank);
+      // Second guard exchange: the gathered parameter buffer is the
+      // sharded step's agreement buffer — every rank must hold it
+      // bitwise identically, so its digest is what the majority vote
+      // judges. The pre digest (the rank's contributed buffer) feeds the
+      // world-1 self-check, where contribution and gather coincide.
+      std::uint32_t pre_digest = 0;
+      if (guard) {
+        pre_digest = internal::GuardDigestBuckets(
+            bufs[i].data(), zplan.total, guard_bucket_elems);
+      }
+      comm_.Run(rank, ag_spec, bufs[i]);
+      if (inject) {
+        dist::ApplyCorruption(options_.faults, dist::CorruptPhase::kAgreement,
+                              rank, step, bufs[i].data(), zplan.total, 0,
+                              zplan.total);
+      }
+      if (guard) {
+        const std::uint32_t post_digest = internal::GuardDigestBuckets(
+            bufs[i].data(), zplan.total, guard_bucket_elems);
+        std::vector<float>& gbuf = guard_bufs[i];
+        gbuf.assign(
+            static_cast<std::size_t>(replicas_) * internal::kGuardSlots,
+            0.0f);
+        internal::FillGuardSlots(
+            gbuf.data() +
+                static_cast<std::size_t>(rank) * internal::kGuardSlots,
+            /*finite=*/true, pre_digest, post_digest);
+        comm_.Run(rank, dist::CollectiveSpec::AllGather(guard_offsets),
+                  gbuf);
+      }
       if (options_.step_barrier) comm_.Barrier(rank);
     });
+    // The checksum vote fires before the gathered parameters are written
+    // back; a tripped step may have advanced optimizer state (UpdateSlots
+    // above), but rollback-and-skip is the recovery contract, not
+    // mid-step atomicity.
+    if (guard) {
+      internal::ThrowOnGuardTrip(internal::JudgeGuard(
+          guard_bufs[0], replicas_, options_.guard.vote_checksums));
+    }
     internal::WriteParams(model, bufs[0], ModelDevice(model));
 
     last_step_wall_seconds_ =
@@ -730,6 +957,49 @@ class ReplicaGroup {
                                       step_start)
             .count();
     return losses[0][0];
+  }
+
+  // One contiguous slice of the canonical flattened gradient buffer.
+  struct GuardRegion {
+    float* data;          // buffer the slice lives in (full geometry)
+    std::int64_t begin;   // element range [begin, end) within it
+    std::int64_t end;
+  };
+
+  // Caller-side anomaly stage, shared by every mode: global-norm
+  // clipping and the loss/grad-norm spike detector. `regions` concatenate
+  // — in call order — to the canonical flattened gradient buffer
+  // (replicated and sequential: one full region; sharded: per-rank owned
+  // regions in rank order), so the double accumulation visits elements
+  // in the identical order for every layout and the verdict/scale agree
+  // bitwise across modes. Runs after the reduction, before any update.
+  void GuardClipAndSpike(const std::vector<GuardRegion>& regions,
+                         float loss) {
+    if (!options_.guard.enabled) return;
+    if (options_.guard.clip_global_norm <= 0.0f &&
+        options_.guard.spike_factor <= 0.0f) {
+      return;
+    }
+    double acc = 0.0;
+    for (const GuardRegion& region : regions) {
+      acc = internal::GuardSqNormAccumulate(region.data, region.begin,
+                                            region.end, acc);
+    }
+    const double norm = std::sqrt(acc);
+    if (internal::GuardSpikeCheck(guard_ema_, options_.guard,
+                                  static_cast<double>(loss), norm)) {
+      internal::ThrowOnGuardTrip(internal::GuardVerdict{
+          internal::GuardTripReason::kSpike, /*rank=*/-1});
+    }
+    const float scale =
+        internal::GuardClipScale(norm, options_.guard.clip_global_norm);
+    if (scale != 1.0f) {
+      for (const GuardRegion& region : regions) {
+        for (std::int64_t e = region.begin; e < region.end; ++e) {
+          region.data[static_cast<std::size_t>(e)] *= scale;
+        }
+      }
+    }
   }
 
   // Lazily builds the per-rank shard optimizers by copying the caller's
@@ -768,6 +1038,12 @@ class ReplicaGroup {
   std::vector<std::shared_ptr<void>> zero_opts_;
   const std::type_info* zero_opt_type_ = nullptr;
   std::vector<std::int64_t> zero_state_bytes_;
+  // Guard state: the group-local step counter (the corruption schedule
+  // key) and the spike detector's EMAs. Both restart when a session
+  // rebuilds the group after recovery — a fresh segment re-learns its
+  // baseline instead of trusting statistics from before the fault.
+  std::int64_t group_step_ = 0;
+  internal::GuardEmaState guard_ema_;
 };
 
 }  // namespace s4tf::nn

@@ -19,6 +19,13 @@
 //     RingCommunicator + per-replica devices) at the new world size,
 //     restores the last durable checkpoint, and resumes. The recovery
 //     budget is bounded: exhaustion fails loudly with the original error.
+//   * When the training guard (nn/guard.h, ReplicaGroupOptions::guard)
+//     detects numeric corruption — a non-finite loss/gradient or a
+//     checksum-vote mismatch — the session runs rollback-and-skip
+//     instead: restore the newest durable checkpoint, mark the poisoned
+//     step's batch skipped, rebuild the group at the SAME world size,
+//     and resume, bitwise-equal to a clean run that never saw that
+//     batch. The recovery budget is shared with elastic recovery.
 //   * Everything is observable: nn.session.* counters (steps, resumes,
 //     recoveries, world_shrinks, checkpoints_written/_discarded,
 //     crc_failures, backoff_ms, aborts) plus trace spans per run,
@@ -38,12 +45,14 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "nn/checkpoint.h"
+#include "nn/guard.h"
 #include "nn/replica_group.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -87,6 +96,24 @@ struct SessionOptions {
   // executing this step, without a final checkpoint — exactly what a
   // kill -9 between checkpoints leaves behind. -1 = disabled.
   std::int64_t abort_at_step = -1;
+
+  // Seeded numeric corruption: rank corrupt_rank's buffers are struck at
+  // global step corrupt_at_step (kind per dist::CorruptKind). Translated
+  // to the group-local FaultPlan::corrupt_seq for the current segment,
+  // like kill_rank/kill_at_step; the replica.faults.corrupt_* fields must
+  // be left at their defaults. Pair with replica.guard.enabled to get
+  // detection + rollback-and-skip; without the guard the corruption
+  // poisons the run silently (the failure mode the guard exists for).
+  int corrupt_rank = -1;
+  std::int64_t corrupt_at_step = -1;
+  dist::CorruptKind corrupt_kind = dist::CorruptKind::kNone;
+
+  // Injectable backoff sleep. Default (nullptr) = real
+  // std::this_thread::sleep_for; tests inject a no-op or a recorder so
+  // recovery grids stop burning wall-clock time. The
+  // nn.session.backoff_ms counter accumulates the *scheduled* delay in
+  // either case — the hook changes how time passes, never the ladder.
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
 };
 
 // What a Run produced, beyond the model/optimizer side effects.
@@ -95,6 +122,8 @@ struct SessionReport {
   float last_loss = 0.0f;
   int world_size = 0;                // world size at exit (after shrinks)
   int recoveries = 0;
+  int rollbacks = 0;                 // guard-trip rollback-and-skip count
+  std::int64_t steps_skipped = 0;    // distinct steps skipped as poisoned
   bool resumed = false;              // restored a durable checkpoint at entry
   bool aborted = false;              // stopped by abort_at_step
 };
@@ -185,6 +214,10 @@ class TrainingSession {
     S4TF_CHECK(options_.replica.faults.death_rank < 0)
         << "set SessionOptions::kill_rank/kill_at_step instead of "
            "replica.faults.death_*: the session owns the death schedule";
+    S4TF_CHECK(options_.replica.faults.corrupt_rank < 0)
+        << "set SessionOptions::corrupt_rank/corrupt_at_step/corrupt_kind "
+           "instead of replica.faults.corrupt_*: the session owns the "
+           "corruption schedule";
   }
 
   int world_size() const { return world_; }
@@ -221,6 +254,9 @@ class TrainingSession {
     if (options_.kill_at_step >= 0 && options_.kill_at_step < step_) {
       kill_fired_ = true;  // resumed past the scheduled death
     }
+    if (options_.corrupt_at_step >= 0 && options_.corrupt_at_step < step_) {
+      corrupt_fired_ = true;  // resumed past the scheduled corruption
+    }
     // The recovery floor when no durable checkpoint exists yet.
     baseline_ = CaptureTrainingState(model_, optimizer_, step_, epoch_, rng_);
     RebuildGroup();
@@ -231,6 +267,17 @@ class TrainingSession {
         report.aborted = true;
         break;
       }
+      if (skipped_steps_.count(step_) > 0) {
+        // A guard rollback marked this step's batch poisoned: advance
+        // past it without training. The resumed trajectory is then
+        // bitwise-equal to a clean run that never saw this batch.
+        internal::GuardMetrics::Get().skipped_steps->Increment();
+        ++step_;
+        if (options_.steps_per_epoch > 0) {
+          epoch_ = step_ / options_.steps_per_epoch;
+        }
+        continue;
+      }
       const LabeledBatch batch = batch_fn(step_);
       if (batch.images.shape().dim(0) % world_ != 0) {
         return Status::InvalidArgument(
@@ -240,6 +287,12 @@ class TrainingSession {
       try {
         report.last_loss = group_->TrainStep(model_, optimizer_,
                                              ShardBatch(batch, world_));
+      } catch (const GradientCorruptionError& failure) {
+        // Numeric corruption is a *data* failure, not a replica failure:
+        // roll back and skip the poisoned batch, keep the world intact.
+        // Must be caught before the generic InternalError handler below.
+        S4TF_RETURN_IF_ERROR(RecoverCorruption(failure.what()));
+        continue;  // re-walk from the restored step, skipping step_
       } catch (const InternalError& failure) {
         S4TF_RETURN_IF_ERROR(Recover(failure.what()));
         continue;  // re-run from the restored step
@@ -261,6 +314,8 @@ class TrainingSession {
     report.steps_completed = step_;
     report.world_size = world_;
     report.recoveries = recoveries_;
+    report.rollbacks = rollbacks_;
+    report.steps_skipped = static_cast<std::int64_t>(skipped_steps_.size());
     return report;
   }
 
@@ -273,10 +328,9 @@ class TrainingSession {
     return Status::Ok();
   }
 
-  // One elastic recovery: backoff, shrink, rebuild, restore, resume.
-  Status Recover(const std::string& why) {
-    obs::TraceSpan span("nn.session.recover", "session", "attempt",
-                        recoveries_ + 1);
+  // Shared recovery preamble: budget check, scheduled backoff (through
+  // the injectable sleep hook), recovery accounting.
+  Status BeginRecovery(const std::string& why) {
     internal::SessionMetrics& metrics = internal::SessionMetrics::Get();
     if (recoveries_ >= options_.max_recoveries) {
       return Status::Internal(
@@ -288,22 +342,20 @@ class TrainingSession {
     ++recoveries_;
     metrics.recoveries->Increment();
     metrics.backoff_ms->Add(delay.count());
-    if (delay.count() > 0) std::this_thread::sleep_for(delay);
-
-    if (world_ - 1 < options_.min_replicas) {
-      return Status::FailedPrecondition(
-          "replica died but world " + std::to_string(world_) +
-          " cannot shrink below min_replicas " +
-          std::to_string(options_.min_replicas) + "; failure: " + why);
+    if (delay.count() > 0) {
+      if (options_.sleep_fn) {
+        options_.sleep_fn(delay);
+      } else {
+        std::this_thread::sleep_for(delay);
+      }
     }
-    --world_;
-    metrics.world_shrinks->Increment();
-    kill_fired_ = true;  // at most one scheduled death per session
+    return Status::Ok();
+  }
 
-    // Roll back to the last durable state; without a store, the Run-entry
-    // baseline. The model may have been mid-step when the collective
-    // failed — TrainStep never touches it before the update, but the
-    // checkpoint is the contract, so restore unconditionally.
+  // Roll back to the last durable state; without a store, the Run-entry
+  // baseline. The model may have been mid-step when the failure surfaced
+  // — the checkpoint is the contract, so restore unconditionally.
+  Status RestoreToLatest() {
     TrainingState state = baseline_;
     if (store_.enabled()) {
       auto latest = store_.LoadLatest();
@@ -317,6 +369,46 @@ class TrainingSession {
         RestoreTrainingState(model_, optimizer_, state, rng_));
     step_ = state.step;
     epoch_ = state.epoch;
+    return Status::Ok();
+  }
+
+  // One elastic recovery: backoff, shrink, rebuild, restore, resume.
+  Status Recover(const std::string& why) {
+    obs::TraceSpan span("nn.session.recover", "session", "attempt",
+                        recoveries_ + 1);
+    S4TF_RETURN_IF_ERROR(BeginRecovery(why));
+
+    if (world_ - 1 < options_.min_replicas) {
+      return Status::FailedPrecondition(
+          "replica died but world " + std::to_string(world_) +
+          " cannot shrink below min_replicas " +
+          std::to_string(options_.min_replicas) + "; failure: " + why);
+    }
+    --world_;
+    internal::SessionMetrics::Get().world_shrinks->Increment();
+    kill_fired_ = true;  // at most one scheduled death per session
+
+    S4TF_RETURN_IF_ERROR(RestoreToLatest());
+    RebuildGroup();
+    return Status::Ok();
+  }
+
+  // One guard-trip recovery: backoff, restore the newest durable
+  // checkpoint, mark the offending step skipped, rebuild the group at
+  // the *same* world size (nobody died — the data was poisoned), resume.
+  // Shares the max_recoveries/backoff budget with elastic recovery, so
+  // kill/resume, replica death, and numeric rollback compose under one
+  // bound.
+  Status RecoverCorruption(const std::string& why) {
+    obs::TraceSpan span("nn.session.rollback", "session", "attempt",
+                        recoveries_ + 1);
+    S4TF_RETURN_IF_ERROR(BeginRecovery(why));
+    internal::GuardMetrics::Get().rollbacks->Increment();
+    ++rollbacks_;
+    corrupt_fired_ = true;  // the injected corruption is one-shot
+    skipped_steps_.insert(step_);
+
+    S4TF_RETURN_IF_ERROR(RestoreToLatest());
     RebuildGroup();
     return Status::Ok();
   }
@@ -331,10 +423,36 @@ class TrainingSession {
         options_.kill_rank < world_ && options_.kill_at_step >= step_) {
       opts.faults.death_rank = options_.kill_rank;
       opts.faults.death_seq = static_cast<std::uint32_t>(
-          (options_.kill_at_step - step_) *
+          GroupStepsUntil(options_.kill_at_step) *
           internal::CollectivesPerStep(opts));
     }
+    // Arm the scheduled corruption for this segment. corrupt_seq counts
+    // group-local TrainStep calls (the group's own step counter), so the
+    // translation is a plain offset — no collective arithmetic. Steps the
+    // segment will skip (already marked poisoned) never reach TrainStep,
+    // so they don't advance the group's counter.
+    opts.faults.corrupt_rank = -1;
+    opts.faults.corrupt_seq = -1;
+    opts.faults.corrupt_kind = dist::CorruptKind::kNone;
+    if (!corrupt_fired_ && options_.corrupt_rank >= 0 &&
+        options_.corrupt_rank < world_ &&
+        options_.corrupt_at_step >= step_ &&
+        options_.corrupt_kind != dist::CorruptKind::kNone) {
+      opts.faults.corrupt_rank = options_.corrupt_rank;
+      opts.faults.corrupt_seq = GroupStepsUntil(options_.corrupt_at_step);
+      opts.faults.corrupt_kind = options_.corrupt_kind;
+    }
     group_ = std::make_unique<ReplicaGroup>(world_, std::move(opts));
+  }
+
+  // How many TrainStep calls this segment will make before reaching
+  // `target` (skipped steps never call TrainStep).
+  std::int64_t GroupStepsUntil(std::int64_t target) const {
+    std::int64_t calls = target - step_;
+    for (std::int64_t skipped : skipped_steps_) {
+      if (skipped >= step_ && skipped < target) --calls;
+    }
+    return calls;
   }
 
   M& model_;
@@ -348,7 +466,10 @@ class TrainingSession {
   std::int64_t epoch_ = 0;
   std::int64_t last_saved_step_ = -1;
   int recoveries_ = 0;
+  int rollbacks_ = 0;
   bool kill_fired_ = false;
+  bool corrupt_fired_ = false;
+  std::set<std::int64_t> skipped_steps_;
   TrainingState baseline_;
 };
 

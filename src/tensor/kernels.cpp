@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -779,6 +780,23 @@ void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
       }
     }
   });
+}
+
+bool AllFiniteSpan(const float* data, std::int64_t n) {
+  if (n <= 0) return true;
+  // One flag per shard would also work, but a single relaxed atomic flag
+  // is simpler and still order-independent: shards only ever clear it,
+  // and AND is commutative, so the verdict cannot depend on scheduling.
+  std::atomic<bool> all_finite{true};
+  ParallelForRange(n, GrainFor(1), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (!std::isfinite(data[static_cast<std::size_t>(i)])) {
+        all_finite.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  return all_finite.load(std::memory_order_relaxed);
 }
 
 }  // namespace kernels

@@ -62,5 +62,12 @@ void Conv2DBackpropFilter(const float* input, const Shape& in_shape,
 std::int64_t PadLow(std::int64_t input, std::int64_t output,
                     std::int64_t window, std::int64_t stride, Padding padding);
 
+// True when every element of data[0, n) is finite (no NaN, no Inf).
+// Shards across the intra-op pool; per-shard verdicts combine with a
+// commutative AND, so the verdict is bit-deterministic for any thread
+// count and shard schedule. The fast scan the nn/guard.h training guard
+// runs over every loss and gradient bucket.
+bool AllFiniteSpan(const float* data, std::int64_t n);
+
 }  // namespace kernels
 }  // namespace s4tf

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels.h"
+
 namespace s4tf {
 
 Tensor operator+(const Tensor& a, const Tensor& b) {
@@ -218,14 +220,19 @@ std::string ToDebugString(const Tensor& t, std::int64_t max_elements) {
   return out.str();
 }
 
+bool AllFinite(const Tensor& t) {
+  const Literal lit = t.ToLiteral();
+  return kernels::AllFiniteSpan(lit.data.data(), lit.size());
+}
+
 bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
   if (a.shape() != b.shape()) return false;
+  if (!AllFinite(a) || !AllFinite(b)) return false;
   const Literal la = a.ToLiteral();
   const Literal lb = b.ToLiteral();
   for (std::int64_t i = 0; i < la.size(); ++i) {
     const float x = la.data[static_cast<std::size_t>(i)];
     const float y = lb.data[static_cast<std::size_t>(i)];
-    if (std::isnan(x) || std::isnan(y)) return false;
     if (std::fabs(x - y) > atol + rtol * std::fabs(y)) return false;
   }
   return true;

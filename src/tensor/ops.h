@@ -112,6 +112,16 @@ Tensor MaxPool2D(const Tensor& input, const Pool2DOptions& options = {});
 Tensor CrossReplicaSum(const Tensor& x);
 
 // --- Convenience observers (force materialization).
+
+// True when every element is finite (no NaN, no Inf). Backed by the
+// parallel bit-deterministic kernels::AllFiniteSpan scan, so eager, lazy,
+// and naive backends share one non-finite semantics.
+bool AllFinite(const Tensor& t);
+
+// Elementwise |a - b| <= atol + rtol * |b|. Any non-finite element in
+// either tensor makes the answer false (via AllFinite — NaN was always
+// rejected; Inf-vs-Inf used to slip through the tolerance arithmetic
+// because |inf - inf| is NaN and NaN-compares are false).
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
               float rtol = 1e-5f);
 

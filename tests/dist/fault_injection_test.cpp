@@ -1,5 +1,8 @@
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <functional>
 #include <gtest/gtest.h>
 #include <thread>
@@ -187,6 +190,114 @@ TEST(FaultInjectionTest, ExhaustedRetryBudgetFailsLoudlyOnEveryRank) {
     }
   });
   EXPECT_EQ(failures.load(), world);
+}
+
+// ---------------------------------------------------------------------
+// Seeded corruption injection (the guard layer's fault source).
+// ---------------------------------------------------------------------
+
+TEST(ApplyCorruptionTest, StrikesAreSeededDeterministicAndGated) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.corrupt_rank = 1;
+  plan.corrupt_seq = 3;
+  plan.corrupt_kind = CorruptKind::kNaN;
+
+  std::vector<float> data(128, 2.0f);
+  // Wrong rank, wrong step, wrong phase: no strike, buffer untouched.
+  EXPECT_FALSE(ApplyCorruption(plan, CorruptPhase::kLocal, /*rank=*/0,
+                               /*step=*/3, data.data(), 128, 0, 128));
+  EXPECT_FALSE(ApplyCorruption(plan, CorruptPhase::kLocal, /*rank=*/1,
+                               /*step=*/2, data.data(), 128, 0, 128));
+  EXPECT_FALSE(ApplyCorruption(plan, CorruptPhase::kAgreement, /*rank=*/1,
+                               /*step=*/3, data.data(), 128, 0, 128));
+  EXPECT_EQ(data, std::vector<float>(128, 2.0f));
+
+  // The armed (rank, step, phase): exactly one seeded element goes NaN,
+  // and the struck index is identical across repeat runs.
+  EXPECT_TRUE(ApplyCorruption(plan, CorruptPhase::kLocal, 1, 3, data.data(),
+                              128, 0, 128));
+  std::int64_t struck = -1;
+  for (std::int64_t i = 0; i < 128; ++i) {
+    if (std::isnan(data[static_cast<std::size_t>(i)])) {
+      EXPECT_EQ(struck, -1) << "more than one element struck";
+      struck = i;
+    }
+  }
+  ASSERT_GE(struck, 0);
+  std::vector<float> again(128, 2.0f);
+  EXPECT_TRUE(ApplyCorruption(plan, CorruptPhase::kLocal, 1, 3, again.data(),
+                              128, 0, 128));
+  EXPECT_TRUE(std::isnan(again[static_cast<std::size_t>(struck)]));
+}
+
+TEST(ApplyCorruptionTest, SlicedApplicationStrikesExactlyOnce) {
+  // The overlapped path offers each bucket separately; only the slice
+  // containing the seeded index may fire, and the result is bitwise
+  // equal to a single whole-buffer application.
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.corrupt_rank = 0;
+  plan.corrupt_seq = 0;
+  plan.corrupt_kind = CorruptKind::kInf;
+
+  std::vector<float> whole(100, 1.5f);
+  ASSERT_TRUE(ApplyCorruption(plan, CorruptPhase::kLocal, 0, 0, whole.data(),
+                              100, 0, 100));
+  std::vector<float> sliced(100, 1.5f);
+  int fired = 0;
+  for (std::int64_t begin = 0; begin < 100; begin += 17) {
+    if (ApplyCorruption(plan, CorruptPhase::kLocal, 0, 0, sliced.data(), 100,
+                        begin, std::min<std::int64_t>(begin + 17, 100))) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 1);
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (std::isinf(whole[i])) {
+      EXPECT_TRUE(std::isinf(sliced[i])) << i;
+    } else {
+      EXPECT_EQ(sliced[i], whole[i]) << i;
+    }
+  }
+}
+
+TEST(ApplyCorruptionTest, BitflipFlipsExactlyOneBitOfOneElement) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.corrupt_rank = 2;
+  plan.corrupt_seq = 5;
+  plan.corrupt_kind = CorruptKind::kBitflip;
+
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  std::vector<float> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.125f * static_cast<float>(i);
+  }
+  const std::vector<float> original = data;
+  // kBitflip strikes the agreement phase, never the local one.
+  EXPECT_FALSE(ApplyCorruption(plan, CorruptPhase::kLocal, 2, 5, data.data(),
+                               64, 0, 64));
+  EXPECT_EQ(data, original);
+  ASSERT_TRUE(ApplyCorruption(plan, CorruptPhase::kAgreement, 2, 5,
+                              data.data(), 64, 0, 64));
+  int changed = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint32_t a;
+    std::uint32_t b;
+    std::memcpy(&a, &data[i], sizeof(a));
+    std::memcpy(&b, &original[i], sizeof(b));
+    if (a != b) {
+      ++changed;
+      const std::uint32_t diff = a ^ b;
+      EXPECT_EQ(diff & (diff - 1), 0u) << "more than one bit flipped";
+    }
+  }
+  EXPECT_EQ(changed, 1);
+  const auto delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before);
+  EXPECT_EQ(delta.at("dist.fault.corruptions"), 1);
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include <cmath>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include "ad/operators.h"
+#include "support/threadpool.h"
 #include "tensor/ops.h"
 
 namespace s4tf {
@@ -78,6 +80,55 @@ TEST(DebugStringTest, RendersShapeDeviceAndValues) {
   const std::string full = ToDebugString(Tensor(7.0f));
   EXPECT_NE(full.find("[7]"), std::string::npos);
   EXPECT_EQ(full.find("..."), std::string::npos);
+}
+
+TEST(AllFiniteTest, CatchesNaNAndInfAnywhereInTheBuffer) {
+  Rng rng(7);
+  Tensor t = Tensor::RandomNormal(Shape({31, 17}), rng);
+  EXPECT_TRUE(AllFinite(t));
+  for (const float bad : {std::numeric_limits<float>::quiet_NaN(),
+                          std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity()}) {
+    std::vector<float> data = t.ToVector();
+    data[data.size() - 1] = bad;
+    EXPECT_FALSE(AllFinite(Tensor::FromVector(t.shape(), data)));
+    data[data.size() - 1] = 1.0f;
+    data[0] = bad;
+    EXPECT_FALSE(AllFinite(Tensor::FromVector(t.shape(), data)));
+  }
+  EXPECT_TRUE(AllFinite(Tensor(0.0f)));
+}
+
+TEST(AllFiniteTest, VerdictIsIdenticalForEveryThreadCount) {
+  // AllFiniteSpan scans with ParallelForRange; the AND-fold is
+  // commutative, so the verdict is the same for any intra-op pool size.
+  std::vector<float> data(10000, 0.5f);
+  data[9973] = std::numeric_limits<float>::quiet_NaN();
+  const Tensor poisoned = Tensor::FromVector(Shape({10000}), data);
+  data[9973] = 0.5f;
+  const Tensor clean = Tensor::FromVector(Shape({10000}), data);
+  for (const int threads : {1, 2, 4}) {
+    SetIntraOpThreads(threads);
+    EXPECT_FALSE(AllFinite(poisoned)) << "threads " << threads;
+    EXPECT_TRUE(AllFinite(clean)) << "threads " << threads;
+  }
+  SetIntraOpThreads(0);
+}
+
+TEST(AllCloseTest, NonFiniteValuesNeverCompareClose) {
+  const Tensor a = Tensor::FromVector(Shape({2}), {1.0f, 2.0f});
+  EXPECT_TRUE(AllClose(a, a));
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // Inf vs Inf used to slip through the |x - y| tolerance test as
+  // NaN > atol == false; AllClose now routes both sides through
+  // AllFinite, so any non-finite input is a mismatch.
+  EXPECT_FALSE(AllClose(Tensor::FromVector(Shape({2}), {1.0f, inf}),
+                        Tensor::FromVector(Shape({2}), {1.0f, inf})));
+  EXPECT_FALSE(AllClose(Tensor::FromVector(Shape({2}), {1.0f, nan}),
+                        Tensor::FromVector(Shape({2}), {1.0f, nan})));
+  EXPECT_FALSE(AllClose(Tensor::FromVector(Shape({2}), {1.0f, 2.0f}),
+                        Tensor::FromVector(Shape({2}), {1.0f, inf})));
 }
 
 TEST(ScalarOperatorTest, GradOfFloatMinusTensor) {

@@ -31,6 +31,7 @@ benches=(
   bench_ablation_cow
   bench_autotune
   bench_serve
+  bench_guard
 )
 
 for bench in "${benches[@]}"; do
