@@ -206,14 +206,16 @@ std::string TunePasses(BenchReport& report) {
 
   struct Combo {
     const char* label;
-    bool simplify, cse, dce, fusion;
+    bool simplify, cse, dce, fusion, epilogue, reuse;
   };
   const Combo combos[] = {
-      {"none", false, false, false, false},
-      {"simplify", true, false, false, false},
-      {"simplify+cse+dce", true, true, true, false},
-      {"fusion_only", false, false, false, true},
-      {"all", true, true, true, true},
+      {"none", false, false, false, false, false, false},
+      {"simplify", true, false, false, false, false, false},
+      {"simplify+cse+dce", true, true, true, false, false, false},
+      {"fusion_only", false, false, false, true, false, false},
+      {"fusion+epilogue", false, false, false, true, true, false},
+      {"fusion+epilogue+arena", false, false, false, true, true, true},
+      {"all", true, true, true, true, true, true},
   };
   constexpr double kAmortizeSteps = 100.0;
 
@@ -227,6 +229,8 @@ std::string TunePasses(BenchReport& report) {
     options.enable_cse = combo.cse;
     options.enable_dce = combo.dce;
     options.enable_fusion = combo.fusion;
+    options.enable_epilogue_fusion = combo.epilogue;
+    options.enable_buffer_reuse = combo.reuse;
     const xla::CompileResult compiled = xla::Compile(module, options);
     SimAccelerator device(AcceleratorSpec::Gtx1080());
     compiled.executable->ChargeTo(device);
@@ -239,6 +243,10 @@ std::string TunePasses(BenchReport& report) {
                 device.elapsed_seconds() * 1e3, amortized * 1e3);
     BenchRow& row = report.AddRow(std::string("passes/") + combo.label);
     row.SetCounter("kernels", compiled.executable->kernel_count());
+    row.SetCounter("epilogue_folded_ops",
+                   compiled.executable->epilogue_folded_ops());
+    row.SetCounter("arena_charge_bytes",
+                   compiled.executable->arena_charge_bytes());
     row.SetValue("cost.device_seconds", device.elapsed_seconds());
     row.SetValue("cost.compile_seconds", compiled.compile_seconds);
     row.SetValue("cost.amortized_step_seconds", amortized);

@@ -77,6 +77,39 @@ bool EmitArtifact() {
     row.SetValue("out_checksum", checksum);
   }
 
+  // The fused-epilogue entry point: matmul + bias + relu in ONE dispatch.
+  // Its checksum must equal the unfused chain's exactly — the epilogue
+  // evaluates the same float expressions in the same order.
+  {
+    const Literal a = RandomLiteral(Shape({64, 64}), 10);
+    const Literal b = RandomLiteral(Shape({64, 96}), 11);
+    const Literal bias = RandomLiteral(Shape({96}), 12);
+    std::vector<kernels::EpilogueOp> epilogue(2);
+    epilogue[0].kind = OpKind::kAdd;
+    epilogue[0].map = kernels::EpilogueOp::Map::kLastDim;
+    epilogue[0].operand = bias.data.data();
+    epilogue[0].operand_elements = bias.shape.NumElements();
+    epilogue[1].kind = OpKind::kRelu;
+    bench::MetricsDelta counters;
+    const Literal out = EvalFusedOpLiteral(OpKind::kMatMul, {&a, &b}, {},
+                                           epilogue);
+    counters.Capture();
+    const Literal unfused = EvalOpLiteral(
+        OpKind::kRelu,
+        {EvalOpLiteral(OpKind::kAdd,
+                       {EvalOpLiteral(OpKind::kMatMul, {a, b}, {}), bias},
+                       {})},
+        {});
+    double checksum = 0.0;
+    for (float v : out.data) checksum += static_cast<double>(v);
+    BenchRow& row = report.AddRow("kernel/matmul_bias_relu_fused");
+    row.SetCounters(counters);
+    row.SetCounter("out_elements", out.shape.NumElements());
+    row.SetCounter("bitwise_equals_unfused",
+                   out.data.ToVector() == unfused.data.ToVector() ? 1 : 0);
+    row.SetValue("out_checksum", checksum);
+  }
+
   return report.Write();
 }
 

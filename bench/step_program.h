@@ -24,6 +24,9 @@ namespace s4tf::bench {
 struct StepProgram {
   std::shared_ptr<xla::Executable> fused;    // XLA-style compilation
   std::shared_ptr<xla::Executable> unfused;  // eager op-by-op cost shape
+  // The optimizer-input module, kept so ablations can recompile the same
+  // program under other pass combinations (epilogue off, reuse off, ...).
+  xla::HloModule module;
   std::int64_t trace_ops = 0;        // host ops recorded per retrace
   double compile_seconds = 0.0;      // modeled JIT cost (fused program)
   std::int64_t parameter_count = 0;  // model parameters (elements)
@@ -69,6 +72,7 @@ StepProgram BuildStepProgram(const M& model, const Shape& image_batch_shape,
   for (const Tensor& w : new_weights) roots.push_back(node_of(w));
 
   const xla::HloModule module = LowerTrace(roots, nullptr);
+  program.module = module;
   program.trace_ops = backend.ops_traced();
   program.program_instructions = module.instruction_count();
 

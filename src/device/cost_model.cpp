@@ -57,6 +57,11 @@ double KernelSeconds(const AcceleratorSpec& spec, std::int64_t flops,
   return std::max(compute, memory);
 }
 
+double ArenaSeconds(const AcceleratorSpec& spec, std::int64_t arena_bytes) {
+  if (arena_bytes <= 0) return 0.0;
+  return static_cast<double>(arena_bytes) / spec.memory_bandwidth;
+}
+
 double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
                         int replicas) {
   if (replicas <= 1) return 0.0;

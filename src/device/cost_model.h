@@ -63,6 +63,12 @@ std::int64_t OpBytes(const std::vector<Shape>& inputs, const Shape& output);
 double KernelSeconds(const AcceleratorSpec& spec, std::int64_t flops,
                      std::int64_t bytes);
 
+// Cost of the executable's output arena for one execution: every resident
+// buffer byte is touched once (allocation + first-write page traffic), so
+// the liveness-based buffer-reuse planner's smaller peak footprint shows
+// up as proportionally less device time. <= 0 bytes is free.
+double ArenaSeconds(const AcceleratorSpec& spec, std::int64_t arena_bytes);
+
 // Ring all-reduce time for `bytes` over `replicas` participants.
 double AllReduceSeconds(const AcceleratorSpec& spec, std::int64_t bytes,
                         int replicas);

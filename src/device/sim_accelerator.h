@@ -57,6 +57,14 @@ class SimAccelerator {
     clock_.AdvanceSeconds(AllGatherSeconds(spec_, bytes, replicas));
   }
 
+  // Charges the executable's output-arena footprint for one execution:
+  // each resident byte is allocated/touched once. The buffer-reuse planner
+  // shrinks this from the sum of all intermediate buffers to the peak of
+  // the live set.
+  void ChargeArena(std::int64_t arena_bytes) {
+    clock_.AdvanceSeconds(ArenaSeconds(spec_, arena_bytes));
+  }
+
   // Host-side time that cannot overlap with device execution (e.g. a JIT
   // compilation the device must wait for).
   void ChargeStall(double seconds) { clock_.AdvanceSeconds(seconds); }

@@ -27,9 +27,14 @@ struct KernelMetrics {
   obs::Counter* bytes;
   obs::Counter* by_kind[static_cast<std::size_t>(OpKind::kNumOps)];
 
+  obs::Counter* fused_dispatches;
+  obs::Counter* fused_folded_ops;
+
   KernelMetrics() {
     dispatches = obs::GetCounter("tensor.kernel.dispatches");
     bytes = obs::GetCounter("tensor.kernel.bytes");
+    fused_dispatches = obs::GetCounter("tensor.kernel.dispatch.fused_epilogue");
+    fused_folded_ops = obs::GetCounter("tensor.kernel.fused.epilogue_ops");
     for (std::size_t k = 0; k < static_cast<std::size_t>(OpKind::kNumOps);
          ++k) {
       by_kind[k] = obs::GetCounter(
@@ -611,9 +616,131 @@ Literal MaxPool2DGrad(const Literal& input, const Literal& grad_out,
   return result;
 }
 
+// --- Epilogue application. These MUST mirror the float expressions of the
+// standalone elementwise lambdas in EvalOpLiteralImpl exactly: the fused
+// kernel's per-element arithmetic is the same sequence in the same order as
+// the unfused op chain, which is what makes fused == unfused bitwise.
+
+float EpilogueUnary(OpKind kind, float x, const OpAttrs& a) {
+  switch (kind) {
+    case OpKind::kNeg: return -x;
+    case OpKind::kExp: return std::exp(x);
+    case OpKind::kLog: return std::log(x);
+    case OpKind::kTanh: return std::tanh(x);
+    case OpKind::kSqrt: return std::sqrt(x);
+    case OpKind::kRsqrt: return 1.0f / std::sqrt(x);
+    case OpKind::kSquare: return x * x;
+    case OpKind::kRelu: return x > 0.0f ? x : 0.0f;
+    case OpKind::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+    case OpKind::kAbs: return std::fabs(x);
+    case OpKind::kAddScalar: return x + a.scalar;
+    case OpKind::kMulScalar: return x * a.scalar;
+    case OpKind::kPowScalar: return std::pow(x, a.scalar);
+    case OpKind::kLeakyRelu: return x > 0.0f ? x : a.scalar * x;
+    default: break;
+  }
+  S4TF_UNREACHABLE() << "not an epilogue unary: " << OpName(kind);
+}
+
+float EpilogueBinary(OpKind kind, float a, float b) {
+  switch (kind) {
+    case OpKind::kAdd: return a + b;
+    case OpKind::kSub: return a - b;
+    case OpKind::kMul: return a * b;
+    case OpKind::kDiv: return a / b;
+    case OpKind::kMaximum: return std::max(a, b);
+    case OpKind::kMinimum: return std::min(a, b);
+    case OpKind::kPow: return std::pow(a, b);
+    case OpKind::kGreater: return a > b ? 1.0f : 0.0f;
+    default: break;
+  }
+  S4TF_UNREACHABLE() << "not an epilogue binary: " << OpName(kind);
+}
+
+// Applies the whole epilogue chain to one accumulator tile of `count`
+// elements. `last_begin` is the tile's offset inside the output's last
+// dimension (for kLastDim bias broadcasts — tiles never straddle the last
+// dim); `flat_begin` its flat offset into the output (for kFull residuals).
+void ApplyEpilogueTile(const std::vector<kernels::EpilogueOp>& epilogue,
+                       float* v, std::int64_t count, std::int64_t last_begin,
+                       std::int64_t flat_begin) {
+  using Map = kernels::EpilogueOp::Map;
+  for (const kernels::EpilogueOp& op : epilogue) {
+    switch (op.map) {
+      case Map::kNone:
+        for (std::int64_t t = 0; t < count; ++t) {
+          v[t] = EpilogueUnary(op.kind, v[t], op.attrs);
+        }
+        break;
+      case Map::kScalar: {
+        const float o = op.operand[0];
+        for (std::int64_t t = 0; t < count; ++t) {
+          v[t] = op.commuted ? EpilogueBinary(op.kind, o, v[t])
+                             : EpilogueBinary(op.kind, v[t], o);
+        }
+        break;
+      }
+      case Map::kLastDim: {
+        const float* o = op.operand + last_begin;
+        for (std::int64_t t = 0; t < count; ++t) {
+          v[t] = op.commuted ? EpilogueBinary(op.kind, o[t], v[t])
+                             : EpilogueBinary(op.kind, v[t], o[t]);
+        }
+        break;
+      }
+      case Map::kFull: {
+        const float* o = op.operand + flat_begin;
+        for (std::int64_t t = 0; t < count; ++t) {
+          v[t] = op.commuted ? EpilogueBinary(op.kind, o[t], v[t])
+                             : EpilogueBinary(op.kind, v[t], o[t]);
+        }
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 namespace kernels {
+
+bool EpilogueUnarySupported(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNeg:
+    case OpKind::kExp:
+    case OpKind::kLog:
+    case OpKind::kTanh:
+    case OpKind::kSqrt:
+    case OpKind::kRsqrt:
+    case OpKind::kSquare:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kAbs:
+    case OpKind::kAddScalar:
+    case OpKind::kMulScalar:
+    case OpKind::kPowScalar:
+    case OpKind::kLeakyRelu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool EpilogueBinarySupported(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kMaximum:
+    case OpKind::kMinimum:
+    case OpKind::kPow:
+    case OpKind::kGreater:
+      return true;
+    default:
+      return false;
+  }
+}
 
 std::int64_t PadLow(std::int64_t input, std::int64_t output,
                     std::int64_t window, std::int64_t stride,
@@ -624,28 +751,53 @@ std::int64_t PadLow(std::int64_t input, std::int64_t output,
   return pad_total / 2;
 }
 
-void MatMul(const float* a, const float* b, float* out, std::int64_t m,
-            std::int64_t k, std::int64_t n) {
-  std::fill(out, out + m * n, 0.0f);
+// Register tile width for the cache-tiled MatMul/Conv2D inner loops: a
+// stack-resident accumulator block the compiler can keep in registers /
+// L1. Tiling only regroups WHICH output elements are in flight together —
+// each element's k-reduction still runs ascending on one thread with the
+// same zero-skip — so tiled results are bit-identical to the untiled
+// reference loop nest for every shape and thread count.
+constexpr std::int64_t kEpilogueTile = 64;
+
+void MatMulEpilogue(const float* a, const float* b, float* out,
+                    std::int64_t m, std::int64_t k, std::int64_t n,
+                    const std::vector<EpilogueOp>& epilogue) {
   // Each shard owns a contiguous block of output rows; the k-reduction for
-  // a row stays on one thread, in the serial order.
+  // a row stays on one thread, in the serial order. Within a row, a
+  // kEpilogueTile-wide accumulator block walks the columns: the whole
+  // reduction for those columns finishes in registers, the epilogue is
+  // applied, and only then does the tile spill to memory.
   ParallelForRange(m, GrainFor(2 * k * n), [&](std::int64_t i_begin,
                                                std::int64_t i_end) {
+    float acc[kEpilogueTile];
     for (std::int64_t i = i_begin; i < i_end; ++i) {
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = a[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        float* orow = out + i * n;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      const float* arow = a + i * k;
+      for (std::int64_t j0 = 0; j0 < n; j0 += kEpilogueTile) {
+        const std::int64_t jn = std::min(kEpilogueTile, n - j0);
+        std::fill(acc, acc + jn, 0.0f);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + kk * n + j0;
+          for (std::int64_t jt = 0; jt < jn; ++jt) acc[jt] += av * brow[jt];
+        }
+        ApplyEpilogueTile(epilogue, acc, jn, j0, i * n + j0);
+        std::copy(acc, acc + jn, out + i * n + j0);
       }
     }
   });
 }
 
-void Conv2D(const float* input, const Shape& in_shape, const float* filter,
-            const Shape& filter_shape, float* out, const Shape& out_shape,
-            std::int64_t stride_h, std::int64_t stride_w, Padding padding) {
+void MatMul(const float* a, const float* b, float* out, std::int64_t m,
+            std::int64_t k, std::int64_t n) {
+  MatMulEpilogue(a, b, out, m, k, n, {});
+}
+
+void Conv2DEpilogue(const float* input, const Shape& in_shape,
+                    const float* filter, const Shape& filter_shape,
+                    float* out, const Shape& out_shape, std::int64_t stride_h,
+                    std::int64_t stride_w, Padding padding,
+                    const std::vector<EpilogueOp>& epilogue) {
   const std::int64_t batch = in_shape.dim(0), in_h = in_shape.dim(1),
                      in_w = in_shape.dim(2), in_c = in_shape.dim(3);
   const std::int64_t f_h = filter_shape.dim(0), f_w = filter_shape.dim(1),
@@ -654,37 +806,56 @@ void Conv2D(const float* input, const Shape& in_shape, const float* filter,
   const std::int64_t pad_h = PadLow(in_h, out_h, f_h, stride_h, padding);
   const std::int64_t pad_w = PadLow(in_w, out_w, f_w, stride_w, padding);
 
-  std::fill(out, out + out_shape.NumElements(), 0.0f);
-  // Disjoint output rows: shard over (batch, out_h).
+  // Disjoint output rows: shard over (batch, out_h). Per pixel, an
+  // accumulator tile over a block of output channels completes its whole
+  // kh -> kw -> ic reduction in registers (per channel the accumulation
+  // order is the reference loop nest's), takes the epilogue, then spills.
   const std::int64_t conv_row_cost = out_w * f_h * f_w * in_c * out_c * 2;
   ParallelForRange(batch * out_h, GrainFor(conv_row_cost), [&](
                        std::int64_t row_begin, std::int64_t row_end) {
+    float acc[kEpilogueTile];
     for (std::int64_t row = row_begin; row < row_end; ++row) {
       const std::int64_t b = row / out_h;
       const std::int64_t oh = row % out_h;
       for (std::int64_t ow = 0; ow < out_w; ++ow) {
-        float* out_px = out + ((b * out_h + oh) * out_w + ow) * out_c;
-        for (std::int64_t kh = 0; kh < f_h; ++kh) {
-          const std::int64_t ih = oh * stride_h + kh - pad_h;
-          if (ih < 0 || ih >= in_h) continue;
-          for (std::int64_t kw = 0; kw < f_w; ++kw) {
-            const std::int64_t iw = ow * stride_w + kw - pad_w;
-            if (iw < 0 || iw >= in_w) continue;
-            const float* in_px = input + ((b * in_h + ih) * in_w + iw) * in_c;
-            const float* f_px = filter + (kh * f_w + kw) * in_c * out_c;
-            for (std::int64_t ic = 0; ic < in_c; ++ic) {
-              const float iv = in_px[ic];
-              if (iv == 0.0f) continue;
-              const float* f_row = f_px + ic * out_c;
-              for (std::int64_t oc = 0; oc < out_c; ++oc) {
-                out_px[oc] += iv * f_row[oc];
+        const std::int64_t pixel = (b * out_h + oh) * out_w + ow;
+        float* out_px = out + pixel * out_c;
+        for (std::int64_t oc0 = 0; oc0 < out_c; oc0 += kEpilogueTile) {
+          const std::int64_t ocn = std::min(kEpilogueTile, out_c - oc0);
+          std::fill(acc, acc + ocn, 0.0f);
+          for (std::int64_t kh = 0; kh < f_h; ++kh) {
+            const std::int64_t ih = oh * stride_h + kh - pad_h;
+            if (ih < 0 || ih >= in_h) continue;
+            for (std::int64_t kw = 0; kw < f_w; ++kw) {
+              const std::int64_t iw = ow * stride_w + kw - pad_w;
+              if (iw < 0 || iw >= in_w) continue;
+              const float* in_px =
+                  input + ((b * in_h + ih) * in_w + iw) * in_c;
+              const float* f_px =
+                  filter + (kh * f_w + kw) * in_c * out_c + oc0;
+              for (std::int64_t ic = 0; ic < in_c; ++ic) {
+                const float iv = in_px[ic];
+                if (iv == 0.0f) continue;
+                const float* f_row = f_px + ic * out_c;
+                for (std::int64_t t = 0; t < ocn; ++t) {
+                  acc[t] += iv * f_row[t];
+                }
               }
             }
           }
+          ApplyEpilogueTile(epilogue, acc, ocn, oc0, pixel * out_c + oc0);
+          std::copy(acc, acc + ocn, out_px + oc0);
         }
       }
     }
   });
+}
+
+void Conv2D(const float* input, const Shape& in_shape, const float* filter,
+            const Shape& filter_shape, float* out, const Shape& out_shape,
+            std::int64_t stride_h, std::int64_t stride_w, Padding padding) {
+  Conv2DEpilogue(input, in_shape, filter, filter_shape, out, out_shape,
+                 stride_h, stride_w, padding, {});
 }
 
 void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
@@ -1041,6 +1212,47 @@ Literal EvalOpLiteral(OpKind kind, const std::vector<Literal>& inputs,
   ptrs.reserve(inputs.size());
   for (const Literal& in : inputs) ptrs.push_back(&in);
   return EvalOpLiteral(kind, ptrs, attrs);
+}
+
+Literal EvalFusedOpLiteral(OpKind anchor_kind,
+                           const std::vector<const Literal*>& inputs,
+                           const OpAttrs& attrs,
+                           const std::vector<kernels::EpilogueOp>& epilogue) {
+  S4TF_CHECK(anchor_kind == OpKind::kMatMul || anchor_kind == OpKind::kConv2D)
+      << "fused epilogue anchor must be MatMul/Conv2D, got "
+      << OpName(anchor_kind);
+  KernelMetrics& metrics = KernelMetrics::Get();
+  metrics.dispatches->Increment();
+  metrics.by_kind[static_cast<std::size_t>(anchor_kind)]->Increment();
+  metrics.fused_dispatches->Increment();
+  metrics.fused_folded_ops->Add(static_cast<std::int64_t>(epilogue.size()));
+
+  // External traffic only: the anchor's inputs, each epilogue operand, and
+  // the single output. The folded intermediates live in the register tile.
+  std::int64_t elements = 0;
+  for (const Literal* in : inputs) elements += in->size();
+  for (const kernels::EpilogueOp& op : epilogue) {
+    elements += op.operand_elements;
+  }
+
+  obs::TraceSpan span("fused_epilogue", "kernel", "input_elements", elements);
+  const Shape out =
+      InferShape(anchor_kind, {inputs[0]->shape, inputs[1]->shape}, attrs);
+  Literal result = Literal::Zeros(out);
+  if (anchor_kind == OpKind::kMatMul) {
+    kernels::MatMulEpilogue(inputs[0]->data.data(), inputs[1]->data.data(),
+                            result.data.mutable_data(),
+                            inputs[0]->shape.dim(0), inputs[0]->shape.dim(1),
+                            inputs[1]->shape.dim(1), epilogue);
+  } else {
+    kernels::Conv2DEpilogue(inputs[0]->data.data(), inputs[0]->shape,
+                            inputs[1]->data.data(), inputs[1]->shape,
+                            result.data.mutable_data(), out, attrs.stride_h,
+                            attrs.stride_w, attrs.padding, epilogue);
+  }
+  metrics.bytes->Add((elements + result.size()) *
+                     static_cast<std::int64_t>(sizeof(float)));
+  return result;
 }
 
 }  // namespace s4tf

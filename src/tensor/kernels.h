@@ -34,17 +34,71 @@ Literal EvalOpLiteral(OpKind kind, const std::vector<Literal>& inputs,
                       const OpAttrs& attrs);
 
 namespace kernels {
+struct EpilogueOp;
+}  // namespace kernels
+
+// Evaluates a kMatMul/kConv2D anchor with an elementwise epilogue folded
+// into the kernel: one dispatch, one launch's worth of counters, and bytes
+// counted for external traffic only (anchor inputs + epilogue operands +
+// the final output — the folded intermediates never touch memory).
+Literal EvalFusedOpLiteral(OpKind anchor_kind,
+                           const std::vector<const Literal*>& inputs,
+                           const OpAttrs& attrs,
+                           const std::vector<kernels::EpilogueOp>& epilogue);
+
+namespace kernels {
 
 // The individual kernels, exposed for reuse by the fused spline op in the
 // frameworks module and for direct unit testing.
 
+// One elementwise op folded into the epilogue of a MatMul/Conv2D kernel.
+// The epilogue runs over each output tile after its reduction completes and
+// before the tile spills to memory, applying the exact float expression the
+// standalone elementwise kernels use — per output element the fused chain
+// is the same sequence of operations in the same order, so fused results
+// are bit-identical to the unfused reference for any thread count.
+struct EpilogueOp {
+  // How a binary op's other operand maps onto the anchor output.
+  enum class Map : std::uint8_t {
+    kNone,     // unary / scalar-attr op: no operand tensor
+    kScalar,   // single-element operand broadcast everywhere
+    kLastDim,  // operand[j] broadcast along the last output dim (bias)
+    kFull,     // operand[flat] with the anchor's own shape (residual)
+  };
+  OpKind kind = OpKind::kRelu;
+  OpAttrs attrs;                   // scalar payload for kAddScalar et al.
+  Map map = Map::kNone;
+  const float* operand = nullptr;  // bound per execution when map != kNone
+  std::int64_t operand_elements = 0;  // for byte accounting
+  bool commuted = false;  // operand OP value instead of value OP operand
+};
+
+// The elementwise subset the epilogue-aware kernels implement (what the
+// compiler's epilogue-fusion pass is allowed to fold).
+bool EpilogueUnarySupported(OpKind kind);
+bool EpilogueBinarySupported(OpKind kind);
+
 void MatMul(const float* a, const float* b, float* out, std::int64_t m,
             std::int64_t k, std::int64_t n);
+
+// MatMul with a fused elementwise epilogue applied per output tile. With an
+// empty epilogue this IS MatMul (same loop nest, same per-element
+// accumulation order).
+void MatMulEpilogue(const float* a, const float* b, float* out,
+                    std::int64_t m, std::int64_t k, std::int64_t n,
+                    const std::vector<EpilogueOp>& epilogue);
 
 // NHWC input, HWIO filter.
 void Conv2D(const float* input, const Shape& in_shape, const float* filter,
             const Shape& filter_shape, float* out, const Shape& out_shape,
             std::int64_t stride_h, std::int64_t stride_w, Padding padding);
+
+// Conv2D with a fused elementwise epilogue applied per output-channel tile.
+void Conv2DEpilogue(const float* input, const Shape& in_shape,
+                    const float* filter, const Shape& filter_shape,
+                    float* out, const Shape& out_shape, std::int64_t stride_h,
+                    std::int64_t stride_w, Padding padding,
+                    const std::vector<EpilogueOp>& epilogue);
 
 void Conv2DBackpropInput(const float* grad_out, const Shape& grad_shape,
                          const float* filter, const Shape& filter_shape,

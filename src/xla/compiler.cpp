@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <limits>
 #include <numeric>
+#include <optional>
+#include <set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -20,6 +23,23 @@ obs::Counter& CacheHitCounter() {
 
 obs::Counter& CacheMissCounter() {
   static obs::Counter* counter = obs::GetCounter("xla.cache.misses");
+  return *counter;
+}
+
+// Arena footprint one execution of the most recently compiled executable
+// is charged (peak with reuse on, unreused sum with it off).
+obs::Gauge& ArenaPeakGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("xla.arena.peak_bytes");
+  return *gauge;
+}
+
+obs::Counter& EpilogueChainCounter() {
+  static obs::Counter* counter = obs::GetCounter("xla.epilogue.chains");
+  return *counter;
+}
+
+obs::Counter& EpilogueFoldedCounter() {
+  static obs::Counter* counter = obs::GetCounter("xla.epilogue.folded_ops");
   return *counter;
 }
 
@@ -49,6 +69,8 @@ struct PassHistograms {
   obs::Histogram* cse;
   obs::Histogram* dce;
   obs::Histogram* fusion;
+  obs::Histogram* epilogue_fusion;
+  obs::Histogram* buffer_reuse;
 
   static PassHistograms& Get() {
     static PassHistograms histograms = {
@@ -56,6 +78,8 @@ struct PassHistograms {
         obs::GetHistogram("xla.pass.cse"),
         obs::GetHistogram("xla.pass.dce"),
         obs::GetHistogram("xla.pass.fusion"),
+        obs::GetHistogram("xla.pass.epilogue_fusion"),
+        obs::GetHistogram("xla.pass.buffer_reuse"),
     };
     return histograms;
   }
@@ -174,7 +198,97 @@ int RunHloDce(HloModule& module) {
   return removed;
 }
 
+namespace {
+
+// Classifies how a binary epilogue link's external operand maps onto the
+// anchor output, or nullopt when the broadcast pattern is one the fused
+// kernels cannot serve from the register tile (e.g. a column vector).
+std::optional<kernels::EpilogueOp::Map> ClassifyEpilogueOperand(
+    const Shape& operand, const Shape& out) {
+  using Map = kernels::EpilogueOp::Map;
+  if (operand == out) return Map::kFull;
+  if (operand.NumElements() == 1) return Map::kScalar;
+  if (operand.rank() >= 1 && out.rank() >= 1 &&
+      operand.dim(operand.rank() - 1) == out.dim(out.rank() - 1) &&
+      operand.NumElements() == out.dim(out.rank() - 1)) {
+    return Map::kLastDim;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<EpilogueChain> ComputeEpilogueChains(const HloModule& module) {
+  const std::size_t n = module.instructions().size();
+  const std::vector<int> uses = module.UseCounts();
+
+  // Sole consumer of each single-use value. UseCounts() counts each root
+  // reference as a use, so a value that is a root AND has one consumer
+  // shows 2 uses and never chains — root values always materialize.
+  std::vector<HloId> sole_user(n, -1);
+  for (const HloInstruction& inst : module.instructions()) {
+    for (HloId op : inst.operands) {
+      if (uses[static_cast<std::size_t>(op)] == 1) {
+        sole_user[static_cast<std::size_t>(op)] = inst.id;
+      }
+    }
+  }
+
+  std::vector<EpilogueChain> chains;
+  // claimed: in some chain (any role). folded: anchor or intermediate —
+  // the value never materializes, so later chains must not read it.
+  std::vector<bool> claimed(n, false);
+  std::vector<bool> folded(n, false);
+
+  for (const HloInstruction& inst : module.instructions()) {
+    if (inst.kind != OpKind::kMatMul && inst.kind != OpKind::kConv2D) {
+      continue;
+    }
+    EpilogueChain chain;
+    chain.anchor = inst.id;
+    HloId tail = inst.id;
+    while (true) {
+      if (uses[static_cast<std::size_t>(tail)] != 1) break;
+      const HloId u = sole_user[static_cast<std::size_t>(tail)];
+      if (u < 0 || claimed[static_cast<std::size_t>(u)]) break;
+      const HloInstruction& user = module.instruction(u);
+      if (user.shape != inst.shape) break;
+      if (kernels::EpilogueUnarySupported(user.kind)) {
+        // Pure function of the tile — always foldable.
+      } else if (kernels::EpilogueBinarySupported(user.kind) &&
+                 user.operands.size() == 2) {
+        const HloId other =
+            user.operands[0] == tail ? user.operands[1] : user.operands[0];
+        // A folded value never materializes, so it cannot feed this link.
+        if (folded[static_cast<std::size_t>(other)]) break;
+        if (!ClassifyEpilogueOperand(module.instruction(other).shape,
+                                     inst.shape)) {
+          break;
+        }
+      } else {
+        break;
+      }
+      claimed[static_cast<std::size_t>(u)] = true;
+      chain.ops.push_back(u);
+      tail = u;
+    }
+    if (chain.ops.empty()) continue;
+    claimed[static_cast<std::size_t>(chain.anchor)] = true;
+    folded[static_cast<std::size_t>(chain.anchor)] = true;
+    for (std::size_t i = 0; i + 1 < chain.ops.size(); ++i) {
+      folded[static_cast<std::size_t>(chain.ops[i])] = true;
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
 std::vector<int> ComputeFusionGroups(const HloModule& module) {
+  return ComputeFusionGroups(module, {});
+}
+
+std::vector<int> ComputeFusionGroups(
+    const HloModule& module, const std::vector<EpilogueChain>& chains) {
   const std::size_t n = module.instructions().size();
   std::vector<int> group(n);
   std::iota(group.begin(), group.end(), 0);
@@ -189,25 +303,135 @@ std::vector<int> ComputeFusionGroups(const HloModule& module) {
     return x;
   };
 
+  // Epilogue chains are kernels by fiat: members share the anchor's group
+  // and stay out of the generic elementwise merging below (their values
+  // live in the kernel's register tile, not in memory).
+  std::vector<bool> in_chain(n, false);
+  for (const EpilogueChain& chain : chains) {
+    in_chain[static_cast<std::size_t>(chain.anchor)] = true;
+    for (HloId op : chain.ops) {
+      group[static_cast<std::size_t>(find(op))] = find(chain.anchor);
+      in_chain[static_cast<std::size_t>(op)] = true;
+    }
+  }
+
   const std::vector<int> uses = module.UseCounts();
   for (const HloInstruction& inst : module.instructions()) {
     if (!IsElementwise(inst.kind)) continue;
+    if (in_chain[static_cast<std::size_t>(inst.id)]) continue;
     for (HloId op : inst.operands) {
       const HloInstruction& producer = module.instruction(op);
       // Fuse an elementwise producer with a single consumer into this
       // instruction's kernel (classic XLA producer-consumer fusion).
       if (IsElementwise(producer.kind) &&
+          !in_chain[static_cast<std::size_t>(op)] &&
           uses[static_cast<std::size_t>(op)] == 1 &&
           producer.shape == inst.shape) {
         group[static_cast<std::size_t>(find(producer.id))] = find(inst.id);
       }
     }
   }
+  // Canonicalize every group id to its minimum member: the partition is
+  // then a pure function of the module's structure, independent of the
+  // union order above (satellite of the determinism contract).
+  std::vector<int> canonical(n, -1);
   std::vector<int> result(n);
   for (std::size_t i = 0; i < n; ++i) {
-    result[i] = find(static_cast<int>(i));
+    const int root = find(static_cast<int>(i));
+    if (canonical[static_cast<std::size_t>(root)] < 0) {
+      canonical[static_cast<std::size_t>(root)] = static_cast<int>(i);
+    }
+    result[i] = canonical[static_cast<std::size_t>(root)];
   }
   return result;
+}
+
+BufferPlan PlanBuffers(const HloModule& module,
+                       const std::vector<EpilogueChain>& chains) {
+  const std::size_t n = module.instructions().size();
+  BufferPlan plan;
+  plan.release_after.resize(n);
+
+  // Execution site of each value: chain members (anchor + links) all
+  // execute when the chain result's fused kernel dispatches; everything
+  // else at its own position. `defines[i]` = the value instruction i
+  // materializes at its site (-1 for folded members).
+  std::vector<HloId> site(n);
+  std::iota(site.begin(), site.end(), 0);
+  std::vector<bool> folded(n, false);
+  for (const EpilogueChain& chain : chains) {
+    const HloId result = chain.result();
+    site[static_cast<std::size_t>(chain.anchor)] = result;
+    folded[static_cast<std::size_t>(chain.anchor)] = true;
+    for (HloId op : chain.ops) {
+      site[static_cast<std::size_t>(op)] = result;
+      if (op != result) folded[static_cast<std::size_t>(op)] = true;
+    }
+  }
+
+  const auto is_value = [&](HloId id) {
+    const OpKind kind = module.instruction(id).kind;
+    return kind != OpKind::kParameter && kind != OpKind::kConstant &&
+           !folded[static_cast<std::size_t>(id)];
+  };
+
+  // Last use per value, in execution sites. Initialized to the def site so
+  // a value nothing reads (possible with DCE off) frees immediately.
+  constexpr HloId kLive = std::numeric_limits<HloId>::max();
+  std::vector<HloId> last_use(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_value(static_cast<HloId>(i))) {
+      last_use[i] = site[i];
+    }
+  }
+  for (const HloInstruction& inst : module.instructions()) {
+    for (HloId op : inst.operands) {
+      last_use[static_cast<std::size_t>(op)] =
+          std::max(last_use[static_cast<std::size_t>(op)],
+                   site[static_cast<std::size_t>(inst.id)]);
+    }
+  }
+  // Roots are the caller's outputs: never released.
+  for (HloId root : module.roots()) {
+    last_use[static_cast<std::size_t>(root)] = kLive;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_value(static_cast<HloId>(v)) && last_use[v] != kLive) {
+      plan.release_after[static_cast<std::size_t>(last_use[v])].push_back(
+          static_cast<HloId>(v));
+    }
+  }
+
+  // Best-fit arena simulation over the program walk: each defined value
+  // takes the smallest free slot that fits (growing it is a fresh slot),
+  // and returns its slot right after its last use executes — AFTER the def
+  // at that site takes its own slot, because a kernel's inputs stay live
+  // while its output is written (no in-place aliasing).
+  std::vector<std::int64_t> slot_bytes;
+  std::multimap<std::int64_t, int> free_by_size;
+  std::vector<int> slot_of(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_value(static_cast<HloId>(i))) {
+      const std::int64_t bytes =
+          module.instruction(static_cast<HloId>(i)).shape.NumElements() * 4;
+      plan.unreused_bytes += bytes;
+      auto it = free_by_size.lower_bound(bytes);
+      if (it != free_by_size.end()) {
+        slot_of[i] = it->second;
+        free_by_size.erase(it);
+      } else {
+        slot_of[i] = static_cast<int>(slot_bytes.size());
+        slot_bytes.push_back(bytes);
+      }
+    }
+    for (HloId v : plan.release_after[i]) {
+      const int slot = slot_of[static_cast<std::size_t>(v)];
+      free_by_size.emplace(slot_bytes[static_cast<std::size_t>(slot)], slot);
+    }
+  }
+  for (std::int64_t bytes : slot_bytes) plan.peak_arena_bytes += bytes;
+  plan.arena_slots = static_cast<std::int64_t>(slot_bytes.size());
+  return plan;
 }
 
 std::vector<Literal> Executable::Run(const std::vector<Literal>& parameters,
@@ -218,23 +442,61 @@ std::vector<Literal> Executable::Run(const std::vector<Literal>& parameters,
 
   std::vector<Literal> env(module_.instructions().size());
   for (const HloInstruction& inst : module_.instructions()) {
+    const auto id = static_cast<std::size_t>(inst.id);
     switch (inst.kind) {
       case OpKind::kParameter:
-        env[static_cast<std::size_t>(inst.id)] =
-            parameters[static_cast<std::size_t>(inst.parameter_index)];
+        env[id] = parameters[static_cast<std::size_t>(inst.parameter_index)];
         break;
       case OpKind::kConstant:
-        env[static_cast<std::size_t>(inst.id)] = inst.literal;
+        env[id] = inst.literal;
         break;
       default: {
+        if (!skip_.empty() && skip_[id]) break;  // folded into an epilogue
+        if (!plan_index_.empty() && plan_index_[id] >= 0) {
+          // This value is an epilogue chain's result: dispatch the anchor
+          // with the whole chain folded in as ONE kernel.
+          const EpiloguePlan& plan =
+              epilogues_[static_cast<std::size_t>(plan_index_[id])];
+          const HloInstruction& anchor = module_.instruction(plan.anchor);
+          std::vector<const Literal*> inputs;
+          inputs.reserve(anchor.operands.size());
+          for (HloId op : anchor.operands) {
+            inputs.push_back(&env[static_cast<std::size_t>(op)]);
+          }
+          std::vector<kernels::EpilogueOp> epilogue;
+          epilogue.reserve(plan.steps.size());
+          for (const EpilogueStep& step : plan.steps) {
+            kernels::EpilogueOp op;
+            op.kind = step.kind;
+            op.attrs = step.attrs;
+            op.map = step.map;
+            op.commuted = step.commuted;
+            if (step.operand >= 0) {
+              const Literal& operand =
+                  env[static_cast<std::size_t>(step.operand)];
+              op.operand = operand.data.data();
+              op.operand_elements = operand.size();
+            }
+            epilogue.push_back(std::move(op));
+          }
+          env[id] = EvalFusedOpLiteral(anchor.kind, inputs, anchor.attrs,
+                                       epilogue);
+          break;
+        }
         std::vector<const Literal*> inputs;
         inputs.reserve(inst.operands.size());
         for (HloId op : inst.operands) {
           inputs.push_back(&env[static_cast<std::size_t>(op)]);
         }
-        env[static_cast<std::size_t>(inst.id)] =
-            EvalOpLiteral(inst.kind, inputs, inst.attrs);
+        env[id] = EvalOpLiteral(inst.kind, inputs, inst.attrs);
         break;
+      }
+    }
+    // Buffer reuse: drop values whose last use just executed, so the host
+    // working set tracks the planner's arena instead of the whole trace.
+    if (!release_after_.empty()) {
+      for (HloId v : release_after_[id]) {
+        env[static_cast<std::size_t>(v)] = Literal();
       }
     }
   }
@@ -242,6 +504,9 @@ std::vector<Literal> Executable::Run(const std::vector<Literal>& parameters,
   if (accelerator != nullptr) {
     for (const FusedKernel& kernel : kernels_) {
       accelerator->ChargeFusedKernel(kernel.flops, kernel.external_bytes);
+    }
+    if (arena_charge_bytes_ > 0) {
+      accelerator->ChargeArena(arena_charge_bytes_);
     }
   }
 
@@ -337,35 +602,63 @@ CompileResult Compile(HloModule module, const CompileOptions& options) {
     RunHloDce(module);
   }
 
+  std::vector<EpilogueChain> chains;
+  if (options.enable_fusion && options.enable_epilogue_fusion) {
+    PassTimer timer("xla.pass.epilogue_fusion",
+                    pass_histograms.epilogue_fusion);
+    chains = ComputeEpilogueChains(module);
+    EpilogueChainCounter().Add(static_cast<std::int64_t>(chains.size()));
+    for (const EpilogueChain& chain : chains) {
+      EpilogueFoldedCounter().Add(static_cast<std::int64_t>(chain.ops.size()));
+    }
+  }
+
   std::vector<int> groups;
   if (options.enable_fusion) {
     PassTimer timer("xla.pass.fusion", pass_histograms.fusion);
-    groups = ComputeFusionGroups(module);
+    groups = ComputeFusionGroups(module, chains);
   } else {
     groups.resize(static_cast<std::size_t>(module.instruction_count()));
     std::iota(groups.begin(), groups.end(), 0);
   }
 
   // Build fused kernels in topological order of their last member.
+  // Multi-instruction groups read each distinct external value once (it is
+  // staged through the cluster's tiles); a singleton kernel keeps the raw
+  // per-occurrence roofline of the reference kernels, which also keeps
+  // enable_fusion=false executables byte-identical to the pre-epilogue
+  // pipeline.
   std::map<int, FusedKernel> by_group;
-  const std::vector<int> uses = module.UseCounts();
+  std::map<int, std::set<HloId>> group_external_inputs;
+  std::map<int, std::int64_t> group_singleton_input_bytes;
   for (const HloInstruction& inst : module.instructions()) {
     if (inst.kind == OpKind::kParameter || inst.kind == OpKind::kConstant) {
       continue;  // data movement, no kernel
     }
-    FusedKernel& kernel = by_group[groups[static_cast<std::size_t>(inst.id)]];
+    const int g = groups[static_cast<std::size_t>(inst.id)];
+    FusedKernel& kernel = by_group[g];
     kernel.instructions.push_back(inst.id);
     std::vector<Shape> input_shapes;
     for (HloId op : inst.operands) {
       input_shapes.push_back(module.instruction(op).shape);
       // External input: operand produced outside the group.
-      if (groups[static_cast<std::size_t>(op)] !=
-          groups[static_cast<std::size_t>(inst.id)]) {
-        kernel.external_bytes +=
+      if (groups[static_cast<std::size_t>(op)] != g) {
+        group_external_inputs[g].insert(op);
+        group_singleton_input_bytes[g] +=
             module.instruction(op).shape.NumElements() * 4;
       }
     }
     kernel.flops += OpFlops(inst.kind, input_shapes, inst.shape, inst.attrs);
+  }
+  for (auto& [g, kernel] : by_group) {
+    if (kernel.instructions.size() > 1) {
+      for (HloId op : group_external_inputs[g]) {
+        kernel.external_bytes +=
+            module.instruction(op).shape.NumElements() * 4;
+      }
+    } else {
+      kernel.external_bytes += group_singleton_input_bytes[g];
+    }
   }
   // External outputs: results used outside their group (or roots).
   std::vector<bool> is_root(module.instructions().size(), false);
@@ -379,8 +672,18 @@ CompileResult Compile(HloModule module, const CompileOptions& options) {
       }
     }
   }
+  // Epilogue-folded values never materialize; only the chain result can be
+  // a group output.
+  std::vector<bool> folded(module.instructions().size(), false);
+  for (const EpilogueChain& chain : chains) {
+    folded[static_cast<std::size_t>(chain.anchor)] = true;
+    for (HloId op : chain.ops) {
+      if (op != chain.result()) folded[static_cast<std::size_t>(op)] = true;
+    }
+  }
   for (const HloInstruction& inst : module.instructions()) {
-    if (inst.kind == OpKind::kParameter || inst.kind == OpKind::kConstant) {
+    if (inst.kind == OpKind::kParameter || inst.kind == OpKind::kConstant ||
+        folded[static_cast<std::size_t>(inst.id)]) {
       continue;
     }
     if (used_externally[static_cast<std::size_t>(inst.id)] ||
@@ -394,6 +697,15 @@ CompileResult Compile(HloModule module, const CompileOptions& options) {
   kernels.reserve(by_group.size());
   for (auto& [id, kernel] : by_group) kernels.push_back(std::move(kernel));
 
+  // Liveness / arena planning. With reuse off the arena degenerates to the
+  // sum of all intermediates (nothing is released); with fusion off there
+  // is no arena model at all — the legacy executable, byte for byte.
+  BufferPlan buffer_plan;
+  if (options.enable_fusion) {
+    PassTimer timer("xla.pass.buffer_reuse", pass_histograms.buffer_reuse);
+    buffer_plan = PlanBuffers(module, chains);
+  }
+
   CompileResult result;
   result.compile_seconds =
       options.compile_seconds_fixed +
@@ -401,6 +713,57 @@ CompileResult Compile(HloModule module, const CompileOptions& options) {
           static_cast<double>(original_size);
   result.executable =
       std::make_shared<Executable>(std::move(module), std::move(kernels));
+  Executable& exe = *result.executable;
+
+  // Lower the epilogue chains into the executable's dispatch plan.
+  const std::size_t n = exe.module_.instructions().size();
+  if (!chains.empty()) {
+    exe.plan_index_.assign(n, -1);
+    exe.skip_.assign(n, 0);
+    for (const EpilogueChain& chain : chains) {
+      Executable::EpiloguePlan plan;
+      plan.anchor = chain.anchor;
+      HloId tail = chain.anchor;
+      const Shape& out_shape = exe.module_.instruction(chain.anchor).shape;
+      for (HloId op_id : chain.ops) {
+        const HloInstruction& link = exe.module_.instruction(op_id);
+        Executable::EpilogueStep step;
+        step.kind = link.kind;
+        step.attrs = link.attrs;
+        if (link.operands.size() == 2) {
+          step.commuted = link.operands[1] == tail;
+          step.operand = step.commuted ? link.operands[0] : link.operands[1];
+          step.map = *ClassifyEpilogueOperand(
+              exe.module_.instruction(step.operand).shape, out_shape);
+        }
+        plan.steps.push_back(std::move(step));
+        tail = op_id;
+      }
+      exe.skip_[static_cast<std::size_t>(chain.anchor)] = 1;
+      for (HloId op_id : chain.ops) {
+        if (op_id != chain.result()) {
+          exe.skip_[static_cast<std::size_t>(op_id)] = 1;
+        }
+      }
+      exe.plan_index_[static_cast<std::size_t>(chain.result())] =
+          static_cast<int>(exe.epilogues_.size());
+      exe.epilogues_.push_back(std::move(plan));
+      exe.epilogue_folded_ops_ +=
+          static_cast<std::int64_t>(chain.ops.size());
+    }
+  }
+
+  if (options.enable_fusion) {
+    exe.arena_peak_bytes_ = buffer_plan.peak_arena_bytes;
+    exe.arena_unreused_bytes_ = buffer_plan.unreused_bytes;
+    if (options.enable_buffer_reuse) {
+      exe.release_after_ = std::move(buffer_plan.release_after);
+      exe.arena_charge_bytes_ = buffer_plan.peak_arena_bytes;
+    } else {
+      exe.arena_charge_bytes_ = buffer_plan.unreused_bytes;
+    }
+    ArenaPeakGauge().Set(exe.arena_charge_bytes_);
+  }
   return result;
 }
 

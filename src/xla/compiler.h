@@ -26,6 +26,18 @@ struct CompileOptions {
   bool enable_cse = true;
   bool enable_dce = true;
   bool enable_fusion = true;
+  // Epilogue fusion: elementwise consumer chains (bias-add, ReLU,
+  // residual-add, scale...) hanging off a MatMul/Conv2D fold into the
+  // producing kernel and execute via the epilogue-aware tiled kernels.
+  // Effective only when enable_fusion is true: enable_fusion=false
+  // reproduces the pre-epilogue pipeline byte-for-byte.
+  bool enable_epilogue_fusion = true;
+  // Liveness-based buffer reuse: intermediate outputs are assigned into a
+  // bounded arena of recycled slots, released at their last use during
+  // Run(), with the peak footprint charged to the cost model (vs. the sum
+  // of all intermediates without reuse). Effective only when enable_fusion
+  // is true.
+  bool enable_buffer_reuse = true;
   // Modeled JIT cost (XLA compilations take O(100ms) for real models; we
   // scale with program size).
   double compile_seconds_per_instruction = 50e-6;
@@ -47,10 +59,52 @@ int RunHloDce(HloModule& module);
 // HLO form. Returns the number of instructions bypassed.
 int RunHloAlgebraicSimplify(HloModule& module);
 
+// One elementwise consumer chain folded into the epilogue of its producing
+// MatMul/Conv2D. `ops` is the chain in dataflow order; the last op's value
+// is the only one that materializes — the anchor's raw output and the
+// intermediate links live in the kernel's register tile.
+struct EpilogueChain {
+  HloId anchor = -1;
+  std::vector<HloId> ops;
+  HloId result() const { return ops.empty() ? anchor : ops.back(); }
+};
+
+// Epilogue-fusion analysis: for every kMatMul/kConv2D (visited in id
+// order, so the result is deterministic for any CSE/DCE history) extend a
+// chain through sole-user elementwise consumers of the anchor's shape that
+// the epilogue-aware kernels support. Binary links may read one external
+// operand (same shape, a last-dim bias vector, or a scalar).
+std::vector<EpilogueChain> ComputeEpilogueChains(const HloModule& module);
+
 // Assigns a fusion group id to every instruction (elementwise
 // producer-consumer chains where the producer has a single user merge into
-// one group). Returns group ids indexed by instruction.
+// one group). Returns group ids indexed by instruction, canonicalized to
+// each group's minimum member id so identical programs always get
+// identical partitions regardless of union order.
 std::vector<int> ComputeFusionGroups(const HloModule& module);
+
+// Overload that additionally merges each epilogue chain into its anchor's
+// group and keeps chain members out of the generic elementwise merging
+// (their values never materialize, so they cannot host other fusions).
+std::vector<int> ComputeFusionGroups(const HloModule& module,
+                                     const std::vector<EpilogueChain>& chains);
+
+// Liveness-based buffer-reuse plan: last use per HLO value (with epilogue
+// chain members executing at their chain result's position), release lists
+// for Run(), and a best-fit arena simulation giving the peak footprint.
+struct BufferPlan {
+  // Sum of the arena slot sizes at the end of the program walk = the
+  // bounded footprint all intermediates execute in with reuse on.
+  std::int64_t peak_arena_bytes = 0;
+  // Sum of every defined value's bytes = the footprint without reuse.
+  std::int64_t unreused_bytes = 0;
+  std::int64_t arena_slots = 0;
+  // release_after[i] = values whose last use is instruction i (never
+  // roots); Run() drops their buffers right after executing i.
+  std::vector<std::vector<HloId>> release_after;
+};
+BufferPlan PlanBuffers(const HloModule& module,
+                       const std::vector<EpilogueChain>& chains);
 
 // One device kernel after fusion: a set of instructions executed as a
 // single launch with only external memory traffic.
@@ -60,13 +114,17 @@ struct FusedKernel {
   std::int64_t external_bytes = 0;
 };
 
+struct CompileResult;
+CompileResult Compile(HloModule module, const CompileOptions& options);
+
 class Executable {
  public:
   Executable(HloModule module, std::vector<FusedKernel> kernels)
       : module_(std::move(module)), kernels_(std::move(kernels)) {}
 
   // Evaluates the program on concrete parameters. If `accelerator` is
-  // given, charges one (fused) kernel per FusedKernel to its clock.
+  // given, charges one (fused) kernel per FusedKernel plus the arena
+  // footprint to its clock.
   std::vector<Literal> Run(const std::vector<Literal>& parameters,
                            SimAccelerator* accelerator = nullptr) const;
 
@@ -84,6 +142,7 @@ class Executable {
     for (const FusedKernel& kernel : kernels_) {
       accelerator.ChargeFusedKernel(kernel.flops, kernel.external_bytes);
     }
+    if (arena_charge_bytes_ > 0) accelerator.ChargeArena(arena_charge_bytes_);
   }
 
   // Total flops / external bytes of one execution (for reporting).
@@ -93,9 +152,48 @@ class Executable {
     return total;
   }
 
+  // Buffer-plan reporting: the peak arena footprint with reuse, the
+  // unreused sum, and what one execution is actually charged (0 when
+  // enable_fusion was off — the legacy executable had no arena model).
+  std::int64_t arena_peak_bytes() const { return arena_peak_bytes_; }
+  std::int64_t arena_unreused_bytes() const { return arena_unreused_bytes_; }
+  std::int64_t arena_charge_bytes() const { return arena_charge_bytes_; }
+  // Number of elementwise ops folded into MatMul/Conv2D epilogues.
+  std::int64_t epilogue_folded_ops() const { return epilogue_folded_ops_; }
+
  private:
+  friend CompileResult Compile(HloModule module,
+                               const CompileOptions& options);
+
+  // One epilogue chain lowered for execution, stored at the chain result's
+  // instruction id. Operands are HLO ids resolved against the environment
+  // when the fused kernel dispatches.
+  struct EpilogueStep {
+    OpKind kind = OpKind::kRelu;
+    OpAttrs attrs;
+    HloId operand = -1;  // external binary operand; -1 for unary forms
+    kernels::EpilogueOp::Map map = kernels::EpilogueOp::Map::kNone;
+    bool commuted = false;
+  };
+  struct EpiloguePlan {
+    HloId anchor = -1;
+    std::vector<EpilogueStep> steps;
+  };
+
   HloModule module_;
   std::vector<FusedKernel> kernels_;
+  // Epilogue execution plan: plan_index_[id] >= 0 marks a chain result,
+  // skip_[id] marks anchors/intermediates the interpreter must not
+  // evaluate on their own.
+  std::vector<EpiloguePlan> epilogues_;
+  std::vector<int> plan_index_;
+  std::vector<char> skip_;
+  // Buffer plan (empty release lists when reuse is off).
+  std::vector<std::vector<HloId>> release_after_;
+  std::int64_t arena_peak_bytes_ = 0;
+  std::int64_t arena_unreused_bytes_ = 0;
+  std::int64_t arena_charge_bytes_ = 0;
+  std::int64_t epilogue_folded_ops_ = 0;
 };
 
 struct CompileResult {

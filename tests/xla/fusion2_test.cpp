@@ -1,0 +1,551 @@
+// Compiler-depth suite: epilogue fusion into MatMul/Conv2D, the
+// liveness-based buffer-reuse planner, and the tiled inner loops.
+//
+// The load-bearing contract under test is bit-determinism: an
+// epilogue-fused program must produce results byte-identical to its
+// unfused twin for ANY intra-op thread count, because the fused kernels
+// evaluate the exact same float expressions in the exact same order —
+// only the trips through memory change. Everything else (kernel counts,
+// byte counters, arena footprints) is the deterministic perf signal.
+#include "xla/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "lazy/lazy_tensor.h"
+#include "obs/metrics.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tests/ad/gradient_check.h"
+
+namespace s4tf::xla {
+namespace {
+
+Literal RandomLiteral(const Shape& shape, std::uint64_t seed,
+                      float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> values(static_cast<std::size_t>(shape.NumElements()));
+  rng.FillUniform(values.data(), values.size(), lo, hi);
+  return Literal::FromVector(shape, std::move(values));
+}
+
+// relu(matmul(a, b) + bias): the canonical dense-layer epilogue chain.
+// ids: a=0, b=1, bias=2, matmul=3, add=4, relu=5 (root).
+HloModule MatMulBiasRelu(std::int64_t m = 5, std::int64_t k = 7,
+                         std::int64_t n = 66) {
+  HloModule mod("matmul_bias_relu");
+  const HloId a = mod.AddParameter(Shape({m, k}), 0);
+  const HloId b = mod.AddParameter(Shape({k, n}), 1);
+  const HloId bias = mod.AddParameter(Shape({n}), 2);
+  const HloId mm = mod.AddInstruction(OpKind::kMatMul, {a, b});
+  const HloId add = mod.AddInstruction(OpKind::kAdd, {mm, bias});
+  mod.AddRoot(mod.AddInstruction(OpKind::kRelu, {add}));
+  return mod;
+}
+
+// relu(conv2d(x, f) + bias) over NHWC.
+HloModule ConvBiasRelu() {
+  HloModule mod("conv_bias_relu");
+  const HloId x = mod.AddParameter(Shape({2, 5, 6, 3}), 0);
+  const HloId f = mod.AddParameter(Shape({3, 3, 3, 66}), 1);
+  const HloId bias = mod.AddParameter(Shape({66}), 2);
+  OpAttrs attrs;
+  attrs.stride_h = 1;
+  attrs.stride_w = 1;
+  attrs.padding = Padding::kSame;
+  const HloId conv = mod.AddInstruction(OpKind::kConv2D, {x, f}, attrs);
+  const HloId add = mod.AddInstruction(OpKind::kAdd, {conv, bias});
+  mod.AddRoot(mod.AddInstruction(OpKind::kRelu, {add}));
+  return mod;
+}
+
+std::vector<Literal> MatMulBiasReluInputs(std::int64_t m = 5,
+                                          std::int64_t k = 7,
+                                          std::int64_t n = 66) {
+  return {RandomLiteral(Shape({m, k}), 11), RandomLiteral(Shape({k, n}), 12),
+          RandomLiteral(Shape({n}), 13)};
+}
+
+CompileOptions Unfused() {
+  CompileOptions options;
+  options.enable_fusion = false;
+  return options;
+}
+
+CompileOptions NoEpilogue() {
+  CompileOptions options;
+  options.enable_epilogue_fusion = false;
+  return options;
+}
+
+std::int64_t DeltaOf(const std::map<std::string, std::int64_t>& delta,
+                     const std::string& name) {
+  auto it = delta.find(name);
+  return it == delta.end() ? 0 : it->second;
+}
+
+// --- Epilogue chain analysis. ----------------------------------------------
+
+TEST(EpilogueChainTest, MatMulBiasReluFormsOneChain) {
+  const HloModule m = MatMulBiasRelu();
+  const auto chains = ComputeEpilogueChains(m);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].anchor, 3);
+  EXPECT_EQ(chains[0].ops, (std::vector<HloId>{4, 5}));
+  EXPECT_EQ(chains[0].result(), 5);
+}
+
+TEST(EpilogueChainTest, ResidualAndScaleExtendTheChain) {
+  // relu(residual + matmul(a, b) * 0.5): a commuted full-shape add plus a
+  // scalar-attr scale, both folding into the anchor.
+  HloModule m("residual");
+  const HloId a = m.AddParameter(Shape({4, 8}), 0);
+  const HloId b = m.AddParameter(Shape({8, 16}), 1);
+  const HloId res = m.AddParameter(Shape({4, 16}), 2);
+  const HloId mm = m.AddInstruction(OpKind::kMatMul, {a, b});
+  const HloId scale =
+      m.AddInstruction(OpKind::kMulScalar, {mm}, OpAttrs{.scalar = 0.5f});
+  const HloId add = m.AddInstruction(OpKind::kAdd, {res, scale});  // commuted
+  m.AddRoot(m.AddInstruction(OpKind::kRelu, {add}));
+  const auto chains = ComputeEpilogueChains(m);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].anchor, mm);
+  EXPECT_EQ(chains[0].ops, (std::vector<HloId>{scale, add, add + 1}));
+
+  // And the whole thing executes as one kernel with correct numerics.
+  const auto fused = Compile(m).executable;
+  EXPECT_EQ(fused->kernel_count(), 1);
+  EXPECT_EQ(fused->epilogue_folded_ops(), 3);
+  const std::vector<Literal> inputs = {RandomLiteral(Shape({4, 8}), 21),
+                                       RandomLiteral(Shape({8, 16}), 22),
+                                       RandomLiteral(Shape({4, 16}), 23)};
+  const auto unfused = Compile(m, Unfused()).executable;
+  EXPECT_EQ(fused->Run(inputs)[0].data.ToVector(),
+            unfused->Run(inputs)[0].data.ToVector());
+}
+
+TEST(EpilogueChainTest, MultiUseValueEndsTheChainButStillMaterializes) {
+  // The add feeds both the relu and a second root. It can still be the
+  // chain RESULT (results materialize), but the chain must stop there —
+  // the relu reads the materialized add like any other consumer.
+  HloModule m("multi_use");
+  const HloId a = m.AddParameter(Shape({4, 4}), 0);
+  const HloId mm = m.AddInstruction(OpKind::kMatMul, {a, a});
+  const HloId add = m.AddInstruction(OpKind::kAdd, {mm, a});
+  const HloId relu = m.AddInstruction(OpKind::kRelu, {add});
+  m.AddRoot(relu);
+  m.AddRoot(add);
+  const auto chains = ComputeEpilogueChains(m);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].anchor, mm);
+  EXPECT_EQ(chains[0].ops, (std::vector<HloId>{add}));
+  // Both roots come out right: the multi-use add really materialized.
+  const std::vector<Literal> inputs = {RandomLiteral(Shape({4, 4}), 33)};
+  const auto fused_out = Compile(m).executable->Run(inputs);
+  const auto unfused_out = Compile(m, Unfused()).executable->Run(inputs);
+  ASSERT_EQ(fused_out.size(), 2u);
+  EXPECT_EQ(fused_out[0].data.ToVector(), unfused_out[0].data.ToVector());
+  EXPECT_EQ(fused_out[1].data.ToVector(), unfused_out[1].data.ToVector());
+}
+
+TEST(EpilogueChainTest, ChainStopsAtShapeChange) {
+  // reduce_sum changes shape; the chain ends at the relu before it.
+  HloModule m("shape_change");
+  const HloId a = m.AddParameter(Shape({4, 4}), 0);
+  const HloId mm = m.AddInstruction(OpKind::kMatMul, {a, a});
+  const HloId relu = m.AddInstruction(OpKind::kRelu, {mm});
+  m.AddRoot(m.AddInstruction(OpKind::kReduceSum, {relu}));
+  const auto chains = ComputeEpilogueChains(m);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].ops, (std::vector<HloId>{relu}));
+}
+
+TEST(EpilogueChainTest, TwoAnchorsMeetingAtOneAddDoNotBothFold) {
+  // add(mm1, mm2): whichever chain claims the add, the OTHER matmul's
+  // output must still materialize — a chain may not reference a folded
+  // (never-materialized) value as its external operand.
+  HloModule m("two_anchors");
+  const HloId a = m.AddParameter(Shape({4, 4}), 0);
+  const HloId b = m.AddParameter(Shape({4, 4}), 1);
+  const HloId mm1 = m.AddInstruction(OpKind::kMatMul, {a, b});
+  const HloId mm2 = m.AddInstruction(OpKind::kMatMul, {b, a});
+  m.AddRoot(m.AddInstruction(OpKind::kAdd, {mm1, mm2}));
+  const auto chains = ComputeEpilogueChains(m);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].anchor, mm1);  // id order: mm1 wins the add
+  const std::vector<Literal> inputs = {RandomLiteral(Shape({4, 4}), 31),
+                                       RandomLiteral(Shape({4, 4}), 32)};
+  EXPECT_EQ(Compile(m).executable->Run(inputs)[0].data.ToVector(),
+            Compile(m, Unfused()).executable->Run(inputs)[0].data.ToVector());
+}
+
+// --- Fused execution: kernel counts, counters, bitwise equality. -----------
+
+TEST(EpilogueExecTest, FusedProgramIsOneKernelInsteadOfThree) {
+  const HloModule m = MatMulBiasRelu();
+  const auto fused = Compile(m).executable;
+  const auto unfused = Compile(m, Unfused()).executable;
+  EXPECT_EQ(fused->kernel_count(), 1);
+  EXPECT_EQ(fused->epilogue_folded_ops(), 2);
+  EXPECT_EQ(unfused->kernel_count(), 3);
+  EXPECT_EQ(unfused->epilogue_folded_ops(), 0);
+}
+
+TEST(EpilogueExecTest, FusedMatchesUnfusedBitwiseForAnyThreadCount) {
+  const HloModule m = MatMulBiasRelu();
+  const auto fused = Compile(m).executable;
+  const auto unfused = Compile(m, Unfused()).executable;
+  const auto inputs = MatMulBiasReluInputs();
+  SetIntraOpParallelism(1);
+  const std::vector<float> reference =
+      unfused->Run(inputs)[0].data.ToVector();
+  for (int threads : {1, 2, 4}) {
+    SetIntraOpParallelism(threads);
+    EXPECT_EQ(fused->Run(inputs)[0].data.ToVector(), reference)
+        << "fused, threads=" << threads;
+    EXPECT_EQ(unfused->Run(inputs)[0].data.ToVector(), reference)
+        << "unfused, threads=" << threads;
+  }
+  SetIntraOpParallelism(0);
+}
+
+TEST(EpilogueExecTest, ConvBiasReluFusedBitwise) {
+  const HloModule m = ConvBiasRelu();
+  const auto fused = Compile(m).executable;
+  const auto unfused = Compile(m, Unfused()).executable;
+  EXPECT_EQ(fused->kernel_count(), 1);
+  const std::vector<Literal> inputs = {
+      RandomLiteral(Shape({2, 5, 6, 3}), 41),
+      RandomLiteral(Shape({3, 3, 3, 66}), 42),
+      RandomLiteral(Shape({66}), 43)};
+  SetIntraOpParallelism(1);
+  const std::vector<float> reference =
+      unfused->Run(inputs)[0].data.ToVector();
+  for (int threads : {1, 2, 4}) {
+    SetIntraOpParallelism(threads);
+    EXPECT_EQ(fused->Run(inputs)[0].data.ToVector(), reference)
+        << "threads=" << threads;
+  }
+  SetIntraOpParallelism(0);
+}
+
+TEST(EpilogueExecTest, FusedDispatchAndByteCountersShrink) {
+  // Satellite: tensor.kernel.bytes must reflect that the fused kernel
+  // only touches external operands — bias + output once instead of the
+  // matmul result spilling and reloading through two elementwise ops.
+  const std::int64_t m = 5, k = 7, n = 66;
+  const HloModule mod = MatMulBiasRelu(m, k, n);
+  const auto inputs = MatMulBiasReluInputs(m, k, n);
+  const auto fused = Compile(mod).executable;
+  const auto unfused = Compile(mod, Unfused()).executable;
+
+  const auto before_fused = obs::MetricsRegistry::Global().Snapshot();
+  (void)fused->Run(inputs);
+  const auto fused_delta =
+      obs::MetricsRegistry::Global().Snapshot().CounterDeltaSince(before_fused);
+  const auto before_unfused = obs::MetricsRegistry::Global().Snapshot();
+  (void)unfused->Run(inputs);
+  const auto unfused_delta = obs::MetricsRegistry::Global()
+                                 .Snapshot()
+                                 .CounterDeltaSince(before_unfused);
+
+  EXPECT_EQ(DeltaOf(fused_delta, "tensor.kernel.dispatches"), 1);
+  EXPECT_EQ(DeltaOf(fused_delta, "tensor.kernel.dispatch.fused_epilogue"), 1);
+  EXPECT_EQ(DeltaOf(fused_delta, "tensor.kernel.fused.epilogue_ops"), 2);
+  EXPECT_EQ(DeltaOf(unfused_delta, "tensor.kernel.dispatches"), 3);
+  EXPECT_EQ(DeltaOf(unfused_delta, "tensor.kernel.dispatch.fused_epilogue"),
+            0);
+
+  // Exact byte accounting (4 bytes/element). Fused: a + b + bias + out.
+  // Unfused adds the matmul result spilling once and reloading twice.
+  const std::int64_t out = m * n;
+  const std::int64_t fused_bytes = 4 * (m * k + k * n + n + out);
+  const std::int64_t unfused_bytes =
+      4 * ((m * k + k * n + out) + (out + n + out) + (out + out));
+  EXPECT_EQ(DeltaOf(fused_delta, "tensor.kernel.bytes"), fused_bytes);
+  EXPECT_EQ(DeltaOf(unfused_delta, "tensor.kernel.bytes"), unfused_bytes);
+  EXPECT_LT(fused_bytes, unfused_bytes);
+}
+
+TEST(EpilogueExecTest, FusedKernelChargesLessDeviceTime) {
+  const HloModule m = MatMulBiasRelu();
+  SimAccelerator fused_acc(AcceleratorSpec::TpuV3Core());
+  SimAccelerator unfused_acc(AcceleratorSpec::TpuV3Core());
+  Compile(m).executable->ChargeTo(fused_acc);
+  Compile(m, Unfused()).executable->ChargeTo(unfused_acc);
+  EXPECT_LT(fused_acc.elapsed_seconds(), unfused_acc.elapsed_seconds());
+  EXPECT_EQ(fused_acc.kernels_launched(), 1);
+  EXPECT_EQ(unfused_acc.kernels_launched(), 3);
+}
+
+// --- External-bytes accounting (the double-count fix). ---------------------
+
+TEST(ExternalBytesTest, SharedInputCountedOncePerFusedGroup) {
+  // Both links of the fused elementwise group read parameter c; the
+  // group's external traffic must count c once, not twice.
+  HloModule m("shared_input");
+  const HloId p = m.AddParameter(Shape({64}), 0);
+  const HloId c = m.AddParameter(Shape({64}), 1);
+  const HloId e = m.AddInstruction(OpKind::kExp, {p});
+  const HloId mul = m.AddInstruction(OpKind::kMul, {e, c});
+  m.AddRoot(m.AddInstruction(OpKind::kAdd, {mul, c}));
+  CompileOptions options;
+  options.enable_epilogue_fusion = false;  // plain elementwise group
+  const auto exe = Compile(m, options).executable;
+  ASSERT_EQ(exe->kernel_count(), 1);
+  // Externals: p, c (deduped) in; the root out. 3 * 64 floats.
+  EXPECT_EQ(exe->kernels()[0].external_bytes, 3 * 64 * 4);
+}
+
+TEST(ExternalBytesTest, SingletonKernelsKeepPerOccurrenceBytes) {
+  // With fusion off every kernel is a singleton and keeps the legacy
+  // roofline accounting: add(e, e) reads its operand twice.
+  HloModule m("singleton");
+  const HloId p = m.AddParameter(Shape({64}), 0);
+  const HloId e = m.AddInstruction(OpKind::kExp, {p});
+  m.AddRoot(m.AddInstruction(OpKind::kAdd, {e, e}));
+  const auto exe = Compile(m, Unfused()).executable;
+  ASSERT_EQ(exe->kernel_count(), 2);
+  EXPECT_EQ(exe->kernels()[1].external_bytes, 3 * 64 * 4);  // e + e + out
+}
+
+// --- Deterministic partitions. ---------------------------------------------
+
+TEST(DeterminismTest, PipelineTwiceYieldsIdenticalPartitions) {
+  // CSE -> DCE -> fusion run twice over the same trace must produce
+  // identical, canonical fused-kernel partitions.
+  auto build = [] {
+    HloModule m("dup_trace");
+    const HloId a = m.AddParameter(Shape({4, 8}), 0);
+    const HloId b = m.AddParameter(Shape({8, 66}), 1);
+    const HloId bias = m.AddParameter(Shape({66}), 2);
+    const HloId mm1 = m.AddInstruction(OpKind::kMatMul, {a, b});
+    const HloId mm2 = m.AddInstruction(OpKind::kMatMul, {a, b});  // CSE bait
+    const HloId add = m.AddInstruction(OpKind::kAdd, {mm1, bias});
+    (void)m.AddInstruction(OpKind::kExp, {mm2});  // DCE bait
+    m.AddRoot(m.AddInstruction(OpKind::kRelu, {add}));
+    return m;
+  };
+  const auto first = Compile(build()).executable;
+  const auto second = Compile(build()).executable;
+  ASSERT_EQ(first->kernel_count(), second->kernel_count());
+  for (std::int64_t i = 0; i < first->kernel_count(); ++i) {
+    EXPECT_EQ(first->kernels()[i].instructions,
+              second->kernels()[i].instructions);
+    EXPECT_EQ(first->kernels()[i].external_bytes,
+              second->kernels()[i].external_bytes);
+  }
+}
+
+TEST(DeterminismTest, GroupIdsAreCanonicalizedToMinMember) {
+  const HloModule m = MatMulBiasRelu();
+  const auto groups = ComputeFusionGroups(m, ComputeEpilogueChains(m));
+  // matmul=3, add=4, relu=5 all carry the minimum member id.
+  EXPECT_EQ(groups[3], 3);
+  EXPECT_EQ(groups[4], 3);
+  EXPECT_EQ(groups[5], 3);
+}
+
+// --- Pass gating (legacy byte-identity). -----------------------------------
+
+TEST(PassGatingTest, FusionOffDisablesEpiloguesAndArena) {
+  const HloModule m = MatMulBiasRelu();
+  const auto exe = Compile(m, Unfused()).executable;
+  EXPECT_EQ(exe->kernel_count(), 3);  // one singleton per non-param op
+  for (const FusedKernel& k : exe->kernels()) {
+    EXPECT_EQ(k.instructions.size(), 1u);
+  }
+  EXPECT_EQ(exe->epilogue_folded_ops(), 0);
+  EXPECT_EQ(exe->arena_peak_bytes(), 0);
+  EXPECT_EQ(exe->arena_unreused_bytes(), 0);
+  EXPECT_EQ(exe->arena_charge_bytes(), 0);
+}
+
+TEST(PassGatingTest, EpilogueOffStillFusesElementwise) {
+  const HloModule m = MatMulBiasRelu();
+  const auto exe = Compile(m, NoEpilogue()).executable;
+  // add + relu fuse as a plain elementwise group; the matmul stays alone.
+  EXPECT_EQ(exe->kernel_count(), 2);
+  EXPECT_EQ(exe->epilogue_folded_ops(), 0);
+  EXPECT_GT(exe->arena_charge_bytes(), 0);  // arena still applies
+  const auto inputs = MatMulBiasReluInputs();
+  EXPECT_EQ(exe->Run(inputs)[0].data.ToVector(),
+            Compile(m).executable->Run(inputs)[0].data.ToVector());
+}
+
+// --- Buffer-reuse planner. -------------------------------------------------
+
+TEST(BufferPlanTest, ChainOfMatMulsReusesSlots) {
+  // m3(m2(m1(p,p),p),p): three 64x64 intermediates, but only two are ever
+  // live at once, so the arena peaks at 2 slots.
+  HloModule m("matmul_chain");
+  const HloId p = m.AddParameter(Shape({64, 64}), 0);
+  const HloId m1 = m.AddInstruction(OpKind::kMatMul, {p, p});
+  const HloId m2 = m.AddInstruction(OpKind::kMatMul, {m1, p});
+  m.AddRoot(m.AddInstruction(OpKind::kMatMul, {m2, p}));
+  const BufferPlan plan = PlanBuffers(m, {});
+  const std::int64_t value_bytes = 64 * 64 * 4;
+  EXPECT_EQ(plan.unreused_bytes, 3 * value_bytes);
+  EXPECT_EQ(plan.peak_arena_bytes, 2 * value_bytes);
+  EXPECT_EQ(plan.arena_slots, 2);
+  // m1 dies at m2, m2 dies at the root; the root itself is never
+  // released.
+  ASSERT_EQ(plan.release_after.size(), m.instructions().size());
+  EXPECT_EQ(plan.release_after[static_cast<std::size_t>(m2)],
+            (std::vector<HloId>{m1}));
+
+  // Releasing buffers mid-run must not perturb the numerics.
+  const std::vector<Literal> inputs = {RandomLiteral(Shape({64, 64}), 51)};
+  const auto reuse = Compile(m).executable;
+  EXPECT_EQ(reuse->arena_charge_bytes(), 2 * value_bytes);
+  CompileOptions no_reuse;
+  no_reuse.enable_buffer_reuse = false;
+  const auto keep = Compile(m, no_reuse).executable;
+  EXPECT_EQ(keep->arena_charge_bytes(), 3 * value_bytes);
+  EXPECT_EQ(reuse->Run(inputs)[0].data.ToVector(),
+            keep->Run(inputs)[0].data.ToVector());
+
+  // And the smaller footprint is cheaper on the simulated device.
+  SimAccelerator reuse_acc(AcceleratorSpec::TpuV3Core());
+  SimAccelerator keep_acc(AcceleratorSpec::TpuV3Core());
+  reuse->ChargeTo(reuse_acc);
+  keep->ChargeTo(keep_acc);
+  EXPECT_LT(reuse_acc.elapsed_seconds(), keep_acc.elapsed_seconds());
+}
+
+TEST(BufferPlanTest, ChainMembersExecuteAtResultSite) {
+  // The epilogue chain's bias operand stays live until the chain RESULT
+  // executes, not until the (skipped) add's own position.
+  const HloModule m = MatMulBiasRelu();
+  const auto chains = ComputeEpilogueChains(m);
+  const BufferPlan plan = PlanBuffers(m, chains);
+  // Only the chain result (relu, id 5) defines a value; anchor and add
+  // are folded, parameters are not arena values.
+  EXPECT_EQ(plan.unreused_bytes, 5 * 66 * 4);
+  EXPECT_EQ(plan.peak_arena_bytes, 5 * 66 * 4);
+  EXPECT_EQ(plan.arena_slots, 1);
+}
+
+TEST(BufferPlanTest, ArenaGaugeTracksCompiledCharge) {
+  const HloModule m = MatMulBiasRelu();
+  const auto exe = Compile(m).executable;
+  EXPECT_EQ(obs::GetGauge("xla.arena.peak_bytes")->value(),
+            exe->arena_charge_bytes());
+}
+
+// --- Tiled kernels vs. a straightforward serial reference. -----------------
+
+void ReferenceMatMul(const std::vector<float>& a, const std::vector<float>& b,
+                     std::vector<float>& out, std::int64_t m, std::int64_t k,
+                     std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = a[static_cast<std::size_t>(i * k + kk)];
+        if (av == 0.0f) continue;  // the kernels' sparsity skip, verbatim
+        acc += av * b[static_cast<std::size_t>(kk * n + j)];
+      }
+      out[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+TEST(TiledKernelTest, MatMulBitwiseMatchesReferenceAcrossShapes) {
+  // Shapes straddle the 64-wide register tile: under, exactly at, one
+  // over, and a degenerate m=1/k=1. Zeros exercise the skip path.
+  struct Case {
+    std::int64_t m, k, n;
+  };
+  for (const Case& c : {Case{3, 5, 63}, Case{4, 7, 64}, Case{5, 9, 65},
+                        Case{1, 1, 130}, Case{7, 16, 127}}) {
+    Literal a = RandomLiteral(Shape({c.m, c.k}), 61 + c.n);
+    const Literal b = RandomLiteral(Shape({c.k, c.n}), 62 + c.n);
+    // Sprinkle exact zeros into a.
+    {
+      std::vector<float> av = a.data.ToVector();
+      for (std::size_t i = 0; i < av.size(); i += 3) av[i] = 0.0f;
+      a = Literal::FromVector(a.shape, std::move(av));
+    }
+    std::vector<float> expected(
+        static_cast<std::size_t>(c.m * c.n));
+    ReferenceMatMul(a.data.ToVector(), b.data.ToVector(), expected, c.m, c.k,
+                    c.n);
+    for (int threads : {1, 2, 4}) {
+      SetIntraOpParallelism(threads);
+      const Literal out = EvalOpLiteral(OpKind::kMatMul, {a, b}, {});
+      EXPECT_EQ(out.data.ToVector(), expected)
+          << "m=" << c.m << " k=" << c.k << " n=" << c.n
+          << " threads=" << threads;
+    }
+    SetIntraOpParallelism(0);
+  }
+}
+
+TEST(TiledKernelTest, Conv2DBitwiseAcrossThreadCountsAndTileEdges) {
+  // out_c = 5 (single partial tile) and 70 (full tile + partial).
+  for (const std::int64_t out_c : {std::int64_t{5}, std::int64_t{70}}) {
+    const Literal input = RandomLiteral(Shape({2, 6, 7, 3}), 71);
+    const Literal filter =
+        RandomLiteral(Shape({3, 3, 3, out_c}), 72 + out_c);
+    OpAttrs attrs;
+    attrs.stride_h = 1;
+    attrs.stride_w = 1;
+    attrs.padding = Padding::kSame;
+    SetIntraOpParallelism(1);
+    const std::vector<float> serial =
+        EvalOpLiteral(OpKind::kConv2D, {input, filter}, attrs)
+            .data.ToVector();
+    for (int threads : {2, 4}) {
+      SetIntraOpParallelism(threads);
+      EXPECT_EQ(
+          EvalOpLiteral(OpKind::kConv2D, {input, filter}, attrs)
+              .data.ToVector(),
+          serial)
+          << "out_c=" << out_c << " threads=" << threads;
+    }
+    SetIntraOpParallelism(0);
+  }
+}
+
+// --- Finite-difference gradients through epilogue-fused programs. ----------
+
+TEST(EpilogueGradientTest, MatMulBiasReluOnLazyBackend) {
+  // Positive inputs keep every pre-activation away from the ReLU kink so
+  // central differences are well-conditioned.
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Rng rng(81);
+  const Tensor w =
+      Tensor::RandomUniform(Shape({3, 4}), rng, 0.5f, 1.5f).To(lazy);
+  const Tensor bias =
+      Tensor::RandomUniform(Shape({4}), rng, 0.1f, 0.5f).To(lazy);
+  const Tensor x =
+      Tensor::RandomUniform(Shape({2, 3}), rng, 0.5f, 1.5f).To(lazy);
+  ad::testing::CheckInputGradient(
+      [&](const Tensor& t) { return ReduceSum(Relu(MatMul(t, w) + bias)); },
+      x);
+}
+
+TEST(EpilogueGradientTest, ConvBiasReluOnLazyBackend) {
+  LazyBackend backend;
+  const Device lazy = backend.device();
+  Rng rng(82);
+  const Tensor filter =
+      Tensor::RandomUniform(Shape({2, 2, 2, 3}), rng, 0.2f, 0.8f).To(lazy);
+  const Tensor bias =
+      Tensor::RandomUniform(Shape({3}), rng, 0.1f, 0.4f).To(lazy);
+  const Tensor x =
+      Tensor::RandomUniform(Shape({1, 4, 4, 2}), rng, 0.5f, 1.5f).To(lazy);
+  ad::testing::CheckInputGradient(
+      [&](const Tensor& t) {
+        return ReduceSum(Relu(Conv2D(t, filter) + bias));
+      },
+      x);
+}
+
+}  // namespace
+}  // namespace s4tf::xla

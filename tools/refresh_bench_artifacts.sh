@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the committed BENCH_*.json baselines at the repo root.
 #
-# Usage: tools/refresh_bench_artifacts.sh [build-dir]
+# Usage: tools/refresh_bench_artifacts.sh [--check] [build-dir]
 #
 # Runs every bench harness in artifact-only mode (S4TF_BENCH_ARTIFACT_ONLY=1
 # skips the google-benchmark timing sweeps; the deterministic artifact
@@ -11,9 +11,19 @@
 # exact-diffs them; wall_ms/noisy sections are refreshed too but only
 # warn on drift. Commit the resulting BENCH_*.json files together with the
 # change that moved them. See EXPERIMENTS.md ("Bench artifacts").
+#
+# --check: regenerate into a temporary directory instead and run
+# bench_compare against the committed baselines, leaving the repo root
+# untouched — the local equivalent of CI's bench-artifacts job. Exit is
+# non-zero on any deterministic diff.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+check_mode=0
+if [[ "${1:-}" == "--check" ]]; then
+  check_mode=1
+  shift
+fi
 build_dir="${1:-$repo_root/build}"
 
 benches=(
@@ -34,6 +44,12 @@ benches=(
   bench_guard
 )
 
+out_dir="$repo_root"
+if [[ "$check_mode" == 1 ]]; then
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+fi
+
 for bench in "${benches[@]}"; do
   binary="$build_dir/bench/$bench"
   if [[ ! -x "$binary" ]]; then
@@ -41,8 +57,13 @@ for bench in "${benches[@]}"; do
     exit 1
   fi
   echo "== $bench"
-  S4TF_BENCH_ARTIFACT_ONLY=1 S4TF_BENCH_OUT_DIR="$repo_root" \
+  S4TF_BENCH_ARTIFACT_ONLY=1 S4TF_BENCH_OUT_DIR="$out_dir" \
     "$binary" > /dev/null
 done
 
-echo "refreshed $(ls "$repo_root"/BENCH_*.json | wc -l) artifacts in $repo_root"
+if [[ "$check_mode" == 1 ]]; then
+  "$build_dir/bench/bench_compare" "$repo_root" "$out_dir"
+  echo "check passed: fresh artifacts match the committed baselines"
+else
+  echo "refreshed $(ls "$repo_root"/BENCH_*.json | wc -l) artifacts in $repo_root"
+fi
